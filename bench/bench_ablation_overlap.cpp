@@ -1,0 +1,59 @@
+// Ablation: the cost of ignoring message overlap. Equations (5)-(7)
+// serialize every point-to-point message of a processor; the real
+// application (and SimKrak) overlaps asynchronous sends to different
+// neighbors. This bench isolates communication (compute scaled to ~0)
+// and compares the simulated communication time per iteration against
+// the serialized model, quantifying the over-prediction the paper
+// acknowledges ("does not account for overlapping of messages").
+
+#include <iostream>
+
+#include "common.hpp"
+#include "core/comm_model.hpp"
+#include "network/collectives.hpp"
+#include "partition/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace krak;
+  krakbench::print_header(
+      "Ablation: serialized (Eq. 5-7) vs. overlapped point-to-point",
+      "Section 4's stated approximation");
+  const auto& env = krakbench::environment();
+
+  // An engine whose computation is ~free isolates communication.
+  simapp::ComputationCostEngine comm_only;
+  comm_only.set_compute_speedup(1e9);
+  comm_only.set_noise_sigma(0.0);
+
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kMedium);
+  util::TextTable table({"PEs", "Sim comm (ms)", "Model comm (ms)",
+                         "Model p2p (ms)", "Over-prediction"});
+  for (std::int32_t pes : {16, 64, 128, 256, 512}) {
+    const partition::Partition part = partition::partition_deck(
+        deck, pes, partition::PartitionMethod::kMultilevel, 1);
+    const partition::PartitionStats stats(deck, part);
+    const double simulated =
+        simapp::SimKrak(deck, part, env.machine, comm_only, {})
+            .run()
+            .time_per_iteration;
+
+    const core::PointToPointBreakdown p2p =
+        core::max_point_to_point(env.machine.network, stats);
+    const network::CollectiveModel collectives(env.machine.network);
+    const double model_comm =
+        p2p.total() + collectives.iteration_collectives(pes);
+
+    table.add_row({std::to_string(pes),
+                   util::format_double(simulated * 1e3, 3),
+                   util::format_double(model_comm * 1e3, 3),
+                   util::format_double(p2p.total() * 1e3, 3),
+                   util::format_double(model_comm / simulated, 2) + "x"});
+  }
+  std::cout << table;
+  std::cout << "\nThe serialized model over-predicts pure communication;"
+               " in full-iteration validation the\neffect is diluted by"
+               " computation, which is why the paper can ignore overlap"
+               " and still\nvalidate within a few percent.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Regenerates Figure 3: per-cell computation time versus cells per
+// processor for phases 1, 2 and 7, one curve per material — the
+// log-log cost curves whose knee defeats the mesh-specific model.
+// Prints a decade-sampled table of the measured (ground-truth) curves
+// and the calibrated model's piecewise-linear reconstruction; full
+// resolution goes to CSV.
+
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace krak;
+  krakbench::print_header(
+      "Figure 3: per-cell computation time vs. cells per processor",
+      "Figure 3 (Section 3.1), phases 1, 2, 7");
+
+  const auto& env = krakbench::environment();
+  util::CsvWriter csv(krakbench::output_dir() + "/fig3_cost_curves.csv");
+  csv.write_header({"phase", "cells", "material", "truth_per_cell_s",
+                    "model_per_cell_s"});
+
+  for (std::int32_t phase : {1, 2, 7}) {
+    std::cout << "Phase " << phase << ":\n";
+    util::TextTable table({"Cells/PE", "HE Gas (truth)", "HE Gas (model)",
+                           "Foam (truth)", "Foam (model)"});
+    for (double cells = 1.0; cells <= 1e6; cells *= 10.0) {
+      const auto n = static_cast<std::int64_t>(cells);
+      const double he_truth =
+          env.engine.per_cell_cost(phase, mesh::Material::kHEGas, n);
+      const double he_model = env.model.cost_table().per_cell(
+          phase, mesh::Material::kHEGas, cells);
+      const double foam_truth =
+          env.engine.per_cell_cost(phase, mesh::Material::kFoam, n);
+      const double foam_model =
+          env.model.cost_table().per_cell(phase, mesh::Material::kFoam, cells);
+      table.add_row({util::format_double(cells, 0),
+                     util::format_us(he_truth, 3), util::format_us(he_model, 3),
+                     util::format_us(foam_truth, 3),
+                     util::format_us(foam_model, 3)});
+    }
+    std::cout << table << "\n";
+
+    // Dense CSV sweep for plotting (quarter-decade steps).
+    for (double cells = 1.0; cells <= 1e6; cells *= std::pow(10.0, 0.25)) {
+      const auto n = static_cast<std::int64_t>(std::llround(cells));
+      for (mesh::Material m : mesh::all_materials()) {
+        csv.write_row({std::to_string(phase), std::to_string(n),
+                       std::string(mesh::material_short_name(m)),
+                       std::to_string(env.engine.per_cell_cost(phase, m, n)),
+                       std::to_string(env.model.cost_table().per_cell(
+                           phase, m, static_cast<double>(n)))});
+      }
+    }
+  }
+
+  std::cout << "Shape check (paper): per-cell cost is flat for large"
+               " subgrids and rises toward a\nconstant per-subgrid time as"
+               " the subgrid shrinks; the knee sits near 10^2 cells.\nCSV: "
+            << krakbench::output_dir() << "/fig3_cost_curves.csv\n";
+  return 0;
+}

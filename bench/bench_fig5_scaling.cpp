@@ -1,0 +1,89 @@
+// Regenerates Figure 5: general model validation across the full
+// strong-scaling sweep — measured (SimKrak), homogeneous, and
+// heterogeneous iteration times for the medium and large problems over
+// P = 1..1024. Expected shape: heterogeneous tracks the measurement at
+// small P and over-predicts at large P; homogeneous over-predicts at
+// small P and converges onto the measurement at large P.
+
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace krak;
+  krakbench::print_header(
+      "Figure 5: general model validation (strong-scaling sweep)",
+      "Figure 5 (Section 5.2)");
+  const auto& env = krakbench::environment();
+  const std::vector<std::int32_t> pe_counts = {1,  2,   4,   8,   16,  32,
+                                               64, 128, 256, 512, 1024};
+
+  util::CsvWriter csv(krakbench::output_dir() + "/fig5_scaling.csv");
+  csv.write_header(
+      {"problem", "pes", "measured_s", "homogeneous_s", "heterogeneous_s"});
+
+  bool shape_ok = true;
+  for (mesh::DeckSize size : {mesh::DeckSize::kMedium, mesh::DeckSize::kLarge}) {
+    const mesh::InputDeck deck = mesh::make_standard_deck(size);
+    std::cout << "Problem: " << mesh::deck_size_name(size) << " ("
+              << deck.grid().num_cells() << " cells)\n";
+    std::vector<double> measured(pe_counts.size(), 0.0);
+    util::ThreadPool pool;
+    pool.parallel_for(pe_counts.size(), [&](std::size_t i) {
+      measured[i] = simapp::simulate_iteration_time(
+          deck, pe_counts[i], env.machine, env.engine, /*seed=*/1);
+    });
+
+    util::TextTable table({"PEs", "Measured (ms)", "Homogeneous (ms)",
+                           "Heterogeneous (ms)", "Homo err", "Hetero err"});
+    for (std::size_t i = 0; i < pe_counts.size(); ++i) {
+      const std::int32_t pes = pe_counts[i];
+      const double homo =
+          env.model
+              .predict_general(deck.grid().num_cells(), pes,
+                               core::GeneralModelMode::kHomogeneous)
+              .total();
+      const double het =
+          env.model
+              .predict_general(deck.grid().num_cells(), pes,
+                               core::GeneralModelMode::kHeterogeneous)
+              .total();
+      table.add_row({std::to_string(pes),
+                     util::format_double(measured[i] * 1e3, 1),
+                     util::format_double(homo * 1e3, 1),
+                     util::format_double(het * 1e3, 1),
+                     util::format_percent((measured[i] - homo) / measured[i]),
+                     util::format_percent((measured[i] - het) / measured[i])});
+      csv.write_row({std::string(mesh::deck_size_name(size)),
+                     std::to_string(pes), std::to_string(measured[i]),
+                     std::to_string(homo), std::to_string(het)});
+      if (pes == 1) {
+        // Left edge of Figure 5: heterogeneous is the better fit.
+        shape_ok = shape_ok &&
+                   std::abs(het - measured[i]) < std::abs(homo - measured[i]);
+      }
+      if (pes == 512) {
+        // Table 6 regime: homogeneous within a few percent.
+        shape_ok = shape_ok && std::abs(homo - measured[i]) / measured[i] < 0.10;
+      }
+      if (i + 1 == pe_counts.size()) {
+        // Right edge of the sweep: heterogeneous over-predicts once the
+        // per-material subgrid shares shrink into the knee (the
+        // divergence point scales with the problem size, exactly as in
+        // the paper's two panels).
+        shape_ok = shape_ok && het > measured[i] * 1.05;
+      }
+    }
+    std::cout << table << "\n";
+  }
+  std::cout << "CSV: " << krakbench::output_dir() << "/fig5_scaling.csv\n";
+  std::cout << (shape_ok
+                    ? "SHAPE MATCH: hetero accurate at small P and "
+                      "over-predicting at scale; homo accurate at scale\n"
+                    : "SHAPE MISMATCH\n");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// Regenerates Table 1: "Summary of Krak activities by phase" — the
+// action and synchronization-point count of each of the 15 phases, as
+// actually executed by SimKrak (traffic cross-checked against a traced
+// iteration).
+
+#include <iostream>
+
+#include "common.hpp"
+#include "mesh/deck.hpp"
+#include "partition/partition.hpp"
+#include "simapp/phases.hpp"
+#include "simapp/simkrak.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace krak;
+  krakbench::print_header("Table 1: Krak activities by phase",
+                          "Table 1 (Section 2.2)");
+
+  util::TextTable table({"Phase", "Action", "Sync Points"});
+  table.set_alignment({util::Align::kRight, util::Align::kLeft,
+                       util::Align::kRight});
+  std::int32_t total_syncs = 0;
+  for (const simapp::PhaseSpec& phase : simapp::iteration_phases()) {
+    table.add_row({std::to_string(phase.number),
+                   std::string(simapp::phase_action_name(phase.action)),
+                   std::to_string(phase.sync_points())});
+    total_syncs += phase.sync_points();
+  }
+  std::cout << table;
+  std::cout << "Total sync points per iteration: " << total_syncs
+            << " (paper: 22)\n";
+
+  // Cross-check by running one traced SimKrak iteration.
+  const auto& env = krakbench::environment();
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const partition::Partition part = partition::partition_deck(
+      deck, 16, partition::PartitionMethod::kMultilevel, 1);
+  const simapp::SimKrak app(deck, part, env.machine, env.engine, {});
+  const simapp::SimKrakResult result = app.run();
+  std::cout << "\nTraced iteration on 16 PEs (small deck):\n";
+  std::cout << "  allreduces observed: " << result.traffic.allreduces
+            << " (expected 22)\n";
+  std::cout << "  broadcasts observed: " << result.traffic.broadcasts
+            << " (expected 6: 3 of 4 B + 3 of 8 B)\n";
+  std::cout << "  gathers observed:    " << result.traffic.gathers
+            << " (expected 1)\n";
+  const bool ok = result.traffic.allreduces == 22 &&
+                  result.traffic.broadcasts == 6 && result.traffic.gathers == 1;
+  std::cout << (ok ? "MATCH\n" : "MISMATCH\n");
+  return ok ? 0 : 1;
+}

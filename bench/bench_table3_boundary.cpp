@@ -1,0 +1,102 @@
+// Regenerates Table 3: the boundary-exchange example of Figure 4 — a
+// processor boundary of 3 HE-gas, 2 aluminum, 3 foam, and 2 aluminum
+// faces. Message counts and sizes must match the paper's table exactly:
+//   H.E. Gas:        2 x 48 B, 4 x 36 B
+//   Aluminum (both): 2 x 84 B, 4 x 48 B
+//   Foam:            2 x 60 B, 4 x 36 B
+//   All:             6 x 120 B
+
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "mesh/deck.hpp"
+#include "partition/partition.hpp"
+#include "partition/stats.hpp"
+#include "simapp/phases.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace krak;
+
+/// The Figure 4 deck: two columns (one per processor) and ten rows of
+/// stacked materials along the shared boundary.
+mesh::InputDeck make_figure4_deck() {
+  mesh::Grid grid(2, 10);
+  std::vector<mesh::Material> materials(20);
+  for (std::int32_t j = 0; j < 10; ++j) {
+    mesh::Material m = mesh::Material::kAluminumOuter;
+    if (j < 3) {
+      m = mesh::Material::kHEGas;
+    } else if (j < 5) {
+      m = mesh::Material::kAluminumInner;
+    } else if (j < 8) {
+      m = mesh::Material::kFoam;
+    }
+    for (std::int32_t i = 0; i < 2; ++i) {
+      materials[static_cast<std::size_t>(grid.cell_at(i, j))] = m;
+    }
+  }
+  return mesh::InputDeck("figure4", grid, std::move(materials),
+                         mesh::Point{0.0, 4.0});
+}
+
+}  // namespace
+
+int main() {
+  krakbench::print_header("Table 3: boundary exchange example (Figure 4)",
+                          "Table 3 + Figure 4 (Section 4.1)");
+
+  const mesh::InputDeck deck = make_figure4_deck();
+  std::vector<partition::PeId> assignment(20);
+  for (std::int32_t j = 0; j < 10; ++j) {
+    assignment[static_cast<std::size_t>(j * 2)] = 0;
+    assignment[static_cast<std::size_t>(j * 2 + 1)] = 1;
+  }
+  const partition::Partition part(2, std::move(assignment));
+  const partition::PartitionStats stats(deck, part);
+  const partition::NeighborBoundary& boundary =
+      stats.subdomain(0).neighbors.front();
+
+  util::TextTable table(
+      {"Material", "Msg. Count", "Size of Each Msg (bytes)", "Paper"});
+  table.set_alignment({util::Align::kLeft, util::Align::kRight,
+                       util::Align::kRight, util::Align::kRight});
+
+  const std::array<std::string, mesh::kExchangeGroupCount> paper_aug = {
+      "48", "84", "60"};
+  const std::array<std::string, mesh::kExchangeGroupCount> paper_base = {
+      "36", "48", "36"};
+  bool all_match = true;
+  for (std::size_t g = 0; g < mesh::kExchangeGroupCount; ++g) {
+    const double faces = static_cast<double>(boundary.faces_per_group[g]);
+    const double nodes =
+        static_cast<double>(boundary.multi_material_nodes_per_group[g]);
+    const double augmented =
+        simapp::kBoundaryBytesPerFace * (faces + nodes);
+    const double base = simapp::kBoundaryBytesPerFace * faces;
+    table.add_row({std::string(mesh::exchange_group_name(g)),
+                   std::to_string(simapp::kBoundaryAugmentedMessages),
+                   util::format_double(augmented, 0), paper_aug[g]});
+    table.add_row({"", std::to_string(simapp::kBoundaryMessagesPerStep -
+                                      simapp::kBoundaryAugmentedMessages),
+                   util::format_double(base, 0), paper_base[g]});
+    all_match = all_match &&
+                util::format_double(augmented, 0) == paper_aug[g] &&
+                util::format_double(base, 0) == paper_base[g];
+  }
+  const double final_bytes =
+      simapp::kBoundaryBytesPerFace * static_cast<double>(boundary.total_faces);
+  table.add_row({"All", std::to_string(simapp::kBoundaryMessagesPerStep),
+                 util::format_double(final_bytes, 0), "120"});
+  all_match = all_match && final_bytes == 120.0;
+
+  std::cout << table;
+  std::cout << "\nMulti-material ghost nodes on the boundary: "
+            << boundary.multi_material_ghost_nodes
+            << " (one per material junction)\n";
+  std::cout << (all_match ? "MATCH: all message sizes reproduce Table 3\n"
+                          : "MISMATCH against Table 3\n");
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Regenerates Table 4: collective communication operations per
+// iteration — counts and sizes, fixed regardless of problem size and
+// processor count — plus the Equation (8)-(10) model costs.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "mesh/deck.hpp"
+#include "network/collectives.hpp"
+#include "partition/partition.hpp"
+#include "simapp/phases.hpp"
+#include "simapp/simkrak.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace krak;
+  krakbench::print_header(
+      "Table 4: collective communication operations per iteration",
+      "Table 4 + Equations (8)-(10) (Section 4.3)");
+
+  const simapp::DerivedCollectiveCounts derived =
+      simapp::derive_collective_counts();
+  util::TextTable table({"Type", "Count", "Size (bytes)", "Paper count"});
+  table.set_alignment({util::Align::kLeft, util::Align::kRight,
+                       util::Align::kRight, util::Align::kRight});
+  table.add_row({"MPI_Bcast()", std::to_string(derived.bcast_4b), "4", "3"});
+  table.add_row({"MPI_Bcast()", std::to_string(derived.bcast_8b), "8", "3"});
+  table.add_row(
+      {"MPI_Allreduce()", std::to_string(derived.allreduce_4b), "4", "9"});
+  table.add_row(
+      {"MPI_Allreduce()", std::to_string(derived.allreduce_8b), "8", "13"});
+  table.add_row({"MPI_Gather()", std::to_string(derived.gather_32b), "32", "1"});
+  std::cout << table;
+
+  // Invariance check: identical counts on two very different
+  // configurations, as the paper states.
+  const auto& env = krakbench::environment();
+  bool invariant = true;
+  for (const auto& [size, pes] :
+       std::vector<std::pair<mesh::DeckSize, std::int32_t>>{
+           {mesh::DeckSize::kSmall, 8}, {mesh::DeckSize::kMedium, 64}}) {
+    const mesh::InputDeck deck = mesh::make_standard_deck(size);
+    const partition::Partition part = partition::partition_deck(
+        deck, pes, partition::PartitionMethod::kMultilevel, 1);
+    const auto traffic =
+        simapp::SimKrak(deck, part, env.machine, env.engine, {}).run().traffic;
+    std::cout << "\n" << mesh::deck_size_name(size) << " deck on " << pes
+              << " PEs: " << traffic.broadcasts << " bcasts, "
+              << traffic.allreduces << " allreduces, " << traffic.gathers
+              << " gathers";
+    invariant = invariant && traffic.broadcasts == 6 &&
+                traffic.allreduces == 22 && traffic.gathers == 1;
+  }
+  std::cout << "\n\nCollective model costs on the ES-45/QsNet machine:\n";
+  const network::CollectiveModel model(env.machine.network);
+  util::TextTable costs({"PEs", "T_Broadcast", "T_Allreduce", "T_Gather"});
+  for (std::int32_t pes : {16, 64, 128, 256, 512, 1024}) {
+    costs.add_row({std::to_string(pes),
+                   util::format_us(model.iteration_broadcast(pes), 1),
+                   util::format_us(model.iteration_allreduce(pes), 1),
+                   util::format_us(model.iteration_gather(pes), 1)});
+  }
+  std::cout << costs;
+  std::cout << (invariant ? "MATCH: counts fixed across configurations\n"
+                          : "MISMATCH\n");
+  return invariant ? 0 : 1;
+}

@@ -1,0 +1,50 @@
+// Regenerates Table 5: validation of the mesh-specific (input-specific)
+// model — small and medium problems on 16/64/128 processors, measured
+// (SimKrak) vs. predicted, with the paper's signed error convention.
+// Expected shape: large errors for the small problem near the knee of
+// the per-cell cost curve, under 10% for the medium problem.
+
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/campaign.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace krak;
+  krakbench::print_header("Table 5: validation of the mesh-specific model",
+                          "Table 5 (Section 5.1)");
+  const auto& env = krakbench::environment();
+
+  const core::CampaignSummary summary = core::run_validation_campaign(
+      env.model, env.engine, core::table5_runs());
+  std::cout << summary.to_string();
+
+  util::CsvWriter csv(krakbench::output_dir() + "/table5_meshspecific.csv");
+  csv.write_header({"problem", "pes", "measured_s", "predicted_s", "error"});
+  double worst_small = 0.0;
+  double worst_medium = 0.0;
+  for (const core::ValidationPoint& point : summary.points) {
+    csv.write_row({point.problem, std::to_string(point.pes),
+                   std::to_string(point.measured),
+                   std::to_string(point.predicted),
+                   std::to_string(point.error())});
+    // The small deck is 80x40 cells; problem names carry dimensions.
+    auto& worst = (point.problem.find("80x40") != std::string::npos)
+                      ? worst_small
+                      : worst_medium;
+    worst = std::max(worst, std::abs(point.error()));
+  }
+  std::cout << "\nPaper values for reference: small 16/64/128 errors"
+               " -59.0% / +52.7% / -10.0%;\nmedium 16/64/128 errors +5.9% /"
+               " -0.8% / +4.5%.\n";
+  std::cout << "Shape check: worst small-problem error "
+            << util::format_percent(worst_small)
+            << " (knee regime, large); worst medium-problem error "
+            << util::format_percent(worst_medium) << " (should be < 10%).\n";
+  const bool shape_ok = worst_small > 0.15 && worst_medium < 0.10;
+  std::cout << (shape_ok ? "SHAPE MATCH\n" : "SHAPE MISMATCH\n");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+// Regenerates Table 6: validation of the general model with a
+// homogeneous material distribution — medium and large problems on
+// 128/256/512 processors. Expected shape: single-digit errors, best at
+// the largest scale (the paper reports within 3% at 512 PEs).
+
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/campaign.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace krak;
+  krakbench::print_header(
+      "Table 6: validation of the general model (homogeneous)",
+      "Table 6 (Section 5.2)");
+  const auto& env = krakbench::environment();
+
+  const core::CampaignSummary summary = core::run_validation_campaign(
+      env.model, env.engine, core::table6_runs());
+  std::cout << summary.to_string();
+
+  util::CsvWriter csv(krakbench::output_dir() + "/table6_general.csv");
+  csv.write_header({"problem", "pes", "measured_s", "predicted_s", "error"});
+  double at512 = 0.0;
+  for (const core::ValidationPoint& point : summary.points) {
+    csv.write_row({point.problem, std::to_string(point.pes),
+                   std::to_string(point.measured),
+                   std::to_string(point.predicted),
+                   std::to_string(point.error())});
+    if (point.pes == 512) {
+      at512 = std::max(at512, std::abs(point.error()));
+    }
+  }
+  std::cout << "\nPaper values for reference: medium 128/256/512 errors"
+               " -8.0% / -4.0% / +2.9%;\nlarge 128/256/512 errors -4.3% /"
+               " -4.6% / -1.0%.\n";
+  std::cout << "Shape check: worst error "
+            << util::format_percent(summary.worst_abs_error)
+            << "; worst at 512 PEs " << util::format_percent(at512) << ".\n";
+  const bool shape_ok = summary.worst_abs_error < 0.12 && at512 < 0.08;
+  std::cout << (shape_ok ? "SHAPE MATCH\n" : "SHAPE MISMATCH\n");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Extension experiment: weak scaling. The paper studies strong scaling
+// only; here the problem grows with the machine (fixed cells per PE),
+// the regime where collectives are the only growing cost. The general
+// model predicts near-flat iteration time with a log(P) creep; SimKrak
+// confirms it.
+
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "partition/partition.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace krak;
+  krakbench::print_header("Weak scaling (fixed cells per processor)",
+                          "extension beyond the paper's strong-scaling study");
+  const auto& env = krakbench::environment();
+
+  bool shape_ok = true;
+  for (const std::int64_t cells_per_pe : {400, 1600}) {
+    std::cout << cells_per_pe << " cells per processor:\n";
+    const std::vector<std::int32_t> pe_counts = {1, 4, 16, 64, 256, 1024};
+    std::vector<double> measured(pe_counts.size(), 0.0);
+    util::ThreadPool pool;
+    pool.parallel_for(pe_counts.size(), [&](std::size_t i) {
+      const std::int32_t pes = pe_counts[i];
+      // A 2:1 rectangle with ~cells_per_pe * pes cells.
+      const double target = static_cast<double>(cells_per_pe) * pes;
+      const auto ny = static_cast<std::int32_t>(
+          std::max(4.0, std::round(std::sqrt(target / 2.0))));
+      const auto nx = static_cast<std::int32_t>(
+          std::max(8.0, std::round(target / ny)));
+      const mesh::InputDeck deck = mesh::make_cylindrical_deck(nx, ny);
+      measured[i] = simapp::simulate_iteration_time(deck, pes, env.machine,
+                                                    env.engine, 1);
+    });
+
+    util::TextTable table(
+        {"PEs", "Cells", "Measured (ms)", "Predicted (ms)", "Error"});
+    for (std::size_t i = 0; i < pe_counts.size(); ++i) {
+      const std::int32_t pes = pe_counts[i];
+      const std::int64_t cells = cells_per_pe * pes;
+      const double predicted =
+          env.model
+              .predict_general(cells, pes,
+                               core::GeneralModelMode::kHomogeneous)
+              .total();
+      const double error = (measured[i] - predicted) / measured[i];
+      table.add_row({std::to_string(pes), std::to_string(cells),
+                     util::format_double(measured[i] * 1e3, 2),
+                     util::format_double(predicted * 1e3, 2),
+                     util::format_percent(error)});
+      if (pes >= 64) shape_ok = shape_ok && std::abs(error) < 0.15;
+    }
+    std::cout << table;
+    // Weak-scaling shape: time grows far slower than the problem.
+    const double growth = measured.back() / measured.front();
+    std::cout << "Iteration-time growth over a 1024x problem increase: "
+              << util::format_double(growth, 2) << "x (log-P collectives + "
+              << "boundary growth only)\n\n";
+    shape_ok = shape_ok && growth < 3.0;
+  }
+  std::cout << (shape_ok ? "SHAPE MATCH\n" : "SHAPE MISMATCH\n");
+  return shape_ok ? 0 : 1;
+}

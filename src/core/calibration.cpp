@@ -1,0 +1,108 @@
+#include "core/calibration.hpp"
+
+#include <algorithm>
+
+#include "linalg/solve.hpp"
+#include "partition/partition.hpp"
+#include "partition/stats.hpp"
+#include "util/error.hpp"
+
+namespace krak::core {
+
+using util::check;
+
+CostTable calibrate_contrived(const simapp::ComputationCostEngine& engine,
+                              const CalibrationConfig& config) {
+  check(!config.sample_sizes.empty(), "calibration needs sample sizes");
+  check(config.repetitions >= 1, "calibration needs repetitions >= 1");
+  util::Rng rng(config.seed);
+
+  CostTable table;
+  for (mesh::Material material : mesh::all_materials()) {
+    for (double size : config.sample_sizes) {
+      check(size >= 1.0, "sample sizes must be >= 1 cell");
+      const auto cells = static_cast<std::int64_t>(size);
+      std::array<std::int64_t, mesh::kMaterialCount> counts{};
+      counts[mesh::material_index(material)] = cells;
+      for (std::int32_t phase = 1; phase <= simapp::kPhaseCount; ++phase) {
+        double sum = 0.0;
+        for (std::int32_t rep = 0; rep < config.repetitions; ++rep) {
+          sum += engine.measured_subgrid_time(phase, counts, rng);
+        }
+        const double mean_time = sum / config.repetitions;
+        table.add_sample(phase, material, static_cast<double>(cells),
+                         mean_time / static_cast<double>(cells));
+      }
+    }
+  }
+  return table;
+}
+
+CostTable calibrate_from_input(const simapp::ComputationCostEngine& engine,
+                               const mesh::InputDeck& deck,
+                               const std::vector<std::int32_t>& pe_counts,
+                               const CalibrationConfig& config) {
+  check(!pe_counts.empty(), "calibration needs at least one PE count");
+  check(config.repetitions >= 1, "calibration needs repetitions >= 1");
+  util::Rng rng(config.seed);
+
+  CostTable table;
+  for (std::int32_t pes : pe_counts) {
+    check(pes >= 1, "PE counts must be positive");
+    const partition::Partition part = partition::partition_deck(
+        deck, pes, partition::PartitionMethod::kMultilevel, config.seed);
+    const partition::PartitionStats stats(deck, part);
+
+    // The sample's representative subgrid size: the balanced share.
+    const double mean_cells = static_cast<double>(deck.grid().num_cells()) /
+                              static_cast<double>(pes);
+
+    // Which materials actually appear in this run (columns of the
+    // system); absent materials yield no information at this scale.
+    std::array<bool, mesh::kMaterialCount> present{};
+    for (const partition::SubdomainInfo& sub : stats.subdomains()) {
+      for (std::size_t m = 0; m < mesh::kMaterialCount; ++m) {
+        if (sub.cells_per_material[m] > 0) present[m] = true;
+      }
+    }
+    std::vector<std::size_t> columns;
+    for (std::size_t m = 0; m < mesh::kMaterialCount; ++m) {
+      if (present[m]) columns.push_back(m);
+    }
+    check(!columns.empty(), "deck has no cells");
+    // An over- or exactly-determined system needs at least as many
+    // processor equations as unknown materials.
+    check(static_cast<std::size_t>(pes) >= columns.size(),
+          "calibration PE count must be >= number of materials present");
+
+    for (std::int32_t phase = 1; phase <= simapp::kPhaseCount; ++phase) {
+      linalg::Matrix a(static_cast<std::size_t>(pes), columns.size());
+      std::vector<double> b(static_cast<std::size_t>(pes), 0.0);
+      for (std::int32_t pe = 0; pe < pes; ++pe) {
+        const partition::SubdomainInfo& sub = stats.subdomain(pe);
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+          a(static_cast<std::size_t>(pe), c) = static_cast<double>(
+              sub.cells_per_material[columns[c]]);
+        }
+        double sum = 0.0;
+        for (std::int32_t rep = 0; rep < config.repetitions; ++rep) {
+          sum += engine.measured_subgrid_time(
+              phase,
+              std::span<const std::int64_t, mesh::kMaterialCount>(
+                  sub.cells_per_material),
+              rng);
+        }
+        b[static_cast<std::size_t>(pe)] = sum / config.repetitions;
+      }
+      const linalg::LeastSquaresResult solution =
+          linalg::solve_nonnegative_least_squares(a, b);
+      for (std::size_t c = 0; c < columns.size(); ++c) {
+        table.add_sample(phase, mesh::material_from_index(columns[c]),
+                         mean_cells, solution.x[c]);
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace krak::core

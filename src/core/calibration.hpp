@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_table.hpp"
+#include "mesh/deck.hpp"
+#include "simapp/costmodel.hpp"
+
+namespace krak::core {
+
+/// Settings shared by the two calibration procedures of Section 3.1.
+struct CalibrationConfig {
+  /// Local subgrid sizes (cells per PE) at which to take samples. The
+  /// default geometric ladder straddles the knee (~100 cells) with the
+  /// same coarse spacing a real measurement campaign would use.
+  std::vector<double> sample_sizes = {1,    4,     16,    64,     256,
+                                      1024, 4096,  16384, 65536,  262144};
+  /// Repeated measurements averaged per sample point.
+  std::int32_t repetitions = 3;
+  std::uint64_t seed = 2006;
+};
+
+/// Calibration Method 1 ("contrived spatial grid", Section 3.1):
+///
+/// A detonation requires high-explosive gas, so the contrived runs use
+/// two processes — HE gas isolated on one, the material under test on
+/// the other. Sweeping the subgrid size and timing each phase on the
+/// second process yields per-cell costs by direct division, which are
+/// entered as breakpoints of the piecewise-linear cost table.
+[[nodiscard]] CostTable calibrate_contrived(
+    const simapp::ComputationCostEngine& engine,
+    const CalibrationConfig& config = {});
+
+/// Calibration Method 2 ("actual input domain", Section 3.1):
+///
+/// For each processor of a real partition and each phase, one linear
+/// equation relates the (noisy) measured phase time to the unknown
+/// per-cell cost of each material:
+///     sum_m n_{m,j} * x_m = T_{measured,j}
+/// The non-negative least-squares solution over all processors gives
+/// the per-cell costs at that run's cells-per-PE scale; repeating at
+/// several processor counts builds the piecewise-linear table. This is
+/// the method the paper uses for its validation results.
+///
+/// `pe_counts` are the processor counts of the calibration runs.
+[[nodiscard]] CostTable calibrate_from_input(
+    const simapp::ComputationCostEngine& engine, const mesh::InputDeck& deck,
+    const std::vector<std::int32_t>& pe_counts,
+    const CalibrationConfig& config = {});
+
+}  // namespace krak::core

@@ -1,0 +1,88 @@
+#include "core/campaign.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace krak::core {
+
+std::string CampaignSummary::to_string() const {
+  util::TextTable table(
+      {"Problem", "PE Count", "Meas. (ms)", "Pred. (ms)", "Error"});
+  for (const ValidationPoint& point : points) {
+    table.add_row({point.problem, std::to_string(point.pes),
+                   util::format_double(point.measured * 1e3, 1),
+                   util::format_double(point.predicted * 1e3, 1),
+                   util::format_percent(point.error())});
+  }
+  std::ostringstream os;
+  os << table.to_string();
+  os << "worst |error| " << util::format_percent(worst_abs_error)
+     << ", mean |error| " << util::format_percent(mean_abs_error) << "\n";
+  return os.str();
+}
+
+CampaignSummary run_validation_campaign(
+    const KrakModel& model, const simapp::ComputationCostEngine& engine,
+    const std::vector<CampaignRun>& runs, const ValidationConfig& config,
+    std::size_t threads) {
+  util::check(!runs.empty(), "campaign needs at least one run");
+  CampaignSummary summary;
+  summary.points.resize(runs.size());
+
+  util::ThreadPool pool(threads);
+  pool.parallel_for(runs.size(), [&](std::size_t i) {
+    const CampaignRun& run = runs[i];
+    const mesh::InputDeck deck = mesh::make_standard_deck(run.deck);
+    switch (run.flavor) {
+      case CampaignRun::Flavor::kMeshSpecific:
+        summary.points[i] =
+            validate_mesh_specific(deck, run.pes, model, engine, config);
+        break;
+      case CampaignRun::Flavor::kGeneralHomogeneous:
+        summary.points[i] =
+            validate_general(deck, run.pes, model,
+                             GeneralModelMode::kHomogeneous, engine, config);
+        break;
+      case CampaignRun::Flavor::kGeneralHeterogeneous:
+        summary.points[i] =
+            validate_general(deck, run.pes, model,
+                             GeneralModelMode::kHeterogeneous, engine, config);
+        break;
+    }
+  });
+
+  double sum = 0.0;
+  for (const ValidationPoint& point : summary.points) {
+    const double error = std::abs(point.error());
+    summary.worst_abs_error = std::max(summary.worst_abs_error, error);
+    sum += error;
+  }
+  summary.mean_abs_error = sum / static_cast<double>(summary.points.size());
+  return summary;
+}
+
+std::vector<CampaignRun> table5_runs() {
+  std::vector<CampaignRun> runs;
+  for (mesh::DeckSize deck : {mesh::DeckSize::kSmall, mesh::DeckSize::kMedium}) {
+    for (std::int32_t pes : {16, 64, 128}) {
+      runs.push_back({deck, pes, CampaignRun::Flavor::kMeshSpecific});
+    }
+  }
+  return runs;
+}
+
+std::vector<CampaignRun> table6_runs() {
+  std::vector<CampaignRun> runs;
+  for (mesh::DeckSize deck : {mesh::DeckSize::kMedium, mesh::DeckSize::kLarge}) {
+    for (std::int32_t pes : {128, 256, 512}) {
+      runs.push_back({deck, pes, CampaignRun::Flavor::kGeneralHomogeneous});
+    }
+  }
+  return runs;
+}
+
+}  // namespace krak::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/validation.hpp"
+
+namespace krak::core {
+
+/// One configuration of a validation campaign.
+struct CampaignRun {
+  mesh::DeckSize deck = mesh::DeckSize::kMedium;
+  std::int32_t pes = 0;
+  /// Which model flavor to validate against the measurement.
+  enum class Flavor { kMeshSpecific, kGeneralHomogeneous, kGeneralHeterogeneous };
+  Flavor flavor = Flavor::kGeneralHomogeneous;
+};
+
+/// Aggregate outcome of a campaign.
+struct CampaignSummary {
+  std::vector<ValidationPoint> points;  ///< one per run, in input order
+  double worst_abs_error = 0.0;
+  double mean_abs_error = 0.0;
+
+  /// Render as the paper's validation-table layout.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Execute every run — partition, simulate, predict — in parallel over
+/// a thread pool (each run is independent) and summarize. This is the
+/// engine behind the Table 5/6 reproduction benches, exposed as API so
+/// downstream users can validate their own recalibrations the same way.
+[[nodiscard]] CampaignSummary run_validation_campaign(
+    const KrakModel& model, const simapp::ComputationCostEngine& engine,
+    const std::vector<CampaignRun>& runs, const ValidationConfig& config = {},
+    std::size_t threads = 0 /* 0 = hardware concurrency */);
+
+/// The paper's Table 5 configuration set (small/medium x 16/64/128,
+/// mesh-specific).
+[[nodiscard]] std::vector<CampaignRun> table5_runs();
+
+/// The paper's Table 6 configuration set (medium/large x 128/256/512,
+/// general homogeneous).
+[[nodiscard]] std::vector<CampaignRun> table6_runs();
+
+}  // namespace krak::core

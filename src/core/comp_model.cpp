@@ -1,0 +1,37 @@
+#include "core/comp_model.hpp"
+
+#include <algorithm>
+
+namespace krak::core {
+
+double phase_computation_time(const CostTable& table, std::int32_t phase,
+                              const partition::PartitionStats& stats) {
+  double max_time = 0.0;
+  for (const partition::SubdomainInfo& sub : stats.subdomains()) {
+    const double t = table.subgrid_time(
+        phase, std::span<const std::int64_t, mesh::kMaterialCount>(
+                   sub.cells_per_material));
+    max_time = std::max(max_time, t);
+  }
+  return max_time;
+}
+
+std::array<double, simapp::kPhaseCount> per_phase_computation_times(
+    const CostTable& table, const partition::PartitionStats& stats) {
+  std::array<double, simapp::kPhaseCount> times{};
+  for (std::int32_t phase = 1; phase <= simapp::kPhaseCount; ++phase) {
+    times[static_cast<std::size_t>(phase - 1)] =
+        phase_computation_time(table, phase, stats);
+  }
+  return times;
+}
+
+double iteration_computation_time(const CostTable& table,
+                                  const partition::PartitionStats& stats) {
+  const auto times = per_phase_computation_times(table, stats);
+  double total = 0.0;
+  for (double t : times) total += t;
+  return total;
+}
+
+}  // namespace krak::core

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/cost_table.hpp"
+#include "partition/stats.hpp"
+#include "simapp/costmodel.hpp"
+
+namespace krak::core {
+
+/// The computation model of Section 3, Equations (1)-(3).
+///
+/// Because phases are separated by global synchronization events, the
+/// time of a phase is the maximum over all processors of the modeled
+/// subgrid time (Equation 2); an iteration's computation time is the
+/// sum over phases (Equations 1 and 3).
+
+/// Equation (2): max over processors of the subgrid phase time.
+[[nodiscard]] double phase_computation_time(
+    const CostTable& table, std::int32_t phase,
+    const partition::PartitionStats& stats);
+
+/// Per-phase computation times for all 15 phases.
+[[nodiscard]] std::array<double, simapp::kPhaseCount>
+per_phase_computation_times(const CostTable& table,
+                            const partition::PartitionStats& stats);
+
+/// Equation (3): total computation time of one iteration.
+[[nodiscard]] double iteration_computation_time(
+    const CostTable& table, const partition::PartitionStats& stats);
+
+}  // namespace krak::core

@@ -1,0 +1,148 @@
+#include "core/general_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/comm_model.hpp"
+#include "network/collectives.hpp"
+#include "util/error.hpp"
+
+namespace krak::core {
+
+using util::check;
+
+std::string_view general_model_mode_name(GeneralModelMode mode) {
+  switch (mode) {
+    case GeneralModelMode::kHeterogeneous: return "heterogeneous";
+    case GeneralModelMode::kHomogeneous: return "homogeneous";
+  }
+  return "unknown";
+}
+
+GeneralModel::GeneralModel(CostTable table, network::MachineConfig machine,
+                           std::array<double, mesh::kMaterialCount> ratios)
+    : table_(std::move(table)),
+      machine_(std::move(machine)),
+      ratios_(ratios) {
+  double sum = 0.0;
+  for (double r : ratios_) {
+    check(r >= 0.0, "material ratios must be non-negative");
+    sum += r;
+  }
+  check(std::abs(sum - 1.0) < 1e-6, "material ratios must sum to 1");
+}
+
+void GeneralModel::set_neighbors_per_pe(std::int32_t neighbors) {
+  check(neighbors >= 0, "neighbor count must be non-negative");
+  neighbors_per_pe_ = neighbors;
+}
+
+double GeneralModel::boundary_faces(std::int64_t total_cells,
+                                    std::int32_t pes) {
+  check(total_cells > 0 && pes > 0, "cells and PEs must be positive");
+  return std::sqrt(static_cast<double>(total_cells) /
+                   static_cast<double>(pes));
+}
+
+double GeneralModel::phase_time_heterogeneous(std::int32_t phase,
+                                              double cells_per_pe) const {
+  // Each material occupies its ratio's share of the idealized subgrid
+  // and is costed at that share's size: the general model has no real
+  // mixed subgrid, so material m is treated as its own region of
+  // ratio_m * n cells. At large processor counts these per-material
+  // regions shrink into the knee of the cost curve, which (together
+  // with the per-material boundary-exchange messages) is why the
+  // heterogeneous flavor over-predicts at scale (Section 5.2).
+  double time = 0.0;
+  for (std::size_t m = 0; m < mesh::kMaterialCount; ++m) {
+    if (ratios_[m] == 0.0) continue;
+    time += table_.uniform_subgrid_time(phase, mesh::material_from_index(m),
+                                        ratios_[m] * cells_per_pe);
+  }
+  return time;
+}
+
+double GeneralModel::phase_time_homogeneous(std::int32_t phase,
+                                            double cells_per_pe) const {
+  // "By calculating which material results in the longest computation
+  // time, the time required for each phase of computation can be
+  // determined" (Section 3.2).
+  double max_time = 0.0;
+  for (std::size_t m = 0; m < mesh::kMaterialCount; ++m) {
+    if (ratios_[m] == 0.0) continue;
+    max_time = std::max(
+        max_time, table_.uniform_subgrid_time(
+                      phase, mesh::material_from_index(m), cells_per_pe));
+  }
+  return max_time;
+}
+
+PredictionReport GeneralModel::predict(std::int64_t total_cells,
+                                       std::int32_t pes,
+                                       GeneralModelMode mode) const {
+  check(total_cells > 0, "total_cells must be positive");
+  check(pes > 0, "pes must be positive");
+  check(pes <= machine_.total_pes(), "machine has too few processors");
+  const double cells_per_pe =
+      static_cast<double>(total_cells) / static_cast<double>(pes);
+
+  PredictionReport report;
+
+  // --- computation (Equations 1-3 under the idealized partition) -----
+  for (std::int32_t phase = 1; phase <= simapp::kPhaseCount; ++phase) {
+    const double t = (mode == GeneralModelMode::kHeterogeneous)
+                         ? phase_time_heterogeneous(phase, cells_per_pe)
+                         : phase_time_homogeneous(phase, cells_per_pe);
+    report.phase_computation[static_cast<std::size_t>(phase - 1)] =
+        t / machine_.compute_speedup;
+    report.computation += t / machine_.compute_speedup;
+  }
+
+  // --- point-to-point communication (Equations 5-7) ------------------
+  const std::int32_t neighbors =
+      std::min<std::int32_t>(neighbors_per_pe_, pes - 1);
+  if (neighbors > 0) {
+    const double faces = boundary_faces(total_cells, pes);
+
+    std::vector<double> face_array;
+    if (mode == GeneralModelMode::kHeterogeneous) {
+      // "Boundary faces are divided equally among the materials in use."
+      std::int32_t in_use = 0;
+      for (double r : ratios_) {
+        if (r > 0.0) ++in_use;
+      }
+      face_array.assign(static_cast<std::size_t>(in_use),
+                        faces / static_cast<double>(in_use));
+    } else {
+      // A homogeneous subgrid's boundary touches a single material.
+      face_array = {faces};
+    }
+    // Equation (5) per neighbor, serialized over neighbors (the model
+    // does not overlap messages between neighbors).
+    // Equation (5) as printed: no ghost-node augmentation.
+    report.boundary_exchange =
+        static_cast<double>(neighbors) *
+        boundary_exchange_time(machine_.network, face_array);
+
+    // "The number of ghost nodes on each boundary is one more than the
+    // number of boundary faces, and half ... are local with the
+    // remaining half remote" (Section 3.2).
+    const double ghost_nodes = faces + 1.0;
+    const double local = ghost_nodes / 2.0;
+    const double remote = ghost_nodes - local;
+    report.ghost_updates =
+        static_cast<double>(neighbors) *
+        (ghost_update_time(machine_.network, 8.0, local, remote) +
+         2.0 * ghost_update_time(machine_.network, 16.0, local, remote));
+  }
+
+  // --- collectives (Equations 8-10) -----------------------------------
+  const network::CollectiveModel collectives(machine_.network);
+  report.broadcast = collectives.iteration_broadcast(pes);
+  report.allreduce = collectives.iteration_allreduce(pes);
+  report.gather = collectives.iteration_gather(pes);
+
+  return report;
+}
+
+}  // namespace krak::core

@@ -1,0 +1,43 @@
+#include "core/mesh_specific_model.hpp"
+
+#include "core/comm_model.hpp"
+#include "core/comp_model.hpp"
+#include "network/collectives.hpp"
+#include "util/error.hpp"
+
+namespace krak::core {
+
+MeshSpecificModel::MeshSpecificModel(CostTable table,
+                                     network::MachineConfig machine)
+    : table_(std::move(table)), machine_(std::move(machine)) {}
+
+PredictionReport MeshSpecificModel::predict(
+    const partition::PartitionStats& stats) const {
+  util::check(stats.parts() <= machine_.total_pes(),
+              "machine has too few processors");
+  PredictionReport report;
+
+  // Computation: Equations (1)-(3) over the real cell/material counts.
+  report.phase_computation = per_phase_computation_times(table_, stats);
+  for (auto& t : report.phase_computation) {
+    t /= machine_.compute_speedup;
+    report.computation += t;
+  }
+
+  // Point-to-point: Equations (5)-(7) over the real boundary statistics,
+  // taking the slowest processor per component.
+  const PointToPointBreakdown p2p =
+      max_point_to_point(machine_.network, stats);
+  report.boundary_exchange = p2p.boundary_exchange;
+  report.ghost_updates = p2p.ghost_updates;
+
+  // Collectives: Equations (8)-(10).
+  const network::CollectiveModel collectives(machine_.network);
+  report.broadcast = collectives.iteration_broadcast(stats.parts());
+  report.allreduce = collectives.iteration_allreduce(stats.parts());
+  report.gather = collectives.iteration_gather(stats.parts());
+
+  return report;
+}
+
+}  // namespace krak::core

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "core/cost_table.hpp"
+#include "core/report.hpp"
+#include "mesh/deck.hpp"
+#include "network/machine.hpp"
+#include "partition/stats.hpp"
+
+namespace krak::core {
+
+/// The "mesh-specific" (input-specific) Krak model of Section 3.1:
+/// computation from Equation (3) over the *actual* partition's cell and
+/// material counts, communication from Equations (5)-(10) over the
+/// actual shared-face and ghost-node statistics.
+///
+/// Accurate for validation at moderate and large subgrid sizes, but the
+/// paper shows (Table 5) it can err by >50% near the knee of the
+/// per-cell cost curve, and it is too expensive for scalability studies
+/// because it requires a full partition of every configuration.
+class MeshSpecificModel {
+ public:
+  MeshSpecificModel(CostTable table, network::MachineConfig machine);
+
+  /// Predict one iteration over a concrete partition of a deck.
+  [[nodiscard]] PredictionReport predict(
+      const partition::PartitionStats& stats) const;
+
+  [[nodiscard]] const CostTable& cost_table() const { return table_; }
+  [[nodiscard]] const network::MachineConfig& machine() const {
+    return machine_;
+  }
+
+ private:
+  CostTable table_;
+  network::MachineConfig machine_;
+};
+
+}  // namespace krak::core

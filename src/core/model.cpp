@@ -1,0 +1,32 @@
+#include "core/model.hpp"
+
+namespace krak::core {
+
+KrakModel::KrakModel(CostTable table, network::MachineConfig machine)
+    : general_(table, machine), mesh_specific_(std::move(table), std::move(machine)) {}
+
+PredictionReport KrakModel::predict_general(std::int64_t total_cells,
+                                            std::int32_t pes,
+                                            GeneralModelMode mode) const {
+  return general_.predict(total_cells, pes, mode);
+}
+
+PredictionReport KrakModel::predict_mesh_specific(
+    const mesh::InputDeck& deck, const partition::Partition& part) const {
+  return predict_mesh_specific(partition::PartitionStats(deck, part));
+}
+
+PredictionReport KrakModel::predict_mesh_specific(
+    const partition::PartitionStats& stats) const {
+  return mesh_specific_.predict(stats);
+}
+
+const CostTable& KrakModel::cost_table() const {
+  return mesh_specific_.cost_table();
+}
+
+const network::MachineConfig& KrakModel::machine() const {
+  return mesh_specific_.machine();
+}
+
+}  // namespace krak::core

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost_table.hpp"
+#include "core/general_model.hpp"
+#include "core/mesh_specific_model.hpp"
+#include "core/report.hpp"
+#include "mesh/deck.hpp"
+#include "network/machine.hpp"
+#include "partition/partition.hpp"
+
+namespace krak::core {
+
+/// Facade over the two model flavors: one calibrated cost table + one
+/// machine description answer both mesh-specific and general queries.
+///
+/// Typical use:
+///
+///   auto table = core::calibrate_from_input(engine, deck, {16, 64, 256});
+///   core::KrakModel model(table, network::make_es45_qsnet());
+///   auto fast = model.predict_general(deck.grid().num_cells(), 512,
+///                                     core::GeneralModelMode::kHomogeneous);
+///   std::cout << fast.to_string();
+class KrakModel {
+ public:
+  KrakModel(CostTable table, network::MachineConfig machine);
+
+  /// General-model prediction (Section 3.2): no partition required,
+  /// suitable for rapid scalability sweeps.
+  [[nodiscard]] PredictionReport predict_general(std::int64_t total_cells,
+                                                 std::int32_t pes,
+                                                 GeneralModelMode mode) const;
+
+  /// Mesh-specific prediction (Section 3.1) over a concrete partition.
+  [[nodiscard]] PredictionReport predict_mesh_specific(
+      const mesh::InputDeck& deck, const partition::Partition& part) const;
+
+  /// Mesh-specific prediction when the statistics are already computed.
+  [[nodiscard]] PredictionReport predict_mesh_specific(
+      const partition::PartitionStats& stats) const;
+
+  [[nodiscard]] const CostTable& cost_table() const;
+  [[nodiscard]] const network::MachineConfig& machine() const;
+  [[nodiscard]] const GeneralModel& general() const { return general_; }
+  [[nodiscard]] const MeshSpecificModel& mesh_specific() const {
+    return mesh_specific_;
+  }
+
+ private:
+  GeneralModel general_;
+  MeshSpecificModel mesh_specific_;
+};
+
+}  // namespace krak::core

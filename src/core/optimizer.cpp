@@ -1,0 +1,81 @@
+#include "core/optimizer.hpp"
+
+#include "util/error.hpp"
+
+namespace krak::core {
+
+namespace {
+
+std::int32_t resolve_max_pes(const KrakModel& model, std::int64_t total_cells,
+                             std::int32_t max_pes) {
+  std::int32_t limit =
+      (max_pes > 0) ? max_pes : model.machine().total_pes();
+  // No more processors than cells.
+  if (total_cells < limit) limit = static_cast<std::int32_t>(total_cells);
+  util::check(limit >= 1, "no valid processor counts to search");
+  return limit;
+}
+
+Configuration evaluate(const KrakModel& model, std::int64_t total_cells,
+                       std::int32_t pes, GeneralModelMode mode,
+                       double serial_time) {
+  Configuration config;
+  config.pes = pes;
+  config.iteration_time =
+      model.predict_general(total_cells, pes, mode).total();
+  config.speedup = serial_time / config.iteration_time;
+  config.efficiency = config.speedup / static_cast<double>(pes);
+  return config;
+}
+
+}  // namespace
+
+Configuration find_fastest_configuration(const KrakModel& model,
+                                         std::int64_t total_cells,
+                                         GeneralModelMode mode,
+                                         std::int32_t max_pes) {
+  const std::int32_t limit = resolve_max_pes(model, total_cells, max_pes);
+  const double serial =
+      model.predict_general(total_cells, 1, mode).total();
+  Configuration best = evaluate(model, total_cells, 1, mode, serial);
+  for (std::int32_t pes = 2; pes <= limit; ++pes) {
+    const Configuration candidate =
+        evaluate(model, total_cells, pes, mode, serial);
+    if (candidate.iteration_time < best.iteration_time) best = candidate;
+  }
+  return best;
+}
+
+Configuration find_efficiency_limit(const KrakModel& model,
+                                    std::int64_t total_cells,
+                                    double efficiency_target,
+                                    GeneralModelMode mode,
+                                    std::int32_t max_pes) {
+  util::check(efficiency_target > 0.0 && efficiency_target <= 1.0,
+              "efficiency target must be in (0, 1]");
+  const std::int32_t limit = resolve_max_pes(model, total_cells, max_pes);
+  const double serial =
+      model.predict_general(total_cells, 1, mode).total();
+  Configuration best = evaluate(model, total_cells, 1, mode, serial);
+  // Efficiency is monotone non-increasing in practice but not by
+  // construction (tree depths step at powers of two), so scan all.
+  for (std::int32_t pes = 2; pes <= limit; ++pes) {
+    const Configuration candidate =
+        evaluate(model, total_cells, pes, mode, serial);
+    if (candidate.efficiency >= efficiency_target && candidate.pes > best.pes) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+double predict_time_to_solution(const KrakModel& model,
+                                std::int64_t total_cells, std::int32_t pes,
+                                std::int64_t iterations,
+                                GeneralModelMode mode) {
+  util::check(iterations >= 0, "iterations must be non-negative");
+  return static_cast<double>(iterations) *
+         model.predict_general(total_cells, pes, mode).total();
+}
+
+}  // namespace krak::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/model.hpp"
+
+namespace krak::core {
+
+/// One point of a configuration search: a processor count with its
+/// predicted iteration time and parallel efficiency (relative to the
+/// one-processor prediction).
+struct Configuration {
+  std::int32_t pes = 0;
+  double iteration_time = 0.0;
+  double speedup = 0.0;
+  double efficiency = 0.0;
+};
+
+/// Scan every processor count 1..max_pes with the general model (cheap:
+/// microseconds per evaluation) and return the configuration with the
+/// smallest predicted iteration time. Ties go to the smaller count.
+[[nodiscard]] Configuration find_fastest_configuration(
+    const KrakModel& model, std::int64_t total_cells,
+    GeneralModelMode mode = GeneralModelMode::kHomogeneous,
+    std::int32_t max_pes = 0 /* 0 = machine size */);
+
+/// The largest processor count whose predicted parallel efficiency
+/// still meets `efficiency_target` (0, 1]. Efficiency is evaluated
+/// against the single-processor prediction.
+[[nodiscard]] Configuration find_efficiency_limit(
+    const KrakModel& model, std::int64_t total_cells, double efficiency_target,
+    GeneralModelMode mode = GeneralModelMode::kHomogeneous,
+    std::int32_t max_pes = 0);
+
+/// Predicted wall time of a run of `iterations` time-steps.
+[[nodiscard]] double predict_time_to_solution(
+    const KrakModel& model, std::int64_t total_cells, std::int32_t pes,
+    std::int64_t iterations,
+    GeneralModelMode mode = GeneralModelMode::kHomogeneous);
+
+}  // namespace krak::core

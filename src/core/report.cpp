@@ -1,0 +1,23 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace krak::core {
+
+std::string PredictionReport::to_string() const {
+  std::ostringstream os;
+  os << "Predicted iteration time: " << util::format_ms(total(), 3) << "\n";
+  os << "  computation:   " << util::format_ms(computation, 3) << "\n";
+  os << "  communication: " << util::format_ms(communication(), 3) << "\n";
+  os << "    boundary exchange: " << util::format_ms(boundary_exchange, 3)
+     << "\n";
+  os << "    ghost updates:     " << util::format_ms(ghost_updates, 3) << "\n";
+  os << "    broadcasts:        " << util::format_ms(broadcast, 3) << "\n";
+  os << "    allreduces:        " << util::format_ms(allreduce, 3) << "\n";
+  os << "    gathers:           " << util::format_ms(gather, 3) << "\n";
+  return os.str();
+}
+
+}  // namespace krak::core

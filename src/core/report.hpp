@@ -1,0 +1,37 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "simapp/costmodel.hpp"
+
+namespace krak::core {
+
+/// A full runtime prediction for one iteration, broken down the way the
+/// paper builds it (Section 5: "the overall runtime is the summation of
+/// the computation and communication components").
+struct PredictionReport {
+  /// Equation (3) total.
+  double computation = 0.0;
+  /// Equation (2) per phase.
+  std::array<double, simapp::kPhaseCount> phase_computation{};
+
+  // Communication components.
+  double boundary_exchange = 0.0;  ///< Equation (5)
+  double ghost_updates = 0.0;      ///< Equations (6)-(7)
+  double broadcast = 0.0;          ///< Equation (8)
+  double allreduce = 0.0;          ///< Equation (9)
+  double gather = 0.0;             ///< Equation (10)
+
+  [[nodiscard]] double communication() const {
+    return boundary_exchange + ghost_updates + broadcast + allreduce + gather;
+  }
+
+  /// Computation does not overlap communication (Section 5 assumption).
+  [[nodiscard]] double total() const { return computation + communication(); }
+
+  /// Multi-line human-readable breakdown.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace krak::core

@@ -1,0 +1,71 @@
+#include "core/sensitivity.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace krak::core {
+
+std::string SensitivityReport::dominant_parameter() const {
+  const double l = std::abs(latency_sensitivity);
+  const double b = std::abs(bandwidth_sensitivity);
+  const double c = std::abs(compute_sensitivity);
+  if (c >= l && c >= b) return "compute";
+  if (l >= b) return "latency";
+  return "bandwidth";
+}
+
+std::string SensitivityReport::to_string() const {
+  std::ostringstream os;
+  os << "Sensitivity at " << total_cells << " cells on " << pes
+     << " PEs (baseline " << util::format_ms(base_time, 3) << ", +"
+     << util::format_percent(delta, 0) << " perturbations):\n";
+  os << "  network latency:  " << util::format_percent(latency_sensitivity)
+     << "\n";
+  os << "  per-byte cost:    " << util::format_percent(bandwidth_sensitivity)
+     << "\n";
+  os << "  compute slowdown: " << util::format_percent(compute_sensitivity)
+     << "\n";
+  os << "  dominant parameter: " << dominant_parameter() << "\n";
+  return os.str();
+}
+
+SensitivityReport analyze_sensitivity(const KrakModel& model,
+                                      std::int64_t total_cells,
+                                      std::int32_t pes, GeneralModelMode mode,
+                                      double delta) {
+  util::check(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+
+  SensitivityReport report;
+  report.total_cells = total_cells;
+  report.pes = pes;
+  report.delta = delta;
+  report.base_time = model.predict_general(total_cells, pes, mode).total();
+
+  const auto evaluate_with = [&](const network::MachineConfig& machine) {
+    const KrakModel perturbed(model.cost_table(), machine);
+    return perturbed.predict_general(total_cells, pes, mode).total();
+  };
+
+  network::MachineConfig latency_machine = model.machine();
+  latency_machine.network = latency_machine.network.scaled(1.0 + delta, 1.0);
+  report.latency_sensitivity =
+      evaluate_with(latency_machine) / report.base_time - 1.0;
+
+  network::MachineConfig bandwidth_machine = model.machine();
+  bandwidth_machine.network =
+      bandwidth_machine.network.scaled(1.0, 1.0 + delta);
+  report.bandwidth_sensitivity =
+      evaluate_with(bandwidth_machine) / report.base_time - 1.0;
+
+  network::MachineConfig compute_machine = model.machine();
+  compute_machine.compute_speedup /= (1.0 + delta);
+  report.compute_sensitivity =
+      evaluate_with(compute_machine) / report.base_time - 1.0;
+
+  return report;
+}
+
+}  // namespace krak::core

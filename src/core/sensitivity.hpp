@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/model.hpp"
+
+namespace krak::core {
+
+/// Model-based sensitivity analysis: how much does the predicted
+/// iteration time move when one machine parameter is perturbed? This is
+/// the quantitative backbone of the procurement studies the paper's
+/// introduction motivates — it tells a buyer which component upgrade
+/// buys the most for a given workload configuration.
+struct SensitivityReport {
+  std::int64_t total_cells = 0;
+  std::int32_t pes = 0;
+  /// Fractional perturbation applied (e.g. 0.10 = +10%).
+  double delta = 0.0;
+  /// Baseline predicted iteration time.
+  double base_time = 0.0;
+  /// Relative time change per `delta` increase in network start-up
+  /// latency L(S).
+  double latency_sensitivity = 0.0;
+  /// Relative time change per `delta` increase in per-byte cost TB(S).
+  double bandwidth_sensitivity = 0.0;
+  /// Relative time change per `delta` *slowdown* of the processors.
+  double compute_sensitivity = 0.0;
+
+  /// Multi-line summary naming the dominant parameter.
+  [[nodiscard]] std::string to_string() const;
+
+  /// "latency", "bandwidth" or "compute" — the parameter with the
+  /// largest sensitivity magnitude.
+  [[nodiscard]] std::string dominant_parameter() const;
+};
+
+/// Evaluate the general model at (cells, pes) with each machine
+/// parameter perturbed by +delta in turn. delta must be positive and
+/// small (typically 0.05-0.25).
+[[nodiscard]] SensitivityReport analyze_sensitivity(
+    const KrakModel& model, std::int64_t total_cells, std::int32_t pes,
+    GeneralModelMode mode = GeneralModelMode::kHomogeneous,
+    double delta = 0.10);
+
+}  // namespace krak::core

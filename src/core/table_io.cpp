@@ -1,0 +1,92 @@
+#include "core/table_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace krak::core {
+
+namespace {
+
+constexpr std::string_view kMagic = "krakcosts";
+constexpr int kVersion = 1;
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw util::KrakError("malformed cost table: " + what);
+}
+
+}  // namespace
+
+void write_cost_table(std::ostream& out, const CostTable& table) {
+  out << kMagic << " " << kVersion << "\n";
+  out << std::setprecision(17);
+  for (std::int32_t phase = 1; phase <= simapp::kPhaseCount; ++phase) {
+    for (mesh::Material material : mesh::all_materials()) {
+      const auto cells = table.sample_cells(phase, material);
+      const auto costs = table.sample_costs(phase, material);
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        out << "sample " << phase << " " << mesh::material_index(material)
+            << " " << cells[i] << " " << costs[i] << "\n";
+      }
+    }
+  }
+  out << "end\n";
+  if (!out) throw util::KrakError("write_cost_table: stream failure");
+}
+
+void save_cost_table(const std::string& path, const CostTable& table) {
+  std::ofstream out(path);
+  if (!out) throw util::KrakError("save_cost_table: cannot open " + path);
+  write_cost_table(out, table);
+}
+
+CostTable read_cost_table(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version)) malformed("missing header");
+  if (magic != kMagic) malformed("bad magic '" + magic + "'");
+  if (version != kVersion) {
+    malformed("unsupported version " + std::to_string(version));
+  }
+
+  CostTable table;
+  std::string key;
+  bool saw_end = false;
+  while (in >> key) {
+    if (key == "end") {
+      saw_end = true;
+      break;
+    }
+    if (key != "sample") malformed("unknown key '" + key + "'");
+    std::int32_t phase = 0;
+    std::size_t material_index = 0;
+    double cells = 0.0;
+    double cost = 0.0;
+    if (!(in >> phase >> material_index >> cells >> cost)) {
+      malformed("truncated sample line");
+    }
+    if (phase < 1 || phase > simapp::kPhaseCount) {
+      malformed("phase out of range: " + std::to_string(phase));
+    }
+    if (material_index >= mesh::kMaterialCount) {
+      malformed("material index out of range: " +
+                std::to_string(material_index));
+    }
+    if (cells <= 0.0) malformed("non-positive sample size");
+    if (cost < 0.0) malformed("negative per-cell cost");
+    table.add_sample(phase, mesh::material_from_index(material_index), cells,
+                     cost);
+  }
+  if (!saw_end) malformed("missing 'end'");
+  return table;
+}
+
+CostTable load_cost_table(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::KrakError("load_cost_table: cannot open " + path);
+  return read_cost_table(in);
+}
+
+}  // namespace krak::core

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/cost_table.hpp"
+
+namespace krak::core {
+
+/// Plain-text persistence for calibrated cost tables, so an expensive
+/// calibration campaign can be reused across model runs:
+///
+///   krakcosts 1
+///   sample <phase> <material-index> <cells> <per-cell-seconds>
+///   ...
+///   end
+///
+/// Doubles are written with enough digits to round-trip exactly.
+
+void write_cost_table(std::ostream& out, const CostTable& table);
+void save_cost_table(const std::string& path, const CostTable& table);
+
+/// Throws KrakError on malformed input.
+[[nodiscard]] CostTable read_cost_table(std::istream& in);
+[[nodiscard]] CostTable load_cost_table(const std::string& path);
+
+}  // namespace krak::core

@@ -1,0 +1,62 @@
+#include "core/validation.hpp"
+
+#include "partition/stats.hpp"
+#include "simapp/simkrak.hpp"
+
+namespace krak::core {
+
+namespace {
+
+/// Simulate `deck` on `pes` processors and return the measured
+/// per-iteration time plus the partition used (shared by both
+/// validation flavors so measured values are identical for a given
+/// configuration).
+struct Measurement {
+  double time = 0.0;
+  partition::Partition part;
+};
+
+Measurement measure(const mesh::InputDeck& deck, std::int32_t pes,
+                    const network::MachineConfig& machine,
+                    const simapp::ComputationCostEngine& engine,
+                    const ValidationConfig& config) {
+  partition::Partition part = partition::partition_deck(
+      deck, pes, partition::PartitionMethod::kMultilevel,
+      config.partition_seed);
+  simapp::SimKrakOptions options;
+  options.iterations = config.iterations;
+  options.noise_seed = config.noise_seed;
+  const simapp::SimKrak app(deck, part, machine, engine, options);
+  return Measurement{app.run().time_per_iteration, std::move(part)};
+}
+
+}  // namespace
+
+ValidationPoint validate_mesh_specific(
+    const mesh::InputDeck& deck, std::int32_t pes, const KrakModel& model,
+    const simapp::ComputationCostEngine& engine,
+    const ValidationConfig& config) {
+  const Measurement m = measure(deck, pes, model.machine(), engine, config);
+  ValidationPoint point;
+  point.problem = deck.name();
+  point.pes = pes;
+  point.measured = m.time;
+  point.predicted = model.predict_mesh_specific(deck, m.part).total();
+  return point;
+}
+
+ValidationPoint validate_general(const mesh::InputDeck& deck, std::int32_t pes,
+                                 const KrakModel& model, GeneralModelMode mode,
+                                 const simapp::ComputationCostEngine& engine,
+                                 const ValidationConfig& config) {
+  const Measurement m = measure(deck, pes, model.machine(), engine, config);
+  ValidationPoint point;
+  point.problem = deck.name();
+  point.pes = pes;
+  point.measured = m.time;
+  point.predicted =
+      model.predict_general(deck.grid().num_cells(), pes, mode).total();
+  return point;
+}
+
+}  // namespace krak::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "mesh/deck.hpp"
+#include "network/machine.hpp"
+#include "simapp/costmodel.hpp"
+
+namespace krak::core {
+
+/// One row of a validation table: a measured (SimKrak) iteration time
+/// against a model prediction, with the paper's signed error convention
+/// (measured - predicted) / measured.
+struct ValidationPoint {
+  std::string problem;
+  std::int32_t pes = 0;
+  double measured = 0.0;
+  double predicted = 0.0;
+
+  [[nodiscard]] double error() const {
+    return (measured - predicted) / measured;
+  }
+};
+
+/// Settings of a validation run.
+struct ValidationConfig {
+  std::uint64_t partition_seed = 1;
+  std::uint64_t noise_seed = 42;
+  std::int32_t iterations = 3;
+};
+
+/// Measure `deck` on `pes` processors with SimKrak (multilevel
+/// partition) and predict it with the mesh-specific model (Table 5).
+[[nodiscard]] ValidationPoint validate_mesh_specific(
+    const mesh::InputDeck& deck, std::int32_t pes, const KrakModel& model,
+    const simapp::ComputationCostEngine& engine,
+    const ValidationConfig& config = {});
+
+/// Measure with SimKrak and predict with the general model in the given
+/// mode (Table 6 and Figure 5).
+[[nodiscard]] ValidationPoint validate_general(
+    const mesh::InputDeck& deck, std::int32_t pes, const KrakModel& model,
+    GeneralModelMode mode, const simapp::ComputationCostEngine& engine,
+    const ValidationConfig& config = {});
+
+}  // namespace krak::core

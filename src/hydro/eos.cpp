@@ -1,0 +1,59 @@
+#include "hydro/eos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace krak::hydro {
+
+double MaterialEos::pressure(double density, double specific_energy) const {
+  util::check(density >= 0.0, "density must be non-negative");
+  return std::max(0.0, (gamma - 1.0) * density * specific_energy);
+}
+
+double MaterialEos::sound_speed(double density,
+                                double specific_energy) const {
+  if (density <= 0.0) return 0.0;
+  const double p = pressure(density, specific_energy);
+  return std::sqrt(gamma * p / density);
+}
+
+const std::array<MaterialEos, mesh::kMaterialCount>& eos_table() {
+  static const std::array<MaterialEos, mesh::kMaterialCount> kTable = [] {
+    std::array<MaterialEos, mesh::kMaterialCount> table{};
+    // High-explosive gas: light, energetic, with a programmed burn.
+    MaterialEos he;
+    he.gamma = 3.0;
+    he.reference_density = 1.6;
+    he.initial_energy = 0.05;
+    he.detonation_energy = 4.0;
+    he.detonation_speed = 6.0;
+    table[mesh::material_index(mesh::Material::kHEGas)] = he;
+
+    // Aluminum (both layers): dense and stiff.
+    MaterialEos aluminum;
+    aluminum.gamma = 2.7;
+    aluminum.reference_density = 2.7;
+    aluminum.initial_energy = 0.02;
+    table[mesh::material_index(mesh::Material::kAluminumInner)] = aluminum;
+    MaterialEos outer = aluminum;
+    outer.initial_energy = 0.019;  // marginally different outer layer
+    table[mesh::material_index(mesh::Material::kAluminumOuter)] = outer;
+
+    // Foam: light and soft.
+    MaterialEos foam;
+    foam.gamma = 1.4;
+    foam.reference_density = 0.3;
+    foam.initial_energy = 0.03;
+    table[mesh::material_index(mesh::Material::kFoam)] = foam;
+    return table;
+  }();
+  return kTable;
+}
+
+const MaterialEos& eos_for(mesh::Material material) {
+  return eos_table()[mesh::material_index(material)];
+}
+
+}  // namespace krak::hydro

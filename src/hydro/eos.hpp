@@ -1,0 +1,41 @@
+#pragma once
+
+#include <array>
+
+#include "mesh/material.hpp"
+
+namespace krak::hydro {
+
+/// Gamma-law equation of state with per-material parameters.
+///
+/// Krak proper carries tabular and JWL equations of state; for the
+/// mini-app a polytropic gas law per material captures what the
+/// performance study needs — material-dependent arithmetic cost and
+/// physically plausible wave propagation. Units are arbitrary but
+/// consistent (mass/length/time chosen so sound speeds are O(1)).
+struct MaterialEos {
+  double gamma = 1.4;            ///< adiabatic index
+  double reference_density = 1.0;
+  double initial_energy = 0.0;   ///< specific internal energy at t = 0
+  /// Specific detonation energy released by the programmed burn
+  /// (nonzero only for the high-explosive gas).
+  double detonation_energy = 0.0;
+  /// Programmed-burn detonation speed (distance per unit time).
+  double detonation_speed = 0.0;
+
+  /// p = (gamma - 1) rho e, clamped at zero (no tension).
+  [[nodiscard]] double pressure(double density, double specific_energy) const;
+
+  /// c = sqrt(gamma p / rho); 0 for vacuum.
+  [[nodiscard]] double sound_speed(double density,
+                                   double specific_energy) const;
+};
+
+/// The four materials of the paper's deck, parameterized so the HE gas
+/// is hot and fast, the metals dense and stiff, the foam light and soft.
+[[nodiscard]] const MaterialEos& eos_for(mesh::Material material);
+
+/// All four EOS in material order.
+[[nodiscard]] const std::array<MaterialEos, mesh::kMaterialCount>& eos_table();
+
+}  // namespace krak::hydro

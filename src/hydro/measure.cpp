@@ -1,0 +1,66 @@
+#include "hydro/measure.hpp"
+
+#include <cmath>
+
+#include "mesh/deck.hpp"
+#include "util/error.hpp"
+
+namespace krak::hydro {
+
+double HydroCostSample::total_per_cell_seconds() const {
+  double total = 0.0;
+  for (double s : per_cell_seconds) total += s;
+  return total;
+}
+
+HydroCostSample measure_uniform_cost(mesh::Material material,
+                                     std::int64_t cells, std::int64_t steps) {
+  util::check(cells >= 1, "need at least one cell");
+  util::check(steps >= 1, "need at least one step");
+
+  // A roughly square grid with at least the requested cell count.
+  const auto side = static_cast<std::int32_t>(
+      std::max<std::int64_t>(1, std::llround(std::sqrt(
+                                    static_cast<double>(cells)))));
+  std::int32_t nx = side;
+  std::int32_t ny = side;
+  while (static_cast<std::int64_t>(nx) * ny < cells) ++nx;
+
+  const mesh::InputDeck deck = mesh::make_uniform_deck(nx, ny, material);
+  HydroState state(deck);
+  HydroConfig config;
+  config.enable_burn = false;  // steady measurement, no energy injection
+  HydroSolver solver(state, config);
+
+  // One untimed warm-up step populates caches; a fresh solver then
+  // measures from the warmed state (its timers start at zero).
+  (void)solver.step();
+  HydroSolver measured(state, config);
+  for (std::int64_t s = 0; s < steps; ++s) {
+    (void)measured.step();
+  }
+
+  HydroCostSample sample;
+  sample.material = material;
+  sample.cells = deck.grid().num_cells();
+  sample.steps = steps;
+  for (std::size_t p = 0; p < kHydroPhaseCount; ++p) {
+    sample.per_cell_seconds[p] =
+        measured.timers().seconds(static_cast<HydroPhase>(p)) /
+        static_cast<double>(steps) / static_cast<double>(sample.cells);
+  }
+  return sample;
+}
+
+std::vector<HydroCostSample> sweep_hydro_costs(
+    mesh::Material material, const std::vector<std::int64_t>& sizes,
+    std::int64_t steps) {
+  std::vector<HydroCostSample> samples;
+  samples.reserve(sizes.size());
+  for (std::int64_t cells : sizes) {
+    samples.push_back(measure_uniform_cost(material, cells, steps));
+  }
+  return samples;
+}
+
+}  // namespace krak::hydro

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "hydro/solver.hpp"
+#include "mesh/material.hpp"
+
+namespace krak::hydro {
+
+/// Measured per-cell wall-clock cost of each hydro phase at one subgrid
+/// size — the real-code analogue of the paper's contrived-grid
+/// calibration samples (Section 3.1).
+struct HydroCostSample {
+  mesh::Material material = mesh::Material::kHEGas;
+  std::int64_t cells = 0;
+  std::int64_t steps = 0;
+  /// Mean wall-clock seconds per cell per step for each phase.
+  std::array<double, kHydroPhaseCount> per_cell_seconds{};
+
+  [[nodiscard]] double total_per_cell_seconds() const;
+};
+
+/// Time `steps` solver steps on a roughly square uniform deck of
+/// `cells` cells of `material` and return per-phase per-cell costs.
+/// The burn is disabled so the measurement is steady.
+[[nodiscard]] HydroCostSample measure_uniform_cost(mesh::Material material,
+                                                   std::int64_t cells,
+                                                   std::int64_t steps = 20);
+
+/// Sweep subgrid sizes for one material (the Figure 3 measurement
+/// campaign run on the real mini-app instead of the synthetic engine).
+[[nodiscard]] std::vector<HydroCostSample> sweep_hydro_costs(
+    mesh::Material material, const std::vector<std::int64_t>& sizes,
+    std::int64_t steps = 20);
+
+}  // namespace krak::hydro

@@ -1,0 +1,355 @@
+#include "hydro/solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace krak::hydro {
+
+namespace {
+
+/// RAII wall-clock accumulator for one phase.
+class ScopedTimer {
+ public:
+  ScopedTimer(PhaseTimers& timers, HydroPhase phase)
+      : timers_(timers), phase_(phase),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    timers_.add(phase_,
+                std::chrono::duration<double>(elapsed).count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  PhaseTimers& timers_;
+  HydroPhase phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+std::string_view hydro_phase_name(HydroPhase phase) {
+  switch (phase) {
+    case HydroPhase::kBurn: return "burn";
+    case HydroPhase::kEos: return "eos";
+    case HydroPhase::kViscosity: return "viscosity";
+    case HydroPhase::kForces: return "forces";
+    case HydroPhase::kIntegrate: return "integrate";
+    case HydroPhase::kEnergy: return "energy";
+    case HydroPhase::kTimestep: return "timestep";
+  }
+  return "unknown";
+}
+
+void PhaseTimers::add(HydroPhase phase, double seconds) {
+  seconds_[static_cast<std::size_t>(phase)] += seconds;
+}
+
+double PhaseTimers::seconds(HydroPhase phase) const {
+  return seconds_[static_cast<std::size_t>(phase)];
+}
+
+double PhaseTimers::total_seconds() const {
+  double total = 0.0;
+  for (double s : seconds_) total += s;
+  return total;
+}
+
+void PhaseTimers::reset() { seconds_.fill(0.0); }
+
+HydroSolver::HydroSolver(HydroState& state, HydroConfig config)
+    : state_(state), config_(config), dt_(config.initial_dt) {
+  util::check(config.cfl > 0.0 && config.cfl < 1.0, "cfl must be in (0, 1)");
+  util::check(config.initial_dt > 0.0, "initial_dt must be positive");
+  util::check(config.max_dt >= config.initial_dt,
+              "max_dt must be >= initial_dt");
+  util::check(config.threads >= 1, "threads must be >= 1");
+  old_volume_ = state_.cell_volume;
+  if (config.threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(config.threads));
+  }
+}
+
+void HydroSolver::parallel_ranges(
+    std::int64_t count,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  // Small loops are not worth the fork/join; run them inline.
+  if (!pool_ || count < 4096) {
+    fn(0, count);
+    return;
+  }
+  const auto chunks = static_cast<std::int64_t>(pool_->thread_count() * 4);
+  const std::int64_t chunk_size = (count + chunks - 1) / chunks;
+  pool_->parallel_for(static_cast<std::size_t>(chunks), [&](std::size_t c) {
+    const std::int64_t begin = static_cast<std::int64_t>(c) * chunk_size;
+    const std::int64_t end = std::min(count, begin + chunk_size);
+    if (begin < end) fn(begin, end);
+  });
+}
+
+void HydroSolver::phase_burn() {
+  if (!config_.enable_burn) return;
+  const mesh::InputDeck& deck = state_.deck();
+  const mesh::Point det = deck.detonator();
+  for (std::int64_t cell = 0; cell < state_.num_cells(); ++cell) {
+    const auto i = static_cast<std::size_t>(cell);
+    if (state_.burned[i]) continue;
+    const mesh::Material material =
+        deck.material_of(static_cast<mesh::CellId>(cell));
+    const MaterialEos& eos = eos_for(material);
+    if (eos.detonation_energy == 0.0) continue;
+    // Programmed burn: the detonation front expands spherically from
+    // the detonator at the detonation speed (initial geometry).
+    const mesh::Point center =
+        deck.grid().cell_center(static_cast<mesh::CellId>(cell));
+    const double dx = center.x - det.x;
+    const double dy = center.y - det.y;
+    const double distance = std::sqrt(dx * dx + dy * dy);
+    if (distance <= eos.detonation_speed * state_.time) {
+      state_.specific_energy[i] += eos.detonation_energy;
+      state_.burned[i] = true;
+    }
+  }
+}
+
+void HydroSolver::phase_eos() {
+  const mesh::InputDeck& deck = state_.deck();
+  parallel_ranges(state_.num_cells(), [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t cell = begin; cell < end; ++cell) {
+      const auto i = static_cast<std::size_t>(cell);
+      const MaterialEos& eos =
+          eos_for(deck.material_of(static_cast<mesh::CellId>(cell)));
+      state_.pressure[i] = eos.pressure(state_.density[i],
+                                        state_.specific_energy[i]);
+      state_.sound_speed[i] =
+          eos.sound_speed(state_.density[i], state_.specific_energy[i]);
+    }
+  });
+}
+
+double HydroSolver::volume_rate(mesh::CellId cell) const {
+  // d/dt of the shoelace area under current nodal velocities.
+  const auto nodes = state_.grid().nodes_of_cell(cell);
+  double rate = 0.0;
+  for (std::size_t k = 0; k < 4; ++k) {
+    const auto a = static_cast<std::size_t>(nodes[k]);
+    const auto b = static_cast<std::size_t>(nodes[(k + 1) % 4]);
+    rate += state_.velocity_x[a] * state_.node_y[b] +
+            state_.node_x[a] * state_.velocity_y[b] -
+            state_.velocity_x[b] * state_.node_y[a] -
+            state_.node_x[b] * state_.velocity_y[a];
+  }
+  return 0.5 * rate;
+}
+
+void HydroSolver::phase_viscosity() {
+  parallel_ranges(state_.num_cells(), [&](std::int64_t begin, std::int64_t end) {
+  for (std::int64_t cell = begin; cell < end; ++cell) {
+    const auto i = static_cast<std::size_t>(cell);
+    const double volume = state_.cell_volume[i];
+    const double rate = volume_rate(static_cast<mesh::CellId>(cell));
+    if (rate >= 0.0) {
+      state_.viscosity[i] = 0.0;  // expanding: no shock viscosity
+      continue;
+    }
+    // Velocity jump scale: |dV/dt| / V * characteristic length.
+    const double length = std::sqrt(volume);
+    const double du = -rate / volume * length;
+    state_.viscosity[i] =
+        state_.density[i] * (config_.q_linear * state_.sound_speed[i] * du +
+                             config_.q_quadratic * du * du);
+  }
+  });
+}
+
+void HydroSolver::phase_forces() {
+  // Node-centric gather: each node sums the corner forces of its (up
+  // to four) adjacent cells. Unlike the textbook cell-centric scatter,
+  // this is race-free, so the loop parallelizes with bitwise-identical
+  // results at any thread count (each node's additions happen in a
+  // fixed order).
+  const mesh::Grid& grid = state_.grid();
+  const std::int32_t nx = grid.nx();
+  const std::int32_t ny = grid.ny();
+  parallel_ranges(state_.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t node = begin; node < end; ++node) {
+      const auto n = static_cast<std::size_t>(node);
+      const std::int32_t i = static_cast<std::int32_t>(node % (nx + 1));
+      const std::int32_t j = static_cast<std::int32_t>(node / (nx + 1));
+      double fx = 0.0;
+      double fy = 0.0;
+      // The corner index of this node in each adjacent cell (cells are
+      // [SW, SE, NE, NW]): cell to the lower-left sees it as NE, lower
+      // -right as NW, upper-left as SE, upper-right as SW.
+      struct Adjacent {
+        std::int32_t ci, cj;
+        std::size_t corner;
+      };
+      const Adjacent adjacent[4] = {{i - 1, j - 1, 2},
+                                    {i, j - 1, 3},
+                                    {i - 1, j, 1},
+                                    {i, j, 0}};
+      for (const Adjacent& a : adjacent) {
+        if (a.ci < 0 || a.ci >= nx || a.cj < 0 || a.cj >= ny) continue;
+        const auto cell = static_cast<std::size_t>(grid.cell_at(a.ci, a.cj));
+        const double total_pressure =
+            state_.pressure[cell] + state_.viscosity[cell];
+        if (total_pressure == 0.0) continue;
+        const auto nodes =
+            grid.nodes_of_cell(static_cast<mesh::CellId>(cell));
+        const auto next = static_cast<std::size_t>(nodes[(a.corner + 1) % 4]);
+        const auto prev = static_cast<std::size_t>(nodes[(a.corner + 3) % 4]);
+        const double dx = state_.node_x[next] - state_.node_x[prev];
+        const double dy = state_.node_y[next] - state_.node_y[prev];
+        fx += 0.5 * total_pressure * dy;
+        fy -= 0.5 * total_pressure * dx;
+      }
+      state_.force_x[n] = fx;
+      state_.force_y[n] = fy;
+    }
+  });
+}
+
+void HydroSolver::phase_integrate() {
+  const mesh::Grid& grid = state_.grid();
+  parallel_ranges(state_.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t node = begin; node < end; ++node) {
+      const auto i = static_cast<std::size_t>(node);
+      const double inv_mass =
+          (state_.node_mass[i] > 0.0) ? 1.0 / state_.node_mass[i] : 0.0;
+      state_.velocity_x[i] += dt_ * state_.force_x[i] * inv_mass;
+      state_.velocity_y[i] += dt_ * state_.force_y[i] * inv_mass;
+    }
+  });
+  // Axis of rotation at x = 0: reflecting boundary (no radial motion).
+  for (std::int32_t j = 0; j <= grid.ny(); ++j) {
+    const auto axis_node = static_cast<std::size_t>(grid.node_at(0, j));
+    state_.velocity_x[axis_node] = 0.0;
+  }
+  if (config_.reflecting_boundaries) {
+    // Closed box: zero normal velocity on every boundary.
+    for (std::int32_t j = 0; j <= grid.ny(); ++j) {
+      state_.velocity_x[static_cast<std::size_t>(grid.node_at(grid.nx(), j))] =
+          0.0;
+    }
+    for (std::int32_t i = 0; i <= grid.nx(); ++i) {
+      state_.velocity_y[static_cast<std::size_t>(grid.node_at(i, 0))] = 0.0;
+      state_.velocity_y[static_cast<std::size_t>(grid.node_at(i, grid.ny()))] =
+          0.0;
+    }
+  }
+  parallel_ranges(state_.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t node = begin; node < end; ++node) {
+      const auto i = static_cast<std::size_t>(node);
+      state_.node_x[i] += dt_ * state_.velocity_x[i];
+      state_.node_y[i] += dt_ * state_.velocity_y[i];
+    }
+  });
+}
+
+void HydroSolver::phase_energy() {
+  old_volume_ = state_.cell_volume;
+  parallel_ranges(state_.num_cells(), [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t cell = begin; cell < end; ++cell) {
+      const auto i = static_cast<std::size_t>(cell);
+      state_.cell_volume[i] =
+          state_.compute_cell_volume(static_cast<mesh::CellId>(cell));
+      state_.density[i] = state_.cell_mass[i] / state_.cell_volume[i];
+      // PdV work: compression heats, expansion cools.
+      const double dv = state_.cell_volume[i] - old_volume_[i];
+      state_.specific_energy[i] -=
+          (state_.pressure[i] + state_.viscosity[i]) * dv /
+          state_.cell_mass[i];
+      state_.specific_energy[i] = std::max(0.0, state_.specific_energy[i]);
+    }
+  });
+}
+
+void HydroSolver::phase_timestep() {
+  double min_dt = config_.max_dt;
+  std::mutex combine;
+  parallel_ranges(state_.num_cells(), [&](std::int64_t begin, std::int64_t end) {
+  double local_min = config_.max_dt;
+  for (std::int64_t cell = begin; cell < end; ++cell) {
+    const auto i = static_cast<std::size_t>(cell);
+    const double length = std::sqrt(state_.cell_volume[i]);
+    const auto nodes =
+        state_.grid().nodes_of_cell(static_cast<mesh::CellId>(cell));
+    double max_speed = state_.sound_speed[i];
+    for (mesh::NodeId node : nodes) {
+      const auto n = static_cast<std::size_t>(node);
+      const double speed = std::sqrt(
+          state_.velocity_x[n] * state_.velocity_x[n] +
+          state_.velocity_y[n] * state_.velocity_y[n]);
+      max_speed = std::max(max_speed, speed);
+    }
+    if (max_speed > 0.0) {
+      local_min = std::min(local_min, config_.cfl * length / max_speed);
+    }
+  }
+  // min is exact and order-independent, so the combine preserves
+  // bitwise determinism across thread counts.
+  const std::lock_guard<std::mutex> lock(combine);
+  min_dt = std::min(min_dt, local_min);
+  });
+  dt_ = min_dt;
+}
+
+StepStats HydroSolver::step() {
+  {
+    ScopedTimer timer(timers_, HydroPhase::kBurn);
+    phase_burn();
+  }
+  {
+    ScopedTimer timer(timers_, HydroPhase::kEos);
+    phase_eos();
+  }
+  {
+    ScopedTimer timer(timers_, HydroPhase::kViscosity);
+    phase_viscosity();
+  }
+  {
+    ScopedTimer timer(timers_, HydroPhase::kForces);
+    phase_forces();
+  }
+  {
+    ScopedTimer timer(timers_, HydroPhase::kIntegrate);
+    phase_integrate();
+  }
+  {
+    ScopedTimer timer(timers_, HydroPhase::kEnergy);
+    phase_energy();
+  }
+  {
+    ScopedTimer timer(timers_, HydroPhase::kTimestep);
+    phase_timestep();
+  }
+  state_.time += dt_;
+  ++steps_;
+
+  StepStats stats;
+  stats.dt = dt_;
+  stats.time = state_.time;
+  stats.max_pressure = state_.max_pressure().first;
+  stats.total_energy = state_.total_energy();
+  const MaterialEos& he = eos_for(mesh::Material::kHEGas);
+  stats.burn_front_radius = he.detonation_speed * state_.time;
+  return stats;
+}
+
+StepStats HydroSolver::run_until(double end_time, std::int64_t max_steps) {
+  util::check(end_time >= state_.time, "end_time is in the past");
+  StepStats stats;
+  while (state_.time < end_time && steps_ < max_steps) {
+    stats = step();
+  }
+  return stats;
+}
+
+}  // namespace krak::hydro

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "hydro/state.hpp"
+#include "util/thread_pool.hpp"
+
+namespace krak::hydro {
+
+/// Numerical parameters of the Lagrangian step.
+struct HydroConfig {
+  double cfl = 0.25;          ///< Courant factor for the next-step dt
+  double q_linear = 0.5;      ///< linear artificial-viscosity coefficient
+  double q_quadratic = 1.0;   ///< quadratic artificial-viscosity coefficient
+  double initial_dt = 1e-4;
+  double max_dt = 0.05;
+  bool enable_burn = true;    ///< programmed burn of the HE gas
+  /// Treat every domain boundary as a rigid wall (zero normal
+  /// velocity). Default: only the x = 0 axis reflects and the other
+  /// boundaries are free surfaces, as in the paper's open deck. Rigid
+  /// walls enable closed-box verification problems (Sod's shock tube).
+  bool reflecting_boundaries = false;
+  /// Worker threads for the cell and node loops (1 = serial). All
+  /// loops are written so results are bitwise identical at any thread
+  /// count: cell phases are cell-local, nodal forces are computed by a
+  /// race-free node-centric gather, and the CFL reduction combines
+  /// exact per-chunk minima.
+  std::int32_t threads = 1;
+};
+
+/// The computational phases of one hydro step, timed individually —
+/// the mini-app analogue of Krak's phase structure (Table 1): some
+/// phases' cost depends on the cells' materials (EOS), others only on
+/// the cell count (integration).
+enum class HydroPhase : std::uint8_t {
+  kBurn = 0,     ///< programmed detonation front
+  kEos,          ///< pressure / sound speed per cell (material dependent)
+  kViscosity,    ///< artificial viscosity per cell
+  kForces,       ///< corner-force accumulation onto nodes
+  kIntegrate,    ///< velocity and position update + boundary conditions
+  kEnergy,       ///< geometry update + PdV energy update
+  kTimestep,     ///< CFL reduction for the next dt
+};
+inline constexpr std::size_t kHydroPhaseCount = 7;
+
+[[nodiscard]] std::string_view hydro_phase_name(HydroPhase phase);
+
+/// Accumulated wall-clock time per phase across all steps taken.
+class PhaseTimers {
+ public:
+  void add(HydroPhase phase, double seconds);
+  [[nodiscard]] double seconds(HydroPhase phase) const;
+  [[nodiscard]] double total_seconds() const;
+  void reset();
+
+ private:
+  std::array<double, kHydroPhaseCount> seconds_{};
+};
+
+/// Diagnostics of one completed step.
+struct StepStats {
+  double dt = 0.0;
+  double time = 0.0;            ///< simulation time after the step
+  double max_pressure = 0.0;
+  double total_energy = 0.0;
+  double burn_front_radius = 0.0;
+};
+
+/// Explicit staggered-grid Lagrangian hydrodynamics solver: gamma-law
+/// EOS per material, programmed burn, corner forces, bulk artificial
+/// viscosity, PdV energy update, CFL-controlled time step. The x = 0
+/// boundary is the axis of rotation (reflecting); the other boundaries
+/// are free surfaces.
+class HydroSolver {
+ public:
+  explicit HydroSolver(HydroState& state, HydroConfig config = {});
+
+  /// Advance one time step; returns the step's diagnostics.
+  StepStats step();
+
+  /// Advance until `end_time` or `max_steps`, whichever first; returns
+  /// the final step's diagnostics.
+  StepStats run_until(double end_time, std::int64_t max_steps = 1'000'000);
+
+  [[nodiscard]] double dt() const { return dt_; }
+  [[nodiscard]] std::int64_t steps_taken() const { return steps_; }
+  [[nodiscard]] const PhaseTimers& timers() const { return timers_; }
+  [[nodiscard]] const HydroConfig& config() const { return config_; }
+
+ private:
+  void phase_burn();
+  void phase_eos();
+  void phase_viscosity();
+  void phase_forces();
+  void phase_integrate();
+  void phase_energy();
+  void phase_timestep();
+
+  /// Rate of change of a cell's volume under the current velocities.
+  [[nodiscard]] double volume_rate(mesh::CellId cell) const;
+
+  /// Run fn(begin, end) over [0, count) in contiguous chunks, across
+  /// the pool when one exists.
+  void parallel_ranges(std::int64_t count,
+                       const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  HydroState& state_;
+  HydroConfig config_;
+  PhaseTimers timers_;
+  double dt_;
+  std::int64_t steps_ = 0;
+  std::vector<double> old_volume_;
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace krak::hydro

@@ -1,0 +1,120 @@
+#include "hydro/state.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace krak::hydro {
+
+HydroState::HydroState(const mesh::InputDeck& deck) : deck_(deck) {
+  const mesh::Grid& grid = deck.grid();
+  const auto nodes = static_cast<std::size_t>(grid.num_nodes());
+  const auto cells = static_cast<std::size_t>(grid.num_cells());
+
+  node_x.resize(nodes);
+  node_y.resize(nodes);
+  velocity_x.assign(nodes, 0.0);
+  velocity_y.assign(nodes, 0.0);
+  force_x.assign(nodes, 0.0);
+  force_y.assign(nodes, 0.0);
+  node_mass.assign(nodes, 0.0);
+  for (std::int64_t node = 0; node < grid.num_nodes(); ++node) {
+    const mesh::Point p = grid.node_position(static_cast<mesh::NodeId>(node));
+    node_x[static_cast<std::size_t>(node)] = p.x;
+    node_y[static_cast<std::size_t>(node)] = p.y;
+  }
+
+  cell_mass.resize(cells);
+  cell_volume.resize(cells);
+  density.resize(cells);
+  specific_energy.resize(cells);
+  pressure.resize(cells);
+  viscosity.assign(cells, 0.0);
+  sound_speed.resize(cells);
+  burned.assign(cells, false);
+
+  for (std::int64_t cell = 0; cell < grid.num_cells(); ++cell) {
+    const auto i = static_cast<std::size_t>(cell);
+    const MaterialEos& eos =
+        eos_for(deck.material_of(static_cast<mesh::CellId>(cell)));
+    cell_volume[i] = compute_cell_volume(static_cast<mesh::CellId>(cell));
+    density[i] = eos.reference_density;
+    cell_mass[i] = density[i] * cell_volume[i];
+    specific_energy[i] = eos.initial_energy;
+    pressure[i] = eos.pressure(density[i], specific_energy[i]);
+    sound_speed[i] = eos.sound_speed(density[i], specific_energy[i]);
+  }
+  update_node_masses();
+}
+
+double HydroState::compute_cell_volume(mesh::CellId cell) const {
+  const auto nodes = grid().nodes_of_cell(cell);
+  // Shoelace formula over the (SW, SE, NE, NW) quad.
+  double twice_area = 0.0;
+  for (std::size_t k = 0; k < 4; ++k) {
+    const auto a = static_cast<std::size_t>(nodes[k]);
+    const auto b = static_cast<std::size_t>(nodes[(k + 1) % 4]);
+    twice_area += node_x[a] * node_y[b] - node_x[b] * node_y[a];
+  }
+  const double volume = 0.5 * twice_area;
+  util::require_internal(volume > 0.0, "inverted or degenerate cell");
+  return volume;
+}
+
+void HydroState::update_geometry() {
+  for (std::int64_t cell = 0; cell < num_cells(); ++cell) {
+    const auto i = static_cast<std::size_t>(cell);
+    cell_volume[i] = compute_cell_volume(static_cast<mesh::CellId>(cell));
+    density[i] = cell_mass[i] / cell_volume[i];
+  }
+}
+
+void HydroState::update_node_masses() {
+  std::fill(node_mass.begin(), node_mass.end(), 0.0);
+  for (std::int64_t cell = 0; cell < num_cells(); ++cell) {
+    const double quarter =
+        0.25 * cell_mass[static_cast<std::size_t>(cell)];
+    for (mesh::NodeId node :
+         grid().nodes_of_cell(static_cast<mesh::CellId>(cell))) {
+      node_mass[static_cast<std::size_t>(node)] += quarter;
+    }
+  }
+}
+
+double HydroState::total_internal_energy() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < cell_mass.size(); ++i) {
+    total += cell_mass[i] * specific_energy[i];
+  }
+  return total;
+}
+
+double HydroState::total_kinetic_energy() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < node_mass.size(); ++i) {
+    total += 0.5 * node_mass[i] *
+             (velocity_x[i] * velocity_x[i] + velocity_y[i] * velocity_y[i]);
+  }
+  return total;
+}
+
+double HydroState::total_mass() const {
+  double total = 0.0;
+  for (double m : cell_mass) total += m;
+  return total;
+}
+
+std::pair<double, mesh::CellId> HydroState::max_pressure() const {
+  double best = -1.0;
+  mesh::CellId best_cell = 0;
+  for (std::int64_t cell = 0; cell < num_cells(); ++cell) {
+    const double p = pressure[static_cast<std::size_t>(cell)];
+    if (p > best) {
+      best = p;
+      best_cell = static_cast<mesh::CellId>(cell);
+    }
+  }
+  return {best, best_cell};
+}
+
+}  // namespace krak::hydro

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <vector>
+
+#include "hydro/eos.hpp"
+#include "mesh/deck.hpp"
+
+namespace krak::hydro {
+
+/// Staggered Lagrangian state on a deforming quadrilateral mesh:
+/// positions and velocities live on nodes, thermodynamic quantities on
+/// cells. The mesh connectivity is the deck's grid and never changes;
+/// node positions move with the flow (Section 2: "the spatial grid
+/// deforms as forces propagate through the objects").
+class HydroState {
+ public:
+  /// Initialize from a deck: nodes at grid positions, cells at their
+  /// material's reference density and initial energy, everything at
+  /// rest. The state keeps its own copy of the deck, so it remains
+  /// valid after the argument goes out of scope.
+  explicit HydroState(const mesh::InputDeck& deck);
+
+  [[nodiscard]] const mesh::InputDeck& deck() const { return deck_; }
+  [[nodiscard]] const mesh::Grid& grid() const { return deck_.grid(); }
+  [[nodiscard]] std::int64_t num_cells() const { return grid().num_cells(); }
+  [[nodiscard]] std::int64_t num_nodes() const { return grid().num_nodes(); }
+
+  // Node fields (SoA layout for vectorizable loops).
+  std::vector<double> node_x;
+  std::vector<double> node_y;
+  std::vector<double> velocity_x;
+  std::vector<double> velocity_y;
+  std::vector<double> force_x;
+  std::vector<double> force_y;
+  /// Lumped nodal mass (quarter of each adjacent cell's mass).
+  std::vector<double> node_mass;
+
+  // Cell fields.
+  std::vector<double> cell_mass;     ///< invariant (Lagrangian)
+  std::vector<double> cell_volume;
+  std::vector<double> density;
+  std::vector<double> specific_energy;
+  std::vector<double> pressure;
+  std::vector<double> viscosity;     ///< artificial viscosity q
+  std::vector<double> sound_speed;
+  std::vector<bool> burned;          ///< HE cells already detonated
+
+  double time = 0.0;
+
+  /// Signed area of a (convex, counter-clockwise) cell from current
+  /// node positions; throws InternalError if the cell has inverted.
+  [[nodiscard]] double compute_cell_volume(mesh::CellId cell) const;
+
+  /// Recompute all cell volumes and densities from node positions.
+  void update_geometry();
+
+  /// Recompute lumped nodal masses from cell masses.
+  void update_node_masses();
+
+  /// Total internal + kinetic energy (conservation diagnostic).
+  [[nodiscard]] double total_internal_energy() const;
+  [[nodiscard]] double total_kinetic_energy() const;
+  [[nodiscard]] double total_energy() const {
+    return total_internal_energy() + total_kinetic_energy();
+  }
+  [[nodiscard]] double total_mass() const;
+
+  /// Largest pressure and its cell (diagnostics / shock tracking).
+  [[nodiscard]] std::pair<double, mesh::CellId> max_pressure() const;
+
+ private:
+  mesh::InputDeck deck_;
+};
+
+}  // namespace krak::hydro

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace krak::linalg {
+
+/// Dense row-major matrix of doubles.
+///
+/// Sized for the calibration problems in this project: systems with one
+/// row per (processor, phase) observation and one column per material —
+/// at most a few thousand rows by a handful of columns. No attempt is
+/// made at cache blocking or BLAS dispatch.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Build from nested initializer lists; all rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Unchecked element access (checked variants: at()).
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access; throws InvalidArgument when out of range.
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// View of row r.
+  [[nodiscard]] std::span<double> row(std::size_t r);
+  [[nodiscard]] std::span<const double> row(std::size_t r) const;
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Matrix product; inner dimensions must agree.
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+
+  /// Matrix-vector product; x.size() must equal cols().
+  [[nodiscard]] std::vector<double> operator*(std::span<const double> x) const;
+
+  [[nodiscard]] Matrix operator+(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator-(const Matrix& rhs) const;
+
+  /// Largest absolute element (max norm); 0 for empty.
+  [[nodiscard]] double max_abs() const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm of a vector.
+[[nodiscard]] double norm2(std::span<const double> v);
+
+/// Dot product; spans must be equal length.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace krak::linalg

@@ -1,0 +1,19 @@
+#pragma once
+
+namespace krak::mesh {
+
+/// 2-D point. The deck's x axis is the radial direction (distance from
+/// the axis of rotation) and y is the axial direction; rotating the
+/// rectangle about x = 0 produces the paper's cylindrical domain.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+[[nodiscard]] constexpr Point midpoint(Point a, Point b) {
+  return {(a.x + b.x) * 0.5, (a.y + b.y) * 0.5};
+}
+
+}  // namespace krak::mesh

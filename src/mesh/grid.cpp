@@ -1,0 +1,147 @@
+#include "mesh/grid.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace krak::mesh {
+
+using util::check;
+
+Grid::Grid(std::int32_t nx, std::int32_t ny) : nx_(nx), ny_(ny) {
+  check(nx > 0 && ny > 0, "Grid dimensions must be positive");
+}
+
+CellId Grid::cell_at(std::int32_t i, std::int32_t j) const {
+  check(i >= 0 && i < nx_ && j >= 0 && j < ny_, "cell coordinates out of range");
+  return j * nx_ + i;
+}
+
+std::int32_t Grid::cell_i(CellId cell) const {
+  check_cell(cell);
+  return cell % nx_;
+}
+
+std::int32_t Grid::cell_j(CellId cell) const {
+  check_cell(cell);
+  return cell / nx_;
+}
+
+NodeId Grid::node_at(std::int32_t i, std::int32_t j) const {
+  check(i >= 0 && i <= nx_ && j >= 0 && j <= ny_,
+        "node coordinates out of range");
+  return j * (nx_ + 1) + i;
+}
+
+Point Grid::cell_center(CellId cell) const {
+  check_cell(cell);
+  return {static_cast<double>(cell_i(cell)) + 0.5,
+          static_cast<double>(cell_j(cell)) + 0.5};
+}
+
+Point Grid::node_position(NodeId node) const {
+  check(node >= 0 && node < num_nodes(), "node id out of range");
+  const std::int32_t i = node % (nx_ + 1);
+  const std::int32_t j = node / (nx_ + 1);
+  return {static_cast<double>(i), static_cast<double>(j)};
+}
+
+std::vector<CellId> Grid::neighbors_of_cell(CellId cell) const {
+  check_cell(cell);
+  const std::int32_t i = cell_i(cell);
+  const std::int32_t j = cell_j(cell);
+  std::vector<CellId> out;
+  out.reserve(4);
+  if (i > 0) out.push_back(cell_at(i - 1, j));
+  if (i + 1 < nx_) out.push_back(cell_at(i + 1, j));
+  if (j > 0) out.push_back(cell_at(i, j - 1));
+  if (j + 1 < ny_) out.push_back(cell_at(i, j + 1));
+  return out;
+}
+
+std::array<FaceId, 4> Grid::faces_of_cell(CellId cell) const {
+  check_cell(cell);
+  const std::int32_t i = cell_i(cell);
+  const std::int32_t j = cell_j(cell);
+  const auto vcount = vertical_face_count();
+  const FaceId west = static_cast<FaceId>(j * (nx_ + 1) + i);
+  const FaceId east = static_cast<FaceId>(j * (nx_ + 1) + i + 1);
+  const FaceId south = static_cast<FaceId>(vcount + j * nx_ + i);
+  const FaceId north = static_cast<FaceId>(vcount + (j + 1) * nx_ + i);
+  return {west, east, south, north};
+}
+
+std::array<CellId, 2> Grid::cells_of_face(FaceId face) const {
+  check_face(face);
+  const auto vcount = vertical_face_count();
+  if (face < vcount) {
+    // Vertical face between cells (i-1, j) and (i, j).
+    const std::int32_t i = face % (nx_ + 1);
+    const std::int32_t j = face / (nx_ + 1);
+    const CellId left = (i > 0) ? cell_at(i - 1, j) : kNoCell;
+    const CellId right = (i < nx_) ? cell_at(i, j) : kNoCell;
+    if (left == kNoCell) return {right, kNoCell};
+    return {left, right};
+  }
+  // Horizontal face between cells (i, j-1) and (i, j).
+  const FaceId h = face - static_cast<FaceId>(vcount);
+  const std::int32_t i = h % nx_;
+  const std::int32_t j = h / nx_;
+  const CellId below = (j > 0) ? cell_at(i, j - 1) : kNoCell;
+  const CellId above = (j < ny_) ? cell_at(i, j) : kNoCell;
+  if (below == kNoCell) return {above, kNoCell};
+  return {below, above};
+}
+
+std::array<NodeId, 2> Grid::nodes_of_face(FaceId face) const {
+  check_face(face);
+  const auto vcount = vertical_face_count();
+  if (face < vcount) {
+    const std::int32_t i = face % (nx_ + 1);
+    const std::int32_t j = face / (nx_ + 1);
+    return {node_at(i, j), node_at(i, j + 1)};
+  }
+  const FaceId h = face - static_cast<FaceId>(vcount);
+  const std::int32_t i = h % nx_;
+  const std::int32_t j = h / nx_;
+  return {node_at(i, j), node_at(i + 1, j)};
+}
+
+std::array<NodeId, 4> Grid::nodes_of_cell(CellId cell) const {
+  check_cell(cell);
+  const std::int32_t i = cell_i(cell);
+  const std::int32_t j = cell_j(cell);
+  return {node_at(i, j), node_at(i + 1, j), node_at(i + 1, j + 1),
+          node_at(i, j + 1)};
+}
+
+bool Grid::is_boundary_face(FaceId face) const {
+  const auto cells = cells_of_face(face);
+  return cells[1] == kNoCell;
+}
+
+FaceId Grid::shared_face(CellId a, CellId b) const {
+  check_cell(a);
+  check_cell(b);
+  const std::int32_t ai = cell_i(a);
+  const std::int32_t aj = cell_j(a);
+  const std::int32_t bi = cell_i(b);
+  const std::int32_t bj = cell_j(b);
+  const auto faces_a = faces_of_cell(a);
+  if (aj == bj && bi == ai - 1) return faces_a[0];  // b west of a
+  if (aj == bj && bi == ai + 1) return faces_a[1];  // b east of a
+  if (ai == bi && bj == aj - 1) return faces_a[2];  // b south of a
+  if (ai == bi && bj == aj + 1) return faces_a[3];  // b north of a
+  check(false, "shared_face requires orthogonally adjacent cells");
+  return -1;
+}
+
+void Grid::check_cell(CellId cell) const {
+  check(cell >= 0 && cell < num_cells(), "cell id out of range");
+}
+
+void Grid::check_face(FaceId face) const {
+  check(face >= 0 && face < num_faces(), "face id out of range");
+}
+
+}  // namespace krak::mesh

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mesh/geometry.hpp"
+
+namespace krak::mesh {
+
+using CellId = std::int32_t;
+using NodeId = std::int32_t;
+using FaceId = std::int32_t;
+
+inline constexpr CellId kNoCell = -1;
+
+/// Structured 2-D quadrilateral grid of nx x ny cells on the unit-less
+/// rectangle [0, nx] x [0, ny] (unit cell spacing).
+///
+/// Krak's spatial grid is a mesh of quadrilateral "cells" bounded by
+/// "faces" that connect "nodes" (Section 2). The production code's mesh
+/// is unstructured; all the model's inputs (adjacency, face counts,
+/// ghost-node counts) are topological, so a structured quad grid whose
+/// cells are *partitioned irregularly* reproduces the same statistics.
+/// The grid is immutable after construction.
+class Grid {
+ public:
+  /// nx, ny must be positive.
+  Grid(std::int32_t nx, std::int32_t ny);
+
+  [[nodiscard]] std::int32_t nx() const { return nx_; }
+  [[nodiscard]] std::int32_t ny() const { return ny_; }
+
+  [[nodiscard]] std::int64_t num_cells() const {
+    return static_cast<std::int64_t>(nx_) * ny_;
+  }
+  [[nodiscard]] std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(nx_ + 1) * (ny_ + 1);
+  }
+  /// Faces include domain-boundary faces.
+  [[nodiscard]] std::int64_t num_faces() const {
+    return static_cast<std::int64_t>(nx_ + 1) * ny_ +
+           static_cast<std::int64_t>(nx_) * (ny_ + 1);
+  }
+
+  // --- index mapping -----------------------------------------------------
+
+  /// Cell at column i (radial), row j (axial); 0 <= i < nx, 0 <= j < ny.
+  [[nodiscard]] CellId cell_at(std::int32_t i, std::int32_t j) const;
+  [[nodiscard]] std::int32_t cell_i(CellId cell) const;
+  [[nodiscard]] std::int32_t cell_j(CellId cell) const;
+
+  [[nodiscard]] NodeId node_at(std::int32_t i, std::int32_t j) const;
+
+  // --- geometry ----------------------------------------------------------
+
+  [[nodiscard]] Point cell_center(CellId cell) const;
+  [[nodiscard]] Point node_position(NodeId node) const;
+
+  // --- topology ----------------------------------------------------------
+
+  /// The (up to four) orthogonal neighbors of a cell; kNoCell entries are
+  /// suppressed, so the result holds 2..4 cells.
+  [[nodiscard]] std::vector<CellId> neighbors_of_cell(CellId cell) const;
+
+  /// The four faces bounding a cell, in order west, east, south, north.
+  [[nodiscard]] std::array<FaceId, 4> faces_of_cell(CellId cell) const;
+
+  /// The one or two cells adjacent to a face; the second entry is kNoCell
+  /// for a domain-boundary face.
+  [[nodiscard]] std::array<CellId, 2> cells_of_face(FaceId face) const;
+
+  /// The two nodes connected by a face.
+  [[nodiscard]] std::array<NodeId, 2> nodes_of_face(FaceId face) const;
+
+  /// The four corner nodes of a cell (SW, SE, NE, NW).
+  [[nodiscard]] std::array<NodeId, 4> nodes_of_cell(CellId cell) const;
+
+  [[nodiscard]] bool is_boundary_face(FaceId face) const;
+
+  /// The interior face shared by two orthogonally adjacent cells;
+  /// throws InvalidArgument if the cells are not adjacent.
+  [[nodiscard]] FaceId shared_face(CellId a, CellId b) const;
+
+ private:
+  void check_cell(CellId cell) const;
+  void check_face(FaceId face) const;
+
+  /// Vertical faces (normal along x) come first in face numbering:
+  /// id = j*(nx+1) + i for 0 <= i <= nx, 0 <= j < ny. Horizontal faces
+  /// (normal along y) follow: offset + j*nx + i for 0 <= i < nx,
+  /// 0 <= j <= ny.
+  [[nodiscard]] std::int64_t vertical_face_count() const {
+    return static_cast<std::int64_t>(nx_ + 1) * ny_;
+  }
+
+  std::int32_t nx_;
+  std::int32_t ny_;
+};
+
+}  // namespace krak::mesh

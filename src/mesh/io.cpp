@@ -1,0 +1,153 @@
+#include "mesh/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace krak::mesh {
+
+namespace {
+
+constexpr std::string_view kMagic = "krakdeck";
+constexpr int kVersion = 1;
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw util::KrakError("malformed deck: " + what);
+}
+
+}  // namespace
+
+void write_deck(std::ostream& out, const InputDeck& deck) {
+  out << kMagic << " " << kVersion << "\n";
+  // Names are stored as a single token; whitespace becomes '_'.
+  std::string name = deck.name();
+  for (char& c : name) {
+    if (c == ' ' || c == '\t' || c == '\n') c = '_';
+  }
+  out << "name " << name << "\n";
+  out << "grid " << deck.grid().nx() << " " << deck.grid().ny() << "\n";
+  out << "detonator " << deck.detonator().x << " " << deck.detonator().y
+      << "\n";
+  out << "materials";
+  const auto& materials = deck.materials();
+  std::size_t i = 0;
+  while (i < materials.size()) {
+    std::size_t run = 1;
+    while (i + run < materials.size() && materials[i + run] == materials[i]) {
+      ++run;
+    }
+    out << " " << run << "x" << material_index(materials[i]);
+    i += run;
+  }
+  out << "\nend\n";
+  if (!out) throw util::KrakError("write_deck: stream failure");
+}
+
+void save_deck(const std::string& path, const InputDeck& deck) {
+  std::ofstream out(path);
+  if (!out) throw util::KrakError("save_deck: cannot open " + path);
+  write_deck(out, deck);
+}
+
+InputDeck read_deck(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version)) malformed("missing header");
+  if (magic != kMagic) malformed("bad magic '" + magic + "'");
+  if (version != kVersion) {
+    malformed("unsupported version " + std::to_string(version));
+  }
+
+  std::string name;
+  std::int32_t nx = 0;
+  std::int32_t ny = 0;
+  Point detonator;
+  std::vector<Material> materials;
+  bool saw_grid = false;
+  bool saw_end = false;
+
+  std::string key;
+  while (in >> key) {
+    if (key == "name") {
+      if (!(in >> name)) malformed("missing name value");
+    } else if (key == "grid") {
+      if (!(in >> nx >> ny)) malformed("missing grid dimensions");
+      if (nx <= 0 || ny <= 0) malformed("non-positive grid dimensions");
+      saw_grid = true;
+    } else if (key == "detonator") {
+      if (!(in >> detonator.x >> detonator.y)) {
+        malformed("missing detonator coordinates");
+      }
+    } else if (key == "materials") {
+      if (!saw_grid) malformed("materials before grid");
+      const auto expected =
+          static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+      materials.reserve(expected);
+      while (materials.size() < expected) {
+        std::string token;
+        if (!(in >> token)) malformed("truncated materials section");
+        const std::size_t x_pos = token.find('x');
+        if (x_pos == std::string::npos || x_pos == 0 ||
+            x_pos + 1 >= token.size()) {
+          malformed("bad run-length token '" + token + "'");
+        }
+        std::size_t run = 0;
+        std::size_t index = 0;
+        try {
+          run = std::stoull(token.substr(0, x_pos));
+          index = std::stoull(token.substr(x_pos + 1));
+        } catch (const std::exception&) {
+          malformed("bad run-length token '" + token + "'");
+        }
+        if (run == 0) malformed("zero-length run");
+        if (index >= kMaterialCount) {
+          malformed("unknown material index " + std::to_string(index));
+        }
+        if (materials.size() + run > expected) {
+          malformed("materials exceed cell count");
+        }
+        materials.insert(materials.end(), run, material_from_index(index));
+      }
+    } else if (key == "end") {
+      saw_end = true;
+      break;
+    } else {
+      malformed("unknown key '" + key + "'");
+    }
+  }
+  if (!saw_end) malformed("missing 'end'");
+  if (!saw_grid) malformed("missing 'grid'");
+  const auto expected =
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+  if (materials.size() != expected) malformed("missing 'materials'");
+  if (name.empty()) name = "unnamed";
+  return InputDeck(name, Grid(nx, ny), std::move(materials), detonator);
+}
+
+InputDeck load_deck(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::KrakError("load_deck: cannot open " + path);
+  return read_deck(in);
+}
+
+std::string describe_deck(const InputDeck& deck) {
+  std::ostringstream os;
+  os << "deck '" << deck.name() << "': " << deck.grid().nx() << " x "
+     << deck.grid().ny() << " cells (" << deck.grid().num_cells()
+     << " total), " << deck.grid().num_nodes() << " nodes, "
+     << deck.grid().num_faces() << " faces\n";
+  os << "detonator at (" << deck.detonator().x << ", " << deck.detonator().y
+     << ")\n";
+  const auto counts = deck.material_cell_counts();
+  const auto ratios = deck.material_ratios();
+  for (Material m : all_materials()) {
+    const std::size_t i = material_index(m);
+    os << "  " << material_name(m) << ": " << counts[i] << " cells ("
+       << util::format_percent(ratios[i]) << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace krak::mesh

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mesh/deck.hpp"
+
+namespace krak::mesh {
+
+/// Plain-text input-deck format, versioned for forward compatibility:
+///
+///   krakdeck 1
+///   name <string>
+///   grid <nx> <ny>
+///   detonator <x> <y>
+///   materials <run-length encoded cell materials, row-major>
+///   end
+///
+/// Cell materials are run-length encoded as `<count>x<material-index>`
+/// tokens (e.g. `1251x0 550x1`), which keeps the paper's layered decks
+/// tiny on disk.
+
+/// Serialize a deck. Throws KrakError on stream failure.
+void write_deck(std::ostream& out, const InputDeck& deck);
+void save_deck(const std::string& path, const InputDeck& deck);
+
+/// Parse a deck; throws KrakError on malformed input (wrong magic,
+/// missing fields, cell-count mismatch, unknown material index).
+[[nodiscard]] InputDeck read_deck(std::istream& in);
+[[nodiscard]] InputDeck load_deck(const std::string& path);
+
+/// Multi-line human-readable summary (dimensions, material census,
+/// detonator position).
+[[nodiscard]] std::string describe_deck(const InputDeck& deck);
+
+}  // namespace krak::mesh

@@ -1,0 +1,43 @@
+#include "mesh/material.hpp"
+
+#include "util/error.hpp"
+
+namespace krak::mesh {
+
+Material material_from_index(std::size_t index) {
+  util::check(index < kMaterialCount, "material index out of range");
+  return static_cast<Material>(index);
+}
+
+std::string_view material_name(Material m) {
+  switch (m) {
+    case Material::kHEGas: return "High-Explosive Gas";
+    case Material::kAluminumInner: return "Aluminum (Inner)";
+    case Material::kFoam: return "Foam";
+    case Material::kAluminumOuter: return "Aluminum (Outer)";
+  }
+  return "Unknown";
+}
+
+std::string_view material_short_name(Material m) {
+  switch (m) {
+    case Material::kHEGas: return "HE Gas";
+    case Material::kAluminumInner: return "Al (In)";
+    case Material::kFoam: return "Foam";
+    case Material::kAluminumOuter: return "Al (Out)";
+  }
+  return "Unknown";
+}
+
+std::string_view exchange_group_name(std::size_t group) {
+  switch (group) {
+    case 0: return "H.E. Gas";
+    case 1: return "Aluminum (both)";
+    case 2: return "Foam";
+    default: break;
+  }
+  util::check(false, "exchange group out of range");
+  return "Unknown";
+}
+
+}  // namespace krak::mesh

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace krak::mesh {
+
+/// The four materials of the paper's input deck (Section 2.1, Figure 1):
+/// a core of high-explosive gas, a layer of aluminum, a layer of foam,
+/// and a second (outer) layer of aluminum.
+enum class Material : std::uint8_t {
+  kHEGas = 0,
+  kAluminumInner = 1,
+  kFoam = 2,
+  kAluminumOuter = 3,
+};
+
+inline constexpr std::size_t kMaterialCount = 4;
+
+/// All materials in deck order (inner to outer).
+[[nodiscard]] constexpr std::array<Material, kMaterialCount> all_materials() {
+  return {Material::kHEGas, Material::kAluminumInner, Material::kFoam,
+          Material::kAluminumOuter};
+}
+
+/// Material from its 0-based index; throws InvalidArgument out of range.
+[[nodiscard]] Material material_from_index(std::size_t index);
+
+[[nodiscard]] constexpr std::size_t material_index(Material m) {
+  return static_cast<std::size_t>(m);
+}
+
+/// Long display name, e.g. "High-Explosive Gas".
+[[nodiscard]] std::string_view material_name(Material m);
+
+/// Short name for tables, e.g. "HE Gas".
+[[nodiscard]] std::string_view material_short_name(Material m);
+
+/// Boundary-exchange material group (Section 4.1): "identical materials
+/// (such as the two aluminum materials in our input deck) are treated as
+/// one during boundary exchanges". Groups: 0 = HE gas, 1 = aluminum
+/// (both layers), 2 = foam.
+[[nodiscard]] constexpr std::size_t exchange_group(Material m) {
+  switch (m) {
+    case Material::kHEGas: return 0;
+    case Material::kAluminumInner: return 1;
+    case Material::kFoam: return 2;
+    case Material::kAluminumOuter: return 1;
+  }
+  return 0;  // unreachable for valid enumerators
+}
+
+inline constexpr std::size_t kExchangeGroupCount = 3;
+
+/// Display name for an exchange group.
+[[nodiscard]] std::string_view exchange_group_name(std::size_t group);
+
+}  // namespace krak::mesh

@@ -1,0 +1,57 @@
+#include "network/collectives.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace krak::network {
+
+CollectiveModel::CollectiveModel(MessageCostModel message_model)
+    : model_(std::move(message_model)) {}
+
+std::int32_t CollectiveModel::tree_depth(std::int32_t pes) {
+  util::check(pes >= 1, "tree_depth requires at least one PE");
+  const auto u = static_cast<std::uint32_t>(pes);
+  // ceil(log2(pes)): bit_width(p - 1) for p > 1.
+  return (pes == 1) ? 0 : static_cast<std::int32_t>(std::bit_width(u - 1));
+}
+
+double CollectiveModel::fan_out(std::int32_t pes, double bytes) const {
+  return static_cast<double>(tree_depth(pes)) * model_.message_time(bytes);
+}
+
+double CollectiveModel::fan_in(std::int32_t pes, double bytes) const {
+  return fan_out(pes, bytes);
+}
+
+double CollectiveModel::fan_in_fan_out(std::int32_t pes, double bytes) const {
+  return 2.0 * fan_out(pes, bytes);
+}
+
+double CollectiveModel::iteration_broadcast(std::int32_t pes) const {
+  const CollectiveInventory inv;
+  const auto depth = static_cast<double>(tree_depth(pes));
+  return depth * (inv.bcast_4b * model_.message_time(4.0) +
+                  inv.bcast_8b * model_.message_time(8.0));
+}
+
+double CollectiveModel::iteration_allreduce(std::int32_t pes) const {
+  const CollectiveInventory inv;
+  const auto depth = static_cast<double>(tree_depth(pes));
+  // Equation (9)'s coefficients 18 and 26 are 2x the Table 4 counts.
+  return depth * (2.0 * inv.allreduce_4b * model_.message_time(4.0) +
+                  2.0 * inv.allreduce_8b * model_.message_time(8.0));
+}
+
+double CollectiveModel::iteration_gather(std::int32_t pes) const {
+  const CollectiveInventory inv;
+  const auto depth = static_cast<double>(tree_depth(pes));
+  return depth * inv.gather_32b * model_.message_time(32.0);
+}
+
+double CollectiveModel::iteration_collectives(std::int32_t pes) const {
+  return iteration_broadcast(pes) + iteration_allreduce(pes) +
+         iteration_gather(pes);
+}
+
+}  // namespace krak::network

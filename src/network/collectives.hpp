@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+
+#include "network/msgmodel.hpp"
+
+namespace krak::network {
+
+/// Binary-tree collective cost models, Section 4.3 of the paper.
+///
+/// Collectives are modeled as fan-out, fan-in, or fan-in-and-fan-out
+/// over a binary tree: a one-to-all operation takes log2(P) message
+/// steps, an all-to-all synchronization 2*log2(P). Tree depth is the
+/// integer ceil(log2 P), which is exact for the paper's power-of-two
+/// processor counts.
+class CollectiveModel {
+ public:
+  explicit CollectiveModel(MessageCostModel message_model);
+
+  [[nodiscard]] const MessageCostModel& message_model() const {
+    return model_;
+  }
+
+  /// Depth of a binary tree over `pes` processors (0 for one PE).
+  [[nodiscard]] static std::int32_t tree_depth(std::int32_t pes);
+
+  /// One fan-out (broadcast) of `bytes` over `pes`: depth * Tmsg(bytes).
+  [[nodiscard]] double fan_out(std::int32_t pes, double bytes) const;
+
+  /// One fan-in (reduction/gather): same cost shape as fan-out.
+  [[nodiscard]] double fan_in(std::int32_t pes, double bytes) const;
+
+  /// Fan-in followed by fan-out (allreduce): 2 * depth * Tmsg(bytes).
+  [[nodiscard]] double fan_in_fan_out(std::int32_t pes, double bytes) const;
+
+  /// Equation (8): per-iteration broadcast total — 3 MPI_Bcast of 4
+  /// bytes and 3 of 8 bytes, each log(P) messages.
+  [[nodiscard]] double iteration_broadcast(std::int32_t pes) const;
+
+  /// Equation (9): per-iteration allreduce total — 9 MPI_Allreduce of 4
+  /// bytes and 13 of 8 bytes, each 2*log(P) messages.
+  [[nodiscard]] double iteration_allreduce(std::int32_t pes) const;
+
+  /// Equation (10): per-iteration gather — one MPI_Gather of 32 bytes,
+  /// log(P) messages.
+  [[nodiscard]] double iteration_gather(std::int32_t pes) const;
+
+  /// Sum of Equations (8)-(10).
+  [[nodiscard]] double iteration_collectives(std::int32_t pes) const;
+
+ private:
+  MessageCostModel model_;
+};
+
+/// Fixed per-iteration collective inventory (Table 4 of the paper).
+struct CollectiveInventory {
+  std::int32_t bcast_4b = 3;
+  std::int32_t bcast_8b = 3;
+  std::int32_t allreduce_4b = 9;
+  std::int32_t allreduce_8b = 13;
+  std::int32_t gather_32b = 1;
+
+  [[nodiscard]] std::int32_t total_allreduces() const {
+    return allreduce_4b + allreduce_8b;
+  }
+};
+
+}  // namespace krak::network

@@ -1,0 +1,25 @@
+#include "network/machine.hpp"
+
+namespace krak::network {
+
+MachineConfig make_es45_qsnet() {
+  MachineConfig config;
+  config.name = "ES45-QsNet";
+  config.nodes = 256;
+  config.pes_per_node = 4;
+  config.compute_speedup = 1.0;
+  config.network = make_qsnet1_model();
+  return config;
+}
+
+MachineConfig make_hypothetical_upgrade() {
+  MachineConfig config;
+  config.name = "Upgrade-2x";
+  config.nodes = 256;
+  config.pes_per_node = 4;
+  config.compute_speedup = 2.0;
+  config.network = make_qsnet1_model().scaled(0.5, 0.5);
+  return config;
+}
+
+}  // namespace krak::network

@@ -1,0 +1,104 @@
+#include "network/msgmodel.hpp"
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace krak::network {
+
+using util::check;
+using util::Interpolation;
+using util::PiecewiseLinear;
+
+MessageCostModel::MessageCostModel(PiecewiseLinear latency,
+                                   PiecewiseLinear byte_cost)
+    : latency_(std::move(latency)),
+      byte_cost_(std::move(byte_cost)),
+      zero_(false) {
+  check(!latency_.empty(), "latency table must be non-empty");
+  check(!byte_cost_.empty(), "byte-cost table must be non-empty");
+}
+
+double MessageCostModel::latency(double bytes) const {
+  check(bytes >= 0.0, "message size must be non-negative");
+  if (zero_) return 0.0;
+  // Tables are indexed from 1 byte (log interpolation); clamp below.
+  return latency_(bytes < 1.0 ? 1.0 : bytes);
+}
+
+double MessageCostModel::byte_cost(double bytes) const {
+  check(bytes >= 0.0, "message size must be non-negative");
+  if (zero_) return 0.0;
+  return byte_cost_(bytes < 1.0 ? 1.0 : bytes);
+}
+
+double MessageCostModel::message_time(double bytes) const {
+  return latency(bytes) + bytes * byte_cost(bytes);
+}
+
+double MessageCostModel::effective_bandwidth(double bytes) const {
+  check(bytes > 0.0, "effective bandwidth needs a positive size");
+  return bytes / message_time(bytes);
+}
+
+MessageCostModel MessageCostModel::scaled(double latency_factor,
+                                          double byte_cost_factor) const {
+  check(latency_factor > 0.0 && byte_cost_factor > 0.0,
+        "scale factors must be positive");
+  if (zero_) return {};
+  PiecewiseLinear latency = latency_;
+  PiecewiseLinear byte_cost = byte_cost_;
+  // Rebuild the y values scaled; x breakpoints are unchanged.
+  PiecewiseLinear scaled_latency;
+  scaled_latency.set_interpolation(Interpolation::kLogX);
+  for (std::size_t i = 0; i < latency.size(); ++i) {
+    scaled_latency.add_point(latency.xs()[i], latency.ys()[i] * latency_factor);
+  }
+  PiecewiseLinear scaled_bytes;
+  scaled_bytes.set_interpolation(Interpolation::kLogX);
+  for (std::size_t i = 0; i < byte_cost.size(); ++i) {
+    scaled_bytes.add_point(byte_cost.xs()[i],
+                           byte_cost.ys()[i] * byte_cost_factor);
+  }
+  return MessageCostModel(std::move(scaled_latency), std::move(scaled_bytes));
+}
+
+MessageCostModel make_qsnet1_model() {
+  using util::microseconds;
+  using util::nanoseconds;
+  // Start-up cost L(S): ~4.5 us for tiny messages, growing mildly with
+  // size as rendezvous protocols kick in.
+  PiecewiseLinear latency;
+  latency.set_interpolation(Interpolation::kLogX);
+  latency.add_point(1.0, microseconds(4.5));
+  latency.add_point(64.0, microseconds(4.6));
+  latency.add_point(512.0, microseconds(5.0));
+  latency.add_point(4096.0, microseconds(6.0));
+  latency.add_point(65536.0, microseconds(8.0));
+  latency.add_point(1048576.0, microseconds(10.0));
+
+  // Per-byte cost TB(S): overhead-dominated for small messages, falling
+  // to the ~305 MB/s asymptote (~3.3 ns/byte) for large ones.
+  PiecewiseLinear byte_cost;
+  byte_cost.set_interpolation(Interpolation::kLogX);
+  byte_cost.add_point(1.0, nanoseconds(12.0));
+  byte_cost.add_point(64.0, nanoseconds(10.0));
+  byte_cost.add_point(512.0, nanoseconds(6.0));
+  byte_cost.add_point(4096.0, nanoseconds(4.0));
+  byte_cost.add_point(65536.0, nanoseconds(3.4));
+  byte_cost.add_point(1048576.0, nanoseconds(3.28));
+
+  return MessageCostModel(std::move(latency), std::move(byte_cost));
+}
+
+MessageCostModel make_hockney_model(double latency_seconds,
+                                    double bytes_per_second) {
+  check(latency_seconds >= 0.0, "latency must be non-negative");
+  check(bytes_per_second > 0.0, "bandwidth must be positive");
+  PiecewiseLinear latency;
+  latency.add_point(1.0, latency_seconds);
+  PiecewiseLinear byte_cost;
+  byte_cost.add_point(1.0, 1.0 / bytes_per_second);
+  return MessageCostModel(std::move(latency), std::move(byte_cost));
+}
+
+}  // namespace krak::network

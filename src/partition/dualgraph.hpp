@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mesh/deck.hpp"
+#include "mesh/grid.hpp"
+
+namespace krak::partition {
+
+/// Undirected graph in compressed sparse row form, the input format of
+/// the partitioners (mirrors the Metis API's xadj/adjncy arrays).
+///
+/// Vertices carry integer weights (aggregate cell counts after
+/// coarsening); edges carry weights (aggregate face counts).
+struct Graph {
+  /// xadj[v]..xadj[v+1] indexes adjncy/ewgt for vertex v; size n+1.
+  std::vector<std::int64_t> xadj;
+  std::vector<std::int32_t> adjncy;
+  std::vector<std::int32_t> vwgt;
+  std::vector<std::int32_t> ewgt;
+
+  [[nodiscard]] std::int32_t num_vertices() const {
+    return static_cast<std::int32_t>(vwgt.size());
+  }
+  [[nodiscard]] std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(adjncy.size()) / 2;
+  }
+  [[nodiscard]] std::int64_t total_vertex_weight() const;
+
+  /// Neighbors of v with parallel edge weights.
+  [[nodiscard]] std::span<const std::int32_t> neighbors(std::int32_t v) const;
+  [[nodiscard]] std::span<const std::int32_t> edge_weights(std::int32_t v) const;
+
+  /// Throws InternalError if CSR structure is malformed (asymmetric
+  /// adjacency, self loops, bad xadj).
+  void validate() const;
+};
+
+/// Build the cell-adjacency (dual) graph of a grid: one vertex per cell,
+/// one edge per interior face, unit weights.
+[[nodiscard]] Graph build_dual_graph(const mesh::Grid& grid);
+
+/// Weighted variant: each cell's vertex weight reflects its material's
+/// relative computational cost (e.g. the model's calibrated per-cell
+/// costs), so a weight-balancing partitioner equalizes predicted
+/// compute time instead of cell counts. Weights are scaled to integers
+/// with the cheapest material at ~100.
+[[nodiscard]] Graph build_weighted_dual_graph(
+    const mesh::InputDeck& deck,
+    std::span<const double, mesh::kMaterialCount> material_costs);
+
+}  // namespace krak::partition

@@ -1,0 +1,83 @@
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "partition/partition.hpp"
+#include "util/error.hpp"
+
+namespace krak::partition {
+
+namespace {
+
+/// RCB over a subset of cells, writing part ids into the global
+/// assignment. Reuses partition_rcb on the subset's centers and then
+/// scatters the result back through the index map.
+void rcb_subset(const mesh::Grid& grid, const std::vector<mesh::CellId>& cells,
+                std::int32_t parts, std::vector<PeId>& assignment) {
+  std::vector<mesh::Point> centers;
+  centers.reserve(cells.size());
+  for (mesh::CellId cell : cells) {
+    centers.push_back(grid.cell_center(cell));
+  }
+  const Partition sub = partition_rcb(centers, parts);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    assignment[static_cast<std::size_t>(cells[i])] =
+        sub.pe_of(static_cast<std::int64_t>(i));
+  }
+}
+
+}  // namespace
+
+Partition partition_material_aware(const mesh::InputDeck& deck,
+                                   std::int32_t parts) {
+  const mesh::Grid& grid = deck.grid();
+  util::check(parts > 0, "partition_material_aware requires parts > 0");
+  util::check(parts <= grid.num_cells(), "more parts than cells");
+
+  // Group cells by material. Each group is split across all processors
+  // by RCB so every processor receives a spatially compact share of
+  // every material — per-material load balance by construction.
+  std::array<std::vector<mesh::CellId>, mesh::kMaterialCount> by_material;
+  for (std::int64_t cell = 0; cell < grid.num_cells(); ++cell) {
+    const auto cell_id = static_cast<mesh::CellId>(cell);
+    by_material[mesh::material_index(deck.material_of(cell_id))].push_back(
+        cell_id);
+  }
+
+  std::vector<PeId> assignment(static_cast<std::size_t>(grid.num_cells()), 0);
+  // Some material may have fewer cells than processors (tiny decks);
+  // those cells are strip-assigned and the remaining PEs simply get
+  // none of that material.
+  for (const auto& cells : by_material) {
+    if (cells.empty()) continue;
+    if (static_cast<std::int64_t>(cells.size()) >= parts) {
+      rcb_subset(grid, cells, parts, assignment);
+    } else {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        assignment[static_cast<std::size_t>(cells[i])] =
+            static_cast<PeId>(i % static_cast<std::size_t>(parts));
+      }
+    }
+  }
+
+  // Guarantee no empty processors: a PE misses cells only when every
+  // material had fewer cells than parts; steal from the largest.
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(parts), 0);
+  for (PeId pe : assignment) ++counts[static_cast<std::size_t>(pe)];
+  for (std::int32_t pe = 0; pe < parts; ++pe) {
+    if (counts[static_cast<std::size_t>(pe)] > 0) continue;
+    const auto largest = static_cast<PeId>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    for (auto& a : assignment) {
+      if (a == largest) {
+        a = pe;
+        --counts[static_cast<std::size_t>(largest)];
+        ++counts[static_cast<std::size_t>(pe)];
+        break;
+      }
+    }
+  }
+  return Partition(parts, std::move(assignment));
+}
+
+}  // namespace krak::partition

@@ -1,0 +1,369 @@
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <deque>
+#include <numeric>
+#include <vector>
+
+#include "partition/partition.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace krak::partition {
+
+namespace {
+
+/// One coarsening step: heavy-edge matching, as in Metis. Returns the
+/// coarse graph and the fine->coarse vertex map.
+struct CoarseningStep {
+  Graph coarse;
+  std::vector<std::int32_t> fine_to_coarse;
+};
+
+CoarseningStep coarsen_once(const Graph& fine, util::Rng& rng) {
+  const std::int32_t n = fine.num_vertices();
+  std::vector<std::int32_t> match(static_cast<std::size_t>(n), -1);
+  std::vector<std::int32_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  // Heavy-edge matching: pair each unmatched vertex with its unmatched
+  // neighbor across the heaviest edge.
+  for (std::int32_t v : order) {
+    if (match[static_cast<std::size_t>(v)] != -1) continue;
+    const auto neighbors = fine.neighbors(v);
+    const auto weights = fine.edge_weights(v);
+    std::int32_t best = -1;
+    std::int32_t best_weight = -1;
+    for (std::size_t e = 0; e < neighbors.size(); ++e) {
+      const std::int32_t u = neighbors[e];
+      if (match[static_cast<std::size_t>(u)] != -1) continue;
+      if (weights[e] > best_weight) {
+        best_weight = weights[e];
+        best = u;
+      }
+    }
+    if (best != -1) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = v;  // stays single
+    }
+  }
+
+  CoarseningStep step;
+  step.fine_to_coarse.assign(static_cast<std::size_t>(n), -1);
+  std::int32_t coarse_count = 0;
+  for (std::int32_t v = 0; v < n; ++v) {
+    if (step.fine_to_coarse[static_cast<std::size_t>(v)] != -1) continue;
+    const std::int32_t partner = match[static_cast<std::size_t>(v)];
+    step.fine_to_coarse[static_cast<std::size_t>(v)] = coarse_count;
+    step.fine_to_coarse[static_cast<std::size_t>(partner)] = coarse_count;
+    ++coarse_count;
+  }
+
+  Graph& coarse = step.coarse;
+  coarse.vwgt.assign(static_cast<std::size_t>(coarse_count), 0);
+  for (std::int32_t v = 0; v < n; ++v) {
+    coarse.vwgt[static_cast<std::size_t>(
+        step.fine_to_coarse[static_cast<std::size_t>(v)])] +=
+        fine.vwgt[static_cast<std::size_t>(v)];
+  }
+
+  // Members of each coarse vertex (a matched pair or a singleton).
+  std::vector<std::array<std::int32_t, 2>> members(
+      static_cast<std::size_t>(coarse_count), {-1, -1});
+  for (std::int32_t v = 0; v < n; ++v) {
+    auto& slot = members[static_cast<std::size_t>(
+        step.fine_to_coarse[static_cast<std::size_t>(v)])];
+    if (slot[0] == -1) {
+      slot[0] = v;
+    } else if (slot[0] != v) {
+      slot[1] = v;
+    }
+  }
+
+  // Aggregate edges between coarse vertices. A scatter array keeps this
+  // O(E) without hashing; it is cleared after each coarse vertex so the
+  // matched pair's combined neighbor list is deduplicated.
+  std::vector<std::int32_t> edge_pos(static_cast<std::size_t>(coarse_count), -1);
+  std::vector<std::vector<std::pair<std::int32_t, std::int32_t>>> coarse_adj(
+      static_cast<std::size_t>(coarse_count));
+  for (std::int32_t cv = 0; cv < coarse_count; ++cv) {
+    auto& adj = coarse_adj[static_cast<std::size_t>(cv)];
+    for (std::int32_t v : members[static_cast<std::size_t>(cv)]) {
+      if (v == -1) continue;
+      const auto neighbors = fine.neighbors(v);
+      const auto weights = fine.edge_weights(v);
+      for (std::size_t e = 0; e < neighbors.size(); ++e) {
+        const std::int32_t cu =
+            step.fine_to_coarse[static_cast<std::size_t>(neighbors[e])];
+        if (cu == cv) continue;  // edge collapses inside the coarse vertex
+        const std::int32_t pos = edge_pos[static_cast<std::size_t>(cu)];
+        if (pos >= 0) {
+          adj[static_cast<std::size_t>(pos)].second += weights[e];
+        } else {
+          edge_pos[static_cast<std::size_t>(cu)] =
+              static_cast<std::int32_t>(adj.size());
+          adj.emplace_back(cu, weights[e]);
+        }
+      }
+    }
+    for (const auto& [cu, w] : adj) {
+      edge_pos[static_cast<std::size_t>(cu)] = -1;
+    }
+  }
+
+  coarse.xadj.reserve(static_cast<std::size_t>(coarse_count) + 1);
+  coarse.xadj.push_back(0);
+  for (std::int32_t cv = 0; cv < coarse_count; ++cv) {
+    for (const auto& [cu, w] : coarse_adj[static_cast<std::size_t>(cv)]) {
+      coarse.adjncy.push_back(cu);
+      coarse.ewgt.push_back(w);
+    }
+    coarse.xadj.push_back(static_cast<std::int64_t>(coarse.adjncy.size()));
+  }
+  return step;
+}
+
+/// Greedy graph growing: grow parts 0..k-2 by BFS from a seed until each
+/// reaches its weight target; the last part takes the remainder.
+std::vector<PeId> initial_partition(const Graph& graph, std::int32_t parts,
+                                    util::Rng& rng) {
+  const std::int32_t n = graph.num_vertices();
+  const std::int64_t total = graph.total_vertex_weight();
+  std::vector<PeId> part(static_cast<std::size_t>(n), -1);
+  std::int32_t unassigned = n;
+
+  for (PeId p = 0; p < parts - 1; ++p) {
+    const std::int64_t target = total / parts;
+    // Seed: a random unassigned vertex, preferring one adjacent to an
+    // already-assigned region boundary for contiguity.
+    std::int32_t seed = -1;
+    for (std::int32_t attempt = 0; attempt < 16 && seed == -1; ++attempt) {
+      const auto v = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(n)));
+      if (part[static_cast<std::size_t>(v)] == -1) seed = v;
+    }
+    if (seed == -1) {
+      for (std::int32_t v = 0; v < n; ++v) {
+        if (part[static_cast<std::size_t>(v)] == -1) {
+          seed = v;
+          break;
+        }
+      }
+    }
+    if (seed == -1) break;  // everything assigned already
+
+    std::int64_t weight = 0;
+    std::deque<std::int32_t> frontier{seed};
+    part[static_cast<std::size_t>(seed)] = p;
+    --unassigned;
+    weight += graph.vwgt[static_cast<std::size_t>(seed)];
+    while (weight < target && !frontier.empty()) {
+      const std::int32_t v = frontier.front();
+      frontier.pop_front();
+      for (std::int32_t u : graph.neighbors(v)) {
+        if (part[static_cast<std::size_t>(u)] != -1) continue;
+        if (weight >= target) break;
+        const std::int64_t w = graph.vwgt[static_cast<std::size_t>(u)];
+        // Overshoot the target by at most half a vertex so coarse-level
+        // parts start out balanced.
+        if (weight + w > target + w / 2) continue;
+        part[static_cast<std::size_t>(u)] = p;
+        --unassigned;
+        weight += w;
+        frontier.push_back(u);
+      }
+    }
+    // The BFS can stall inside a closed region; restart from any
+    // unassigned vertex to honor the weight target.
+    while (weight < target && unassigned > parts - 1 - p) {
+      std::int32_t restart = -1;
+      for (std::int32_t v = 0; v < n; ++v) {
+        if (part[static_cast<std::size_t>(v)] == -1) {
+          restart = v;
+          break;
+        }
+      }
+      if (restart == -1) break;
+      part[static_cast<std::size_t>(restart)] = p;
+      --unassigned;
+      weight += graph.vwgt[static_cast<std::size_t>(restart)];
+      frontier.push_back(restart);
+      while (weight < target && !frontier.empty()) {
+        const std::int32_t v = frontier.front();
+        frontier.pop_front();
+        for (std::int32_t u : graph.neighbors(v)) {
+          if (part[static_cast<std::size_t>(u)] != -1) continue;
+          if (weight >= target) break;
+          part[static_cast<std::size_t>(u)] = p;
+          --unassigned;
+          weight += graph.vwgt[static_cast<std::size_t>(u)];
+          frontier.push_back(u);
+        }
+      }
+    }
+  }
+  for (std::int32_t v = 0; v < n; ++v) {
+    if (part[static_cast<std::size_t>(v)] == -1) {
+      part[static_cast<std::size_t>(v)] = parts - 1;
+    }
+  }
+  return part;
+}
+
+/// Greedy k-way FM-style refinement: repeatedly move boundary vertices
+/// to the neighboring part with the best cut gain, subject to a balance
+/// ceiling. Also performs balance repair moves when a part exceeds the
+/// ceiling even at zero or negative gain.
+void refine(const Graph& graph, std::int32_t parts, std::vector<PeId>& part,
+            double max_imbalance) {
+  const std::int32_t n = graph.num_vertices();
+  const std::int64_t total = graph.total_vertex_weight();
+  const auto ceiling = static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(total) / parts * max_imbalance));
+
+  std::vector<std::int64_t> weight(static_cast<std::size_t>(parts), 0);
+  for (std::int32_t v = 0; v < n; ++v) {
+    weight[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] +=
+        graph.vwgt[static_cast<std::size_t>(v)];
+  }
+
+  // Connection weight of v to each part, computed on demand.
+  std::vector<std::int64_t> conn(static_cast<std::size_t>(parts), 0);
+  constexpr int kMaxPasses = 32;
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    bool moved_any = false;
+    for (std::int32_t v = 0; v < n; ++v) {
+      const PeId from = part[static_cast<std::size_t>(v)];
+      const auto neighbors = graph.neighbors(v);
+      const auto weights = graph.edge_weights(v);
+      bool boundary = false;
+      std::vector<PeId> touched;
+      for (std::size_t e = 0; e < neighbors.size(); ++e) {
+        const PeId p = part[static_cast<std::size_t>(neighbors[e])];
+        if (conn[static_cast<std::size_t>(p)] == 0) touched.push_back(p);
+        conn[static_cast<std::size_t>(p)] += weights[e];
+        if (p != from) boundary = true;
+      }
+      if (boundary) {
+        const std::int64_t vw = graph.vwgt[static_cast<std::size_t>(v)];
+        const std::int64_t internal = conn[static_cast<std::size_t>(from)];
+        PeId best_part = from;
+        std::int64_t best_gain = 0;
+        const bool from_overweight =
+            weight[static_cast<std::size_t>(from)] > ceiling;
+        if (from_overweight) {
+          // Balance repair: bleed the overweight part toward its
+          // lightest adjacent part, taking cut gain only as tie-break.
+          // Negative-gain moves are allowed — restoring balance beats
+          // edge cut here (Metis behaves the same way).
+          std::int64_t best_weight = weight[static_cast<std::size_t>(from)] - vw;
+          for (PeId p : touched) {
+            if (p == from) continue;
+            const std::int64_t gain =
+                conn[static_cast<std::size_t>(p)] - internal;
+            const std::int64_t w = weight[static_cast<std::size_t>(p)];
+            if (w + vw >= weight[static_cast<std::size_t>(from)]) continue;
+            if (w < best_weight ||
+                (w == best_weight && best_part != from && gain > best_gain)) {
+              best_weight = w;
+              best_gain = gain;
+              best_part = p;
+            }
+          }
+        } else {
+          for (PeId p : touched) {
+            if (p == from) continue;
+            const std::int64_t gain =
+                conn[static_cast<std::size_t>(p)] - internal;
+            if (weight[static_cast<std::size_t>(p)] + vw > ceiling) continue;
+            if (gain > best_gain) {
+              best_gain = gain;
+              best_part = p;
+            }
+          }
+        }
+        if (best_part != from) {
+          // Never empty a part: the model indexes every PE.
+          if (weight[static_cast<std::size_t>(from)] - vw > 0) {
+            part[static_cast<std::size_t>(v)] = best_part;
+            weight[static_cast<std::size_t>(from)] -= vw;
+            weight[static_cast<std::size_t>(best_part)] += vw;
+            moved_any = true;
+          }
+        }
+      }
+      for (PeId p : touched) conn[static_cast<std::size_t>(p)] = 0;
+    }
+    if (!moved_any) break;
+  }
+}
+
+}  // namespace
+
+Partition partition_multilevel(const Graph& graph, std::int32_t parts,
+                               std::uint64_t seed) {
+  util::check(parts > 0, "partition_multilevel requires parts > 0");
+  util::check(graph.num_vertices() >= parts, "more parts than vertices");
+  util::Rng rng(seed);
+
+  if (parts == 1) {
+    return Partition(1, std::vector<PeId>(
+                            static_cast<std::size_t>(graph.num_vertices()), 0));
+  }
+
+  // Coarsen until the graph is small relative to the part count or
+  // matching stops shrinking it.
+  std::vector<Graph> levels{graph};
+  std::vector<std::vector<std::int32_t>> maps;
+  const std::int32_t coarse_target = std::max(parts * 16, 256);
+  while (levels.back().num_vertices() > coarse_target) {
+    CoarseningStep step = coarsen_once(levels.back(), rng);
+    if (step.coarse.num_vertices() >=
+        levels.back().num_vertices() * 19 / 20) {
+      break;  // diminishing returns; stop coarsening
+    }
+    maps.push_back(std::move(step.fine_to_coarse));
+    levels.push_back(std::move(step.coarse));
+  }
+
+  constexpr double kMaxImbalance = 1.02;
+  std::vector<PeId> part = initial_partition(levels.back(), parts, rng);
+  refine(levels.back(), parts, part, kMaxImbalance);
+
+  // Uncoarsen: project to each finer level and refine.
+  for (std::size_t level = maps.size(); level-- > 0;) {
+    const Graph& fine = levels[level];
+    std::vector<PeId> fine_part(static_cast<std::size_t>(fine.num_vertices()));
+    for (std::int32_t v = 0; v < fine.num_vertices(); ++v) {
+      fine_part[static_cast<std::size_t>(v)] =
+          part[static_cast<std::size_t>(maps[level][static_cast<std::size_t>(v)])];
+    }
+    part = std::move(fine_part);
+    refine(fine, parts, part, kMaxImbalance);
+  }
+
+  // Guarantee no part is empty (tiny graphs with aggressive growing can
+  // starve the last parts): steal single cells from the largest part.
+  std::vector<std::int64_t> weight(static_cast<std::size_t>(parts), 0);
+  for (PeId p : part) ++weight[static_cast<std::size_t>(p)];
+  for (PeId p = 0; p < parts; ++p) {
+    if (weight[static_cast<std::size_t>(p)] > 0) continue;
+    const auto largest = static_cast<PeId>(
+        std::max_element(weight.begin(), weight.end()) - weight.begin());
+    for (std::size_t v = 0; v < part.size(); ++v) {
+      if (part[v] == largest) {
+        part[v] = p;
+        --weight[static_cast<std::size_t>(largest)];
+        ++weight[static_cast<std::size_t>(p)];
+        break;
+      }
+    }
+  }
+
+  return Partition(parts, std::move(part));
+}
+
+}  // namespace krak::partition

@@ -1,0 +1,147 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace krak::partition {
+
+using util::check;
+
+Partition::Partition(std::int32_t parts, std::vector<PeId> assignment)
+    : parts_(parts), assignment_(std::move(assignment)) {
+  check(parts > 0, "Partition requires at least one part");
+  check(!assignment_.empty(), "Partition requires at least one cell");
+  for (PeId pe : assignment_) {
+    check(pe >= 0 && pe < parts, "Partition assignment out of range");
+  }
+}
+
+PeId Partition::pe_of(std::int64_t cell) const {
+  check(cell >= 0 && cell < num_cells(), "cell id out of range");
+  return assignment_[static_cast<std::size_t>(cell)];
+}
+
+std::vector<std::int64_t> Partition::cell_counts() const {
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(parts_), 0);
+  for (PeId pe : assignment_) ++counts[static_cast<std::size_t>(pe)];
+  return counts;
+}
+
+std::vector<std::int64_t> Partition::cells_of_pe(PeId pe) const {
+  check(pe >= 0 && pe < parts_, "pe id out of range");
+  std::vector<std::int64_t> cells;
+  for (std::size_t cell = 0; cell < assignment_.size(); ++cell) {
+    if (assignment_[cell] == pe) cells.push_back(static_cast<std::int64_t>(cell));
+  }
+  return cells;
+}
+
+PartitionQuality evaluate_partition(const Graph& graph,
+                                    const Partition& partition) {
+  check(graph.num_vertices() == partition.num_cells(),
+        "graph/partition size mismatch");
+  PartitionQuality q;
+  const auto counts = partition.cell_counts();
+  q.min_cells = *std::min_element(counts.begin(), counts.end());
+  q.max_cells = *std::max_element(counts.begin(), counts.end());
+  q.mean_cells = static_cast<double>(partition.num_cells()) /
+                 static_cast<double>(partition.parts());
+  q.imbalance = static_cast<double>(q.max_cells) / q.mean_cells;
+  q.empty_parts = static_cast<std::int32_t>(
+      std::count(counts.begin(), counts.end(), std::int64_t{0}));
+
+  std::int64_t cut = 0;
+  std::vector<std::set<PeId>> neighbor_sets(
+      static_cast<std::size_t>(partition.parts()));
+  for (std::int32_t v = 0; v < graph.num_vertices(); ++v) {
+    const PeId pv = partition.pe_of(v);
+    const auto neighbors = graph.neighbors(v);
+    const auto weights = graph.edge_weights(v);
+    for (std::size_t e = 0; e < neighbors.size(); ++e) {
+      const PeId pu = partition.pe_of(neighbors[e]);
+      if (pu != pv) {
+        cut += weights[e];
+        neighbor_sets[static_cast<std::size_t>(pv)].insert(pu);
+      }
+    }
+  }
+  q.edge_cut = cut / 2;  // each cut edge visited from both endpoints
+
+  std::int64_t total_neighbors = 0;
+  for (const auto& s : neighbor_sets) {
+    total_neighbors += static_cast<std::int64_t>(s.size());
+    q.max_neighbors =
+        std::max(q.max_neighbors, static_cast<std::int32_t>(s.size()));
+  }
+  q.mean_neighbors = static_cast<double>(total_neighbors) /
+                     static_cast<double>(partition.parts());
+  return q;
+}
+
+std::string_view partition_method_name(PartitionMethod method) {
+  switch (method) {
+    case PartitionMethod::kStrip: return "strip";
+    case PartitionMethod::kRcb: return "rcb";
+    case PartitionMethod::kMultilevel: return "multilevel";
+    case PartitionMethod::kMaterialAware: return "material-aware";
+  }
+  return "unknown";
+}
+
+Partition partition_cost_aware(
+    const mesh::InputDeck& deck, std::int32_t parts,
+    std::span<const double, mesh::kMaterialCount> material_costs,
+    std::uint64_t seed) {
+  const Graph graph = build_weighted_dual_graph(deck, material_costs);
+  return partition_multilevel(graph, parts, seed);
+}
+
+Partition partition_strips(std::int64_t num_cells, std::int32_t parts) {
+  check(num_cells > 0, "partition_strips requires cells");
+  check(parts > 0, "partition_strips requires parts");
+  check(parts <= num_cells, "more parts than cells");
+  std::vector<PeId> assignment(static_cast<std::size_t>(num_cells));
+  // Distribute the remainder one cell at a time so strip sizes differ by
+  // at most one.
+  const std::int64_t base = num_cells / parts;
+  const std::int64_t extra = num_cells % parts;
+  std::int64_t cell = 0;
+  for (std::int32_t pe = 0; pe < parts; ++pe) {
+    const std::int64_t size = base + (pe < extra ? 1 : 0);
+    for (std::int64_t k = 0; k < size; ++k) {
+      assignment[static_cast<std::size_t>(cell++)] = pe;
+    }
+  }
+  return Partition(parts, std::move(assignment));
+}
+
+Partition partition_deck(const mesh::InputDeck& deck, std::int32_t parts,
+                         PartitionMethod method, std::uint64_t seed) {
+  const mesh::Grid& grid = deck.grid();
+  check(parts > 0, "partition_deck requires parts > 0");
+  check(parts <= grid.num_cells(), "more parts than cells");
+  switch (method) {
+    case PartitionMethod::kStrip:
+      return partition_strips(grid.num_cells(), parts);
+    case PartitionMethod::kRcb: {
+      std::vector<mesh::Point> centers;
+      centers.reserve(static_cast<std::size_t>(grid.num_cells()));
+      for (std::int64_t cell = 0; cell < grid.num_cells(); ++cell) {
+        centers.push_back(grid.cell_center(static_cast<mesh::CellId>(cell)));
+      }
+      return partition_rcb(centers, parts);
+    }
+    case PartitionMethod::kMultilevel: {
+      const Graph graph = build_dual_graph(grid);
+      return partition_multilevel(graph, parts, seed);
+    }
+    case PartitionMethod::kMaterialAware:
+      return partition_material_aware(deck, parts);
+  }
+  check(false, "unknown partition method");
+  return partition_strips(grid.num_cells(), parts);  // unreachable
+}
+
+}  // namespace krak::partition

@@ -1,0 +1,93 @@
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "partition/partition.hpp"
+#include "util/error.hpp"
+
+namespace krak::partition {
+
+namespace {
+
+using mesh::Point;
+
+/// Recursively split `indices` (into `centers`) among parts
+/// [part_begin, part_begin + parts), writing the result to `assignment`.
+///
+/// The split axis is the one with the larger coordinate extent, the
+/// split position the weighted median so that cell counts stay
+/// proportional to the number of parts on each side. Handles arbitrary
+/// (non-power-of-two) part counts.
+void rcb_recurse(const std::vector<Point>& centers,
+                 std::vector<std::int64_t>& indices, std::int64_t begin,
+                 std::int64_t end, std::int32_t part_begin, std::int32_t parts,
+                 std::vector<PeId>& assignment) {
+  if (parts == 1) {
+    for (std::int64_t k = begin; k < end; ++k) {
+      assignment[static_cast<std::size_t>(indices[static_cast<std::size_t>(k)])] =
+          part_begin;
+    }
+    return;
+  }
+
+  const std::int64_t count = end - begin;
+  const std::int32_t left_parts = parts / 2;
+  const std::int32_t right_parts = parts - left_parts;
+  // Cells proportional to part counts on each side.
+  const std::int64_t left_count =
+      count * left_parts / parts;
+
+  // Pick the axis with the larger extent.
+  double min_x = centers[static_cast<std::size_t>(indices[static_cast<std::size_t>(begin)])].x;
+  double max_x = min_x;
+  double min_y = centers[static_cast<std::size_t>(indices[static_cast<std::size_t>(begin)])].y;
+  double max_y = min_y;
+  for (std::int64_t k = begin; k < end; ++k) {
+    const Point& p = centers[static_cast<std::size_t>(indices[static_cast<std::size_t>(k)])];
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const bool split_x = (max_x - min_x) >= (max_y - min_y);
+
+  const auto mid = indices.begin() + begin + left_count;
+  // Ties broken by the other coordinate then index, keeping the split
+  // deterministic.
+  const auto less = [&](std::int64_t a, std::int64_t b) {
+    const Point& pa = centers[static_cast<std::size_t>(a)];
+    const Point& pb = centers[static_cast<std::size_t>(b)];
+    if (split_x) {
+      if (pa.x != pb.x) return pa.x < pb.x;
+      if (pa.y != pb.y) return pa.y < pb.y;
+    } else {
+      if (pa.y != pb.y) return pa.y < pb.y;
+      if (pa.x != pb.x) return pa.x < pb.x;
+    }
+    return a < b;
+  };
+  std::nth_element(indices.begin() + begin, mid, indices.begin() + end, less);
+
+  rcb_recurse(centers, indices, begin, begin + left_count, part_begin,
+              left_parts, assignment);
+  rcb_recurse(centers, indices, begin + left_count, end,
+              part_begin + left_parts, right_parts, assignment);
+}
+
+}  // namespace
+
+Partition partition_rcb(const std::vector<Point>& centers,
+                        std::int32_t parts) {
+  util::check(!centers.empty(), "partition_rcb requires points");
+  util::check(parts > 0, "partition_rcb requires parts > 0");
+  util::check(static_cast<std::size_t>(parts) <= centers.size(),
+              "more parts than points");
+  std::vector<std::int64_t> indices(centers.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  std::vector<PeId> assignment(centers.size(), 0);
+  rcb_recurse(centers, indices, 0, static_cast<std::int64_t>(centers.size()),
+              0, parts, assignment);
+  return Partition(parts, std::move(assignment));
+}
+
+}  // namespace krak::partition

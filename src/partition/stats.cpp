@@ -1,0 +1,160 @@
+#include "partition/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace krak::partition {
+
+namespace {
+
+/// Deterministic node hash (SplitMix64 finalizer) for ghost ownership.
+std::uint64_t hash_node(std::int64_t node) {
+  auto z = static_cast<std::uint64_t>(node) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct BoundaryAccum {
+  std::array<std::int64_t, mesh::kExchangeGroupCount> faces_per_group{};
+  std::int64_t total_faces = 0;
+  /// node -> bitmask of local material groups met on this boundary
+  std::unordered_map<mesh::NodeId, std::uint8_t> node_groups;
+};
+
+}  // namespace
+
+std::int64_t SubdomainInfo::total_boundary_faces() const {
+  std::int64_t total = 0;
+  for (const NeighborBoundary& b : neighbors) total += b.total_faces;
+  return total;
+}
+
+std::int64_t SubdomainInfo::total_ghost_nodes() const {
+  std::int64_t total = 0;
+  for (const NeighborBoundary& b : neighbors) total += b.total_ghost_nodes();
+  return total;
+}
+
+PartitionStats::PartitionStats(const mesh::InputDeck& deck,
+                               const Partition& partition) {
+  const mesh::Grid& grid = deck.grid();
+  util::check(partition.num_cells() == grid.num_cells(),
+              "partition does not match deck");
+  const std::int32_t parts = partition.parts();
+  subdomains_.resize(static_cast<std::size_t>(parts));
+  for (PeId pe = 0; pe < parts; ++pe) {
+    subdomains_[static_cast<std::size_t>(pe)].pe = pe;
+  }
+
+  // Cells and materials per subdomain.
+  for (std::int64_t cell = 0; cell < grid.num_cells(); ++cell) {
+    const PeId pe = partition.pe_of(cell);
+    SubdomainInfo& sub = subdomains_[static_cast<std::size_t>(pe)];
+    ++sub.total_cells;
+    ++sub.cells_per_material[mesh::material_index(
+        deck.material_of(static_cast<mesh::CellId>(cell)))];
+  }
+
+  // Boundary accumulation per (pe, neighbor) pair, and the global set of
+  // PEs sharing each boundary node (for ownership).
+  std::vector<std::map<PeId, BoundaryAccum>> boundaries(
+      static_cast<std::size_t>(parts));
+  std::unordered_map<mesh::NodeId, std::vector<PeId>> node_sharers;
+
+  for (std::int64_t cell = 0; cell < grid.num_cells(); ++cell) {
+    const auto cell_id = static_cast<mesh::CellId>(cell);
+    const PeId pe = partition.pe_of(cell);
+    for (mesh::CellId neighbor_cell : grid.neighbors_of_cell(cell_id)) {
+      const PeId npe = partition.pe_of(neighbor_cell);
+      if (npe == pe) continue;
+      // The face's exchange group is decided canonically by the cell on
+      // the lower-ranked processor's side, so both sides of a boundary
+      // agree on per-group face counts (the exchange protocol in
+      // SimKrak is symmetric and would otherwise mismatch).
+      const mesh::Material face_material = (pe < npe)
+                                               ? deck.material_of(cell_id)
+                                               : deck.material_of(neighbor_cell);
+      const std::uint8_t group_bit = static_cast<std::uint8_t>(
+          1u << mesh::exchange_group(face_material));
+      BoundaryAccum& accum =
+          boundaries[static_cast<std::size_t>(pe)][npe];
+      const mesh::FaceId face = grid.shared_face(cell_id, neighbor_cell);
+      ++accum.total_faces;
+      ++accum.faces_per_group[mesh::exchange_group(face_material)];
+      for (mesh::NodeId node : grid.nodes_of_face(face)) {
+        accum.node_groups[node] |= group_bit;
+        auto& sharers = node_sharers[node];
+        if (std::find(sharers.begin(), sharers.end(), pe) == sharers.end()) {
+          sharers.push_back(pe);
+        }
+        if (std::find(sharers.begin(), sharers.end(), npe) == sharers.end()) {
+          sharers.push_back(npe);
+        }
+      }
+    }
+  }
+
+  // Ghost-node ownership: hash over the sorted sharer list.
+  std::unordered_map<mesh::NodeId, PeId> node_owner;
+  node_owner.reserve(node_sharers.size());
+  for (auto& [node, sharers] : node_sharers) {
+    std::sort(sharers.begin(), sharers.end());
+    node_owner[node] = sharers[hash_node(node) % sharers.size()];
+  }
+
+  for (PeId pe = 0; pe < parts; ++pe) {
+    SubdomainInfo& sub = subdomains_[static_cast<std::size_t>(pe)];
+    for (auto& [npe, accum] : boundaries[static_cast<std::size_t>(pe)]) {
+      NeighborBoundary boundary;
+      boundary.neighbor = npe;
+      boundary.faces_per_group = accum.faces_per_group;
+      boundary.total_faces = accum.total_faces;
+      for (const auto& [node, mask] : accum.node_groups) {
+        // Popcount of a byte-size mask.
+        const int groups = std::popcount(static_cast<unsigned>(mask));
+        if (groups > 1) {
+          ++boundary.multi_material_ghost_nodes;
+          for (std::size_t g = 0; g < mesh::kExchangeGroupCount; ++g) {
+            if ((mask >> g) & 1u) {
+              ++boundary.multi_material_nodes_per_group[g];
+            }
+          }
+        }
+        if (node_owner.at(node) == pe) {
+          ++boundary.ghost_nodes_local;
+        } else {
+          ++boundary.ghost_nodes_remote;
+        }
+      }
+      sub.neighbors.push_back(boundary);
+    }
+  }
+}
+
+const SubdomainInfo& PartitionStats::subdomain(PeId pe) const {
+  util::check(pe >= 0 && pe < parts(), "pe id out of range");
+  return subdomains_[static_cast<std::size_t>(pe)];
+}
+
+std::int64_t PartitionStats::total_boundary_faces() const {
+  std::int64_t total = 0;
+  for (const SubdomainInfo& sub : subdomains_) {
+    total += sub.total_boundary_faces();
+  }
+  return total;
+}
+
+std::int64_t PartitionStats::max_cells_per_pe() const {
+  std::int64_t max_cells = 0;
+  for (const SubdomainInfo& sub : subdomains_) {
+    max_cells = std::max(max_cells, sub.total_cells);
+  }
+  return max_cells;
+}
+
+}  // namespace krak::partition

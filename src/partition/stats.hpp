@@ -1,0 +1,88 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mesh/deck.hpp"
+#include "partition/partition.hpp"
+
+namespace krak::partition {
+
+/// Statistics of the boundary between one processor and one neighbor,
+/// seen from the local processor's side. These are exactly the inputs
+/// the paper's communication model consumes (Sections 4.1–4.2).
+struct NeighborBoundary {
+  PeId neighbor = -1;
+
+  /// Shared faces by boundary-exchange material group (identical
+  /// materials — the two aluminum layers — are one group, Section 4.1).
+  std::array<std::int64_t, mesh::kExchangeGroupCount> faces_per_group{};
+
+  /// All shared faces regardless of material (the final exchange step).
+  std::int64_t total_faces = 0;
+
+  /// Ghost nodes on this boundary adjacent to faces of more than one
+  /// material group (they add 12 bytes to the first two messages of
+  /// each material's exchange step).
+  std::int64_t multi_material_ghost_nodes = 0;
+
+  /// Per-group breakdown of the above: multi-material ghost nodes that
+  /// touch faces of group g. This is the count that augments group g's
+  /// first two exchange messages (Table 3 of the paper: a node at a
+  /// material junction is charged to every material meeting there).
+  std::array<std::int64_t, mesh::kExchangeGroupCount>
+      multi_material_nodes_per_group{};
+
+  /// Ghost nodes on this boundary owned by the local processor.
+  std::int64_t ghost_nodes_local = 0;
+  /// Ghost nodes on this boundary owned by the neighbor.
+  std::int64_t ghost_nodes_remote = 0;
+
+  [[nodiscard]] std::int64_t total_ghost_nodes() const {
+    return ghost_nodes_local + ghost_nodes_remote;
+  }
+};
+
+/// Everything the model needs to know about one processor's subgrid.
+struct SubdomainInfo {
+  PeId pe = -1;
+  std::int64_t total_cells = 0;
+  std::array<std::int64_t, mesh::kMaterialCount> cells_per_material{};
+  std::vector<NeighborBoundary> neighbors;
+
+  [[nodiscard]] std::int64_t total_boundary_faces() const;
+  [[nodiscard]] std::int64_t total_ghost_nodes() const;
+};
+
+/// Per-processor subgrid statistics for a partitioned deck.
+///
+/// Ghost-node ownership rule: a node on a processor boundary is owned by
+/// exactly one of the sharing processors, chosen by a deterministic hash
+/// of the node id over the sorted sharer list. Statistically this gives
+/// the paper's "half local / half remote" split without requiring the
+/// production code's (unknown) ownership rule.
+class PartitionStats {
+ public:
+  PartitionStats(const mesh::InputDeck& deck, const Partition& partition);
+
+  [[nodiscard]] std::int32_t parts() const {
+    return static_cast<std::int32_t>(subdomains_.size());
+  }
+  [[nodiscard]] const SubdomainInfo& subdomain(PeId pe) const;
+  [[nodiscard]] const std::vector<SubdomainInfo>& subdomains() const {
+    return subdomains_;
+  }
+
+  /// Sum of per-PE boundary faces (each shared face counted twice,
+  /// once from each side).
+  [[nodiscard]] std::int64_t total_boundary_faces() const;
+
+  /// Largest cells-per-PE count.
+  [[nodiscard]] std::int64_t max_cells_per_pe() const;
+
+ private:
+  std::vector<SubdomainInfo> subdomains_;
+};
+
+}  // namespace krak::partition

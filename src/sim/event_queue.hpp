@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace krak::sim {
+
+/// Time-ordered event queue for the discrete-event simulator.
+///
+/// Events at equal timestamps fire in insertion order (a monotone
+/// sequence number breaks ties), which keeps simulations deterministic.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` at absolute time `time` (seconds); `time` must
+  /// not precede the current time.
+  void schedule(double time, Action action);
+
+  /// Current simulation time: the timestamp of the most recently fired
+  /// event (0 before any event fires).
+  [[nodiscard]] double now() const { return now_; }
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Fire events in time order until none remain. Returns the number of
+  /// events processed. Throws InternalError if the event count exceeds
+  /// `max_events` (runaway-simulation guard).
+  std::size_t run(std::size_t max_events = 1'000'000'000);
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace krak::sim

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace krak::sim {
+
+using RankId = std::int32_t;
+
+/// Kinds of operations a simulated rank can execute.
+enum class OpKind : std::uint8_t {
+  /// Advance the local clock by `duration` seconds of computation.
+  kCompute,
+  /// Post an asynchronous send of `bytes` to `peer` with matching `tag`.
+  /// The sender pays only a CPU injection overhead; the payload arrives
+  /// at the receiver one message time later. Sends to different peers
+  /// therefore overlap on the wire (Section 4 of the paper: "messages
+  /// to multiple neighbors are overlapped").
+  kIsend,
+  /// Block until all previously posted sends have left the local NIC.
+  kWaitAllSends,
+  /// Blocking receive of a message from `peer` with matching `tag`.
+  kRecv,
+  /// Tree allreduce over all ranks of `bytes` payload (synchronizing).
+  kAllreduce,
+  /// Tree broadcast of `bytes` from rank 0.
+  kBroadcast,
+  /// Tree gather of `bytes` to rank 0.
+  kGather,
+  /// Record the local clock into the result's record slot `slot`
+  /// (used to extract per-phase times). Free.
+  kRecord,
+};
+
+[[nodiscard]] std::string_view op_kind_name(OpKind kind);
+
+/// One operation of a rank's static schedule.
+struct Op {
+  OpKind kind = OpKind::kCompute;
+  double duration = 0.0;  ///< kCompute only
+  RankId peer = -1;       ///< kIsend / kRecv
+  double bytes = 0.0;     ///< message / collective payload
+  std::int32_t tag = 0;   ///< kIsend / kRecv matching
+  std::int32_t slot = 0;  ///< kRecord only
+
+  [[nodiscard]] static Op compute(double seconds) {
+    Op op;
+    op.kind = OpKind::kCompute;
+    op.duration = seconds;
+    return op;
+  }
+  [[nodiscard]] static Op isend(RankId to, double bytes, std::int32_t tag) {
+    Op op;
+    op.kind = OpKind::kIsend;
+    op.peer = to;
+    op.bytes = bytes;
+    op.tag = tag;
+    return op;
+  }
+  [[nodiscard]] static Op wait_all_sends() {
+    Op op;
+    op.kind = OpKind::kWaitAllSends;
+    return op;
+  }
+  [[nodiscard]] static Op recv(RankId from, double bytes, std::int32_t tag) {
+    Op op;
+    op.kind = OpKind::kRecv;
+    op.peer = from;
+    op.bytes = bytes;
+    op.tag = tag;
+    return op;
+  }
+  [[nodiscard]] static Op allreduce(double bytes) {
+    Op op;
+    op.kind = OpKind::kAllreduce;
+    op.bytes = bytes;
+    return op;
+  }
+  [[nodiscard]] static Op broadcast(double bytes) {
+    Op op;
+    op.kind = OpKind::kBroadcast;
+    op.bytes = bytes;
+    return op;
+  }
+  [[nodiscard]] static Op gather(double bytes) {
+    Op op;
+    op.kind = OpKind::kGather;
+    op.bytes = bytes;
+    return op;
+  }
+  [[nodiscard]] static Op record(std::int32_t slot) {
+    Op op;
+    op.kind = OpKind::kRecord;
+    op.slot = slot;
+    return op;
+  }
+};
+
+using Schedule = std::vector<Op>;
+
+}  // namespace krak::sim

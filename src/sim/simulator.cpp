@@ -1,0 +1,259 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace krak::sim {
+
+using util::check;
+using util::require_internal;
+
+std::string_view op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCompute: return "compute";
+    case OpKind::kIsend: return "isend";
+    case OpKind::kWaitAllSends: return "wait_all_sends";
+    case OpKind::kRecv: return "recv";
+    case OpKind::kAllreduce: return "allreduce";
+    case OpKind::kBroadcast: return "broadcast";
+    case OpKind::kGather: return "gather";
+    case OpKind::kRecord: return "record";
+  }
+  return "unknown";
+}
+
+Simulator::Simulator(std::int32_t ranks, network::MessageCostModel network,
+                     SimConfig config)
+    : network_(network),
+      collectives_(network),
+      config_(config),
+      schedules_(static_cast<std::size_t>(ranks)) {
+  check(ranks > 0, "Simulator requires at least one rank");
+}
+
+void Simulator::set_schedule(RankId rank, Schedule schedule) {
+  check(rank >= 0 && rank < ranks(), "rank id out of range");
+  for (const Op& op : schedule) {
+    if (op.kind == OpKind::kIsend || op.kind == OpKind::kRecv) {
+      check(op.peer >= 0 && op.peer < ranks(), "op peer out of range");
+      check(op.peer != rank, "self-messages are not supported");
+    }
+    if (op.kind == OpKind::kCompute) {
+      check(op.duration >= 0.0, "compute duration must be non-negative");
+    }
+    if (op.kind == OpKind::kIsend || op.kind == OpKind::kRecv ||
+        op.kind == OpKind::kAllreduce || op.kind == OpKind::kBroadcast ||
+        op.kind == OpKind::kGather) {
+      check(op.bytes >= 0.0, "message size must be non-negative");
+    }
+  }
+  schedules_[static_cast<std::size_t>(rank)] = std::move(schedule);
+}
+
+void Simulator::set_nic(NicConfig nic) {
+  check(nic.pes_per_node > 0, "NIC pes_per_node must be positive");
+  check(nic.injection_bandwidth > 0.0,
+        "NIC injection bandwidth must be positive");
+  nic_ = nic;
+}
+
+void Simulator::set_pair_network(PairCost message_time, PairCost latency) {
+  check(static_cast<bool>(message_time) == static_cast<bool>(latency),
+        "pair message_time and latency must be set or cleared together");
+  pair_message_time_ = std::move(message_time);
+  pair_latency_ = std::move(latency);
+}
+
+SimResult Simulator::run() {
+  const std::int32_t n = ranks();
+  states_.assign(static_cast<std::size_t>(n), RankState{});
+  collective_states_.clear();
+  queue_ = EventQueue{};
+
+  SimResult result;
+  result.finish_times.assign(static_cast<std::size_t>(n), 0.0);
+  result.records.assign(static_cast<std::size_t>(n), {});
+
+  if (nic_.enabled) {
+    const std::int32_t nodes =
+        (n + nic_.pes_per_node - 1) / nic_.pes_per_node;
+    nic_free_.assign(static_cast<std::size_t>(nodes), 0.0);
+  } else {
+    nic_free_.clear();
+  }
+  for (RankId r = 0; r < n; ++r) {
+    queue_.schedule(0.0, [this, r, &result] { step_rank(r, result); });
+  }
+  result.events_processed = queue_.run();
+
+  for (RankId r = 0; r < n; ++r) {
+    const RankState& state = states_[static_cast<std::size_t>(r)];
+    if (!state.finished) {
+      std::ostringstream os;
+      os << "simulation deadlock: rank " << r << " blocked at op " << state.pc;
+      if (state.pc < schedules_[static_cast<std::size_t>(r)].size()) {
+        const Op& op = schedules_[static_cast<std::size_t>(r)][state.pc];
+        os << " (" << op_kind_name(op.kind) << ", peer " << op.peer << ", tag "
+           << op.tag << ")";
+      }
+      throw util::KrakError(os.str());
+    }
+    result.finish_times[static_cast<std::size_t>(r)] = state.clock;
+    result.makespan = std::max(result.makespan, state.clock);
+  }
+  return result;
+}
+
+void Simulator::step_rank(RankId rank, SimResult& result) {
+  RankState& state = states_[static_cast<std::size_t>(rank)];
+  if (state.finished) return;
+  state.blocked = false;
+  state.reason = BlockReason::kNone;
+  const Schedule& schedule = schedules_[static_cast<std::size_t>(rank)];
+
+  while (state.pc < schedule.size() && !state.blocked) {
+    const Op& op = schedule[state.pc];
+    switch (op.kind) {
+      case OpKind::kCompute: {
+        state.clock += op.duration;
+        ++state.pc;
+        break;
+      }
+      case OpKind::kIsend: {
+        state.clock += config_.send_overhead;
+        // Shared-NIC injection: payloads from one node's ranks
+        // serialize at the adapter. The serialization delays the wire
+        // transfer, not the sender's CPU (asynchronous send).
+        double inject_at = state.clock;
+        double injected_by = state.clock;
+        if (nic_.enabled) {
+          const auto node =
+              static_cast<std::size_t>(rank / nic_.pes_per_node);
+          inject_at = std::max(inject_at, nic_free_[node]);
+          injected_by = inject_at + op.bytes / nic_.injection_bandwidth;
+          nic_free_[node] = injected_by;
+        }
+        const double wire_time =
+            pair_message_time_ ? pair_message_time_(rank, op.peer, op.bytes)
+                               : network_.message_time(op.bytes);
+        // The payload cannot finish arriving before it finished leaving
+        // the adapter.
+        const double arrival = std::max(inject_at + wire_time, injected_by);
+        // The send completes locally once the payload is handed to the
+        // NIC (one start-up latency), not when it arrives remotely.
+        const double handoff = pair_latency_
+                                   ? pair_latency_(rank, op.peer, op.bytes)
+                                   : network_.latency(op.bytes);
+        state.send_completions.push_back(inject_at + handoff);
+        ++result.traffic.point_to_point_messages;
+        result.traffic.point_to_point_bytes += op.bytes;
+        const RankId to = op.peer;
+        const std::int32_t tag = op.tag;
+        queue_.schedule(arrival, [this, rank, to, tag, arrival, &result] {
+          RankState& receiver = states_[static_cast<std::size_t>(to)];
+          receiver.mailbox.arrived[{rank, tag}].push_back(arrival);
+          // Only a recv-blocked rank can make progress on delivery; a
+          // rank waiting inside a collective must stay parked until the
+          // collective completes.
+          if (receiver.blocked &&
+              receiver.reason == BlockReason::kRecvWait) {
+            step_rank(to, result);
+          }
+        });
+        ++state.pc;
+        break;
+      }
+      case OpKind::kWaitAllSends: {
+        for (double completion : state.send_completions) {
+          state.clock = std::max(state.clock, completion);
+        }
+        state.send_completions.clear();
+        ++state.pc;
+        break;
+      }
+      case OpKind::kRecv: {
+        auto it = state.mailbox.arrived.find({op.peer, op.tag});
+        if (it == state.mailbox.arrived.end() || it->second.empty()) {
+          state.blocked = true;
+          state.reason = BlockReason::kRecvWait;
+          break;
+        }
+        const double arrival = it->second.front();
+        it->second.pop_front();
+        state.clock = std::max(state.clock, arrival) + config_.recv_overhead;
+        ++state.pc;
+        break;
+      }
+      case OpKind::kAllreduce:
+      case OpKind::kBroadcast:
+      case OpKind::kGather: {
+        enter_collective(rank, op, result);
+        break;
+      }
+      case OpKind::kRecord: {
+        result.records[static_cast<std::size_t>(rank)][op.slot] = state.clock;
+        ++state.pc;
+        break;
+      }
+    }
+  }
+  if (state.pc >= schedule.size() && !state.blocked) {
+    state.finished = true;
+  }
+}
+
+void Simulator::enter_collective(RankId rank, const Op& op, SimResult& result) {
+  RankState& state = states_[static_cast<std::size_t>(rank)];
+  const std::size_t index = state.next_collective++;
+  if (index >= collective_states_.size()) {
+    collective_states_.resize(index + 1);
+    collective_states_[index].kind = op.kind;
+    collective_states_[index].bytes = op.bytes;
+  }
+  CollectiveState& coll = collective_states_[index];
+  if (coll.entered == 0) {
+    coll.kind = op.kind;
+    coll.bytes = op.bytes;
+  } else {
+    check(coll.kind == op.kind && coll.bytes == op.bytes,
+          "mismatched collective sequence across ranks");
+  }
+  ++coll.entered;
+  coll.max_entry = std::max(coll.max_entry, state.clock);
+  ++state.pc;
+  state.blocked = true;
+  state.reason = BlockReason::kCollectiveWait;
+
+  if (coll.entered < ranks()) return;
+
+  // Last rank in: cost the operation and release everyone.
+  double cost = 0.0;
+  switch (coll.kind) {
+    case OpKind::kAllreduce:
+      cost = collectives_.fan_in_fan_out(ranks(), coll.bytes);
+      ++result.traffic.allreduces;
+      break;
+    case OpKind::kBroadcast:
+      cost = collectives_.fan_out(ranks(), coll.bytes);
+      ++result.traffic.broadcasts;
+      break;
+    case OpKind::kGather:
+      cost = collectives_.fan_in(ranks(), coll.bytes);
+      ++result.traffic.gathers;
+      break;
+    default:
+      require_internal(false, "non-collective op in collective state");
+  }
+  const double completion = coll.max_entry + cost;
+  for (RankId r = 0; r < ranks(); ++r) {
+    queue_.schedule(completion, [this, r, completion, &result] {
+      RankState& released = states_[static_cast<std::size_t>(r)];
+      released.clock = std::max(released.clock, completion);
+      step_rank(r, result);
+    });
+  }
+}
+
+}  // namespace krak::sim

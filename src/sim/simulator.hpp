@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "network/collectives.hpp"
+#include "network/msgmodel.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/ops.hpp"
+
+namespace krak::sim {
+
+/// Tunable host-side costs of the simulated MPI layer.
+struct SimConfig {
+  /// CPU time a rank spends posting one asynchronous send.
+  double send_overhead = 0.4e-6;
+  /// CPU time a rank spends completing one blocking receive.
+  double recv_overhead = 0.4e-6;
+};
+
+/// Optional shared-NIC injection model: the ranks of one SMP node share
+/// a single network adapter, so their outbound payloads serialize at
+/// the adapter's injection bandwidth. Disabled by default (infinite
+/// injection capacity), matching the paper's contention-free Tmsg.
+struct NicConfig {
+  bool enabled = false;
+  /// Ranks per node sharing one adapter.
+  std::int32_t pes_per_node = 4;
+  /// Adapter injection bandwidth, bytes per second.
+  double injection_bandwidth = 300e6;
+};
+
+/// Aggregate traffic statistics of one simulation run.
+struct TrafficStats {
+  std::int64_t point_to_point_messages = 0;
+  double point_to_point_bytes = 0.0;
+  std::int64_t allreduces = 0;
+  std::int64_t broadcasts = 0;
+  std::int64_t gathers = 0;
+};
+
+/// Result of running all rank schedules to completion.
+struct SimResult {
+  /// Time at which the last rank finished (the simulated runtime).
+  double makespan = 0.0;
+  /// Per-rank completion times.
+  std::vector<double> finish_times;
+  /// records[rank][slot] = clock value captured by kRecord ops.
+  std::vector<std::map<std::int32_t, double>> records;
+  TrafficStats traffic;
+  std::size_t events_processed = 0;
+};
+
+/// Discrete-event simulator of message-passing ranks.
+///
+/// Each rank executes a static Schedule of compute, point-to-point, and
+/// collective operations. Point-to-point messages incur the machine's
+/// Tmsg(S) (Equation 4) on the wire but only an injection overhead on
+/// the sender's CPU, so sends to multiple neighbors overlap — the key
+/// semantic the analytic model deliberately ignores (Equations 5-7
+/// "do not account for overlapping of messages"). Collectives are
+/// synchronizing tree operations costed by CollectiveModel.
+class Simulator {
+ public:
+  Simulator(std::int32_t ranks, network::MessageCostModel network,
+            SimConfig config = {});
+
+  [[nodiscard]] std::int32_t ranks() const {
+    return static_cast<std::int32_t>(schedules_.size());
+  }
+
+  /// Install the schedule for one rank (replaces any existing one).
+  void set_schedule(RankId rank, Schedule schedule);
+
+  /// Configure the shared-NIC injection model (see NicConfig).
+  void set_nic(NicConfig nic);
+
+  /// Per-pair point-to-point cost functions (e.g. a two-level
+  /// intra/inter-node network). When set, point-to-point sends use
+  /// them instead of the flat machine model; collectives continue to
+  /// use the flat model's tree costs. Pass empty functions to revert.
+  using PairCost = std::function<double(RankId from, RankId to, double bytes)>;
+  void set_pair_network(PairCost message_time, PairCost latency);
+
+  /// Run all schedules to completion and return the timing result.
+  /// Throws KrakError on deadlock (a rank blocks forever) or on
+  /// mismatched collective sequences.
+  [[nodiscard]] SimResult run();
+
+ private:
+  struct Mailbox {
+    // (peer, tag) -> FIFO of arrival times.
+    std::map<std::pair<RankId, std::int32_t>, std::deque<double>> arrived;
+  };
+  enum class BlockReason : std::uint8_t { kNone, kRecvWait, kCollectiveWait };
+  struct RankState {
+    double clock = 0.0;
+    std::size_t pc = 0;
+    bool blocked = false;
+    BlockReason reason = BlockReason::kNone;
+    bool finished = false;
+    std::vector<double> send_completions;
+    Mailbox mailbox;
+    std::size_t next_collective = 0;
+  };
+  struct CollectiveState {
+    OpKind kind = OpKind::kAllreduce;
+    double bytes = 0.0;
+    std::int32_t entered = 0;
+    double max_entry = 0.0;
+  };
+
+  void step_rank(RankId rank, SimResult& result);
+  void enter_collective(RankId rank, const Op& op, SimResult& result);
+
+  network::MessageCostModel network_;
+  network::CollectiveModel collectives_;
+  PairCost pair_message_time_;
+  PairCost pair_latency_;
+  NicConfig nic_;
+  /// nic_free_[node]: the earliest time the node's adapter can accept
+  /// another payload.
+  std::vector<double> nic_free_;
+  SimConfig config_;
+  std::vector<Schedule> schedules_;
+  std::vector<RankState> states_;
+  std::vector<CollectiveState> collective_states_;
+  EventQueue queue_;
+};
+
+}  // namespace krak::sim

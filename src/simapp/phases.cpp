@@ -1,0 +1,63 @@
+#include "simapp/phases.hpp"
+
+namespace krak::simapp {
+
+std::string_view phase_action_name(PhaseAction action) {
+  switch (action) {
+    case PhaseAction::kBroadcastPair: return "Broadcast (4 bytes, 8 bytes)";
+    case PhaseAction::kBoundaryExchange:
+      return "Bcast (4, 8 bytes) + Boundary exchange + Gather (32 bytes)";
+    case PhaseAction::kComputationOnly: return "Computation only";
+    case PhaseAction::kGhostUpdate8: return "Ghost node updates (8 bytes)";
+    case PhaseAction::kGhostUpdate16: return "Ghost node updates (16 bytes)";
+  }
+  return "unknown";
+}
+
+const std::array<PhaseSpec, kPhaseCount>& iteration_phases() {
+  // Sync sizes distribute Table 4's 9 x 4-byte + 13 x 8-byte allreduces
+  // over Table 1's per-phase sync-point counts
+  // (2,1,3,1,1,3,1,1,1,1,2,1,1,1,2).
+  static const std::array<PhaseSpec, kPhaseCount> kPhases = {{
+      {1, PhaseAction::kBroadcastPair, {4, 8}},
+      {2, PhaseAction::kBoundaryExchange, {8}},
+      {3, PhaseAction::kComputationOnly, {4, 4, 8}},
+      {4, PhaseAction::kGhostUpdate8, {8}},
+      {5, PhaseAction::kGhostUpdate16, {8}},
+      {6, PhaseAction::kComputationOnly, {4, 4, 8}},
+      {7, PhaseAction::kGhostUpdate16, {8}},
+      {8, PhaseAction::kComputationOnly, {4}},
+      {9, PhaseAction::kComputationOnly, {4}},
+      {10, PhaseAction::kComputationOnly, {8}},
+      {11, PhaseAction::kComputationOnly, {4, 8}},
+      {12, PhaseAction::kComputationOnly, {8}},
+      {13, PhaseAction::kComputationOnly, {8}},
+      {14, PhaseAction::kComputationOnly, {8}},
+      {15, PhaseAction::kBroadcastPair, {4, 8}},
+  }};
+  return kPhases;
+}
+
+DerivedCollectiveCounts derive_collective_counts() {
+  DerivedCollectiveCounts counts;
+  for (const PhaseSpec& phase : iteration_phases()) {
+    if (phase.action == PhaseAction::kBroadcastPair ||
+        phase.action == PhaseAction::kBoundaryExchange) {
+      ++counts.bcast_4b;
+      ++counts.bcast_8b;
+    }
+    if (phase.action == PhaseAction::kBoundaryExchange) {
+      ++counts.gather_32b;
+    }
+    for (double size : phase.sync_sizes) {
+      if (size == 4.0) {
+        ++counts.allreduce_4b;
+      } else {
+        ++counts.allreduce_8b;
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace krak::simapp

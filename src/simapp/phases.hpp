@@ -1,0 +1,80 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "simapp/costmodel.hpp"
+
+namespace krak::simapp {
+
+/// Communication action a phase performs besides computation (Table 1).
+enum class PhaseAction : std::uint8_t {
+  /// MPI_Bcast of 4 bytes and of 8 bytes.
+  kBroadcastPair,
+  /// Broadcast pair + boundary exchange + MPI_Gather of 32 bytes.
+  kBoundaryExchange,
+  /// No point-to-point or one-to-all communication.
+  kComputationOnly,
+  /// Ghost-node updates, 8 bytes per ghost node.
+  kGhostUpdate8,
+  /// Ghost-node updates, 16 bytes per ghost node.
+  kGhostUpdate16,
+};
+
+[[nodiscard]] std::string_view phase_action_name(PhaseAction action);
+
+/// Static description of one of the 15 iteration phases (Table 1).
+struct PhaseSpec {
+  std::int32_t number = 0;  ///< 1-based phase number
+  PhaseAction action = PhaseAction::kComputationOnly;
+  /// Payload sizes (bytes) of the global reductions ending the phase;
+  /// size() is the phase's "sync points" column in Table 1. The 4/8 byte
+  /// mix across all phases reproduces Table 4's 9 x 4-byte and
+  /// 13 x 8-byte allreduces.
+  std::vector<double> sync_sizes;
+
+  [[nodiscard]] std::int32_t sync_points() const {
+    return static_cast<std::int32_t>(sync_sizes.size());
+  }
+  [[nodiscard]] bool has_point_to_point() const {
+    return action == PhaseAction::kBoundaryExchange ||
+           action == PhaseAction::kGhostUpdate8 ||
+           action == PhaseAction::kGhostUpdate16;
+  }
+  /// Bytes per ghost node for ghost-update phases (0 otherwise).
+  [[nodiscard]] double ghost_bytes() const {
+    if (action == PhaseAction::kGhostUpdate8) return 8.0;
+    if (action == PhaseAction::kGhostUpdate16) return 16.0;
+    return 0.0;
+  }
+};
+
+/// The fixed 15-phase iteration structure of Table 1.
+[[nodiscard]] const std::array<PhaseSpec, kPhaseCount>& iteration_phases();
+
+/// Bytes per face in boundary-exchange messages (Section 4.1).
+inline constexpr double kBoundaryBytesPerFace = 12.0;
+/// Messages per material step and per final step of a boundary
+/// exchange, per neighbor (Section 4.1: "six messages per neighboring
+/// process").
+inline constexpr std::int32_t kBoundaryMessagesPerStep = 6;
+/// Of the six, the first two also carry 12 bytes per multi-material
+/// ghost node.
+inline constexpr std::int32_t kBoundaryAugmentedMessages = 2;
+
+/// Totals of Table 4, derived from the phase specs (used to cross-check
+/// the phase table against the paper's collective inventory).
+struct DerivedCollectiveCounts {
+  std::int32_t bcast_4b = 0;
+  std::int32_t bcast_8b = 0;
+  std::int32_t allreduce_4b = 0;
+  std::int32_t allreduce_8b = 0;
+  std::int32_t gather_32b = 0;
+};
+
+[[nodiscard]] DerivedCollectiveCounts derive_collective_counts();
+
+}  // namespace krak::simapp

@@ -1,0 +1,233 @@
+#include "simapp/simkrak.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "network/topology.hpp"
+#include "util/error.hpp"
+
+namespace krak::simapp {
+
+namespace {
+
+/// Unique point-to-point tag per (phase, exchange step, message index).
+/// Steps 0..kExchangeGroupCount-1 are the per-material steps; step
+/// kExchangeGroupCount is the final all-materials step; ghost updates
+/// use step 0.
+std::int32_t make_tag(std::int32_t phase, std::int32_t step,
+                      std::int32_t message) {
+  return phase * 1000 + step * 100 + message;
+}
+
+/// Deterministic per-rank noise stream.
+std::uint64_t rank_seed(std::uint64_t base, partition::PeId pe) {
+  return base ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(pe + 1));
+}
+
+}  // namespace
+
+SimKrak::SimKrak(const mesh::InputDeck& deck,
+                 const partition::Partition& partition,
+                 const network::MachineConfig& machine,
+                 const ComputationCostEngine& costs, SimKrakOptions options)
+    : deck_(deck),
+      partition_(partition),
+      machine_(machine),
+      costs_(costs),
+      options_(options),
+      stats_(deck, partition) {
+  util::check(options_.iterations >= 1, "iterations must be >= 1");
+  util::check(partition_.parts() <= machine_.total_pes(),
+              "partition uses more PEs than the machine has");
+}
+
+void SimKrak::append_boundary_exchange(
+    sim::Schedule& schedule, const partition::SubdomainInfo& sub) const {
+  constexpr std::int32_t kPhase = 2;
+  // Post every asynchronous send first, make sure the sends completed,
+  // then post the blocking receives (Section 4's protocol). Face counts
+  // and the ghost-node augmentation are canonical per PE pair, so both
+  // sides agree on every message size and tag.
+  const auto for_each_message =
+      [&](const auto& emit) {
+        for (const partition::NeighborBoundary& boundary : sub.neighbors) {
+          // One step per material group present on this boundary...
+          for (std::size_t g = 0; g < mesh::kExchangeGroupCount; ++g) {
+            const std::int64_t faces = boundary.faces_per_group[g];
+            if (faces == 0) continue;
+            for (std::int32_t msg = 0; msg < kBoundaryMessagesPerStep; ++msg) {
+              double bytes = kBoundaryBytesPerFace * static_cast<double>(faces);
+              if (msg < kBoundaryAugmentedMessages) {
+                bytes += kBoundaryBytesPerFace *
+                         static_cast<double>(
+                             boundary.multi_material_nodes_per_group[g]);
+              }
+              emit(boundary.neighbor, bytes,
+                   make_tag(kPhase, static_cast<std::int32_t>(g), msg));
+            }
+          }
+          // ...plus the final step over all faces regardless of material.
+          for (std::int32_t msg = 0; msg < kBoundaryMessagesPerStep; ++msg) {
+            const double bytes =
+                kBoundaryBytesPerFace * static_cast<double>(boundary.total_faces);
+            emit(boundary.neighbor, bytes,
+                 make_tag(kPhase, mesh::kExchangeGroupCount, msg));
+          }
+        }
+      };
+
+  for_each_message([&](partition::PeId peer, double bytes, std::int32_t tag) {
+    schedule.push_back(sim::Op::isend(peer, bytes, tag));
+  });
+  schedule.push_back(sim::Op::wait_all_sends());
+  for_each_message([&](partition::PeId peer, double bytes, std::int32_t tag) {
+    schedule.push_back(sim::Op::recv(peer, bytes, tag));
+  });
+}
+
+void SimKrak::append_ghost_update(sim::Schedule& schedule,
+                                  const partition::SubdomainInfo& sub,
+                                  double bytes_per_node,
+                                  std::int32_t phase) const {
+  // Two messages per neighbor: the locally-owned ghost nodes go out,
+  // the remotely-owned ones come in (Section 4.2). Ownership is
+  // globally consistent, so my "local" count equals the neighbor's
+  // "remote" count for this boundary.
+  for (const partition::NeighborBoundary& boundary : sub.neighbors) {
+    schedule.push_back(sim::Op::isend(
+        boundary.neighbor,
+        bytes_per_node * static_cast<double>(boundary.ghost_nodes_local),
+        make_tag(phase, 0, 0)));
+  }
+  schedule.push_back(sim::Op::wait_all_sends());
+  for (const partition::NeighborBoundary& boundary : sub.neighbors) {
+    schedule.push_back(sim::Op::recv(
+        boundary.neighbor,
+        bytes_per_node * static_cast<double>(boundary.ghost_nodes_remote),
+        make_tag(phase, 0, 0)));
+  }
+}
+
+sim::Schedule SimKrak::build_schedule(partition::PeId pe) const {
+  const partition::SubdomainInfo& sub = stats_.subdomain(pe);
+  util::Rng rng(rank_seed(options_.noise_seed, pe));
+  sim::Schedule schedule;
+
+  const std::span<const std::int64_t, mesh::kMaterialCount> cells(
+      sub.cells_per_material);
+
+  for (std::int32_t iter = 0; iter < options_.iterations; ++iter) {
+    for (const PhaseSpec& phase : iteration_phases()) {
+      // Computation: a noisy "measurement" of the ground-truth phase
+      // time, scaled by the machine's compute speed.
+      double compute_time =
+          options_.enable_noise
+              ? costs_.measured_subgrid_time(phase.number, cells, rng)
+              : costs_.subgrid_time(phase.number, cells);
+      compute_time /= machine_.compute_speedup;
+      schedule.push_back(sim::Op::compute(compute_time));
+
+      switch (phase.action) {
+        case PhaseAction::kBroadcastPair:
+          schedule.push_back(sim::Op::broadcast(4.0));
+          schedule.push_back(sim::Op::broadcast(8.0));
+          break;
+        case PhaseAction::kBoundaryExchange:
+          schedule.push_back(sim::Op::broadcast(4.0));
+          schedule.push_back(sim::Op::broadcast(8.0));
+          append_boundary_exchange(schedule, sub);
+          schedule.push_back(sim::Op::gather(32.0));
+          break;
+        case PhaseAction::kGhostUpdate8:
+        case PhaseAction::kGhostUpdate16:
+          append_ghost_update(schedule, sub, phase.ghost_bytes(),
+                              phase.number);
+          break;
+        case PhaseAction::kComputationOnly:
+          break;
+      }
+
+      // The global reductions separating phases (Table 1 sync points).
+      for (double size : phase.sync_sizes) {
+        schedule.push_back(sim::Op::allreduce(size));
+      }
+      // All ranks leave the final allreduce at the same simulated time,
+      // so this marker is a globally consistent phase boundary.
+      schedule.push_back(
+          sim::Op::record(iter * kPhaseCount + (phase.number - 1)));
+    }
+  }
+  return schedule;
+}
+
+SimKrakResult SimKrak::run() const {
+  const std::int32_t ranks = partition_.parts();
+  sim::Simulator simulator(ranks, machine_.network);
+  if (options_.nic_contention && machine_.pes_per_node > 1) {
+    sim::NicConfig nic;
+    nic.enabled = true;
+    nic.pes_per_node = machine_.pes_per_node;
+    // The adapter injects at the interconnect's asymptotic bandwidth.
+    nic.injection_bandwidth = 1.0 / machine_.network.byte_cost(1 << 20);
+    simulator.set_nic(nic);
+  }
+  if (options_.hierarchical_network && machine_.pes_per_node > 1) {
+    auto hierarchy = std::make_shared<network::HierarchicalNetwork>(
+        network::make_es45_shared_memory_model(), machine_.network,
+        network::Placement(ranks, machine_.pes_per_node));
+    simulator.set_pair_network(
+        [hierarchy](sim::RankId from, sim::RankId to, double bytes) {
+          return hierarchy->message_time(from, to, bytes);
+        },
+        [hierarchy](sim::RankId from, sim::RankId to, double bytes) {
+          return hierarchy->latency(from, to, bytes);
+        });
+  }
+  for (partition::PeId pe = 0; pe < ranks; ++pe) {
+    simulator.set_schedule(pe, build_schedule(pe));
+  }
+  const sim::SimResult sim_result = simulator.run();
+
+  SimKrakResult result;
+  result.ranks = ranks;
+  result.total_time = sim_result.makespan;
+  result.time_per_iteration =
+      sim_result.makespan / static_cast<double>(options_.iterations);
+  result.traffic = sim_result.traffic;
+  result.events_processed = sim_result.events_processed;
+
+  // Phase boundaries from rank 0's records (identical on all ranks by
+  // construction).
+  const auto& records = sim_result.records.front();
+  double previous = 0.0;
+  std::array<double, kPhaseCount> sums{};
+  for (std::int32_t iter = 0; iter < options_.iterations; ++iter) {
+    for (std::int32_t p = 0; p < kPhaseCount; ++p) {
+      const auto it = records.find(iter * kPhaseCount + p);
+      util::require_internal(it != records.end(),
+                             "missing phase boundary record");
+      sums[static_cast<std::size_t>(p)] += it->second - previous;
+      previous = it->second;
+    }
+  }
+  for (std::int32_t p = 0; p < kPhaseCount; ++p) {
+    result.phase_times[static_cast<std::size_t>(p)] =
+        sums[static_cast<std::size_t>(p)] /
+        static_cast<double>(options_.iterations);
+  }
+  return result;
+}
+
+double simulate_iteration_time(const mesh::InputDeck& deck, std::int32_t pes,
+                               const network::MachineConfig& machine,
+                               const ComputationCostEngine& costs,
+                               std::uint64_t seed) {
+  const partition::Partition part = partition::partition_deck(
+      deck, pes, partition::PartitionMethod::kMultilevel, seed);
+  SimKrakOptions options;
+  options.noise_seed = seed;
+  const SimKrak app(deck, part, machine, costs, options);
+  return app.run().time_per_iteration;
+}
+
+}  // namespace krak::simapp

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "mesh/deck.hpp"
+#include "network/machine.hpp"
+#include "partition/partition.hpp"
+#include "partition/stats.hpp"
+#include "sim/simulator.hpp"
+#include "simapp/costmodel.hpp"
+#include "simapp/phases.hpp"
+
+namespace krak::simapp {
+
+/// Options of a SimKrak run.
+struct SimKrakOptions {
+  /// Iterations to simulate; phase times are averaged over them.
+  std::int32_t iterations = 1;
+  /// Seed of the per-rank measurement-noise streams.
+  std::uint64_t noise_seed = 42;
+  /// Disable to make runs exactly reproduce ground truth (useful in
+  /// tests asserting analytic identities).
+  bool enable_noise = true;
+  /// Model intra-node (shared-memory) messages separately from
+  /// inter-node ones using the machine's node layout. The paper's model
+  /// flattens this; enabling it quantifies the flattening error
+  /// (bench_ablation_hierarchy).
+  bool hierarchical_network = false;
+  /// Serialize each node's outbound payloads at its adapter's injection
+  /// bandwidth (the ranks of one ES-45 node share a single QsNet
+  /// adapter). Off by default — the paper's Tmsg is contention-free.
+  bool nic_contention = false;
+};
+
+/// Result of a SimKrak run.
+struct SimKrakResult {
+  /// Simulated wall time of the whole run.
+  double total_time = 0.0;
+  /// total_time / iterations — the quantity the paper's tables report.
+  double time_per_iteration = 0.0;
+  /// Mean wall time of each phase (communication included).
+  std::array<double, kPhaseCount> phase_times{};
+  sim::TrafficStats traffic;
+  std::int32_t ranks = 0;
+  std::size_t events_processed = 0;
+};
+
+/// SimKrak: a discrete-event-simulated execution of the Krak iteration.
+///
+/// This is the project's substitute for the proprietary 270k-line
+/// application (see DESIGN.md): it executes the 15-phase iteration of
+/// Table 1 on P simulated processors — per-phase computation from the
+/// ground-truth cost engine, boundary exchanges and ghost-node updates
+/// with the exact message sizing rules of Sections 4.1–4.2, and the
+/// collective inventory of Table 4 — over the discrete-event network.
+/// Its outputs are the "measured" columns of the validation tables.
+class SimKrak {
+ public:
+  SimKrak(const mesh::InputDeck& deck, const partition::Partition& partition,
+          const network::MachineConfig& machine,
+          const ComputationCostEngine& costs, SimKrakOptions options = {});
+
+  /// Run the simulation and aggregate timing results.
+  [[nodiscard]] SimKrakResult run() const;
+
+  /// The per-PE subgrid statistics the schedules were built from.
+  [[nodiscard]] const partition::PartitionStats& stats() const {
+    return stats_;
+  }
+
+ private:
+  [[nodiscard]] sim::Schedule build_schedule(partition::PeId pe) const;
+  void append_boundary_exchange(sim::Schedule& schedule,
+                                const partition::SubdomainInfo& sub) const;
+  void append_ghost_update(sim::Schedule& schedule,
+                           const partition::SubdomainInfo& sub,
+                           double bytes_per_node, std::int32_t phase) const;
+
+  const mesh::InputDeck& deck_;
+  const partition::Partition& partition_;
+  const network::MachineConfig& machine_;
+  const ComputationCostEngine& costs_;
+  SimKrakOptions options_;
+  partition::PartitionStats stats_;
+};
+
+/// Convenience wrapper: partition `deck` over `pes` processors with the
+/// multilevel partitioner and return the simulated per-iteration time.
+[[nodiscard]] double simulate_iteration_time(
+    const mesh::InputDeck& deck, std::int32_t pes,
+    const network::MachineConfig& machine, const ComputationCostEngine& costs,
+    std::uint64_t seed = 1);
+
+}  // namespace krak::simapp

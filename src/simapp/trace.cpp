@@ -1,0 +1,77 @@
+#include "simapp/trace.hpp"
+
+namespace krak::simapp {
+
+std::int64_t MessageInventory::total_messages() const {
+  std::int64_t total = 0;
+  for (const PhaseTraffic& t : per_phase) total += t.messages;
+  return total;
+}
+
+double MessageInventory::total_bytes() const {
+  double total = 0.0;
+  for (const PhaseTraffic& t : per_phase) total += t.bytes;
+  return total;
+}
+
+double MessageInventory::mean_message_bytes() const {
+  const std::int64_t messages = total_messages();
+  if (messages == 0) return 0.0;
+  return total_bytes() / static_cast<double>(messages);
+}
+
+double MessageInventory::fraction_at_most(double bytes) const {
+  const std::int64_t messages = total_messages();
+  if (messages == 0) return 0.0;
+  std::int64_t covered = 0;
+  for (const auto& [size, count] : size_histogram) {
+    if (size > bytes) break;
+    covered += count;
+  }
+  return static_cast<double>(covered) / static_cast<double>(messages);
+}
+
+MessageInventory compute_message_inventory(
+    const partition::PartitionStats& stats) {
+  MessageInventory inventory;
+  const auto record = [&inventory](std::int32_t phase, double bytes) {
+    MessageInventory::PhaseTraffic& t =
+        inventory.per_phase[static_cast<std::size_t>(phase - 1)];
+    ++t.messages;
+    t.bytes += bytes;
+    ++inventory.size_histogram[bytes];
+  };
+
+  for (const partition::SubdomainInfo& sub : stats.subdomains()) {
+    for (const partition::NeighborBoundary& boundary : sub.neighbors) {
+      // Phase 2: boundary exchange — six messages per material group
+      // present, the first two augmented by multi-material ghost nodes,
+      // plus six messages over all faces.
+      for (std::size_t g = 0; g < mesh::kExchangeGroupCount; ++g) {
+        const std::int64_t faces = boundary.faces_per_group[g];
+        if (faces == 0) continue;
+        const double base = kBoundaryBytesPerFace * static_cast<double>(faces);
+        const double augmented =
+            base + kBoundaryBytesPerFace *
+                       static_cast<double>(
+                           boundary.multi_material_nodes_per_group[g]);
+        for (std::int32_t msg = 0; msg < kBoundaryMessagesPerStep; ++msg) {
+          record(2, msg < kBoundaryAugmentedMessages ? augmented : base);
+        }
+      }
+      for (std::int32_t msg = 0; msg < kBoundaryMessagesPerStep; ++msg) {
+        record(2, kBoundaryBytesPerFace *
+                      static_cast<double>(boundary.total_faces));
+      }
+
+      // Phases 4, 5, 7: one outgoing ghost-node update per neighbor.
+      const auto local = static_cast<double>(boundary.ghost_nodes_local);
+      record(4, 8.0 * local);
+      record(5, 16.0 * local);
+      record(7, 16.0 * local);
+    }
+  }
+  return inventory;
+}
+
+}  // namespace krak::simapp

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "partition/stats.hpp"
+#include "simapp/phases.hpp"
+
+namespace krak::simapp {
+
+/// Static point-to-point message inventory of one iteration: every
+/// directed message SimKrak would send, derived analytically from the
+/// partition statistics and the Section 4.1-4.2 sizing rules. Useful
+/// for studying the traffic mix (many tiny latency-bound messages) that
+/// drives the paper's heterogeneous-mode over-prediction.
+struct MessageInventory {
+  struct PhaseTraffic {
+    std::int64_t messages = 0;
+    double bytes = 0.0;
+  };
+  /// Indexed by phase-1; only phases 2, 4, 5 and 7 are non-zero.
+  std::array<PhaseTraffic, kPhaseCount> per_phase{};
+  /// Message size (bytes) -> count, across all phases.
+  std::map<double, std::int64_t> size_histogram;
+
+  [[nodiscard]] std::int64_t total_messages() const;
+  [[nodiscard]] double total_bytes() const;
+  /// Mean message size; 0 when there are no messages.
+  [[nodiscard]] double mean_message_bytes() const;
+  /// Fraction of messages no larger than `bytes`.
+  [[nodiscard]] double fraction_at_most(double bytes) const;
+};
+
+/// Enumerate one iteration's directed messages from the partition
+/// statistics (each pair's traffic counted once per direction, matching
+/// SimKrak's sends exactly).
+[[nodiscard]] MessageInventory compute_message_inventory(
+    const partition::PartitionStats& stats);
+
+}  // namespace krak::simapp

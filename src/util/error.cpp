@@ -1,0 +1,31 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace krak::util {
+
+std::string format_location(const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ":" << loc.line() << " (" << loc.function_name() << ")";
+  return os.str();
+}
+
+void check(bool condition, std::string_view message, std::source_location loc) {
+  if (!condition) {
+    std::ostringstream os;
+    os << "precondition violated: " << message << " at " << format_location(loc);
+    throw InvalidArgument(os.str());
+  }
+}
+
+void require_internal(bool condition, std::string_view message,
+                      std::source_location loc) {
+  if (!condition) {
+    std::ostringstream os;
+    os << "internal invariant violated: " << message << " at "
+       << format_location(loc);
+    throw InternalError(os.str());
+  }
+}
+
+}  // namespace krak::util

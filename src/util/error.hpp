@@ -1,0 +1,47 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace krak::util {
+
+/// Base class for all errors raised by the krakmodel libraries.
+///
+/// All library-level contract violations (bad arguments, inconsistent
+/// state, unsatisfiable requests) throw KrakError rather than aborting,
+/// so that driver programs can report the failure and continue with the
+/// next experiment in a sweep.
+class KrakError : public std::runtime_error {
+ public:
+  explicit KrakError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument violates its documented precondition.
+class InvalidArgument : public KrakError {
+ public:
+  explicit InvalidArgument(const std::string& what) : KrakError(what) {}
+};
+
+/// Thrown when an internal invariant is violated (a library bug).
+class InternalError : public KrakError {
+ public:
+  explicit InternalError(const std::string& what) : KrakError(what) {}
+};
+
+/// Check a caller-supplied precondition; throws InvalidArgument on failure.
+///
+/// The source location of the *caller* is embedded into the message so
+/// sweep logs identify the offending call site without a debugger.
+void check(bool condition, std::string_view message,
+           std::source_location loc = std::source_location::current());
+
+/// Check an internal invariant; throws InternalError on failure.
+void require_internal(bool condition, std::string_view message,
+                      std::source_location loc = std::source_location::current());
+
+/// Format a source location as "file:line (function)".
+[[nodiscard]] std::string format_location(const std::source_location& loc);
+
+}  // namespace krak::util

@@ -1,0 +1,58 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace krak::util {
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  throw InvalidArgument("unknown log level: " + std::string(name));
+}
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "unknown";
+}
+
+struct Logger::Impl {
+  std::atomic<LogLevel> level{LogLevel::kInfo};
+  std::mutex mutex;
+  std::ostream* sink = &std::clog;
+};
+
+Logger::Logger() : impl_(new Impl) {}
+
+Logger& Logger::global() {
+  static Logger instance;
+  return instance;
+}
+
+void Logger::set_level(LogLevel level) { impl_->level.store(level); }
+
+LogLevel Logger::level() const { return impl_->level.load(); }
+
+void Logger::set_sink(std::ostream* sink) {
+  std::lock_guard lock(impl_->mutex);
+  impl_->sink = (sink != nullptr) ? sink : &std::clog;
+}
+
+void Logger::write(LogLevel level, std::string_view message) {
+  std::lock_guard lock(impl_->mutex);
+  (*impl_->sink) << "[" << log_level_name(level) << "] " << message << "\n";
+}
+
+}  // namespace krak::util

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace krak::util {
+
+/// Severity levels in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Parse a level name ("debug", "info", "warn", "error", "off");
+/// throws InvalidArgument for anything else.
+[[nodiscard]] LogLevel parse_log_level(std::string_view name);
+
+/// Human-readable name of a level.
+[[nodiscard]] std::string_view log_level_name(LogLevel level);
+
+/// Minimal process-wide logger.
+///
+/// Deliberately tiny: experiments are batch jobs, so the logger only needs
+/// level filtering and a redirectable sink. Thread-safe for concurrent
+/// writes (a single mutex serializes sink access).
+class Logger {
+ public:
+  /// The process-wide instance used by the KRAK_LOG_* helpers.
+  static Logger& global();
+
+  /// Messages below `level` are discarded.
+  void set_level(LogLevel level);
+  [[nodiscard]] LogLevel level() const;
+
+  /// Redirect output (default: std::clog). The stream must outlive the
+  /// logger or be reset before destruction.
+  void set_sink(std::ostream* sink);
+
+  /// Write one line (a level tag is prepended, a newline appended).
+  void write(LogLevel level, std::string_view message);
+
+ private:
+  Logger();
+
+  struct Impl;
+  Impl* impl_;  // intentionally leaked; logger lives for the whole process
+};
+
+namespace detail {
+/// Builds the message lazily so disabled levels cost only a comparison.
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  Logger& logger = Logger::global();
+  if (level < logger.level()) return;
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  logger.write(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  detail::log(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  detail::log(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  detail::log(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  detail::log(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace krak::util

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace krak::util {
+
+/// Fixed-size worker pool for embarrassingly parallel sweeps.
+///
+/// Used by calibration (independent SimKrak runs per subgrid size) and the
+/// scaling benches (independent processor counts). Tasks must not throw;
+/// exceptions escaping a task terminate the process by design — a sweep
+/// with a broken point has no meaningful partial answer.
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for execution.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, count) across the pool and wait for all.
+  /// fn is invoked concurrently; it must be safe for concurrent calls
+  /// with distinct indices.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace krak::util

@@ -1,0 +1,154 @@
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace krak::core {
+namespace {
+
+using mesh::Material;
+
+TEST(ContrivedCalibration, CoversEveryPhaseAndMaterial) {
+  const simapp::ComputationCostEngine engine;
+  CalibrationConfig config;
+  config.sample_sizes = {16, 256, 4096};
+  const CostTable table = calibrate_contrived(engine, config);
+  for (std::int32_t phase = 1; phase <= simapp::kPhaseCount; ++phase) {
+    for (Material m : mesh::all_materials()) {
+      EXPECT_TRUE(table.has_samples(phase, m)) << "phase " << phase;
+      EXPECT_EQ(table.sample_count(phase, m), 3u);
+    }
+  }
+}
+
+TEST(ContrivedCalibration, RecoversAsymptoticCostsAtSampledSizes) {
+  // At a sampled size the table must match ground truth to within the
+  // measurement noise.
+  const simapp::ComputationCostEngine engine;
+  CalibrationConfig config;
+  config.sample_sizes = {65536};
+  config.repetitions = 10;
+  const CostTable table = calibrate_contrived(engine, config);
+  for (std::int32_t phase = 1; phase <= simapp::kPhaseCount; ++phase) {
+    for (Material m : mesh::all_materials()) {
+      const double truth = engine.per_cell_cost(phase, m, 65536);
+      const double calibrated = table.per_cell(phase, m, 65536.0);
+      EXPECT_NEAR(calibrated / truth, 1.0, 0.02)
+          << "phase " << phase << " material " << mesh::material_short_name(m);
+    }
+  }
+}
+
+TEST(ContrivedCalibration, CapturesMaterialOrdering) {
+  const simapp::ComputationCostEngine engine;
+  CalibrationConfig config;
+  config.sample_sizes = {4096};
+  const CostTable table = calibrate_contrived(engine, config);
+  // Phase 14 is material dependent: HE gas > aluminum > foam.
+  EXPECT_GT(table.per_cell(14, Material::kHEGas, 4096.0),
+            table.per_cell(14, Material::kAluminumInner, 4096.0));
+  EXPECT_GT(table.per_cell(14, Material::kAluminumInner, 4096.0),
+            table.per_cell(14, Material::kFoam, 4096.0));
+}
+
+TEST(ContrivedCalibration, CapturesKneeShape) {
+  const simapp::ComputationCostEngine engine;
+  CalibrationConfig config;
+  config.sample_sizes = {4, 64, 1024, 16384};
+  const CostTable table = calibrate_contrived(engine, config);
+  // Per-cell cost at tiny sizes far exceeds the asymptote.
+  EXPECT_GT(table.per_cell(2, Material::kFoam, 4.0),
+            5.0 * table.per_cell(2, Material::kFoam, 16384.0));
+}
+
+TEST(ContrivedCalibration, RejectsBadConfig) {
+  const simapp::ComputationCostEngine engine;
+  CalibrationConfig empty;
+  empty.sample_sizes = {};
+  EXPECT_THROW((void)calibrate_contrived(engine, empty),
+               util::InvalidArgument);
+  CalibrationConfig zero_reps;
+  zero_reps.repetitions = 0;
+  EXPECT_THROW((void)calibrate_contrived(engine, zero_reps),
+               util::InvalidArgument);
+  CalibrationConfig fractional;
+  fractional.sample_sizes = {0.5};
+  EXPECT_THROW((void)calibrate_contrived(engine, fractional),
+               util::InvalidArgument);
+}
+
+TEST(ContrivedCalibration, DeterministicForFixedSeed) {
+  const simapp::ComputationCostEngine engine;
+  CalibrationConfig config;
+  config.sample_sizes = {64, 1024};
+  const CostTable a = calibrate_contrived(engine, config);
+  const CostTable b = calibrate_contrived(engine, config);
+  EXPECT_DOUBLE_EQ(a.per_cell(2, Material::kHEGas, 100.0),
+                   b.per_cell(2, Material::kHEGas, 100.0));
+}
+
+TEST(InputCalibration, CoversMaterialsPresentInDeck) {
+  const simapp::ComputationCostEngine engine;
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const CostTable table = calibrate_from_input(engine, deck, {16});
+  for (std::int32_t phase = 1; phase <= simapp::kPhaseCount; ++phase) {
+    for (Material m : mesh::all_materials()) {
+      EXPECT_TRUE(table.has_samples(phase, m)) << "phase " << phase;
+    }
+  }
+}
+
+TEST(InputCalibration, RecoversPerCellCostsOnFlatRegion) {
+  // At 3,200-cell subgrids (well past the knee) the linear solve must
+  // recover the material-dependent asymptotes within a few percent.
+  const simapp::ComputationCostEngine engine;
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kMedium);
+  CalibrationConfig config;
+  config.repetitions = 3;
+  const CostTable table = calibrate_from_input(engine, deck, {64}, config);
+  const double cells = 204800.0 / 64.0;
+  for (std::int32_t phase : {6, 14}) {
+    for (Material m : mesh::all_materials()) {
+      const double truth =
+          engine.per_cell_cost(phase, m, static_cast<std::int64_t>(cells));
+      const double calibrated = table.per_cell(phase, m, cells);
+      EXPECT_NEAR(calibrated / truth, 1.0, 0.10)
+          << "phase " << phase << " material " << mesh::material_short_name(m);
+    }
+  }
+}
+
+TEST(InputCalibration, MultiplePeCountsBuildPiecewiseCurve) {
+  const simapp::ComputationCostEngine engine;
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const CostTable table = calibrate_from_input(engine, deck, {8, 32, 128});
+  EXPECT_EQ(table.sample_count(1, Material::kHEGas), 3u);
+  // Smaller subgrids (larger PE counts) cost more per cell.
+  EXPECT_GT(table.per_cell(2, Material::kHEGas, 25.0),
+            table.per_cell(2, Material::kHEGas, 400.0));
+}
+
+TEST(InputCalibration, RequiresEnoughProcessors) {
+  const simapp::ComputationCostEngine engine;
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  // 2 PEs < 4 materials: the linear system would be underdetermined.
+  EXPECT_THROW((void)calibrate_from_input(engine, deck, {2}),
+               util::InvalidArgument);
+  EXPECT_THROW((void)calibrate_from_input(engine, deck, {}),
+               util::InvalidArgument);
+}
+
+TEST(InputCalibration, CostsAreNonNegative) {
+  const simapp::ComputationCostEngine engine;
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const CostTable table = calibrate_from_input(engine, deck, {16, 64});
+  for (std::int32_t phase = 1; phase <= simapp::kPhaseCount; ++phase) {
+    for (Material m : mesh::all_materials()) {
+      EXPECT_GE(table.per_cell(phase, m, 100.0), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace krak::core

@@ -1,0 +1,105 @@
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/calibration.hpp"
+#include "network/machine.hpp"
+#include "util/error.hpp"
+
+namespace krak::core {
+namespace {
+
+struct CampaignFixture : public ::testing::Test {
+  simapp::ComputationCostEngine engine;
+  KrakModel model{
+      calibrate_from_input(engine,
+                           mesh::make_standard_deck(mesh::DeckSize::kSmall),
+                           {8, 32, 128}),
+      network::make_es45_qsnet()};
+};
+
+TEST_F(CampaignFixture, ProducesOnePointPerRunInOrder) {
+  const std::vector<CampaignRun> runs = {
+      {mesh::DeckSize::kSmall, 8, CampaignRun::Flavor::kMeshSpecific},
+      {mesh::DeckSize::kSmall, 16, CampaignRun::Flavor::kGeneralHomogeneous},
+      {mesh::DeckSize::kSmall, 32, CampaignRun::Flavor::kGeneralHeterogeneous},
+  };
+  const CampaignSummary summary =
+      run_validation_campaign(model, engine, runs, {}, 2);
+  ASSERT_EQ(summary.points.size(), 3u);
+  EXPECT_EQ(summary.points[0].pes, 8);
+  EXPECT_EQ(summary.points[1].pes, 16);
+  EXPECT_EQ(summary.points[2].pes, 32);
+  for (const ValidationPoint& point : summary.points) {
+    EXPECT_GT(point.measured, 0.0);
+    EXPECT_GT(point.predicted, 0.0);
+  }
+}
+
+TEST_F(CampaignFixture, SummaryStatisticsConsistent) {
+  const std::vector<CampaignRun> runs = {
+      {mesh::DeckSize::kSmall, 8, CampaignRun::Flavor::kGeneralHomogeneous},
+      {mesh::DeckSize::kSmall, 64, CampaignRun::Flavor::kGeneralHomogeneous},
+  };
+  const CampaignSummary summary =
+      run_validation_campaign(model, engine, runs);
+  double worst = 0.0;
+  double sum = 0.0;
+  for (const ValidationPoint& point : summary.points) {
+    worst = std::max(worst, std::abs(point.error()));
+    sum += std::abs(point.error());
+  }
+  EXPECT_DOUBLE_EQ(summary.worst_abs_error, worst);
+  EXPECT_DOUBLE_EQ(summary.mean_abs_error, sum / 2.0);
+  EXPECT_GE(summary.worst_abs_error, summary.mean_abs_error);
+}
+
+TEST_F(CampaignFixture, ParallelAndSerialAgree) {
+  const std::vector<CampaignRun> runs = {
+      {mesh::DeckSize::kSmall, 8, CampaignRun::Flavor::kMeshSpecific},
+      {mesh::DeckSize::kSmall, 16, CampaignRun::Flavor::kMeshSpecific},
+      {mesh::DeckSize::kSmall, 32, CampaignRun::Flavor::kMeshSpecific},
+      {mesh::DeckSize::kSmall, 64, CampaignRun::Flavor::kMeshSpecific},
+  };
+  const CampaignSummary serial =
+      run_validation_campaign(model, engine, runs, {}, 1);
+  const CampaignSummary parallel =
+      run_validation_campaign(model, engine, runs, {}, 8);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.points[i].measured, parallel.points[i].measured);
+    EXPECT_DOUBLE_EQ(serial.points[i].predicted, parallel.points[i].predicted);
+  }
+}
+
+TEST_F(CampaignFixture, EmptyCampaignRejected) {
+  EXPECT_THROW((void)run_validation_campaign(model, engine, {}),
+               util::InvalidArgument);
+}
+
+TEST_F(CampaignFixture, SummaryRendersAsTable) {
+  const std::vector<CampaignRun> runs = {
+      {mesh::DeckSize::kSmall, 8, CampaignRun::Flavor::kGeneralHomogeneous},
+  };
+  const std::string text =
+      run_validation_campaign(model, engine, runs).to_string();
+  EXPECT_NE(text.find("Problem"), std::string::npos);
+  EXPECT_NE(text.find("worst |error|"), std::string::npos);
+}
+
+TEST(CampaignPresets, MatchPaperTables) {
+  const auto t5 = table5_runs();
+  EXPECT_EQ(t5.size(), 6u);
+  for (const CampaignRun& run : t5) {
+    EXPECT_EQ(run.flavor, CampaignRun::Flavor::kMeshSpecific);
+  }
+  const auto t6 = table6_runs();
+  EXPECT_EQ(t6.size(), 6u);
+  EXPECT_EQ(t6.front().deck, mesh::DeckSize::kMedium);
+  EXPECT_EQ(t6.back().deck, mesh::DeckSize::kLarge);
+  EXPECT_EQ(t6.back().pes, 512);
+}
+
+}  // namespace
+}  // namespace krak::core

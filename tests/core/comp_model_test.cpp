@@ -1,0 +1,92 @@
+#include "core/comp_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mesh/deck.hpp"
+#include "partition/partition.hpp"
+
+namespace krak::core {
+namespace {
+
+using mesh::Material;
+
+/// A flat cost table: every phase/material costs `cost` per cell at any
+/// size, making Equations (1)-(3) checkable by hand.
+CostTable flat_table(double cost) {
+  CostTable table;
+  for (std::int32_t phase = 1; phase <= simapp::kPhaseCount; ++phase) {
+    for (Material m : mesh::all_materials()) {
+      table.add_sample(phase, m, 1.0, cost);
+    }
+  }
+  return table;
+}
+
+partition::PartitionStats make_stats(std::int32_t pes) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const partition::Partition part = partition::partition_deck(
+      deck, pes, partition::PartitionMethod::kMultilevel, 1);
+  // PartitionStats copies everything it needs; the deck may go out of
+  // scope afterwards.
+  return partition::PartitionStats(deck, part);
+}
+
+TEST(CompModel, PhaseTimeIsMaxOverProcessors) {
+  // Equation (2): time of a phase is the max over processors.
+  const mesh::InputDeck deck = mesh::make_uniform_deck(4, 1, Material::kFoam);
+  const partition::Partition part(2, {0, 0, 0, 1});  // 3 cells vs 1 cell
+  const partition::PartitionStats stats(deck, part);
+  const CostTable table = flat_table(1e-3);
+  EXPECT_NEAR(phase_computation_time(table, 1, stats), 3e-3, 1e-12);
+}
+
+TEST(CompModel, IterationTimeIsSumOverPhases) {
+  // Equation (3) = sum over phases of Equation (2).
+  const auto stats = make_stats(8);
+  const CostTable table = flat_table(1e-6);
+  const auto per_phase = per_phase_computation_times(table, stats);
+  const double sum = std::accumulate(per_phase.begin(), per_phase.end(), 0.0);
+  EXPECT_NEAR(iteration_computation_time(table, stats), sum, 1e-15);
+}
+
+TEST(CompModel, FlatTableGivesMaxCellsTimesCost) {
+  const auto stats = make_stats(16);
+  const CostTable table = flat_table(2e-6);
+  const double expected_phase =
+      2e-6 * static_cast<double>(stats.max_cells_per_pe());
+  EXPECT_NEAR(phase_computation_time(table, 3, stats), expected_phase, 1e-12);
+  EXPECT_NEAR(iteration_computation_time(table, stats),
+              simapp::kPhaseCount * expected_phase, 1e-10);
+}
+
+TEST(CompModel, BalancedPartitionBeatsImbalanced) {
+  const mesh::InputDeck deck = mesh::make_uniform_deck(8, 1, Material::kFoam);
+  const partition::Partition balanced(2, {0, 0, 0, 0, 1, 1, 1, 1});
+  const partition::Partition skewed(2, {0, 0, 0, 0, 0, 0, 0, 1});
+  const CostTable table = flat_table(1e-3);
+  EXPECT_LT(iteration_computation_time(
+                table, partition::PartitionStats(deck, balanced)),
+            iteration_computation_time(
+                table, partition::PartitionStats(deck, skewed)));
+}
+
+TEST(CompModel, PerPhaseTimesAreNonNegativeAndOrdered) {
+  const auto stats = make_stats(16);
+  const CostTable table = flat_table(1e-6);
+  const auto per_phase = per_phase_computation_times(table, stats);
+  for (double t : per_phase) EXPECT_GE(t, 0.0);
+}
+
+TEST(CompModel, MoreProcessorsReduceComputation) {
+  const CostTable table = flat_table(1e-6);
+  const double t8 = iteration_computation_time(table, make_stats(8));
+  const double t64 = iteration_computation_time(table, make_stats(64));
+  EXPECT_GT(t8, t64);
+  // Roughly proportional to max cells per PE (flat costs): factor ~8.
+  EXPECT_NEAR(t8 / t64, 8.0, 1.5);
+}
+
+}  // namespace
+}  // namespace krak::core

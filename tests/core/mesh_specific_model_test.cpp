@@ -1,0 +1,106 @@
+#include "core/mesh_specific_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/comm_model.hpp"
+#include "core/comp_model.hpp"
+#include "network/machine.hpp"
+#include "partition/partition.hpp"
+#include "util/error.hpp"
+
+namespace krak::core {
+namespace {
+
+using mesh::Material;
+
+CostTable flat_table(double cost) {
+  CostTable table;
+  for (std::int32_t phase = 1; phase <= simapp::kPhaseCount; ++phase) {
+    for (Material m : mesh::all_materials()) {
+      table.add_sample(phase, m, 1.0, cost);
+    }
+  }
+  return table;
+}
+
+partition::PartitionStats small_stats(std::int32_t pes) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const partition::Partition part = partition::partition_deck(
+      deck, pes, partition::PartitionMethod::kMultilevel, 1);
+  return partition::PartitionStats(deck, part);
+}
+
+TEST(MeshSpecificModel, TotalIsComputationPlusCommunication) {
+  const MeshSpecificModel model(flat_table(1e-6), network::make_es45_qsnet());
+  const auto stats = small_stats(16);
+  const PredictionReport report = model.predict(stats);
+  EXPECT_NEAR(report.total(), report.computation + report.communication(),
+              1e-15);
+  EXPECT_GT(report.computation, 0.0);
+  EXPECT_GT(report.boundary_exchange, 0.0);
+  EXPECT_GT(report.ghost_updates, 0.0);
+  EXPECT_GT(report.allreduce, 0.0);
+}
+
+TEST(MeshSpecificModel, ComputationMatchesEquationThree) {
+  const CostTable table = flat_table(2e-6);
+  const MeshSpecificModel model(table, network::make_es45_qsnet());
+  const auto stats = small_stats(8);
+  const PredictionReport report = model.predict(stats);
+  EXPECT_NEAR(report.computation, iteration_computation_time(table, stats),
+              1e-12);
+}
+
+TEST(MeshSpecificModel, CommunicationMatchesComponentModels) {
+  const network::MachineConfig machine = network::make_es45_qsnet();
+  const MeshSpecificModel model(flat_table(1e-6), machine);
+  const auto stats = small_stats(12);
+  const PredictionReport report = model.predict(stats);
+  const PointToPointBreakdown p2p = max_point_to_point(machine.network, stats);
+  EXPECT_DOUBLE_EQ(report.boundary_exchange, p2p.boundary_exchange);
+  EXPECT_DOUBLE_EQ(report.ghost_updates, p2p.ghost_updates);
+  const network::CollectiveModel collectives(machine.network);
+  EXPECT_DOUBLE_EQ(report.allreduce, collectives.iteration_allreduce(12));
+}
+
+TEST(MeshSpecificModel, SingleProcessorHasNoP2P) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const partition::Partition part(1, std::vector<partition::PeId>(3200, 0));
+  const partition::PartitionStats stats(deck, part);
+  const MeshSpecificModel model(flat_table(1e-6), network::make_es45_qsnet());
+  const PredictionReport report = model.predict(stats);
+  EXPECT_DOUBLE_EQ(report.boundary_exchange, 0.0);
+  EXPECT_DOUBLE_EQ(report.ghost_updates, 0.0);
+  EXPECT_DOUBLE_EQ(report.communication(), 0.0);  // log(1) = 0 collectives
+}
+
+TEST(MeshSpecificModel, CompueSpeedupScalesComputationOnly) {
+  network::MachineConfig fast_machine = network::make_es45_qsnet();
+  fast_machine.compute_speedup = 4.0;
+  const MeshSpecificModel fast(flat_table(1e-6), fast_machine);
+  const MeshSpecificModel base(flat_table(1e-6), network::make_es45_qsnet());
+  const auto stats = small_stats(16);
+  const auto f = fast.predict(stats);
+  const auto b = base.predict(stats);
+  EXPECT_NEAR(f.computation, b.computation / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f.boundary_exchange, b.boundary_exchange);
+}
+
+TEST(MeshSpecificModel, MachineTooSmallRejected) {
+  network::MachineConfig tiny = network::make_es45_qsnet();
+  tiny.nodes = 2;
+  tiny.pes_per_node = 2;
+  const MeshSpecificModel model(flat_table(1e-6), tiny);
+  EXPECT_THROW((void)model.predict(small_stats(16)), util::InvalidArgument);
+}
+
+TEST(MeshSpecificModel, ReportToStringMentionsComponents) {
+  const MeshSpecificModel model(flat_table(1e-6), network::make_es45_qsnet());
+  const std::string text = model.predict(small_stats(8)).to_string();
+  EXPECT_NE(text.find("computation"), std::string::npos);
+  EXPECT_NE(text.find("boundary exchange"), std::string::npos);
+  EXPECT_NE(text.find("allreduces"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace krak::core

@@ -1,0 +1,74 @@
+#include "core/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/calibration.hpp"
+#include "network/machine.hpp"
+
+namespace krak::core {
+namespace {
+
+using mesh::Material;
+
+CostTable flat_table() {
+  CostTable table;
+  for (std::int32_t phase = 1; phase <= simapp::kPhaseCount; ++phase) {
+    for (Material m : mesh::all_materials()) {
+      table.add_sample(phase, m, 1.0, 1e-6);
+    }
+  }
+  return table;
+}
+
+TEST(KrakModel, FacadeRoutesGeneralPredictions) {
+  const KrakModel model(flat_table(), network::make_es45_qsnet());
+  const auto direct = model.general().predict(204800, 128,
+                                              GeneralModelMode::kHomogeneous);
+  const auto via_facade =
+      model.predict_general(204800, 128, GeneralModelMode::kHomogeneous);
+  EXPECT_DOUBLE_EQ(direct.total(), via_facade.total());
+}
+
+TEST(KrakModel, FacadeRoutesMeshSpecificPredictions) {
+  const KrakModel model(flat_table(), network::make_es45_qsnet());
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const partition::Partition part = partition::partition_deck(
+      deck, 16, partition::PartitionMethod::kMultilevel, 1);
+  const partition::PartitionStats stats(deck, part);
+  const auto from_deck = model.predict_mesh_specific(deck, part);
+  const auto from_stats = model.predict_mesh_specific(stats);
+  EXPECT_DOUBLE_EQ(from_deck.total(), from_stats.total());
+}
+
+TEST(KrakModel, AccessorsExposeConfiguration) {
+  const KrakModel model(flat_table(), network::make_es45_qsnet());
+  EXPECT_EQ(model.machine().name, "ES45-QsNet");
+  EXPECT_TRUE(model.cost_table().has_samples(1, Material::kHEGas));
+}
+
+TEST(KrakModel, GeneralAndMeshSpecificAgreeOnFlatCosts) {
+  // With flat per-cell costs and a near-perfect partition, the two model
+  // flavors should agree on computation within the partition imbalance.
+  const KrakModel model(flat_table(), network::make_es45_qsnet());
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kMedium);
+  const partition::Partition part = partition::partition_deck(
+      deck, 128, partition::PartitionMethod::kMultilevel, 1);
+  const auto specific = model.predict_mesh_specific(deck, part);
+  const auto general =
+      model.predict_general(204800, 128, GeneralModelMode::kHomogeneous);
+  EXPECT_NEAR(specific.computation / general.computation, 1.0, 0.03);
+}
+
+TEST(KrakModel, EndToEndWithCalibratedTable) {
+  const simapp::ComputationCostEngine engine;
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const CostTable table = calibrate_from_input(engine, deck, {16, 64});
+  const KrakModel model(table, network::make_es45_qsnet());
+  const auto report =
+      model.predict_general(3200, 64, GeneralModelMode::kHomogeneous);
+  EXPECT_GT(report.total(), 0.0);
+  EXPECT_GT(report.computation, report.phase_computation[0]);
+}
+
+}  // namespace
+}  // namespace krak::core

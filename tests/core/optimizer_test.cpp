@@ -1,0 +1,101 @@
+#include "core/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/machine.hpp"
+#include "util/error.hpp"
+
+namespace krak::core {
+namespace {
+
+using mesh::Material;
+
+CostTable flat_table(double cost) {
+  CostTable table;
+  for (std::int32_t phase = 1; phase <= simapp::kPhaseCount; ++phase) {
+    for (Material m : mesh::all_materials()) {
+      table.add_sample(phase, m, 1.0, cost);
+    }
+  }
+  return table;
+}
+
+TEST(Optimizer, FastestConfigurationBeatsEndpoints) {
+  const KrakModel model(flat_table(1e-6), network::make_es45_qsnet());
+  const Configuration best = find_fastest_configuration(model, 204800);
+  EXPECT_GE(best.pes, 1);
+  EXPECT_LE(best.pes, 1024);
+  const double at1 =
+      model.predict_general(204800, 1, GeneralModelMode::kHomogeneous).total();
+  EXPECT_LE(best.iteration_time, at1);
+  EXPECT_GT(best.speedup, 1.0);
+}
+
+TEST(Optimizer, SmallProblemSaturatesEarlierThanLarge) {
+  const KrakModel model(flat_table(1e-6), network::make_es45_qsnet());
+  const Configuration small = find_fastest_configuration(model, 3200);
+  const Configuration large = find_fastest_configuration(model, 819200);
+  EXPECT_LT(small.pes, large.pes);
+}
+
+TEST(Optimizer, MaxPesIsRespected) {
+  const KrakModel model(flat_table(1e-6), network::make_es45_qsnet());
+  const Configuration best = find_fastest_configuration(
+      model, 819200, GeneralModelMode::kHomogeneous, 64);
+  EXPECT_LE(best.pes, 64);
+}
+
+TEST(Optimizer, NeverMoreProcessorsThanCells) {
+  const KrakModel model(flat_table(1e-6), network::make_es45_qsnet());
+  const Configuration best = find_fastest_configuration(model, 12);
+  EXPECT_LE(best.pes, 12);
+}
+
+TEST(Optimizer, EfficiencyLimitMeetsTarget) {
+  const KrakModel model(flat_table(1e-6), network::make_es45_qsnet());
+  const Configuration limit = find_efficiency_limit(model, 204800, 0.8);
+  EXPECT_GE(limit.efficiency, 0.8);
+  // Going further must violate the target... compare with a config one
+  // step past the limit when one exists.
+  if (limit.pes < 1024) {
+    const double serial =
+        model.predict_general(204800, 1, GeneralModelMode::kHomogeneous)
+            .total();
+    // All larger counts were scanned; the optimizer picked the largest
+    // meeting the target, so at least one larger count fails it (weak
+    // check: the very last count fails or equals the limit).
+    const double t1024 =
+        model.predict_general(204800, 1024, GeneralModelMode::kHomogeneous)
+            .total();
+    const double eff1024 = serial / t1024 / 1024.0;
+    EXPECT_LT(eff1024, 0.8);
+  }
+}
+
+TEST(Optimizer, TighterTargetMeansFewerProcessors) {
+  const KrakModel model(flat_table(1e-6), network::make_es45_qsnet());
+  const Configuration loose = find_efficiency_limit(model, 204800, 0.5);
+  const Configuration tight = find_efficiency_limit(model, 204800, 0.95);
+  EXPECT_LE(tight.pes, loose.pes);
+}
+
+TEST(Optimizer, EfficiencyTargetValidated) {
+  const KrakModel model(flat_table(1e-6), network::make_es45_qsnet());
+  EXPECT_THROW((void)find_efficiency_limit(model, 204800, 0.0),
+               util::InvalidArgument);
+  EXPECT_THROW((void)find_efficiency_limit(model, 204800, 1.5),
+               util::InvalidArgument);
+}
+
+TEST(Optimizer, TimeToSolutionScalesWithIterations) {
+  const KrakModel model(flat_table(1e-6), network::make_es45_qsnet());
+  const double one = predict_time_to_solution(model, 204800, 128, 1);
+  const double thousand = predict_time_to_solution(model, 204800, 128, 1000);
+  EXPECT_NEAR(thousand, 1000.0 * one, 1e-9);
+  EXPECT_DOUBLE_EQ(predict_time_to_solution(model, 204800, 128, 0), 0.0);
+  EXPECT_THROW((void)predict_time_to_solution(model, 204800, 128, -1),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace krak::core

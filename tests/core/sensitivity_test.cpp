@@ -1,0 +1,90 @@
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/machine.hpp"
+#include "util/error.hpp"
+
+namespace krak::core {
+namespace {
+
+using mesh::Material;
+
+CostTable flat_table(double cost) {
+  CostTable table;
+  for (std::int32_t phase = 1; phase <= simapp::kPhaseCount; ++phase) {
+    for (Material m : mesh::all_materials()) {
+      table.add_sample(phase, m, 1.0, cost);
+    }
+  }
+  return table;
+}
+
+TEST(Sensitivity, AllSensitivitiesNonNegative) {
+  const KrakModel model(flat_table(1e-6), network::make_es45_qsnet());
+  const SensitivityReport report = analyze_sensitivity(model, 204800, 128);
+  EXPECT_GE(report.latency_sensitivity, 0.0);
+  EXPECT_GE(report.bandwidth_sensitivity, 0.0);
+  EXPECT_GE(report.compute_sensitivity, 0.0);
+  EXPECT_GT(report.base_time, 0.0);
+}
+
+TEST(Sensitivity, ComputeDominatesAtSmallScale) {
+  // Few processors: computation is nearly all of the iteration, so a
+  // compute slowdown hurts ~delta while network changes barely matter.
+  const KrakModel model(flat_table(1e-6), network::make_es45_qsnet());
+  const SensitivityReport report =
+      analyze_sensitivity(model, 204800, 4, GeneralModelMode::kHomogeneous,
+                          0.10);
+  EXPECT_EQ(report.dominant_parameter(), "compute");
+  EXPECT_NEAR(report.compute_sensitivity, 0.10, 0.01);
+  EXPECT_LT(report.latency_sensitivity, 0.01);
+}
+
+TEST(Sensitivity, LatencyGrowsWithScale) {
+  // Strong scaling shifts weight from compute to log(P) collective
+  // latency, so latency sensitivity must rise with the PE count.
+  const KrakModel model(flat_table(1e-6), network::make_es45_qsnet());
+  const double at16 =
+      analyze_sensitivity(model, 204800, 16).latency_sensitivity;
+  const double at1024 =
+      analyze_sensitivity(model, 204800, 1024).latency_sensitivity;
+  EXPECT_GT(at1024, at16);
+}
+
+TEST(Sensitivity, SensitivitiesRoughlySumToDelta) {
+  // Time = compute + latency-part + byte-part: perturbing each by delta
+  // perturbs the total by delta in aggregate (the model is linear in
+  // each parameter).
+  const KrakModel model(flat_table(1e-6), network::make_es45_qsnet());
+  const SensitivityReport report =
+      analyze_sensitivity(model, 204800, 256, GeneralModelMode::kHomogeneous,
+                          0.10);
+  const double sum = report.latency_sensitivity +
+                     report.bandwidth_sensitivity +
+                     report.compute_sensitivity;
+  EXPECT_NEAR(sum, 0.10, 0.005);
+}
+
+TEST(Sensitivity, DeltaValidated) {
+  const KrakModel model(flat_table(1e-6), network::make_es45_qsnet());
+  EXPECT_THROW(
+      (void)analyze_sensitivity(model, 204800, 16,
+                                GeneralModelMode::kHomogeneous, 0.0),
+      util::InvalidArgument);
+  EXPECT_THROW(
+      (void)analyze_sensitivity(model, 204800, 16,
+                                GeneralModelMode::kHomogeneous, 1.5),
+      util::InvalidArgument);
+}
+
+TEST(Sensitivity, ReportToStringNamesDominantParameter) {
+  const KrakModel model(flat_table(1e-6), network::make_es45_qsnet());
+  const SensitivityReport report = analyze_sensitivity(model, 204800, 4);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("dominant parameter: compute"), std::string::npos);
+  EXPECT_NE(text.find("network latency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace krak::core

@@ -1,0 +1,78 @@
+#include "core/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/calibration.hpp"
+#include "network/machine.hpp"
+
+namespace krak::core {
+namespace {
+
+struct ValidationFixture : public ::testing::Test {
+  simapp::ComputationCostEngine engine;
+  mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  KrakModel model{calibrate_from_input(engine, deck, {8, 32, 128}),
+                  network::make_es45_qsnet()};
+};
+
+TEST_F(ValidationFixture, ErrorUsesPaperConvention) {
+  ValidationPoint point;
+  point.measured = 100.0;
+  point.predicted = 110.0;
+  EXPECT_DOUBLE_EQ(point.error(), -0.1);  // over-prediction is negative
+}
+
+TEST_F(ValidationFixture, MeshSpecificPointIsPopulated) {
+  const ValidationPoint point =
+      validate_mesh_specific(deck, 16, model, engine);
+  EXPECT_EQ(point.pes, 16);
+  EXPECT_EQ(point.problem, deck.name());
+  EXPECT_GT(point.measured, 0.0);
+  EXPECT_GT(point.predicted, 0.0);
+}
+
+TEST_F(ValidationFixture, GeneralPointIsPopulated) {
+  const ValidationPoint point = validate_general(
+      deck, 32, model, GeneralModelMode::kHomogeneous, engine);
+  EXPECT_EQ(point.pes, 32);
+  EXPECT_GT(point.measured, 0.0);
+  EXPECT_GT(point.predicted, 0.0);
+}
+
+TEST_F(ValidationFixture, SameConfigSameMeasurement) {
+  // Mesh-specific and general validation share the measurement path, so
+  // the measured column of a table is consistent across model flavors.
+  const ValidationPoint a = validate_mesh_specific(deck, 16, model, engine);
+  const ValidationPoint b = validate_general(
+      deck, 16, model, GeneralModelMode::kHomogeneous, engine);
+  EXPECT_DOUBLE_EQ(a.measured, b.measured);
+}
+
+TEST_F(ValidationFixture, DeterministicAcrossCalls) {
+  const ValidationPoint a = validate_mesh_specific(deck, 16, model, engine);
+  const ValidationPoint b = validate_mesh_specific(deck, 16, model, engine);
+  EXPECT_DOUBLE_EQ(a.measured, b.measured);
+  EXPECT_DOUBLE_EQ(a.predicted, b.predicted);
+}
+
+TEST_F(ValidationFixture, ConfigSeedChangesMeasurement) {
+  ValidationConfig other;
+  other.noise_seed = 12345;
+  const ValidationPoint a = validate_mesh_specific(deck, 16, model, engine);
+  const ValidationPoint b =
+      validate_mesh_specific(deck, 16, model, engine, other);
+  EXPECT_NE(a.measured, b.measured);
+  // But predictions don't depend on measurement noise.
+  EXPECT_DOUBLE_EQ(a.predicted, b.predicted);
+}
+
+TEST_F(ValidationFixture, ModeratePEsGiveReasonableAccuracy) {
+  // Not a paper-shape test (those live in integration/) — just a sanity
+  // band: the model should be within 50% on a mid-size configuration.
+  const ValidationPoint point =
+      validate_mesh_specific(deck, 16, model, engine);
+  EXPECT_LT(std::abs(point.error()), 0.5);
+}
+
+}  // namespace
+}  // namespace krak::core

@@ -1,0 +1,80 @@
+#include "hydro/eos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace krak::hydro {
+namespace {
+
+using mesh::Material;
+
+TEST(Eos, GammaLawPressure) {
+  MaterialEos eos;
+  eos.gamma = 1.4;
+  EXPECT_DOUBLE_EQ(eos.pressure(2.0, 3.0), 0.4 * 2.0 * 3.0);
+  EXPECT_DOUBLE_EQ(eos.pressure(1.0, 0.0), 0.0);
+}
+
+TEST(Eos, NoTension) {
+  MaterialEos eos;
+  eos.gamma = 1.4;
+  EXPECT_DOUBLE_EQ(eos.pressure(1.0, -5.0), 0.0);
+}
+
+TEST(Eos, NegativeDensityRejected) {
+  const MaterialEos eos;
+  EXPECT_THROW((void)eos.pressure(-1.0, 1.0), util::InvalidArgument);
+}
+
+TEST(Eos, SoundSpeedMatchesGammaLaw) {
+  MaterialEos eos;
+  eos.gamma = 3.0;
+  const double rho = 1.6;
+  const double e = 4.0;
+  const double p = eos.pressure(rho, e);
+  EXPECT_NEAR(eos.sound_speed(rho, e), std::sqrt(3.0 * p / rho), 1e-12);
+}
+
+TEST(Eos, VacuumHasZeroSoundSpeed) {
+  const MaterialEos eos;
+  EXPECT_DOUBLE_EQ(eos.sound_speed(0.0, 1.0), 0.0);
+}
+
+TEST(Eos, OnlyHeGasDetonates) {
+  EXPECT_GT(eos_for(Material::kHEGas).detonation_energy, 0.0);
+  EXPECT_GT(eos_for(Material::kHEGas).detonation_speed, 0.0);
+  for (Material m : {Material::kAluminumInner, Material::kFoam,
+                     Material::kAluminumOuter}) {
+    EXPECT_DOUBLE_EQ(eos_for(m).detonation_energy, 0.0);
+  }
+}
+
+TEST(Eos, MaterialDensityOrdering) {
+  // Aluminum densest, foam lightest — drives the material-dependent
+  // wave speeds the deck is built around.
+  EXPECT_GT(eos_for(Material::kAluminumInner).reference_density,
+            eos_for(Material::kHEGas).reference_density);
+  EXPECT_GT(eos_for(Material::kHEGas).reference_density,
+            eos_for(Material::kFoam).reference_density);
+}
+
+TEST(Eos, AluminumLayersNearlyIdentical) {
+  const MaterialEos& inner = eos_for(Material::kAluminumInner);
+  const MaterialEos& outer = eos_for(Material::kAluminumOuter);
+  EXPECT_DOUBLE_EQ(inner.gamma, outer.gamma);
+  EXPECT_DOUBLE_EQ(inner.reference_density, outer.reference_density);
+  EXPECT_NEAR(inner.initial_energy / outer.initial_energy, 1.0, 0.1);
+}
+
+TEST(Eos, TableAndAccessorAgree) {
+  for (Material m : mesh::all_materials()) {
+    EXPECT_DOUBLE_EQ(eos_table()[mesh::material_index(m)].gamma,
+                     eos_for(m).gamma);
+  }
+}
+
+}  // namespace
+}  // namespace krak::hydro

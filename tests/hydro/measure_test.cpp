@@ -1,0 +1,68 @@
+#include "hydro/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace krak::hydro {
+namespace {
+
+using mesh::Material;
+
+TEST(Measure, SampleHasPositiveCosts) {
+  const HydroCostSample sample =
+      measure_uniform_cost(Material::kFoam, 256, 5);
+  EXPECT_GE(sample.cells, 256);
+  EXPECT_EQ(sample.steps, 5);
+  EXPECT_GT(sample.total_per_cell_seconds(), 0.0);
+  // The bulk per-cell phases must all register time.
+  EXPECT_GT(sample.per_cell_seconds[static_cast<std::size_t>(
+                HydroPhase::kEos)],
+            0.0);
+  EXPECT_GT(sample.per_cell_seconds[static_cast<std::size_t>(
+                HydroPhase::kForces)],
+            0.0);
+}
+
+TEST(Measure, RequestedCellCountIsLowerBound) {
+  // Grids are rectangularized upward, never truncated.
+  for (std::int64_t cells : {1, 2, 10, 100, 1000}) {
+    const HydroCostSample sample =
+        measure_uniform_cost(Material::kHEGas, cells, 1);
+    EXPECT_GE(sample.cells, cells);
+    EXPECT_LT(sample.cells, cells + 2 * 32 + 64);  // near-square bound
+  }
+}
+
+TEST(Measure, SweepReturnsOneSamplePerSize) {
+  const std::vector<std::int64_t> sizes = {16, 64, 256};
+  const auto samples = sweep_hydro_costs(Material::kFoam, sizes, 3);
+  ASSERT_EQ(samples.size(), 3u);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_GE(samples[i].cells, sizes[i]);
+  }
+}
+
+TEST(Measure, PerCellCostsInPlausibleBand) {
+  // Wall-clock assertions are kept loose (CI machines vary); the
+  // size-dependence study lives in bench_real_knee, where results are
+  // narrative rather than pass/fail. Here: every phase cost is finite
+  // and the total sits in a plausible 1 ns - 100 us per cell band.
+  for (std::int64_t cells : {16, 4096}) {
+    const HydroCostSample sample =
+        measure_uniform_cost(Material::kFoam, cells, 10);
+    const double total = sample.total_per_cell_seconds();
+    EXPECT_GT(total, 1e-9) << cells;
+    EXPECT_LT(total, 1e-4) << cells;
+  }
+}
+
+TEST(Measure, RejectsBadArguments) {
+  EXPECT_THROW((void)measure_uniform_cost(Material::kFoam, 0, 1),
+               util::InvalidArgument);
+  EXPECT_THROW((void)measure_uniform_cost(Material::kFoam, 16, 0),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace krak::hydro

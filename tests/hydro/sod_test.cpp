@@ -1,0 +1,148 @@
+// Verification of the Lagrangian solver against Sod's shock tube, the
+// canonical compressible-flow benchmark with an exact Riemann solution.
+//
+// Setup (gamma = 1.4): left state rho=1, p=1; right state rho=0.125,
+// p=0.1, both at rest. Exact star-state values (classic references,
+// e.g. Toro, "Riemann Solvers and Numerical Methods for Fluid
+// Dynamics", Table 4.2 / the standard Sod solution):
+//   p*      = 0.30313   (pressure between rarefaction and shock)
+//   u*      = 0.92745   (contact speed)
+//   rho*L   = 0.42632   (left of the contact)
+//   rho*R   = 0.26557   (right of the contact, post-shock)
+//   S_shock = 1.75216   (shock speed)
+// On a tube with the interface at x0, at time t: shock at
+// x0 + 1.75216 t, contact at x0 + 0.92745 t.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hydro/solver.hpp"
+#include "mesh/deck.hpp"
+
+namespace krak::hydro {
+namespace {
+
+constexpr double kGamma = 1.4;
+constexpr double kExactPStar = 0.30313;
+constexpr double kExactRhoStarR = 0.26557;
+constexpr double kExactRhoStarL = 0.42632;
+constexpr double kExactShockSpeed = 1.75216;
+constexpr double kExactContactSpeed = 0.92745;
+
+/// A 1-D tube of `cells` foam cells (gamma = 1.4) with Sod's initial
+/// data and rigid walls, evolved to `end_time` (cell-width units).
+HydroState run_sod(std::int32_t cells, double end_time) {
+  mesh::Grid grid(cells, 1);
+  std::vector<mesh::Material> materials(static_cast<std::size_t>(cells),
+                                        mesh::Material::kFoam);
+  const mesh::InputDeck deck("sod", grid, std::move(materials),
+                             mesh::Point{0.0, 0.5});
+  HydroState state(deck);
+  const std::int32_t half = cells / 2;
+  for (std::int32_t i = 0; i < cells; ++i) {
+    const auto c = static_cast<std::size_t>(i);
+    const double rho = (i < half) ? 1.0 : 0.125;
+    const double p = (i < half) ? 1.0 : 0.1;
+    state.density[c] = rho;
+    state.cell_mass[c] = rho * state.cell_volume[c];
+    state.specific_energy[c] = p / ((kGamma - 1.0) * rho);
+    state.pressure[c] = p;
+  }
+  state.update_node_masses();
+
+  HydroConfig config;
+  config.enable_burn = false;
+  config.reflecting_boundaries = true;
+  config.cfl = 0.2;
+  config.max_dt = 0.01;
+  HydroSolver solver(state, config);
+  (void)solver.run_until(end_time, 200000);
+  return state;
+}
+
+/// Spatial center of a (possibly moved) cell — the mesh is Lagrangian,
+/// so cell indices are material coordinates, not positions.
+double cell_center_x(const HydroState& state, std::int32_t i) {
+  const auto nodes =
+      state.grid().nodes_of_cell(state.grid().cell_at(i, 0));
+  double x = 0.0;
+  for (mesh::NodeId n : nodes) x += state.node_x[static_cast<std::size_t>(n)];
+  return x / 4.0;
+}
+
+TEST(SodShockTube, ShockPositionMatchesExactSolution) {
+  constexpr std::int32_t kCells = 200;
+  constexpr double kTime = 25.0;
+  const HydroState state = run_sod(kCells, kTime);
+  // The shock front: the rightmost cell (in space) clearly above the
+  // ambient right-state density.
+  double shock_x = 0.0;
+  for (std::int32_t i = 0; i < kCells; ++i) {
+    if (state.density[static_cast<std::size_t>(i)] > 0.15) {
+      shock_x = std::max(shock_x, cell_center_x(state, i));
+    }
+  }
+  const double exact = kCells / 2.0 + kExactShockSpeed * kTime;
+  EXPECT_NEAR(shock_x, exact, 3.0);
+}
+
+TEST(SodShockTube, PostShockPlateauMatchesStarState) {
+  const HydroState state = run_sod(200, 25.0);
+  // Sample the plateau between the contact (~123) and the shock (~144).
+  for (std::int32_t i = 130; i <= 138; ++i) {
+    const auto c = static_cast<std::size_t>(i);
+    EXPECT_NEAR(state.density[c], kExactRhoStarR, 0.02) << "cell " << i;
+    EXPECT_NEAR(state.pressure[c], kExactPStar, 0.02) << "cell " << i;
+  }
+}
+
+TEST(SodShockTube, ContactSeparatesTheTwoPlateauDensities) {
+  const HydroState state = run_sod(200, 25.0);
+  // In a Lagrangian mesh the contact IS the material interface: the
+  // boundary between cells 99 and 100. Left of it the star state is
+  // rho*L at p*; the interface itself must sit at the exact contact
+  // position x0 + u* t.
+  for (std::int32_t i = 90; i <= 97; ++i) {
+    const auto c = static_cast<std::size_t>(i);
+    EXPECT_NEAR(state.density[c], kExactRhoStarL, 0.04) << "cell " << i;
+    EXPECT_NEAR(state.pressure[c], kExactPStar, 0.02) << "cell " << i;
+  }
+  const double contact_exact = 100.0 + kExactContactSpeed * 25.0;
+  const double interface_x =
+      state.node_x[static_cast<std::size_t>(state.grid().node_at(100, 0))];
+  EXPECT_NEAR(interface_x, contact_exact, 2.0);
+}
+
+TEST(SodShockTube, UndisturbedStatesPreserved) {
+  const HydroState state = run_sod(200, 25.0);
+  // Ahead of the shock (right end) and behind the rarefaction tail the
+  // initial states must be untouched.
+  for (std::int32_t i = 190; i < 200; ++i) {
+    EXPECT_NEAR(state.density[static_cast<std::size_t>(i)], 0.125, 1e-3);
+  }
+  for (std::int32_t i = 2; i < 30; ++i) {
+    EXPECT_NEAR(state.density[static_cast<std::size_t>(i)], 1.0, 5e-3);
+    EXPECT_NEAR(state.pressure[static_cast<std::size_t>(i)], 1.0, 1e-2);
+  }
+}
+
+TEST(SodShockTube, ResolutionConvergesTowardExactPlateau) {
+  // The plateau error must not grow as the mesh refines (first-order
+  // scheme: smeared interfaces, converging plateaus).
+  const HydroState coarse = run_sod(100, 12.0);
+  const HydroState fine = run_sod(400, 50.0);
+  const auto plateau_error = [&](const HydroState& state, std::int32_t probe) {
+    return std::abs(state.density[static_cast<std::size_t>(probe)] -
+                    kExactRhoStarR);
+  };
+  // Probe mid-plateau in each resolution's (material) coordinates:
+  // the shocked right-state cells start at the interface index.
+  const double coarse_error = plateau_error(coarse, 60);
+  const double fine_error = plateau_error(fine, 240);
+  EXPECT_LE(fine_error, coarse_error + 0.01);
+  EXPECT_LT(fine_error, 0.02);
+}
+
+}  // namespace
+}  // namespace krak::hydro

@@ -1,0 +1,187 @@
+#include "hydro/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/deck.hpp"
+#include "util/error.hpp"
+
+namespace krak::hydro {
+namespace {
+
+using mesh::Material;
+
+TEST(HydroSolver, ConfigValidated) {
+  const mesh::InputDeck deck = mesh::make_uniform_deck(4, 4, Material::kFoam);
+  HydroState state(deck);
+  HydroConfig config;
+  config.cfl = 0.0;
+  EXPECT_THROW(HydroSolver(state, config), util::InvalidArgument);
+  config.cfl = 0.25;
+  config.initial_dt = 0.0;
+  EXPECT_THROW(HydroSolver(state, config), util::InvalidArgument);
+}
+
+TEST(HydroSolver, UniformStateStaysAtRest) {
+  // A uniform-pressure block with the free-surface boundary expands,
+  // but interior nodes feel balanced forces: check the interior node of
+  // a 4x4 block stays put for one step while corners accelerate.
+  const mesh::InputDeck deck = mesh::make_uniform_deck(4, 4, Material::kFoam);
+  HydroState state(deck);
+  HydroSolver solver(state);
+  (void)solver.step();
+  const auto center = static_cast<std::size_t>(deck.grid().node_at(2, 2));
+  EXPECT_NEAR(state.velocity_x[center], 0.0, 1e-12);
+  EXPECT_NEAR(state.velocity_y[center], 0.0, 1e-12);
+  const auto corner = static_cast<std::size_t>(deck.grid().node_at(4, 4));
+  EXPECT_GT(std::hypot(state.velocity_x[corner], state.velocity_y[corner]),
+            0.0);
+}
+
+TEST(HydroSolver, MassExactlyConserved) {
+  const mesh::InputDeck deck = mesh::make_cylindrical_deck(20, 10);
+  HydroState state(deck);
+  const double mass0 = state.total_mass();
+  HydroSolver solver(state);
+  (void)solver.run_until(0.5, 2000);
+  EXPECT_DOUBLE_EQ(state.total_mass(), mass0);
+}
+
+TEST(HydroSolver, DetonationReleasesEnergyProgressively) {
+  const mesh::InputDeck deck = mesh::make_cylindrical_deck(40, 20);
+  HydroState state(deck);
+  const double e0 = state.total_energy();
+  HydroSolver solver(state);
+  // The detonator sits ~0.7 cells from the nearest HE cell center and
+  // the front moves at speed 6, so burning starts shortly after t=0.12.
+  const StepStats early = solver.run_until(0.25, 1000);
+  const double after_start = early.total_energy;
+  EXPECT_GT(after_start, e0);  // some HE burned already
+  const StepStats later = solver.run_until(0.8, 10000);
+  EXPECT_GT(later.total_energy, after_start);  // front kept advancing
+  EXPECT_GT(later.burn_front_radius, early.burn_front_radius);
+}
+
+TEST(HydroSolver, EnergyBudgetMatchesBurnedMass) {
+  // Total energy after a run = initial + detonation energy of burned
+  // cells, within the explicit integrator's PdV discretization error.
+  const mesh::InputDeck deck = mesh::make_cylindrical_deck(40, 20);
+  HydroState state(deck);
+  const double e0 = state.total_energy();
+  HydroConfig config;
+  config.cfl = 0.1;  // tight step bounds the work-mismatch error
+  HydroSolver solver(state, config);
+  const StepStats stats = solver.run_until(0.6, 20000);
+  double released = 0.0;
+  const double q = eos_for(Material::kHEGas).detonation_energy;
+  for (std::int64_t cell = 0; cell < state.num_cells(); ++cell) {
+    if (state.burned[static_cast<std::size_t>(cell)]) {
+      released += state.cell_mass[static_cast<std::size_t>(cell)] * q;
+    }
+  }
+  EXPECT_GT(released, 0.0);
+  EXPECT_NEAR(stats.total_energy / (e0 + released), 1.0, 0.15);
+}
+
+TEST(HydroSolver, BurnDisabledConservesEnergyClosely) {
+  // Without the burn the only dynamics are free-surface expansion;
+  // PdV bookkeeping should conserve total energy to ~1%.
+  const mesh::InputDeck deck = mesh::make_uniform_deck(10, 10, Material::kFoam);
+  HydroState state(deck);
+  const double e0 = state.total_energy();
+  HydroConfig config;
+  config.enable_burn = false;
+  config.cfl = 0.1;
+  HydroSolver solver(state, config);
+  const StepStats stats = solver.run_until(0.5, 20000);
+  EXPECT_NEAR(stats.total_energy / e0, 1.0, 0.01);
+}
+
+TEST(HydroSolver, AxisNodesNeverMoveRadially) {
+  const mesh::InputDeck deck = mesh::make_cylindrical_deck(20, 10);
+  HydroState state(deck);
+  HydroSolver solver(state);
+  (void)solver.run_until(0.3, 2000);
+  for (std::int32_t j = 0; j <= deck.grid().ny(); ++j) {
+    const auto node = static_cast<std::size_t>(deck.grid().node_at(0, j));
+    EXPECT_DOUBLE_EQ(state.node_x[node], 0.0) << "axis node row " << j;
+  }
+}
+
+TEST(HydroSolver, ShockReachesAluminumLayer) {
+  // The detonation must drive a pressure wave out of the HE region into
+  // the surrounding layers: after the front crosses the HE/Al boundary,
+  // some aluminum cell must be well above its initial pressure.
+  const mesh::InputDeck deck = mesh::make_cylindrical_deck(40, 20);
+  HydroState state(deck);
+  double initial_al_pressure = 0.0;
+  for (std::int64_t cell = 0; cell < state.num_cells(); ++cell) {
+    if (deck.material_of(static_cast<mesh::CellId>(cell)) ==
+        Material::kAluminumInner) {
+      initial_al_pressure = state.pressure[static_cast<std::size_t>(cell)];
+      break;
+    }
+  }
+  HydroSolver solver(state);
+  // The HE/aluminum interface sits ~16 cells from the detonator; the
+  // programmed front arrives at t ~ 2.7, so run well past that.
+  (void)solver.run_until(4.0, 40000);
+  double max_al_pressure = 0.0;
+  for (std::int64_t cell = 0; cell < state.num_cells(); ++cell) {
+    if (deck.material_of(static_cast<mesh::CellId>(cell)) ==
+        Material::kAluminumInner) {
+      max_al_pressure = std::max(
+          max_al_pressure, state.pressure[static_cast<std::size_t>(cell)]);
+    }
+  }
+  EXPECT_GT(max_al_pressure, 3.0 * initial_al_pressure);
+}
+
+TEST(HydroSolver, TimestepRespondsToSoundSpeed) {
+  const mesh::InputDeck deck = mesh::make_cylindrical_deck(20, 10);
+  HydroState state(deck);
+  HydroConfig config;
+  config.max_dt = 0.2;  // above the quiet CFL step, below inversion risk
+  HydroSolver solver(state, config);
+  (void)solver.step();
+  const double quiet_dt = solver.dt();
+  // After the detonation heats the core, sound speeds jump and the CFL
+  // step must shrink.
+  (void)solver.run_until(0.5, 2000);
+  EXPECT_LT(solver.dt(), 0.5 * quiet_dt);
+}
+
+TEST(HydroSolver, PhaseTimersCoverAllPhases) {
+  const mesh::InputDeck deck = mesh::make_uniform_deck(16, 16, Material::kFoam);
+  HydroState state(deck);
+  HydroSolver solver(state);
+  for (int s = 0; s < 10; ++s) (void)solver.step();
+  const PhaseTimers& timers = solver.timers();
+  EXPECT_GT(timers.total_seconds(), 0.0);
+  for (std::size_t p = 0; p < kHydroPhaseCount; ++p) {
+    EXPECT_GE(timers.seconds(static_cast<HydroPhase>(p)), 0.0);
+  }
+  // The per-cell phases must dominate the fixed-cost burn check.
+  EXPECT_GT(timers.seconds(HydroPhase::kForces), 0.0);
+}
+
+TEST(HydroSolver, RunUntilHonorsStepCap) {
+  const mesh::InputDeck deck = mesh::make_uniform_deck(8, 8, Material::kFoam);
+  HydroState state(deck);
+  HydroSolver solver(state);
+  (void)solver.run_until(100.0, 5);
+  EXPECT_EQ(solver.steps_taken(), 5);
+  EXPECT_THROW((void)solver.run_until(-1.0), util::InvalidArgument);
+}
+
+TEST(HydroSolver, PhaseNamesAreUnique) {
+  std::set<std::string_view> names;
+  for (std::size_t p = 0; p < kHydroPhaseCount; ++p) {
+    names.insert(hydro_phase_name(static_cast<HydroPhase>(p)));
+  }
+  EXPECT_EQ(names.size(), kHydroPhaseCount);
+}
+
+}  // namespace
+}  // namespace krak::hydro

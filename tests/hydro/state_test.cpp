@@ -1,0 +1,105 @@
+#include "hydro/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mesh/deck.hpp"
+#include "util/error.hpp"
+
+namespace krak::hydro {
+namespace {
+
+using mesh::Material;
+
+TEST(HydroState, InitialGeometryMatchesGrid) {
+  const mesh::InputDeck deck = mesh::make_uniform_deck(4, 3, Material::kFoam);
+  const HydroState state(deck);
+  EXPECT_EQ(state.num_cells(), 12);
+  EXPECT_EQ(state.num_nodes(), 20);
+  for (std::int64_t cell = 0; cell < state.num_cells(); ++cell) {
+    EXPECT_DOUBLE_EQ(state.cell_volume[static_cast<std::size_t>(cell)], 1.0);
+  }
+}
+
+TEST(HydroState, InitialDensityMatchesEos) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const HydroState state(deck);
+  for (std::int64_t cell = 0; cell < state.num_cells(); ++cell) {
+    const auto i = static_cast<std::size_t>(cell);
+    const MaterialEos& eos =
+        eos_for(deck.material_of(static_cast<mesh::CellId>(cell)));
+    EXPECT_DOUBLE_EQ(state.density[i], eos.reference_density);
+    EXPECT_DOUBLE_EQ(state.cell_mass[i],
+                     eos.reference_density * state.cell_volume[i]);
+    EXPECT_GT(state.pressure[i], 0.0);
+  }
+}
+
+TEST(HydroState, StartsAtRest) {
+  const mesh::InputDeck deck = mesh::make_uniform_deck(3, 3, Material::kFoam);
+  const HydroState state(deck);
+  EXPECT_DOUBLE_EQ(state.total_kinetic_energy(), 0.0);
+  EXPECT_GT(state.total_internal_energy(), 0.0);
+}
+
+TEST(HydroState, NodeMassesSumToTotalMass) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const HydroState state(deck);
+  double node_total = 0.0;
+  for (double m : state.node_mass) node_total += m;
+  EXPECT_NEAR(node_total, state.total_mass(), 1e-9);
+}
+
+TEST(HydroState, InteriorNodeCarriesFourQuarters) {
+  const mesh::InputDeck deck = mesh::make_uniform_deck(3, 3, Material::kFoam);
+  const HydroState state(deck);
+  const double cell_mass = state.cell_mass[0];
+  const auto center = static_cast<std::size_t>(deck.grid().node_at(1, 1));
+  EXPECT_NEAR(state.node_mass[center], cell_mass, 1e-12);
+  const auto corner = static_cast<std::size_t>(deck.grid().node_at(0, 0));
+  EXPECT_NEAR(state.node_mass[corner], 0.25 * cell_mass, 1e-12);
+}
+
+TEST(HydroState, VolumeTracksNodeMotion) {
+  const mesh::InputDeck deck = mesh::make_uniform_deck(1, 1, Material::kFoam);
+  HydroState state(deck);
+  // Stretch the single cell by moving the NE node outward.
+  const auto ne = static_cast<std::size_t>(deck.grid().node_at(1, 1));
+  state.node_x[ne] = 2.0;
+  state.node_y[ne] = 2.0;
+  state.update_geometry();
+  EXPECT_GT(state.cell_volume[0], 1.0);
+  EXPECT_LT(state.density[0], eos_for(Material::kFoam).reference_density);
+  // Mass is invariant.
+  EXPECT_DOUBLE_EQ(state.cell_mass[0],
+                   eos_for(Material::kFoam).reference_density);
+}
+
+TEST(HydroState, InvertedCellDetected) {
+  const mesh::InputDeck deck = mesh::make_uniform_deck(1, 1, Material::kFoam);
+  HydroState state(deck);
+  // Collapse the cell past inversion.
+  const auto ne = static_cast<std::size_t>(deck.grid().node_at(1, 1));
+  state.node_x[ne] = -2.0;
+  state.node_y[ne] = -2.0;
+  EXPECT_THROW(state.update_geometry(), util::InternalError);
+}
+
+TEST(HydroState, MaxPressureFindsHottestCell) {
+  const mesh::InputDeck deck = mesh::make_uniform_deck(4, 1, Material::kFoam);
+  HydroState state(deck);
+  state.specific_energy[2] = 100.0;
+  state.pressure[2] =
+      eos_for(Material::kFoam).pressure(state.density[2], 100.0);
+  const auto [pressure, cell] = state.max_pressure();
+  EXPECT_EQ(cell, 2);
+  EXPECT_DOUBLE_EQ(pressure, state.pressure[2]);
+}
+
+TEST(HydroState, NothingBurnedInitially) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const HydroState state(deck);
+  for (bool b : state.burned) EXPECT_FALSE(b);
+}
+
+}  // namespace
+}  // namespace krak::hydro

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/calibration.hpp"
+#include "core/model.hpp"
+#include "network/machine.hpp"
+#include "simapp/costmodel.hpp"
+
+namespace krak {
+namespace {
+
+/// Shared calibrated model for the whole property suite.
+const core::KrakModel& shared_model() {
+  static const core::KrakModel* model = [] {
+    const simapp::ComputationCostEngine engine;
+    const mesh::InputDeck deck =
+        mesh::make_standard_deck(mesh::DeckSize::kMedium);
+    return new core::KrakModel(
+        core::calibrate_from_input(engine, deck, {8, 64, 512, 4096}),
+        network::make_es45_qsnet());
+  }();
+  return *model;
+}
+
+// --------------------------------------------------------------------
+// Monotonicity in processor count.
+
+class PeSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::int64_t,
+                                                 core::GeneralModelMode>> {};
+
+TEST_P(PeSweepTest, ComputationNonIncreasingInPes) {
+  const auto [cells, mode] = GetParam();
+  double previous = 1e300;
+  for (std::int32_t pes = 1; pes <= 1024; pes *= 2) {
+    const double comp = shared_model().predict_general(cells, pes, mode)
+                            .computation;
+    EXPECT_LE(comp, previous * (1.0 + 1e-9))
+        << "cells=" << cells << " pes=" << pes;
+    previous = comp;
+  }
+}
+
+TEST_P(PeSweepTest, CollectivesNonDecreasingInPes) {
+  const auto [cells, mode] = GetParam();
+  double previous = 0.0;
+  for (std::int32_t pes = 1; pes <= 1024; pes *= 2) {
+    const auto report = shared_model().predict_general(cells, pes, mode);
+    const double collectives = report.broadcast + report.allreduce +
+                               report.gather;
+    EXPECT_GE(collectives, previous) << "pes=" << pes;
+    previous = collectives;
+  }
+}
+
+TEST_P(PeSweepTest, AllComponentsNonNegative) {
+  const auto [cells, mode] = GetParam();
+  for (std::int32_t pes : {1, 3, 17, 100, 511, 1024}) {
+    const auto report = shared_model().predict_general(cells, pes, mode);
+    EXPECT_GE(report.computation, 0.0);
+    EXPECT_GE(report.boundary_exchange, 0.0);
+    EXPECT_GE(report.ghost_updates, 0.0);
+    EXPECT_GE(report.broadcast, 0.0);
+    EXPECT_GE(report.allreduce, 0.0);
+    EXPECT_GE(report.gather, 0.0);
+    EXPECT_GT(report.total(), 0.0);
+  }
+}
+
+TEST_P(PeSweepTest, PhaseComputationSumsToTotal) {
+  const auto [cells, mode] = GetParam();
+  for (std::int32_t pes : {1, 64, 1024}) {
+    const auto report = shared_model().predict_general(cells, pes, mode);
+    double sum = 0.0;
+    for (double t : report.phase_computation) sum += t;
+    EXPECT_NEAR(sum, report.computation, 1e-12 + 1e-9 * report.computation);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CellsAndModes, PeSweepTest,
+    ::testing::Combine(
+        ::testing::Values<std::int64_t>(3200, 204800, 819200),
+        ::testing::Values(core::GeneralModelMode::kHomogeneous,
+                          core::GeneralModelMode::kHeterogeneous)),
+    [](const auto& info) {
+      return "cells" + std::to_string(std::get<0>(info.param)) + "_" +
+             std::string(core::general_model_mode_name(std::get<1>(info.param)));
+    });
+
+// --------------------------------------------------------------------
+// Monotonicity in problem size.
+
+class SizeSweepTest : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(SizeSweepTest, TotalNonDecreasingInCells) {
+  const std::int32_t pes = GetParam();
+  double previous = 0.0;
+  for (std::int64_t cells = 51200; cells <= 3276800; cells *= 2) {
+    const double total =
+        shared_model()
+            .predict_general(cells, pes, core::GeneralModelMode::kHomogeneous)
+            .total();
+    EXPECT_GE(total, previous) << "cells=" << cells;
+    previous = total;
+  }
+}
+
+TEST_P(SizeSweepTest, BoundaryExchangeGrowsWithCells) {
+  // More cells per PE means longer subgrid edges, hence bigger
+  // boundary-exchange messages.
+  const std::int32_t pes = GetParam();
+  if (pes < 2) GTEST_SKIP() << "no communication on one PE";
+  const auto small =
+      shared_model().predict_general(51200, pes,
+                                     core::GeneralModelMode::kHomogeneous);
+  const auto large =
+      shared_model().predict_general(819200, pes,
+                                     core::GeneralModelMode::kHomogeneous);
+  EXPECT_GT(large.boundary_exchange, small.boundary_exchange);
+  EXPECT_GT(large.ghost_updates, small.ghost_updates);
+  // Collectives are size-independent (Table 4).
+  EXPECT_DOUBLE_EQ(large.allreduce, small.allreduce);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pes, SizeSweepTest,
+                         ::testing::Values(1, 16, 128, 1024));
+
+// --------------------------------------------------------------------
+// Cross-flavor consistency.
+
+TEST(ModelProperties, HeterogeneousCommunicationAtLeastHomogeneous) {
+  // Per-material boundary-exchange steps can only add messages.
+  for (std::int32_t pes : {4, 32, 256, 1024}) {
+    const auto het = shared_model().predict_general(
+        204800, pes, core::GeneralModelMode::kHeterogeneous);
+    const auto homo = shared_model().predict_general(
+        204800, pes, core::GeneralModelMode::kHomogeneous);
+    EXPECT_GE(het.boundary_exchange, homo.boundary_exchange - 1e-15)
+        << "pes=" << pes;
+    // Ghost updates and collectives are identical across flavors.
+    EXPECT_DOUBLE_EQ(het.ghost_updates, homo.ghost_updates);
+    EXPECT_DOUBLE_EQ(het.allreduce, homo.allreduce);
+  }
+}
+
+TEST(ModelProperties, MachineSpeedupNeverHurts) {
+  const core::KrakModel upgraded(shared_model().cost_table(),
+                                 network::make_hypothetical_upgrade());
+  for (std::int32_t pes : {1, 16, 256, 1024}) {
+    const double base =
+        shared_model()
+            .predict_general(204800, pes, core::GeneralModelMode::kHomogeneous)
+            .total();
+    const double fast =
+        upgraded
+            .predict_general(204800, pes, core::GeneralModelMode::kHomogeneous)
+            .total();
+    EXPECT_LT(fast, base) << "pes=" << pes;
+  }
+}
+
+TEST(ModelProperties, MeshSpecificWithinBandOfGeneralAtScale) {
+  // At scale the idealized general model and the real-partition model
+  // must agree on computation within the partition imbalance plus the
+  // homogeneous-max approximation (~10%).
+  const simapp::ComputationCostEngine engine;
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kMedium);
+  for (std::int32_t pes : {128, 512}) {
+    const partition::Partition part = partition::partition_deck(
+        deck, pes, partition::PartitionMethod::kMultilevel, 1);
+    const auto specific = shared_model().predict_mesh_specific(deck, part);
+    const auto general = shared_model().predict_general(
+        204800, pes, core::GeneralModelMode::kHomogeneous);
+    EXPECT_NEAR(specific.computation / general.computation, 1.0, 0.12)
+        << "pes=" << pes;
+  }
+}
+
+}  // namespace
+}  // namespace krak

@@ -1,0 +1,130 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace krak::linalg {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+    }
+  }
+}
+
+TEST(Matrix, InitializerListLayout) {
+  const Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, InitializerListRejectsRaggedRows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), util::InvalidArgument);
+}
+
+TEST(Matrix, ZeroDimensionRejected) {
+  EXPECT_THROW(Matrix(0, 3), util::InvalidArgument);
+  EXPECT_THROW(Matrix(3, 0), util::InvalidArgument);
+}
+
+TEST(Matrix, AtChecksBounds) {
+  Matrix m(2, 2);
+  EXPECT_NO_THROW((void)m.at(1, 1));
+  EXPECT_THROW((void)m.at(2, 0), util::InvalidArgument);
+  EXPECT_THROW((void)m.at(0, 2), util::InvalidArgument);
+}
+
+TEST(Matrix, IdentityHasOnesOnDiagonal) {
+  const Matrix id = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, TransposeSwapsIndices) {
+  const Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+  EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b = {{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix ab = a * b;
+  const Matrix expected = {{19.0, 22.0}, {43.0, 50.0}};
+  EXPECT_EQ(ab, expected);
+}
+
+TEST(Matrix, MultiplyByIdentityIsIdentityOperation) {
+  const Matrix a = {{1.5, -2.0, 0.25}, {0.0, 3.0, 7.0}};
+  const Matrix result = a * Matrix::identity(3);
+  EXPECT_EQ(result, a);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW((void)(a * b), util::InvalidArgument);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const std::vector<double> x = {1.0, -1.0};
+  const std::vector<double> y = a * std::span<const double>(x);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+}
+
+TEST(Matrix, AdditionAndSubtraction) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b = {{4.0, 3.0}, {2.0, 1.0}};
+  const Matrix sum = a + b;
+  const Matrix expected_sum = {{5.0, 5.0}, {5.0, 5.0}};
+  EXPECT_EQ(sum, expected_sum);
+  EXPECT_EQ(sum - b, a);
+}
+
+TEST(Matrix, MaxAbs) {
+  const Matrix m = {{1.0, -7.5}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.max_abs(), 7.5);
+  EXPECT_DOUBLE_EQ(Matrix{}.max_abs(), 0.0);
+}
+
+TEST(Matrix, RowSpanViewsData) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  auto row = m.row(1);
+  ASSERT_EQ(row.size(), 2u);
+  row[0] = 30.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 30.0);
+  EXPECT_THROW((void)m.row(2), util::InvalidArgument);
+}
+
+TEST(VectorOps, Norm2AndDot) {
+  const std::vector<double> a = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 11.0);
+  const std::vector<double> short_vec = {1.0};
+  EXPECT_THROW((void)dot(a, short_vec), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace krak::linalg

@@ -1,0 +1,188 @@
+#include "mesh/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace krak::mesh {
+namespace {
+
+TEST(Grid, CountsMatchFormulae) {
+  const Grid g(4, 3);
+  EXPECT_EQ(g.num_cells(), 12);
+  EXPECT_EQ(g.num_nodes(), 5 * 4);
+  // vertical: 5*3, horizontal: 4*4.
+  EXPECT_EQ(g.num_faces(), 15 + 16);
+}
+
+TEST(Grid, RejectsNonPositiveDimensions) {
+  EXPECT_THROW(Grid(0, 1), util::InvalidArgument);
+  EXPECT_THROW(Grid(1, 0), util::InvalidArgument);
+}
+
+TEST(Grid, CellIndexRoundTrip) {
+  const Grid g(7, 5);
+  for (std::int32_t j = 0; j < 5; ++j) {
+    for (std::int32_t i = 0; i < 7; ++i) {
+      const CellId cell = g.cell_at(i, j);
+      EXPECT_EQ(g.cell_i(cell), i);
+      EXPECT_EQ(g.cell_j(cell), j);
+    }
+  }
+  EXPECT_THROW((void)g.cell_at(7, 0), util::InvalidArgument);
+  EXPECT_THROW((void)g.cell_at(0, 5), util::InvalidArgument);
+  EXPECT_THROW((void)g.cell_at(-1, 0), util::InvalidArgument);
+}
+
+TEST(Grid, CellCenters) {
+  const Grid g(2, 2);
+  const Point c = g.cell_center(g.cell_at(1, 0));
+  EXPECT_DOUBLE_EQ(c.x, 1.5);
+  EXPECT_DOUBLE_EQ(c.y, 0.5);
+}
+
+TEST(Grid, CornerCellHasTwoNeighbors) {
+  const Grid g(3, 3);
+  EXPECT_EQ(g.neighbors_of_cell(g.cell_at(0, 0)).size(), 2u);
+  EXPECT_EQ(g.neighbors_of_cell(g.cell_at(2, 2)).size(), 2u);
+}
+
+TEST(Grid, EdgeCellHasThreeNeighbors) {
+  const Grid g(3, 3);
+  EXPECT_EQ(g.neighbors_of_cell(g.cell_at(1, 0)).size(), 3u);
+}
+
+TEST(Grid, InteriorCellHasFourNeighbors) {
+  const Grid g(3, 3);
+  EXPECT_EQ(g.neighbors_of_cell(g.cell_at(1, 1)).size(), 4u);
+}
+
+TEST(Grid, NeighborRelationIsSymmetric) {
+  const Grid g(5, 4);
+  for (CellId cell = 0; cell < g.num_cells(); ++cell) {
+    for (CellId n : g.neighbors_of_cell(cell)) {
+      const auto back = g.neighbors_of_cell(n);
+      EXPECT_NE(std::find(back.begin(), back.end(), cell), back.end());
+    }
+  }
+}
+
+TEST(Grid, FacesOfCellAreDistinctAndValid) {
+  const Grid g(4, 4);
+  for (CellId cell = 0; cell < g.num_cells(); ++cell) {
+    const auto faces = g.faces_of_cell(cell);
+    std::set<FaceId> unique(faces.begin(), faces.end());
+    EXPECT_EQ(unique.size(), 4u);
+    for (FaceId f : faces) {
+      ASSERT_GE(f, 0);
+      ASSERT_LT(f, g.num_faces());
+      const auto cells = g.cells_of_face(f);
+      EXPECT_TRUE(cells[0] == cell || cells[1] == cell);
+    }
+  }
+}
+
+TEST(Grid, EveryFaceTouchesOneOrTwoCells) {
+  const Grid g(4, 3);
+  std::int64_t boundary = 0;
+  for (FaceId f = 0; f < g.num_faces(); ++f) {
+    const auto cells = g.cells_of_face(f);
+    EXPECT_GE(cells[0], 0);
+    if (cells[1] == kNoCell) {
+      ++boundary;
+    } else {
+      EXPECT_NE(cells[0], cells[1]);
+    }
+  }
+  // Perimeter faces: 2*(nx + ny).
+  EXPECT_EQ(boundary, 2 * (4 + 3));
+}
+
+TEST(Grid, SharedFaceAgreesWithFacesOfCell) {
+  const Grid g(4, 4);
+  const CellId a = g.cell_at(1, 1);
+  const CellId east = g.cell_at(2, 1);
+  const CellId north = g.cell_at(1, 2);
+  EXPECT_EQ(g.shared_face(a, east), g.faces_of_cell(a)[1]);
+  EXPECT_EQ(g.shared_face(a, north), g.faces_of_cell(a)[3]);
+  // Symmetric.
+  EXPECT_EQ(g.shared_face(east, a), g.shared_face(a, east));
+}
+
+TEST(Grid, SharedFaceRejectsNonAdjacentCells) {
+  const Grid g(4, 4);
+  EXPECT_THROW((void)g.shared_face(g.cell_at(0, 0), g.cell_at(2, 0)),
+               util::InvalidArgument);
+  EXPECT_THROW((void)g.shared_face(g.cell_at(0, 0), g.cell_at(1, 1)),
+               util::InvalidArgument);
+  EXPECT_THROW((void)g.shared_face(g.cell_at(0, 0), g.cell_at(0, 0)),
+               util::InvalidArgument);
+}
+
+TEST(Grid, FaceNodesAreAdjacentGridPoints) {
+  const Grid g(3, 3);
+  for (FaceId f = 0; f < g.num_faces(); ++f) {
+    const auto nodes = g.nodes_of_face(f);
+    const Point a = g.node_position(nodes[0]);
+    const Point b = g.node_position(nodes[1]);
+    const double dist =
+        std::abs(a.x - b.x) + std::abs(a.y - b.y);  // Manhattan
+    EXPECT_DOUBLE_EQ(dist, 1.0);
+  }
+}
+
+TEST(Grid, CellNodesFormUnitSquare) {
+  const Grid g(3, 3);
+  const auto nodes = g.nodes_of_cell(g.cell_at(1, 2));
+  const Point sw = g.node_position(nodes[0]);
+  const Point ne = g.node_position(nodes[2]);
+  EXPECT_DOUBLE_EQ(sw.x, 1.0);
+  EXPECT_DOUBLE_EQ(sw.y, 2.0);
+  EXPECT_DOUBLE_EQ(ne.x, 2.0);
+  EXPECT_DOUBLE_EQ(ne.y, 3.0);
+}
+
+TEST(Grid, BoundaryFaceDetection) {
+  const Grid g(3, 3);
+  const auto west_of_corner = g.faces_of_cell(g.cell_at(0, 0))[0];
+  EXPECT_TRUE(g.is_boundary_face(west_of_corner));
+  const auto east_of_corner = g.faces_of_cell(g.cell_at(0, 0))[1];
+  EXPECT_FALSE(g.is_boundary_face(east_of_corner));
+}
+
+/// Euler-style sweep over grid shapes: shared faces count must equal
+/// the number of adjacent cell pairs.
+class GridShapeTest
+    : public ::testing::TestWithParam<std::pair<std::int32_t, std::int32_t>> {
+};
+
+TEST_P(GridShapeTest, InteriorFaceCountMatchesAdjacency) {
+  const auto [nx, ny] = GetParam();
+  const Grid g(nx, ny);
+  std::int64_t adjacency = 0;
+  for (CellId cell = 0; cell < g.num_cells(); ++cell) {
+    adjacency += static_cast<std::int64_t>(g.neighbors_of_cell(cell).size());
+  }
+  adjacency /= 2;
+  std::int64_t interior_faces = 0;
+  for (FaceId f = 0; f < g.num_faces(); ++f) {
+    if (!g.is_boundary_face(f)) ++interior_faces;
+  }
+  EXPECT_EQ(interior_faces, adjacency);
+  // And interior faces = nx*(ny-1) + (nx-1)*ny.
+  EXPECT_EQ(interior_faces,
+            static_cast<std::int64_t>(nx) * (ny - 1) +
+                static_cast<std::int64_t>(nx - 1) * ny);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GridShapeTest,
+                         ::testing::Values(std::pair{1, 1}, std::pair{1, 8},
+                                           std::pair{8, 1}, std::pair{2, 2},
+                                           std::pair{5, 3}, std::pair{16, 16},
+                                           std::pair{80, 40}));
+
+}  // namespace
+}  // namespace krak::mesh

@@ -1,0 +1,75 @@
+#include "mesh/material.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace krak::mesh {
+namespace {
+
+TEST(Material, IndexRoundTrip) {
+  for (std::size_t i = 0; i < kMaterialCount; ++i) {
+    EXPECT_EQ(material_index(material_from_index(i)), i);
+  }
+}
+
+TEST(Material, FromIndexRejectsOutOfRange) {
+  EXPECT_THROW((void)material_from_index(kMaterialCount),
+               util::InvalidArgument);
+}
+
+TEST(Material, AllMaterialsAreDistinctAndOrdered) {
+  const auto materials = all_materials();
+  EXPECT_EQ(materials.size(), kMaterialCount);
+  EXPECT_EQ(materials[0], Material::kHEGas);
+  EXPECT_EQ(materials[1], Material::kAluminumInner);
+  EXPECT_EQ(materials[2], Material::kFoam);
+  EXPECT_EQ(materials[3], Material::kAluminumOuter);
+}
+
+TEST(Material, NamesAreNonEmptyAndUnique) {
+  for (Material m : all_materials()) {
+    EXPECT_FALSE(material_name(m).empty());
+    EXPECT_FALSE(material_short_name(m).empty());
+  }
+  EXPECT_NE(material_name(Material::kAluminumInner),
+            material_name(Material::kAluminumOuter));
+}
+
+TEST(ExchangeGroup, AluminumLayersShareOneGroup) {
+  // Section 4.1: "Identical materials (such as the two aluminum
+  // materials in our input deck) are treated as one during boundary
+  // exchanges."
+  EXPECT_EQ(exchange_group(Material::kAluminumInner),
+            exchange_group(Material::kAluminumOuter));
+}
+
+TEST(ExchangeGroup, OtherMaterialsAreDistinctGroups) {
+  EXPECT_NE(exchange_group(Material::kHEGas), exchange_group(Material::kFoam));
+  EXPECT_NE(exchange_group(Material::kHEGas),
+            exchange_group(Material::kAluminumInner));
+  EXPECT_NE(exchange_group(Material::kFoam),
+            exchange_group(Material::kAluminumInner));
+}
+
+TEST(ExchangeGroup, GroupsAreDense) {
+  bool seen[kExchangeGroupCount] = {};
+  for (Material m : all_materials()) {
+    const std::size_t g = exchange_group(m);
+    ASSERT_LT(g, kExchangeGroupCount);
+    seen[g] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(ExchangeGroup, NamesMatchTable3Labels) {
+  EXPECT_EQ(exchange_group_name(exchange_group(Material::kHEGas)), "H.E. Gas");
+  EXPECT_EQ(exchange_group_name(exchange_group(Material::kAluminumOuter)),
+            "Aluminum (both)");
+  EXPECT_EQ(exchange_group_name(exchange_group(Material::kFoam)), "Foam");
+  EXPECT_THROW((void)exchange_group_name(kExchangeGroupCount),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace krak::mesh

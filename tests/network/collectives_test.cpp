@@ -1,0 +1,107 @@
+#include "network/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace krak::network {
+namespace {
+
+MessageCostModel unit_model() {
+  // Latency 1 s, no byte cost: collective times then literally count
+  // message steps, which makes the equations checkable by hand.
+  return make_hockney_model(1.0, 1e30);
+}
+
+TEST(CollectiveModel, TreeDepthPowersOfTwo) {
+  EXPECT_EQ(CollectiveModel::tree_depth(1), 0);
+  EXPECT_EQ(CollectiveModel::tree_depth(2), 1);
+  EXPECT_EQ(CollectiveModel::tree_depth(4), 2);
+  EXPECT_EQ(CollectiveModel::tree_depth(256), 8);
+  EXPECT_EQ(CollectiveModel::tree_depth(512), 9);
+  EXPECT_EQ(CollectiveModel::tree_depth(1024), 10);
+}
+
+TEST(CollectiveModel, TreeDepthNonPowersRoundUp) {
+  EXPECT_EQ(CollectiveModel::tree_depth(3), 2);
+  EXPECT_EQ(CollectiveModel::tree_depth(5), 3);
+  EXPECT_EQ(CollectiveModel::tree_depth(100), 7);
+}
+
+TEST(CollectiveModel, TreeDepthRejectsNonPositive) {
+  EXPECT_THROW((void)CollectiveModel::tree_depth(0), util::InvalidArgument);
+}
+
+TEST(CollectiveModel, FanOutCountsLogPMessages) {
+  const CollectiveModel model(unit_model());
+  // "a one-to-all communication requires log(P) messages" (Section 4.3).
+  EXPECT_DOUBLE_EQ(model.fan_out(8, 4.0), 3.0);
+  EXPECT_DOUBLE_EQ(model.fan_in(8, 4.0), 3.0);
+  EXPECT_DOUBLE_EQ(model.fan_out(1, 4.0), 0.0);
+}
+
+TEST(CollectiveModel, FanInFanOutCountsTwiceLogP) {
+  const CollectiveModel model(unit_model());
+  // "a synchronization point requires 2 log(P) messages".
+  EXPECT_DOUBLE_EQ(model.fan_in_fan_out(8, 4.0), 6.0);
+}
+
+TEST(CollectiveModel, Equation8BroadcastCoefficients) {
+  // T_Broadcast = 3 log(P) Tmsg(4) + 3 log(P) Tmsg(8); with unit
+  // latency each Tmsg is 1, so the total is 6 log(P).
+  const CollectiveModel model(unit_model());
+  EXPECT_DOUBLE_EQ(model.iteration_broadcast(16), 6.0 * 4.0);
+}
+
+TEST(CollectiveModel, Equation9AllreduceCoefficients) {
+  // T_Allreduce = 18 log(P) Tmsg(4) + 26 log(P) Tmsg(8) = 44 log(P).
+  const CollectiveModel model(unit_model());
+  EXPECT_DOUBLE_EQ(model.iteration_allreduce(16), 44.0 * 4.0);
+}
+
+TEST(CollectiveModel, Equation10GatherCoefficients) {
+  // T_Gather = log(P) Tmsg(32).
+  const CollectiveModel model(unit_model());
+  EXPECT_DOUBLE_EQ(model.iteration_gather(16), 4.0);
+}
+
+TEST(CollectiveModel, IterationTotalIsSumOfEquations) {
+  const CollectiveModel model(make_qsnet1_model());
+  for (std::int32_t pes : {1, 2, 16, 128, 512}) {
+    EXPECT_DOUBLE_EQ(model.iteration_collectives(pes),
+                     model.iteration_broadcast(pes) +
+                         model.iteration_allreduce(pes) +
+                         model.iteration_gather(pes));
+  }
+}
+
+TEST(CollectiveModel, SingleProcessorIsFree) {
+  const CollectiveModel model(make_qsnet1_model());
+  EXPECT_DOUBLE_EQ(model.iteration_collectives(1), 0.0);
+}
+
+TEST(CollectiveModel, CostGrowsLogarithmically) {
+  const CollectiveModel model(make_qsnet1_model());
+  // Doubling P adds one tree level: the 512->1024 increment equals the
+  // 256->512 increment.
+  const double d1 =
+      model.iteration_allreduce(512) - model.iteration_allreduce(256);
+  const double d2 =
+      model.iteration_allreduce(1024) - model.iteration_allreduce(512);
+  EXPECT_NEAR(d1, d2, 1e-12);
+  EXPECT_GT(d1, 0.0);
+}
+
+TEST(CollectiveInventory, MatchesTable4) {
+  const CollectiveInventory inv;
+  EXPECT_EQ(inv.bcast_4b, 3);
+  EXPECT_EQ(inv.bcast_8b, 3);
+  EXPECT_EQ(inv.allreduce_4b, 9);
+  EXPECT_EQ(inv.allreduce_8b, 13);
+  EXPECT_EQ(inv.gather_32b, 1);
+  EXPECT_EQ(inv.total_allreduces(), 22);
+}
+
+}  // namespace
+}  // namespace krak::network

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mesh/deck.hpp"
+#include "partition/partition.hpp"
+#include "partition/stats.hpp"
+#include "util/error.hpp"
+
+namespace krak::partition {
+namespace {
+
+using mesh::Material;
+
+/// HE gas 4x as expensive as everything else — an exaggerated version
+/// of the deck's real cost skew, making the balancing effect crisp.
+std::array<double, mesh::kMaterialCount> skewed_costs() {
+  return {4.0, 1.0, 1.0, 1.0};
+}
+
+TEST(WeightedGraph, WeightsFollowMaterialCosts) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const Graph g = build_weighted_dual_graph(deck, skewed_costs());
+  g.validate();
+  for (std::int32_t v = 0; v < g.num_vertices(); ++v) {
+    const Material m = deck.material_of(v);
+    const std::int32_t expected = (m == Material::kHEGas) ? 400 : 100;
+    EXPECT_EQ(g.vwgt[static_cast<std::size_t>(v)], expected);
+  }
+}
+
+TEST(WeightedGraph, RejectsAllZeroCosts) {
+  const mesh::InputDeck deck = mesh::make_uniform_deck(4, 4, Material::kFoam);
+  const std::array<double, mesh::kMaterialCount> zeros{};
+  EXPECT_THROW((void)build_weighted_dual_graph(deck, zeros),
+               util::InvalidArgument);
+  const std::array<double, mesh::kMaterialCount> negative = {-1.0, 1.0, 1.0,
+                                                             1.0};
+  EXPECT_THROW((void)build_weighted_dual_graph(deck, negative),
+               util::InvalidArgument);
+}
+
+TEST(CostAware, BalancesWeightedLoadNotCellCounts) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const Partition part = partition_cost_aware(deck, 16, skewed_costs(), 1);
+  const PartitionStats stats(deck, part);
+
+  // Per-PE weighted load: 4 * HE cells + other cells.
+  std::vector<double> loads;
+  for (const SubdomainInfo& sub : stats.subdomains()) {
+    double load = 0.0;
+    for (std::size_t m = 0; m < mesh::kMaterialCount; ++m) {
+      load += skewed_costs()[m] *
+              static_cast<double>(sub.cells_per_material[m]);
+    }
+    loads.push_back(load);
+  }
+  const double mean =
+      std::accumulate(loads.begin(), loads.end(), 0.0) / loads.size();
+  const double max_load = *std::max_element(loads.begin(), loads.end());
+  EXPECT_LE(max_load / mean, 1.06);
+}
+
+TEST(CostAware, CellCountsIntentionallyImbalanced) {
+  // The point of weighting: HE-gas-owning processors get FEWER cells.
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const Partition part = partition_cost_aware(deck, 16, skewed_costs(), 1);
+  const auto counts = part.cell_counts();
+  const auto [min_it, max_it] =
+      std::minmax_element(counts.begin(), counts.end());
+  // Cell counts spread far beyond the 2-3% a cell-balanced partition
+  // would show (cost ratio 4 forces it).
+  EXPECT_GT(static_cast<double>(*max_it) / static_cast<double>(*min_it), 1.5);
+}
+
+TEST(CostAware, UniformCostsReduceToCellBalance) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const std::array<double, mesh::kMaterialCount> uniform = {1.0, 1.0, 1.0, 1.0};
+  const Partition part = partition_cost_aware(deck, 16, uniform, 1);
+  const Graph g = build_dual_graph(deck.grid());
+  const PartitionQuality q = evaluate_partition(g, part);
+  EXPECT_LE(q.imbalance, 1.03);
+  EXPECT_EQ(q.empty_parts, 0);
+}
+
+TEST(CostAware, DeterministicForFixedSeed) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const Partition a = partition_cost_aware(deck, 8, skewed_costs(), 7);
+  const Partition b = partition_cost_aware(deck, 8, skewed_costs(), 7);
+  EXPECT_EQ(a.assignment(), b.assignment());
+}
+
+}  // namespace
+}  // namespace krak::partition

@@ -1,0 +1,83 @@
+#include "partition/dualgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace krak::partition {
+namespace {
+
+TEST(DualGraph, SingleCellHasNoEdges) {
+  const Graph g = build_dual_graph(mesh::Grid(1, 1));
+  EXPECT_EQ(g.num_vertices(), 1);
+  EXPECT_EQ(g.num_edges(), 0);
+  g.validate();
+}
+
+TEST(DualGraph, EdgeCountMatchesInteriorFaces) {
+  const mesh::Grid grid(6, 4);
+  const Graph g = build_dual_graph(grid);
+  EXPECT_EQ(g.num_vertices(), 24);
+  // Interior faces: nx*(ny-1) + (nx-1)*ny = 6*3 + 5*4 = 38.
+  EXPECT_EQ(g.num_edges(), 38);
+  g.validate();
+}
+
+TEST(DualGraph, UnitWeights) {
+  const Graph g = build_dual_graph(mesh::Grid(3, 3));
+  for (std::int32_t w : g.vwgt) EXPECT_EQ(w, 1);
+  for (std::int32_t w : g.ewgt) EXPECT_EQ(w, 1);
+  EXPECT_EQ(g.total_vertex_weight(), 9);
+}
+
+TEST(DualGraph, NeighborsMatchGridAdjacency) {
+  const mesh::Grid grid(4, 4);
+  const Graph g = build_dual_graph(grid);
+  for (std::int32_t v = 0; v < g.num_vertices(); ++v) {
+    const auto expected = grid.neighbors_of_cell(v);
+    const auto actual = g.neighbors(v);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (mesh::CellId n : expected) {
+      EXPECT_NE(std::find(actual.begin(), actual.end(), n), actual.end());
+    }
+  }
+}
+
+TEST(Graph, NeighborAccessorsCheckRange) {
+  const Graph g = build_dual_graph(mesh::Grid(2, 2));
+  EXPECT_THROW((void)g.neighbors(4), util::InvalidArgument);
+  EXPECT_THROW((void)g.neighbors(-1), util::InvalidArgument);
+  EXPECT_THROW((void)g.edge_weights(4), util::InvalidArgument);
+}
+
+TEST(Graph, ValidateCatchesAsymmetry) {
+  Graph g;
+  g.vwgt = {1, 1};
+  g.xadj = {0, 1, 1};
+  g.adjncy = {1};  // 0 -> 1 but not 1 -> 0
+  g.ewgt = {1};
+  EXPECT_THROW(g.validate(), util::InternalError);
+}
+
+TEST(Graph, ValidateCatchesSelfLoop) {
+  Graph g;
+  g.vwgt = {1};
+  g.xadj = {0, 1};
+  g.adjncy = {0};
+  g.ewgt = {1};
+  EXPECT_THROW(g.validate(), util::InternalError);
+}
+
+TEST(Graph, ValidateCatchesBadXadj) {
+  Graph g;
+  g.vwgt = {1, 1};
+  g.xadj = {0, 2, 1};  // non-monotone
+  g.adjncy = {1, 0};
+  g.ewgt = {1, 1};
+  EXPECT_THROW(g.validate(), util::InternalError);
+}
+
+}  // namespace
+}  // namespace krak::partition

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "mesh/deck.hpp"
+#include "partition/partition.hpp"
+#include "partition/stats.hpp"
+
+namespace krak::partition {
+namespace {
+
+TEST(MaterialAware, EveryPeGetsEveryMaterialShare) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const Partition part =
+      partition_deck(deck, 16, PartitionMethod::kMaterialAware);
+  const PartitionStats stats(deck, part);
+  const auto totals = deck.material_cell_counts();
+  for (const SubdomainInfo& sub : stats.subdomains()) {
+    for (std::size_t m = 0; m < mesh::kMaterialCount; ++m) {
+      const double expected =
+          static_cast<double>(totals[m]) / 16.0;
+      EXPECT_NEAR(static_cast<double>(sub.cells_per_material[m]), expected,
+                  expected * 0.05 + 1.0)
+          << "pe " << sub.pe << " material " << m;
+    }
+  }
+}
+
+TEST(MaterialAware, TotalBalanceWithinFivePercent) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kMedium);
+  const Partition part =
+      partition_deck(deck, 64, PartitionMethod::kMaterialAware);
+  const Graph graph = build_dual_graph(deck.grid());
+  const PartitionQuality quality = evaluate_partition(graph, part);
+  EXPECT_LE(quality.imbalance, 1.05);
+  EXPECT_EQ(quality.empty_parts, 0);
+}
+
+TEST(MaterialAware, NoHomogeneousSubgridsAtScale) {
+  // The defining property: even at high processor counts, subgrids keep
+  // the global material mix (multilevel subgrids become single-material
+  // instead).
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kMedium);
+  const Partition aware =
+      partition_deck(deck, 256, PartitionMethod::kMaterialAware);
+  const PartitionStats stats(deck, aware);
+  std::int32_t single_material = 0;
+  for (const SubdomainInfo& sub : stats.subdomains()) {
+    std::int32_t present = 0;
+    for (std::int64_t n : sub.cells_per_material) {
+      if (n > 0) ++present;
+    }
+    if (present == 1) ++single_material;
+  }
+  EXPECT_EQ(single_material, 0);
+}
+
+TEST(MaterialAware, HigherEdgeCutThanMultilevel) {
+  // The trade-off: per-material balance costs edge cut.
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const Graph graph = build_dual_graph(deck.grid());
+  const auto cut = [&](PartitionMethod method) {
+    return evaluate_partition(graph, partition_deck(deck, 16, method, 1))
+        .edge_cut;
+  };
+  EXPECT_GT(cut(PartitionMethod::kMaterialAware),
+            cut(PartitionMethod::kMultilevel));
+}
+
+TEST(MaterialAware, Deterministic) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const Partition a = partition_deck(deck, 12, PartitionMethod::kMaterialAware);
+  const Partition b = partition_deck(deck, 12, PartitionMethod::kMaterialAware);
+  EXPECT_EQ(a.assignment(), b.assignment());
+}
+
+TEST(MaterialAware, SinglePart) {
+  const mesh::InputDeck deck = mesh::make_uniform_deck(4, 4, mesh::Material::kFoam);
+  const Partition part =
+      partition_deck(deck, 1, PartitionMethod::kMaterialAware);
+  for (std::int64_t cell = 0; cell < part.num_cells(); ++cell) {
+    EXPECT_EQ(part.pe_of(cell), 0);
+  }
+}
+
+TEST(MaterialAware, MorePartsThanMaterialCellsStillCoversAllPes) {
+  // A tiny deck where one material has fewer cells than parts.
+  const mesh::InputDeck deck = mesh::make_cylindrical_deck(8, 2);
+  const Partition part =
+      partition_deck(deck, 8, PartitionMethod::kMaterialAware);
+  const auto counts = part.cell_counts();
+  for (std::int64_t c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(MaterialAware, NamedCorrectly) {
+  EXPECT_EQ(partition_method_name(PartitionMethod::kMaterialAware),
+            "material-aware");
+}
+
+}  // namespace
+}  // namespace krak::partition

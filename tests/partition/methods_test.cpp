@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "mesh/deck.hpp"
+#include "partition/partition.hpp"
+#include "util/error.hpp"
+
+namespace krak::partition {
+namespace {
+
+/// Common invariants every partitioning method must satisfy on every
+/// deck/part-count combination: complete assignment, good balance, no
+/// empty parts.
+class MethodSweepTest
+    : public ::testing::TestWithParam<std::tuple<PartitionMethod, std::int32_t>> {
+};
+
+TEST_P(MethodSweepTest, BalanceAndCompleteness) {
+  const auto [method, parts] = GetParam();
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const Partition p = partition_deck(deck, parts, method, /*seed=*/3);
+  EXPECT_EQ(p.parts(), parts);
+  EXPECT_EQ(p.num_cells(), deck.grid().num_cells());
+
+  const Graph g = build_dual_graph(deck.grid());
+  const PartitionQuality q = evaluate_partition(g, p);
+  EXPECT_EQ(q.empty_parts, 0) << partition_method_name(method);
+  // All methods must stay within 10% imbalance on this well-shaped
+  // grid; the multilevel method targets 2-3%.
+  EXPECT_LE(q.imbalance, 1.10) << partition_method_name(method);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, MethodSweepTest,
+    ::testing::Combine(::testing::Values(PartitionMethod::kStrip,
+                                         PartitionMethod::kRcb,
+                                         PartitionMethod::kMultilevel),
+                       ::testing::Values(1, 2, 3, 7, 16, 61, 128)),
+    [](const auto& info) {
+      return std::string(partition_method_name(std::get<0>(info.param))) +
+             "_p" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Rcb, SplitsSquareIntoQuadrants) {
+  // A 4x4 grid into 4 parts: RCB must produce four 2x2 blocks.
+  const mesh::InputDeck deck = mesh::make_uniform_deck(4, 4, mesh::Material::kFoam);
+  const Partition p = partition_deck(deck, 4, PartitionMethod::kRcb);
+  const mesh::Grid& g = deck.grid();
+  // Cells in the same quadrant share a part.
+  for (std::int32_t j = 0; j < 4; ++j) {
+    for (std::int32_t i = 0; i < 4; ++i) {
+      const PeId pe = p.pe_of(g.cell_at(i, j));
+      const PeId quadrant_rep = p.pe_of(g.cell_at((i / 2) * 2, (j / 2) * 2));
+      EXPECT_EQ(pe, quadrant_rep);
+    }
+  }
+  const auto counts = p.cell_counts();
+  for (auto c : counts) EXPECT_EQ(c, 4);
+}
+
+TEST(Rcb, DeterministicAcrossCalls) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const Partition a = partition_deck(deck, 13, PartitionMethod::kRcb);
+  const Partition b = partition_deck(deck, 13, PartitionMethod::kRcb);
+  EXPECT_EQ(a.assignment(), b.assignment());
+}
+
+TEST(Rcb, NonPowerOfTwoPartsBalanced) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const Partition p = partition_deck(deck, 5, PartitionMethod::kRcb);
+  const auto counts = p.cell_counts();
+  const auto [min_it, max_it] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GE(*min_it, 3200 / 5 - 1);
+  EXPECT_LE(*max_it, 3200 / 5 + 1);
+}
+
+TEST(Multilevel, SameSeedReproduces) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const Partition a = partition_deck(deck, 16, PartitionMethod::kMultilevel, 5);
+  const Partition b = partition_deck(deck, 16, PartitionMethod::kMultilevel, 5);
+  EXPECT_EQ(a.assignment(), b.assignment());
+}
+
+TEST(Multilevel, CutBeatsStripOnWideGrid) {
+  // Strips across an 80x40 grid cut whole rows; a locality-aware method
+  // must do strictly better.
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const Graph g = build_dual_graph(deck.grid());
+  const auto cut = [&](PartitionMethod m) {
+    return evaluate_partition(g, partition_deck(deck, 16, m, 1)).edge_cut;
+  };
+  EXPECT_LT(cut(PartitionMethod::kMultilevel), cut(PartitionMethod::kStrip));
+}
+
+TEST(Multilevel, TightBalanceOnMediumDeck) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kMedium);
+  const Partition p = partition_deck(deck, 128, PartitionMethod::kMultilevel, 1);
+  const Graph g = build_dual_graph(deck.grid());
+  const PartitionQuality q = evaluate_partition(g, p);
+  EXPECT_LE(q.imbalance, 1.03);
+  EXPECT_EQ(q.empty_parts, 0);
+  // Neighbor counts of an irregular partition vary (Section 2: "each
+  // processor has N neighbors, where N varies across processors").
+  EXPECT_GE(q.max_neighbors, 4);
+}
+
+TEST(Multilevel, SinglePartTrivial) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const Partition p = partition_deck(deck, 1, PartitionMethod::kMultilevel);
+  for (std::int64_t cell = 0; cell < p.num_cells(); ++cell) {
+    EXPECT_EQ(p.pe_of(cell), 0);
+  }
+}
+
+TEST(Multilevel, PartsEqualToCells) {
+  const mesh::InputDeck deck = mesh::make_uniform_deck(4, 2, mesh::Material::kFoam);
+  const Partition p = partition_deck(deck, 8, PartitionMethod::kMultilevel, 1);
+  const auto counts = p.cell_counts();
+  for (auto c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(PartitionDeck, RejectsBadArguments) {
+  const mesh::InputDeck deck = mesh::make_uniform_deck(2, 2, mesh::Material::kFoam);
+  EXPECT_THROW((void)partition_deck(deck, 0, PartitionMethod::kRcb),
+               util::InvalidArgument);
+  EXPECT_THROW((void)partition_deck(deck, 5, PartitionMethod::kRcb),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace krak::partition

@@ -1,0 +1,81 @@
+// Analytic cross-checks of the boundary statistics on strip partitions,
+// where every quantity has a closed form: a boundary between adjacent
+// full-row strips of an nx-wide grid has exactly nx shared faces and
+// nx + 1 ghost nodes.
+
+#include <gtest/gtest.h>
+
+#include "mesh/deck.hpp"
+#include "partition/partition.hpp"
+#include "partition/stats.hpp"
+
+namespace krak::partition {
+namespace {
+
+TEST(StripAnalytic, RowStripBoundariesHaveExactCounts) {
+  // 80x40 grid into 8 strips of 5 full rows each.
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const Partition part = partition_strips(3200, 8);
+  const PartitionStats stats(deck, part);
+  for (PeId pe = 0; pe < 8; ++pe) {
+    const SubdomainInfo& sub = stats.subdomain(pe);
+    const std::size_t expected_neighbors = (pe == 0 || pe == 7) ? 1u : 2u;
+    ASSERT_EQ(sub.neighbors.size(), expected_neighbors) << "pe " << pe;
+    for (const NeighborBoundary& boundary : sub.neighbors) {
+      EXPECT_EQ(boundary.total_faces, 80);
+      EXPECT_EQ(boundary.total_ghost_nodes(), 81);
+      // Full rows carry every material layer: all three exchange
+      // groups present.
+      for (std::int64_t faces : boundary.faces_per_group) {
+        EXPECT_GT(faces, 0);
+      }
+    }
+  }
+}
+
+TEST(StripAnalytic, GroupFacesMatchDeckLayerWidths) {
+  // The faces of each group along a full-row boundary equal the deck's
+  // layer widths in columns.
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const Partition part = partition_strips(3200, 8);
+  const PartitionStats stats(deck, part);
+  const auto counts = deck.material_cell_counts();
+  const auto columns = [&](mesh::Material m) {
+    return counts[mesh::material_index(m)] / 40;  // cells / rows
+  };
+  const NeighborBoundary& boundary = stats.subdomain(0).neighbors.front();
+  EXPECT_EQ(boundary.faces_per_group[mesh::exchange_group(
+                mesh::Material::kHEGas)],
+            columns(mesh::Material::kHEGas));
+  EXPECT_EQ(boundary.faces_per_group[mesh::exchange_group(
+                mesh::Material::kFoam)],
+            columns(mesh::Material::kFoam));
+  EXPECT_EQ(boundary.faces_per_group[mesh::exchange_group(
+                mesh::Material::kAluminumInner)],
+            columns(mesh::Material::kAluminumInner) +
+                columns(mesh::Material::kAluminumOuter));
+}
+
+TEST(StripAnalytic, MultiMaterialNodesAreTheLayerJunctions) {
+  // Along a full-row boundary exactly three nodes sit on material-group
+  // junctions (HE|Al, Al|foam, foam|Al -> group junctions HE|Al, Al|F,
+  // F|Al), and each junction node touches two groups.
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const Partition part = partition_strips(3200, 8);
+  const PartitionStats stats(deck, part);
+  const NeighborBoundary& boundary = stats.subdomain(0).neighbors.front();
+  EXPECT_EQ(boundary.multi_material_ghost_nodes, 3);
+  // Aluminum (group of both layers) touches all three junctions.
+  EXPECT_EQ(boundary.multi_material_nodes_per_group[mesh::exchange_group(
+                mesh::Material::kAluminumInner)],
+            3);
+  EXPECT_EQ(boundary.multi_material_nodes_per_group[mesh::exchange_group(
+                mesh::Material::kHEGas)],
+            1);
+  EXPECT_EQ(boundary.multi_material_nodes_per_group[mesh::exchange_group(
+                mesh::Material::kFoam)],
+            2);
+}
+
+}  // namespace
+}  // namespace krak::partition

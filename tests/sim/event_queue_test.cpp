@@ -1,0 +1,96 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace krak::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&order] { order.push_back(3); });
+  queue.schedule(1.0, [&order] { order.push_back(1); });
+  queue.schedule(2.0, [&order] { order.push_back(2); });
+  EXPECT_EQ(queue.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  queue.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NowTracksFiringTime) {
+  EventQueue queue;
+  double seen = -1.0;
+  queue.schedule(2.5, [&queue, &seen] { seen = queue.now(); });
+  queue.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(queue.now(), 2.5);
+}
+
+TEST(EventQueue, ActionsCanScheduleMoreEvents) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(1.0, [&queue, &fired] {
+    ++fired;
+    queue.schedule(2.0, [&queue, &fired] {
+      ++fired;
+      queue.schedule(3.0, [&fired] { ++fired; });
+    });
+  });
+  EXPECT_EQ(queue.run(), 3u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue queue;
+  queue.schedule(5.0, [&queue] {
+    EXPECT_THROW(queue.schedule(4.0, [] {}), util::InvalidArgument);
+  });
+  queue.run();
+}
+
+TEST(EventQueue, SchedulingAtCurrentTimeAllowed) {
+  EventQueue queue;
+  bool fired = false;
+  queue.schedule(5.0, [&queue, &fired] {
+    queue.schedule(5.0, [&fired] { fired = true; });
+  });
+  queue.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, EmptyActionRejected) {
+  EventQueue queue;
+  EXPECT_THROW(queue.schedule(1.0, EventQueue::Action{}),
+               util::InvalidArgument);
+}
+
+TEST(EventQueue, RunawayGuardTrips) {
+  EventQueue queue;
+  // A self-perpetuating event chain must hit the max_events guard.
+  std::function<void()> reschedule = [&queue, &reschedule] {
+    queue.schedule(queue.now() + 1.0, reschedule);
+  };
+  queue.schedule(0.0, reschedule);
+  EXPECT_THROW((void)queue.run(100), util::InternalError);
+}
+
+TEST(EventQueue, EmptyRunReturnsZero) {
+  EventQueue queue;
+  EXPECT_EQ(queue.run(), 0u);
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace
+}  // namespace krak::sim

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "network/msgmodel.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace krak::sim {
+namespace {
+
+/// Zero-latency, instant-wire network so only NIC serialization shows.
+Simulator nic_simulator(std::int32_t ranks, NicConfig nic) {
+  SimConfig config;
+  config.send_overhead = 0.0;
+  config.recv_overhead = 0.0;
+  Simulator sim(ranks, network::make_hockney_model(0.0, 1e30), config);
+  sim.set_nic(nic);
+  return sim;
+}
+
+TEST(Nic, DisabledByDefaultMessagesDontSerialize) {
+  SimConfig config;
+  config.send_overhead = 0.0;
+  config.recv_overhead = 0.0;
+  Simulator sim(3, network::make_hockney_model(0.0, 1e30), config);
+  sim.set_schedule(0, {Op::isend(1, 1e6, 1), Op::isend(2, 1e6, 2)});
+  sim.set_schedule(1, {Op::recv(0, 1e6, 1)});
+  sim.set_schedule(2, {Op::recv(0, 1e6, 2)});
+  const SimResult result = sim.run();
+  EXPECT_NEAR(result.makespan, 0.0, 1e-12);
+}
+
+TEST(Nic, SameNodeSendsSerializeAtInjectionBandwidth) {
+  NicConfig nic;
+  nic.enabled = true;
+  nic.pes_per_node = 4;
+  nic.injection_bandwidth = 1e6;  // 1 MB/s: 1 MB takes 1 s to inject
+  Simulator sim = nic_simulator(6, nic);
+  // Ranks 0 and 1 share node 0; each sends 1 MB to ranks on node 1.
+  sim.set_schedule(0, {Op::isend(4, 1e6, 1)});
+  sim.set_schedule(1, {Op::isend(5, 1e6, 2)});
+  sim.set_schedule(4, {Op::recv(0, 1e6, 1), Op::record(0)});
+  sim.set_schedule(5, {Op::recv(1, 1e6, 2), Op::record(0)});
+  const SimResult result = sim.run();
+  // One of the two messages waits ~1 s for the adapter.
+  const double first = std::min(result.records[4].at(0), result.records[5].at(0));
+  const double second = std::max(result.records[4].at(0), result.records[5].at(0));
+  EXPECT_NEAR(first, 1.0, 1e-9);
+  EXPECT_NEAR(second, 2.0, 1e-9);
+}
+
+TEST(Nic, DifferentNodesDoNotContend) {
+  NicConfig nic;
+  nic.enabled = true;
+  nic.pes_per_node = 1;  // every rank has its own adapter
+  nic.injection_bandwidth = 1e6;
+  Simulator sim = nic_simulator(4, nic);
+  sim.set_schedule(0, {Op::isend(2, 1e6, 1)});
+  sim.set_schedule(1, {Op::isend(3, 1e6, 2)});
+  sim.set_schedule(2, {Op::recv(0, 1e6, 1), Op::record(0)});
+  sim.set_schedule(3, {Op::recv(1, 1e6, 2), Op::record(0)});
+  const SimResult result = sim.run();
+  EXPECT_NEAR(result.records[2].at(0), 1.0, 1e-9);
+  EXPECT_NEAR(result.records[3].at(0), 1.0, 1e-9);
+}
+
+TEST(Nic, SenderCpuDoesNotBlockOnInjection) {
+  // Asynchronous sends: the CPU posts and moves on even when the
+  // adapter is backed up.
+  NicConfig nic;
+  nic.enabled = true;
+  nic.pes_per_node = 2;
+  nic.injection_bandwidth = 1e6;
+  Simulator sim = nic_simulator(3, nic);
+  sim.set_schedule(0, {Op::isend(2, 1e6, 1), Op::isend(2, 1e6, 2),
+                       Op::record(0)});
+  sim.set_schedule(2, {Op::recv(0, 1e6, 1), Op::recv(0, 1e6, 2)});
+  const SimResult result = sim.run();
+  // The CPU finished posting both messages immediately...
+  EXPECT_NEAR(result.records[0].at(0), 0.0, 1e-9);
+  // ...while the wire delivered the second one only after ~2 s.
+  EXPECT_NEAR(result.makespan, 2.0, 1e-9);
+}
+
+TEST(Nic, ConfigValidated) {
+  Simulator sim(2, network::make_qsnet1_model());
+  NicConfig bad;
+  bad.enabled = true;
+  bad.pes_per_node = 0;
+  EXPECT_THROW(sim.set_nic(bad), util::InvalidArgument);
+  bad.pes_per_node = 4;
+  bad.injection_bandwidth = 0.0;
+  EXPECT_THROW(sim.set_nic(bad), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace krak::sim

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "network/msgmodel.hpp"
+#include "network/topology.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace krak::sim {
+namespace {
+
+Simulator flat_simulator(std::int32_t ranks) {
+  SimConfig config;
+  config.send_overhead = 0.0;
+  config.recv_overhead = 0.0;
+  return Simulator(ranks, network::make_hockney_model(1.0, 1e30), config);
+}
+
+TEST(PairNetwork, OverridesPointToPointCosts) {
+  Simulator sim = flat_simulator(2);
+  // Override: every message takes 5 s on the wire, 0 s to hand off.
+  sim.set_pair_network(
+      [](RankId, RankId, double) { return 5.0; },
+      [](RankId, RankId, double) { return 0.0; });
+  sim.set_schedule(0, {Op::isend(1, 8.0, 1)});
+  sim.set_schedule(1, {Op::recv(0, 8.0, 1)});
+  const SimResult result = sim.run();
+  EXPECT_NEAR(result.finish_times[1], 5.0, 1e-12);
+  EXPECT_NEAR(result.finish_times[0], 0.0, 1e-12);
+}
+
+TEST(PairNetwork, CollectivesStillUseFlatModel) {
+  Simulator sim = flat_simulator(2);
+  sim.set_pair_network(
+      [](RankId, RankId, double) { return 100.0; },
+      [](RankId, RankId, double) { return 100.0; });
+  const Schedule schedule = {Op::allreduce(8.0)};
+  sim.set_schedule(0, schedule);
+  sim.set_schedule(1, schedule);
+  const SimResult result = sim.run();
+  // Flat model: 2 * depth(2) * 1 s = 2 s; the pair override must not
+  // leak into the tree cost.
+  EXPECT_NEAR(result.makespan, 2.0, 1e-12);
+}
+
+TEST(PairNetwork, MismatchedFunctionsRejected) {
+  Simulator sim = flat_simulator(2);
+  EXPECT_THROW(
+      sim.set_pair_network([](RankId, RankId, double) { return 1.0; },
+                           Simulator::PairCost{}),
+      util::InvalidArgument);
+}
+
+TEST(PairNetwork, CanBeCleared) {
+  Simulator sim = flat_simulator(2);
+  sim.set_pair_network([](RankId, RankId, double) { return 50.0; },
+                       [](RankId, RankId, double) { return 0.0; });
+  sim.set_pair_network({}, {});
+  sim.set_schedule(0, {Op::isend(1, 8.0, 1)});
+  sim.set_schedule(1, {Op::recv(0, 8.0, 1)});
+  const SimResult result = sim.run();
+  EXPECT_NEAR(result.finish_times[1], 1.0, 1e-12);  // flat 1 s latency
+}
+
+TEST(PairNetwork, HierarchicalRanksSeeAsymmetricCosts) {
+  // Wire a real HierarchicalNetwork: ranks 0-3 on node 0, 4-7 on node 1.
+  const auto hierarchy = std::make_shared<network::HierarchicalNetwork>(
+      network::make_es45_shared_memory_model(), network::make_qsnet1_model(),
+      network::Placement(8, 4));
+  SimConfig config;
+  config.send_overhead = 0.0;
+  config.recv_overhead = 0.0;
+  Simulator sim(8, network::make_qsnet1_model(), config);
+  sim.set_pair_network(
+      [hierarchy](RankId from, RankId to, double bytes) {
+        return hierarchy->message_time(from, to, bytes);
+      },
+      [hierarchy](RankId from, RankId to, double bytes) {
+        return hierarchy->latency(from, to, bytes);
+      });
+  // Rank 0 pings rank 1 (same node) and rank 4 (other node).
+  sim.set_schedule(0, {Op::isend(1, 1024.0, 1), Op::isend(4, 1024.0, 2)});
+  sim.set_schedule(1, {Op::recv(0, 1024.0, 1)});
+  sim.set_schedule(4, {Op::recv(0, 1024.0, 2)});
+  const SimResult result = sim.run();
+  EXPECT_LT(result.finish_times[1], result.finish_times[4]);
+}
+
+}  // namespace
+}  // namespace krak::sim

@@ -1,0 +1,222 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/msgmodel.hpp"
+#include "util/error.hpp"
+
+namespace krak::sim {
+namespace {
+
+/// 1 us latency, 1 ns/byte, zero host overheads: hand-checkable times.
+Simulator make_simulator(std::int32_t ranks) {
+  SimConfig config;
+  config.send_overhead = 0.0;
+  config.recv_overhead = 0.0;
+  return Simulator(ranks, network::make_hockney_model(1e-6, 1e9), config);
+}
+
+TEST(Simulator, ComputeAdvancesClock) {
+  Simulator sim = make_simulator(1);
+  sim.set_schedule(0, {Op::compute(2.0), Op::compute(0.5)});
+  const SimResult result = sim.run();
+  EXPECT_DOUBLE_EQ(result.makespan, 2.5);
+  EXPECT_DOUBLE_EQ(result.finish_times[0], 2.5);
+}
+
+TEST(Simulator, EmptyScheduleFinishesAtZero) {
+  Simulator sim = make_simulator(2);
+  const SimResult result = sim.run();
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+}
+
+TEST(Simulator, PingMessageArrivesAfterTmsg) {
+  Simulator sim = make_simulator(2);
+  // 1000 bytes: Tmsg = 1 us + 1 us = 2 us.
+  sim.set_schedule(0, {Op::isend(1, 1000.0, 7)});
+  sim.set_schedule(1, {Op::recv(0, 1000.0, 7)});
+  const SimResult result = sim.run();
+  EXPECT_NEAR(result.finish_times[1], 2e-6, 1e-12);
+  EXPECT_EQ(result.traffic.point_to_point_messages, 1);
+  EXPECT_DOUBLE_EQ(result.traffic.point_to_point_bytes, 1000.0);
+}
+
+TEST(Simulator, RecvBlocksUntilSenderPosts) {
+  Simulator sim = make_simulator(2);
+  sim.set_schedule(0, {Op::compute(5.0), Op::isend(1, 0.0, 1)});
+  sim.set_schedule(1, {Op::recv(0, 0.0, 1)});
+  const SimResult result = sim.run();
+  // Receiver waits for the sender's compute + latency.
+  EXPECT_NEAR(result.finish_times[1], 5.0 + 1e-6, 1e-9);
+}
+
+TEST(Simulator, EarlyMessageDoesNotBlockLateReceiver) {
+  Simulator sim = make_simulator(2);
+  sim.set_schedule(0, {Op::isend(1, 0.0, 1)});
+  sim.set_schedule(1, {Op::compute(10.0), Op::recv(0, 0.0, 1)});
+  const SimResult result = sim.run();
+  EXPECT_NEAR(result.finish_times[1], 10.0, 1e-9);
+}
+
+TEST(Simulator, SendsToMultipleNeighborsOverlap) {
+  // The core semantic of Section 4: async sends to different neighbors
+  // overlap on the wire. Three 1 MB messages (Tmsg ~ 1 ms each) from one
+  // sender must NOT take 3 ms end to end.
+  Simulator sim = make_simulator(4);
+  const double bytes = 1e6;  // Tmsg = 1 us + 1 ms
+  sim.set_schedule(0, {Op::isend(1, bytes, 1), Op::isend(2, bytes, 1),
+                       Op::isend(3, bytes, 1), Op::wait_all_sends()});
+  sim.set_schedule(1, {Op::recv(0, bytes, 1)});
+  sim.set_schedule(2, {Op::recv(0, bytes, 1)});
+  sim.set_schedule(3, {Op::recv(0, bytes, 1)});
+  const SimResult result = sim.run();
+  EXPECT_LT(result.makespan, 1.2e-3);  // ~1 ms, not ~3 ms
+}
+
+TEST(Simulator, WaitAllSendsCoversNicHandoff) {
+  Simulator sim = make_simulator(2);
+  sim.set_schedule(0, {Op::isend(1, 100.0, 1), Op::wait_all_sends()});
+  sim.set_schedule(1, {Op::recv(0, 100.0, 1)});
+  const SimResult result = sim.run();
+  // Sender completes after the start-up latency (1 us), receiver after
+  // the full message time.
+  EXPECT_NEAR(result.finish_times[0], 1e-6, 1e-12);
+  EXPECT_GE(result.finish_times[1], result.finish_times[0]);
+}
+
+TEST(Simulator, MessagesMatchByTag) {
+  Simulator sim = make_simulator(2);
+  // Two messages with different tags received in reverse order.
+  sim.set_schedule(0, {Op::isend(1, 10.0, 1), Op::isend(1, 2000.0, 2)});
+  sim.set_schedule(1, {Op::recv(0, 2000.0, 2), Op::recv(0, 10.0, 1)});
+  const SimResult result = sim.run();
+  EXPECT_GT(result.makespan, 0.0);  // completed without deadlock
+}
+
+TEST(Simulator, FifoMatchingWithinSameTag) {
+  Simulator sim = make_simulator(2);
+  sim.set_schedule(0, {Op::isend(1, 10.0, 1), Op::compute(1.0),
+                       Op::isend(1, 10.0, 1)});
+  sim.set_schedule(1, {Op::recv(0, 10.0, 1), Op::record(0), Op::recv(0, 10.0, 1),
+                       Op::record(1)});
+  const SimResult result = sim.run();
+  const double first = result.records[1].at(0);
+  const double second = result.records[1].at(1);
+  EXPECT_LT(first, 1.0);       // first message arrives immediately
+  EXPECT_GT(second, 1.0);      // second waits for sender's compute
+}
+
+TEST(Simulator, SendRecvOverheadsCharged) {
+  SimConfig config;
+  config.send_overhead = 0.5;
+  config.recv_overhead = 0.25;
+  Simulator sim(2, network::make_hockney_model(0.0, 1e30), config);
+  sim.set_schedule(0, {Op::isend(1, 1.0, 1)});
+  sim.set_schedule(1, {Op::recv(0, 1.0, 1)});
+  const SimResult result = sim.run();
+  EXPECT_NEAR(result.finish_times[0], 0.5, 1e-12);
+  EXPECT_NEAR(result.finish_times[1], 0.75, 1e-12);
+}
+
+TEST(Simulator, AllreduceSynchronizesClocks) {
+  Simulator sim = make_simulator(3);
+  sim.set_schedule(0, {Op::compute(1.0), Op::allreduce(8.0), Op::record(0)});
+  sim.set_schedule(1, {Op::compute(5.0), Op::allreduce(8.0), Op::record(0)});
+  sim.set_schedule(2, {Op::compute(3.0), Op::allreduce(8.0), Op::record(0)});
+  const SimResult result = sim.run();
+  // All ranks leave at max entry (5.0) + 2*depth(3)*Tmsg(8).
+  const double expected = 5.0 + 2.0 * 2.0 * (1e-6 + 8e-9);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_NEAR(result.records[static_cast<std::size_t>(r)].at(0), expected,
+                1e-9);
+  }
+  EXPECT_EQ(result.traffic.allreduces, 1);
+}
+
+TEST(Simulator, BroadcastAndGatherCountedSeparately) {
+  Simulator sim = make_simulator(2);
+  const Schedule schedule = {Op::broadcast(4.0), Op::gather(32.0),
+                             Op::allreduce(8.0)};
+  sim.set_schedule(0, schedule);
+  sim.set_schedule(1, schedule);
+  const SimResult result = sim.run();
+  EXPECT_EQ(result.traffic.broadcasts, 1);
+  EXPECT_EQ(result.traffic.gathers, 1);
+  EXPECT_EQ(result.traffic.allreduces, 1);
+}
+
+TEST(Simulator, SingleRankCollectivesAreFree) {
+  Simulator sim = make_simulator(1);
+  sim.set_schedule(0, {Op::compute(1.0), Op::allreduce(8.0), Op::broadcast(4.0)});
+  const SimResult result = sim.run();
+  EXPECT_DOUBLE_EQ(result.makespan, 1.0);
+}
+
+TEST(Simulator, DeliveryDoesNotWakeCollectiveBlockedRank) {
+  // Rank 1 is parked in an allreduce when rank 0's message arrives; it
+  // must stay parked until every rank entered the collective, then
+  // receive the message afterwards.
+  Simulator sim = make_simulator(3);
+  sim.set_schedule(0, {Op::isend(1, 10.0, 5), Op::allreduce(8.0)});
+  sim.set_schedule(1, {Op::allreduce(8.0), Op::recv(0, 10.0, 5), Op::record(0)});
+  sim.set_schedule(2, {Op::compute(4.0), Op::allreduce(8.0)});
+  const SimResult result = sim.run();
+  // Rank 1 leaves the allreduce no earlier than rank 2's entry at 4.0.
+  EXPECT_GE(result.records[1].at(0), 4.0);
+}
+
+TEST(Simulator, DeadlockDetectedAndReported) {
+  Simulator sim = make_simulator(2);
+  sim.set_schedule(0, {Op::recv(1, 1.0, 1)});
+  sim.set_schedule(1, {Op::recv(0, 1.0, 1)});
+  EXPECT_THROW((void)sim.run(), util::KrakError);
+}
+
+TEST(Simulator, MismatchedCollectiveKindThrows) {
+  Simulator sim = make_simulator(2);
+  sim.set_schedule(0, {Op::allreduce(8.0)});
+  sim.set_schedule(1, {Op::broadcast(8.0)});
+  EXPECT_THROW((void)sim.run(), util::KrakError);
+}
+
+TEST(Simulator, MissingCollectiveParticipantIsDeadlock) {
+  Simulator sim = make_simulator(2);
+  sim.set_schedule(0, {Op::allreduce(8.0)});
+  sim.set_schedule(1, {});
+  EXPECT_THROW((void)sim.run(), util::KrakError);
+}
+
+TEST(Simulator, ScheduleValidationRejectsBadOps) {
+  Simulator sim = make_simulator(2);
+  EXPECT_THROW(sim.set_schedule(0, {Op::isend(0, 1.0, 1)}),
+               util::InvalidArgument);  // self-message
+  EXPECT_THROW(sim.set_schedule(0, {Op::isend(5, 1.0, 1)}),
+               util::InvalidArgument);  // peer out of range
+  EXPECT_THROW(sim.set_schedule(0, {Op::compute(-1.0)}),
+               util::InvalidArgument);
+  EXPECT_THROW(sim.set_schedule(9, {}), util::InvalidArgument);
+}
+
+TEST(Simulator, RecordCapturesPhaseBoundaries) {
+  Simulator sim = make_simulator(1);
+  sim.set_schedule(0, {Op::compute(1.0), Op::record(0), Op::compute(2.0),
+                       Op::record(1)});
+  const SimResult result = sim.run();
+  EXPECT_DOUBLE_EQ(result.records[0].at(0), 1.0);
+  EXPECT_DOUBLE_EQ(result.records[0].at(1), 3.0);
+}
+
+TEST(Simulator, RunIsRepeatable) {
+  Simulator sim = make_simulator(2);
+  sim.set_schedule(0, {Op::compute(1.0), Op::isend(1, 100.0, 1),
+                       Op::allreduce(4.0)});
+  sim.set_schedule(1, {Op::recv(0, 100.0, 1), Op::allreduce(4.0)});
+  const SimResult a = sim.run();
+  const SimResult b = sim.run();
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.traffic.point_to_point_messages,
+            b.traffic.point_to_point_messages);
+}
+
+}  // namespace
+}  // namespace krak::sim

@@ -1,0 +1,112 @@
+#include "simapp/phases.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/collectives.hpp"
+
+namespace krak::simapp {
+namespace {
+
+TEST(Phases, FifteenPhasesNumberedInOrder) {
+  const auto& phases = iteration_phases();
+  ASSERT_EQ(phases.size(), 15u);
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    EXPECT_EQ(phases[i].number, static_cast<std::int32_t>(i + 1));
+  }
+}
+
+TEST(Phases, SyncPointsMatchTable1) {
+  // Table 1's sync-point column: 2,1,3,1,1,3,1,1,1,1,2,1,1,1,2.
+  const std::array<std::int32_t, 15> expected = {2, 1, 3, 1, 1, 3, 1, 1,
+                                                 1, 1, 2, 1, 1, 1, 2};
+  const auto& phases = iteration_phases();
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    EXPECT_EQ(phases[i].sync_points(), expected[i]) << "phase " << i + 1;
+  }
+}
+
+TEST(Phases, ActionsMatchTable1) {
+  const auto& phases = iteration_phases();
+  EXPECT_EQ(phases[0].action, PhaseAction::kBroadcastPair);
+  EXPECT_EQ(phases[1].action, PhaseAction::kBoundaryExchange);
+  EXPECT_EQ(phases[2].action, PhaseAction::kComputationOnly);
+  EXPECT_EQ(phases[3].action, PhaseAction::kGhostUpdate8);
+  EXPECT_EQ(phases[4].action, PhaseAction::kGhostUpdate16);
+  EXPECT_EQ(phases[5].action, PhaseAction::kComputationOnly);
+  EXPECT_EQ(phases[6].action, PhaseAction::kGhostUpdate16);
+  for (std::size_t i = 7; i <= 13; ++i) {
+    EXPECT_EQ(phases[i].action, PhaseAction::kComputationOnly)
+        << "phase " << i + 1;
+  }
+  EXPECT_EQ(phases[14].action, PhaseAction::kBroadcastPair);
+}
+
+TEST(Phases, GhostBytesMatchTable1) {
+  const auto& phases = iteration_phases();
+  EXPECT_DOUBLE_EQ(phases[3].ghost_bytes(), 8.0);   // phase 4
+  EXPECT_DOUBLE_EQ(phases[4].ghost_bytes(), 16.0);  // phase 5
+  EXPECT_DOUBLE_EQ(phases[6].ghost_bytes(), 16.0);  // phase 7
+  EXPECT_DOUBLE_EQ(phases[0].ghost_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(phases[2].ghost_bytes(), 0.0);
+}
+
+TEST(Phases, PointToPointFlagCoversExchangeAndGhostPhases) {
+  const auto& phases = iteration_phases();
+  int p2p_phases = 0;
+  for (const PhaseSpec& phase : phases) {
+    if (phase.has_point_to_point()) ++p2p_phases;
+  }
+  // Phases 2, 4, 5, 7.
+  EXPECT_EQ(p2p_phases, 4);
+}
+
+TEST(Phases, SyncSizesAreFourOrEightBytes) {
+  for (const PhaseSpec& phase : iteration_phases()) {
+    for (double size : phase.sync_sizes) {
+      EXPECT_TRUE(size == 4.0 || size == 8.0) << "phase " << phase.number;
+    }
+  }
+}
+
+TEST(Phases, DerivedCollectiveCountsMatchTable4) {
+  // The phase table's implied collective inventory must equal Table 4:
+  // 3+3 broadcasts, 9 4-byte + 13 8-byte allreduces, 1 gather.
+  const DerivedCollectiveCounts derived = derive_collective_counts();
+  const network::CollectiveInventory table4;
+  EXPECT_EQ(derived.bcast_4b, table4.bcast_4b);
+  EXPECT_EQ(derived.bcast_8b, table4.bcast_8b);
+  EXPECT_EQ(derived.allreduce_4b, table4.allreduce_4b);
+  EXPECT_EQ(derived.allreduce_8b, table4.allreduce_8b);
+  EXPECT_EQ(derived.gather_32b, table4.gather_32b);
+}
+
+TEST(Phases, TotalSyncPointsEqualTotalAllreduces) {
+  // Consistency between Table 1 and Table 4: 22 sync points = 22
+  // allreduce operations per iteration.
+  std::int32_t total_syncs = 0;
+  for (const PhaseSpec& phase : iteration_phases()) {
+    total_syncs += phase.sync_points();
+  }
+  EXPECT_EQ(total_syncs, network::CollectiveInventory{}.total_allreduces());
+}
+
+TEST(Phases, BoundaryExchangeConstantsMatchSection41) {
+  EXPECT_DOUBLE_EQ(kBoundaryBytesPerFace, 12.0);
+  EXPECT_EQ(kBoundaryMessagesPerStep, 6);
+  EXPECT_EQ(kBoundaryAugmentedMessages, 2);
+}
+
+TEST(Phases, ActionNamesAreDescriptive) {
+  EXPECT_NE(phase_action_name(PhaseAction::kBroadcastPair).find("Broadcast"),
+            std::string_view::npos);
+  EXPECT_NE(
+      phase_action_name(PhaseAction::kBoundaryExchange).find("Boundary"),
+      std::string_view::npos);
+  EXPECT_NE(phase_action_name(PhaseAction::kGhostUpdate8).find("8 bytes"),
+            std::string_view::npos);
+  EXPECT_NE(phase_action_name(PhaseAction::kGhostUpdate16).find("16 bytes"),
+            std::string_view::npos);
+}
+
+}  // namespace
+}  // namespace krak::simapp

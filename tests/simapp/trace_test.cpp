@@ -1,0 +1,101 @@
+#include "simapp/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mesh/deck.hpp"
+#include "network/machine.hpp"
+#include "partition/partition.hpp"
+#include "simapp/simkrak.hpp"
+
+namespace krak::simapp {
+namespace {
+
+partition::PartitionStats small_stats(std::int32_t pes) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const partition::Partition part = partition::partition_deck(
+      deck, pes, partition::PartitionMethod::kMultilevel, 1);
+  return partition::PartitionStats(deck, part);
+}
+
+TEST(MessageInventory, EmptyForSingleProcessor) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const partition::Partition part(1, std::vector<partition::PeId>(3200, 0));
+  const MessageInventory inventory =
+      compute_message_inventory(partition::PartitionStats(deck, part));
+  EXPECT_EQ(inventory.total_messages(), 0);
+  EXPECT_DOUBLE_EQ(inventory.total_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(inventory.mean_message_bytes(), 0.0);
+}
+
+TEST(MessageInventory, MatchesSimulatedTraffic) {
+  // The analytic inventory must count exactly the messages the
+  // simulator sends in one iteration.
+  const auto& machine = network::make_es45_qsnet();
+  const ComputationCostEngine engine;
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const partition::Partition part = partition::partition_deck(
+      deck, 12, partition::PartitionMethod::kMultilevel, 3);
+  const SimKrak app(deck, part, machine, engine, {});
+  const SimKrakResult result = app.run();
+  const MessageInventory inventory = compute_message_inventory(app.stats());
+  EXPECT_EQ(inventory.total_messages(),
+            result.traffic.point_to_point_messages);
+  EXPECT_NEAR(inventory.total_bytes(), result.traffic.point_to_point_bytes,
+              1e-6);
+}
+
+TEST(MessageInventory, OnlyCommPhasesHaveTraffic) {
+  const MessageInventory inventory = compute_message_inventory(small_stats(8));
+  for (std::int32_t phase = 1; phase <= kPhaseCount; ++phase) {
+    const auto& traffic =
+        inventory.per_phase[static_cast<std::size_t>(phase - 1)];
+    if (phase == 2 || phase == 4 || phase == 5 || phase == 7) {
+      EXPECT_GT(traffic.messages, 0) << "phase " << phase;
+    } else {
+      EXPECT_EQ(traffic.messages, 0) << "phase " << phase;
+    }
+  }
+}
+
+TEST(MessageInventory, BoundaryExchangeDominatesMessageCount) {
+  // Phase 2 sends at least 12 messages per directed boundary (one group
+  // + final step), ghost phases send one each.
+  const MessageInventory inventory = compute_message_inventory(small_stats(8));
+  EXPECT_GT(inventory.per_phase[1].messages,
+            inventory.per_phase[3].messages * 6);
+}
+
+TEST(MessageInventory, GhostPhasesShareCounts) {
+  // Phases 4, 5, 7 send identical message counts (one per directed
+  // boundary); phase 5/7 carry twice the bytes of phase 4.
+  const MessageInventory inventory = compute_message_inventory(small_stats(8));
+  EXPECT_EQ(inventory.per_phase[3].messages, inventory.per_phase[4].messages);
+  EXPECT_EQ(inventory.per_phase[4].messages, inventory.per_phase[6].messages);
+  EXPECT_NEAR(inventory.per_phase[4].bytes, 2.0 * inventory.per_phase[3].bytes,
+              1e-9);
+  EXPECT_NEAR(inventory.per_phase[6].bytes, inventory.per_phase[4].bytes,
+              1e-9);
+}
+
+TEST(MessageInventory, FractionAtMostIsMonotoneCdf) {
+  const MessageInventory inventory = compute_message_inventory(small_stats(16));
+  double previous = 0.0;
+  for (double bytes : {0.0, 12.0, 48.0, 120.0, 480.0, 1e5}) {
+    const double fraction = inventory.fraction_at_most(bytes);
+    EXPECT_GE(fraction, previous);
+    EXPECT_LE(fraction, 1.0);
+    previous = fraction;
+  }
+  EXPECT_DOUBLE_EQ(inventory.fraction_at_most(1e12), 1.0);
+}
+
+TEST(MessageInventory, MoreProcessorsMeansSmallerMessages) {
+  // Strong scaling: boundaries shrink, so the mean message size drops.
+  const MessageInventory at8 = compute_message_inventory(small_stats(8));
+  const MessageInventory at64 = compute_message_inventory(small_stats(64));
+  EXPECT_LT(at64.mean_message_bytes(), at8.mean_message_bytes());
+  EXPECT_GT(at64.total_messages(), at8.total_messages());
+}
+
+}  // namespace
+}  // namespace krak::simapp

@@ -1,0 +1,23 @@
+// Compile-time check that the umbrella header is self-contained and
+// exposes the advertised entry points.
+#include "krak.hpp"
+
+#include <gtest/gtest.h>
+
+namespace krak {
+namespace {
+
+TEST(Umbrella, ExposesMajorEntryPoints) {
+  const mesh::InputDeck deck = mesh::make_uniform_deck(4, 4, mesh::Material::kFoam);
+  EXPECT_EQ(deck.grid().num_cells(), 16);
+  const network::MachineConfig machine = network::make_es45_qsnet();
+  EXPECT_EQ(machine.total_pes(), 1024);
+  core::CostTable table;
+  table.add_sample(1, mesh::Material::kFoam, 10.0, 1e-6);
+  EXPECT_TRUE(table.has_samples(1, mesh::Material::kFoam));
+  hydro::HydroState state(deck);
+  EXPECT_GT(state.total_mass(), 0.0);
+}
+
+}  // namespace
+}  // namespace krak

@@ -1,0 +1,61 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace krak::util {
+namespace {
+
+TEST(Check, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(check(true, "never shown"));
+}
+
+TEST(Check, FailingConditionThrowsInvalidArgument) {
+  EXPECT_THROW(check(false, "boom"), InvalidArgument);
+}
+
+TEST(Check, MessageContainsTextAndLocation) {
+  try {
+    check(false, "my precondition text");
+    FAIL() << "check did not throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("my precondition text"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(RequireInternal, ThrowsInternalError) {
+  EXPECT_NO_THROW(require_internal(true, "fine"));
+  EXPECT_THROW(require_internal(false, "bug"), InternalError);
+}
+
+TEST(Hierarchy, AllErrorsAreKrakErrors) {
+  // Catching KrakError must cover both flavors so sweep drivers can use
+  // one handler.
+  bool caught = false;
+  try {
+    check(false, "x");
+  } catch (const KrakError&) {
+    caught = true;
+  }
+  EXPECT_TRUE(caught);
+
+  caught = false;
+  try {
+    require_internal(false, "y");
+  } catch (const KrakError&) {
+    caught = true;
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(FormatLocation, MentionsFileAndFunction) {
+  const auto loc = std::source_location::current();
+  const std::string formatted = format_location(loc);
+  EXPECT_NE(formatted.find("error_test.cpp"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace krak::util

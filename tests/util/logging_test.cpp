@@ -1,0 +1,75 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace krak::util {
+namespace {
+
+/// The logger is a process-wide singleton; each test redirects the sink
+/// and restores defaults afterwards.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::global().set_sink(&sink_);
+    Logger::global().set_level(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    Logger::global().set_sink(nullptr);
+    Logger::global().set_level(LogLevel::kInfo);
+  }
+  std::ostringstream sink_;
+};
+
+TEST_F(LoggingTest, WritesTaggedLine) {
+  log_info("hello ", 42);
+  EXPECT_EQ(sink_.str(), "[info] hello 42\n");
+}
+
+TEST_F(LoggingTest, LevelFilteringDropsLowerLevels) {
+  Logger::global().set_level(LogLevel::kWarn);
+  log_debug("dropped");
+  log_info("dropped too");
+  log_warn("kept");
+  log_error("kept too");
+  const std::string out = sink_.str();
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("[warn] kept"), std::string::npos);
+  EXPECT_NE(out.find("[error] kept too"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::global().set_level(LogLevel::kOff);
+  log_error("nope");
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST_F(LoggingTest, MultipleArgumentsAreConcatenated) {
+  log_info("a=", 1, " b=", 2.5, " c=", "three");
+  EXPECT_EQ(sink_.str(), "[info] a=1 b=2.5 c=three\n");
+}
+
+TEST(ParseLogLevel, AcceptsAllNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+}
+
+TEST(ParseLogLevel, RejectsUnknownName) {
+  EXPECT_THROW((void)parse_log_level("verbose"), InvalidArgument);
+}
+
+TEST(LogLevelName, RoundTripsThroughParse) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    EXPECT_EQ(parse_log_level(log_level_name(level)), level);
+  }
+}
+
+}  // namespace
+}  // namespace krak::util

@@ -1,0 +1,156 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace krak::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, NextDoubleRangeRejectsInvertedBounds) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.next_double(5.0, -3.0), InvalidArgument);
+}
+
+TEST(Rng, NextBelowStaysBelowBound) {
+  Rng rng(99);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.next_below(0), InvalidArgument);
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, UniformMeanIsNearHalf) {
+  Rng rng(11);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.next_double());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.next_normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, ScaledNormalMomentsMatch) {
+  Rng rng(17);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.next_normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, NormalRejectsNegativeStddev) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.next_normal(0.0, -1.0), InvalidArgument);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.split();
+  // The child must not replay the parent's future outputs.
+  std::vector<std::uint64_t> parent_values;
+  std::vector<std::uint64_t> child_values;
+  for (int i = 0; i < 32; ++i) {
+    parent_values.push_back(parent.next_u64());
+    child_values.push_back(child.next_u64());
+  }
+  EXPECT_NE(parent_values, child_values);
+}
+
+TEST(Rng, WorksWithStdShuffleDeterministically) {
+  std::vector<int> a(100);
+  std::vector<int> b(100);
+  for (int i = 0; i < 100; ++i) a[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(i)] = i;
+  Rng ra(5);
+  Rng rb(5);
+  std::shuffle(a.begin(), a.end(), ra);
+  std::shuffle(b.begin(), b.end(), rb);
+  EXPECT_EQ(a, b);
+  // And it actually permutes.
+  std::vector<int> sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_NE(a, sorted);
+}
+
+/// The low bits of xoshiro256** should not be degenerate.
+TEST(Rng, LowBitsAreBalanced) {
+  Rng rng(3);
+  int ones = 0;
+  constexpr int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) ones += static_cast<int>(rng.next_u64() & 1u);
+  EXPECT_GT(ones, kSamples * 45 / 100);
+  EXPECT_LT(ones, kSamples * 55 / 100);
+}
+
+class SeedSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweepTest, EverySeedYieldsDistinctValuesQuickly) {
+  Rng rng(GetParam());
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(rng.next_u64());
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(0ull, 1ull, 2ull, 42ull, 2006ull,
+                                           0xdeadbeefull, ~0ull));
+
+}  // namespace
+}  // namespace krak::util

@@ -1,0 +1,154 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace krak::util {
+namespace {
+
+TEST(OnlineStats, EmptyThrowsOnQueries) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_THROW((void)s.mean(), InvalidArgument);
+  EXPECT_THROW((void)s.min(), InvalidArgument);
+  EXPECT_THROW((void)s.max(), InvalidArgument);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic data set: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats all;
+  OnlineStats left;
+  OnlineStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i) * 10.0 + i;
+    all.add(v);
+    (i < 37 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmptyIsIdentity) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(FitLine, RecoversExactLine) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {3.0, 5.0, 7.0, 9.0};
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyDataHasLowerRSquared) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y = {2.9, 5.4, 6.6, 9.3, 10.8};
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_GT(fit.r_squared, 0.95);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_NEAR(fit.slope, 2.0, 0.2);
+}
+
+TEST(FitLine, RejectsDegenerateInput) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW((void)fit_line(one, one), InvalidArgument);
+  const std::vector<double> constant_x = {2.0, 2.0};
+  const std::vector<double> y = {1.0, 3.0};
+  EXPECT_THROW((void)fit_line(constant_x, y), InvalidArgument);
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  EXPECT_THROW((void)fit_line(x, y), InvalidArgument);
+}
+
+TEST(Errors, PaperConventionSign) {
+  // Paper convention: (measured - predicted) / measured. Over-prediction
+  // is negative (Table 6's -8.0% rows are predictions above measurement).
+  EXPECT_DOUBLE_EQ(paper_error(100.0, 108.0), -0.08);
+  EXPECT_DOUBLE_EQ(paper_error(100.0, 90.0), 0.10);
+  EXPECT_DOUBLE_EQ(relative_error(100.0, 108.0), 0.08);
+  EXPECT_THROW((void)paper_error(0.0, 1.0), InvalidArgument);
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 10.0), 1.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)percentile(empty, 50.0), InvalidArgument);
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW((void)percentile(v, -1.0), InvalidArgument);
+  EXPECT_THROW((void)percentile(v, 101.0), InvalidArgument);
+}
+
+TEST(Mean, SimpleAndEmpty) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.0);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)mean(empty), InvalidArgument);
+}
+
+TEST(GeometricMean, KnownValueAndGuards) {
+  const std::vector<double> v = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(v), 4.0, 1e-12);
+  const std::vector<double> with_zero = {1.0, 0.0};
+  EXPECT_THROW((void)geometric_mean(with_zero), InvalidArgument);
+}
+
+TEST(KahanSum, CompensatesSmallAddends) {
+  // 1 + 1e-16 * 10000: naive double accumulation loses the tail.
+  std::vector<double> v = {1.0};
+  v.insert(v.end(), 10000, 1e-16);
+  EXPECT_NEAR(kahan_sum(v), 1.0 + 1e-12, 1e-15);
+}
+
+}  // namespace
+}  // namespace krak::util

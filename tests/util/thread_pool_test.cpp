@@ -1,0 +1,119 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace krak::util {
+namespace {
+
+TEST(ThreadPool, DefaultHasAtLeastOneThread) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, SubmitRejectsEmptyCallable) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), InvalidArgument);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&ran](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForSingleIndex) {
+  ThreadPool pool(4);
+  std::atomic<int> value{0};
+  pool.parallel_for(1, [&value](std::size_t i) {
+    value = static_cast<int>(i) + 7;
+  });
+  EXPECT_EQ(value.load(), 7);
+}
+
+TEST(ThreadPool, ParallelForActuallyRunsConcurrently) {
+  // With 4 workers and 4 tasks of ~30ms each, the wall time should be
+  // well under the 120ms serial time.
+  ThreadPool pool(4);
+  const auto start = std::chrono::steady_clock::now();
+  pool.parallel_for(4, [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  });
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            110);
+}
+
+TEST(ThreadPool, TasksCanSubmitMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&pool, &counter] {
+    counter.fetch_add(1);
+    pool.submit([&counter] { counter.fetch_add(10); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        counter.fetch_add(1);
+      });
+    }
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForAccumulatesCorrectSum) {
+  ThreadPool pool(8);
+  constexpr std::size_t kCount = 1000;
+  std::vector<long> results(kCount, 0);
+  pool.parallel_for(kCount, [&results](std::size_t i) {
+    results[i] = static_cast<long>(i) * 2;
+  });
+  const long sum = std::accumulate(results.begin(), results.end(), 0L);
+  EXPECT_EQ(sum, static_cast<long>(kCount) * (kCount - 1));
+}
+
+}  // namespace
+}  // namespace krak::util

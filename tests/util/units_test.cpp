@@ -1,0 +1,33 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace krak::util {
+namespace {
+
+TEST(Units, TimeLiterals) {
+  EXPECT_DOUBLE_EQ(seconds(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(milliseconds(61.0), 0.061);
+  EXPECT_DOUBLE_EQ(microseconds(4.5), 4.5e-6);
+  EXPECT_DOUBLE_EQ(nanoseconds(3.28), 3.28e-9);
+}
+
+TEST(Units, BandwidthLiterals) {
+  EXPECT_DOUBLE_EQ(mb_per_second(300.0), 3e8);
+  EXPECT_DOUBLE_EQ(mib_per_second(1.0), 1048576.0);
+}
+
+TEST(Units, ByteLiterals) {
+  EXPECT_EQ(kib(2), 2048u);
+  EXPECT_EQ(mib(3), 3u * 1024 * 1024);
+}
+
+TEST(Units, ConstexprUsable) {
+  // The helpers are constexpr; equality up to one ulp of the scaling.
+  constexpr double latency = microseconds(5.0);
+  static_assert(latency > 4.9e-6 && latency < 5.1e-6);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace krak::util
