@@ -1,0 +1,60 @@
+# Sanitizer presets for the krakmodel build.
+#
+# Usage:
+#   cmake -B build-asan -S . -DKRAK_SANITIZE="address;undefined"
+#   cmake -B build-tsan -S . -DKRAK_SANITIZE=thread
+#
+# The selected sanitizers are carried by the `krak_sanitizers` INTERFACE
+# target, which every krak_* library links PUBLIC so the flags propagate
+# to every object file and final link (tests, examples, benches). Mixing
+# sanitized and unsanitized translation units produces false positives,
+# so per-target opt-out is deliberately not offered.
+#
+# Supported values: address, undefined, leak, thread. `thread` cannot be
+# combined with `address` or `leak` (the runtimes are mutually
+# exclusive); configuring such a combination is a hard error.
+
+set(KRAK_SANITIZE "" CACHE STRING
+    "Semicolon- or comma-separated sanitizer list (address;undefined | thread)")
+
+add_library(krak_sanitizers INTERFACE)
+
+if(KRAK_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR
+      "KRAK_SANITIZE requires GCC or Clang (got ${CMAKE_CXX_COMPILER_ID})")
+  endif()
+
+  string(REPLACE "," ";" _krak_san_list "${KRAK_SANITIZE}")
+  set(_krak_san_known address undefined leak thread)
+  foreach(_san IN LISTS _krak_san_list)
+    if(NOT _san IN_LIST _krak_san_known)
+      message(FATAL_ERROR
+        "Unknown sanitizer '${_san}' in KRAK_SANITIZE; "
+        "supported: ${_krak_san_known}")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST _krak_san_list)
+    foreach(_clash address leak)
+      if("${_clash}" IN_LIST _krak_san_list)
+        message(FATAL_ERROR
+          "KRAK_SANITIZE=thread cannot be combined with '${_clash}'")
+      endif()
+    endforeach()
+  endif()
+
+  string(REPLACE ";" "," _krak_san_csv "${_krak_san_list}")
+  set(_krak_san_flags
+    -fsanitize=${_krak_san_csv}
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all)
+  target_compile_options(krak_sanitizers INTERFACE ${_krak_san_flags})
+  target_link_options(krak_sanitizers INTERFACE -fsanitize=${_krak_san_csv})
+
+  # Sanitized builds want symbols even when the cache was configured
+  # Release; -g is additive and harmless elsewhere.
+  target_compile_options(krak_sanitizers INTERFACE -g)
+
+  message(STATUS "krakmodel: sanitizers enabled: ${_krak_san_csv}")
+endif()

@@ -1,0 +1,35 @@
+# clang-tidy integration: a `tidy` build target that runs the checks of
+# the repo-root .clang-tidy over every library source file, using the
+# compile database exported by this build tree.
+#
+#   cmake -B build -S .
+#   cmake --build build --target tidy
+#
+# When clang-tidy is not installed the target still exists but reports
+# how to get it, so `--target tidy` never breaks a scripted pipeline by
+# being undefined. CI runs it with warnings promoted to errors (see
+# .github/workflows/ci.yml).
+
+find_program(KRAK_CLANG_TIDY_EXE NAMES clang-tidy clang-tidy-18 clang-tidy-17
+             clang-tidy-16 clang-tidy-15 DOC "clang-tidy executable")
+
+file(GLOB_RECURSE KRAK_TIDY_SOURCES CONFIGURE_DEPENDS
+     ${PROJECT_SOURCE_DIR}/src/*.cpp)
+
+if(KRAK_CLANG_TIDY_EXE)
+  add_custom_target(tidy
+    COMMAND ${KRAK_CLANG_TIDY_EXE}
+            -p ${CMAKE_BINARY_DIR}
+            --quiet
+            ${KRAK_TIDY_SOURCES}
+    WORKING_DIRECTORY ${PROJECT_SOURCE_DIR}
+    COMMENT "Running clang-tidy over src/ (config: .clang-tidy)"
+    VERBATIM)
+else()
+  add_custom_target(tidy
+    COMMAND ${CMAKE_COMMAND} -E echo
+      "clang-tidy not found; install it (apt install clang-tidy) and re-run cmake"
+    COMMAND ${CMAKE_COMMAND} -E false
+    COMMENT "clang-tidy unavailable"
+    VERBATIM)
+endif()

@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "analyze/lint_cli.hpp"
 #include "hydro/measure.hpp"
 #include "hydro/solver.hpp"
 #include "mesh/deck.hpp"
@@ -50,6 +51,16 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<std::int32_t>(args.get_int("threads", 1));
 
   const mesh::InputDeck deck = mesh::make_cylindrical_deck(nx, ny);
+
+  // Deck-only lint gate: the mini-app has no machine or cost table.
+  analyze::LintInput lint_input;
+  lint_input.deck = &deck;
+  const analyze::LintGateOutcome lint =
+      analyze::run_lint_gate(args, lint_input, std::cout);
+  if (lint != analyze::LintGateOutcome::kProceed) {
+    return analyze::lint_exit_code(lint);
+  }
+
   std::cout << "Deck: " << deck.name() << " (" << deck.grid().num_cells()
             << " cells); detonating to t = " << end_time << "\n\n";
 

@@ -15,7 +15,9 @@
 //   model_explorer --deck medium --pes 128 --mode mesh   # real partition
 
 #include <iostream>
+#include <optional>
 
+#include "analyze/lint_cli.hpp"
 #include "core/calibration.hpp"
 #include "core/model.hpp"
 #include "core/table_io.hpp"
@@ -64,12 +66,28 @@ int main(int argc, char** argv) {
           : network::make_es45_qsnet();
   const core::KrakModel model(costs, machine);
 
+  const mesh::InputDeck deck = mesh::make_standard_deck(size);
+  std::optional<partition::Partition> part;
+  if (mode_name == "mesh") {
+    part = partition::partition_deck(deck, pes,
+                                     partition::PartitionMethod::kMultilevel, 1);
+  }
+
+  analyze::LintInput lint_input;
+  lint_input.deck = &deck;
+  if (part) lint_input.partition = &*part;
+  lint_input.machine = &machine;
+  lint_input.costs = &costs;
+  lint_input.pes = pes;
+  const analyze::LintGateOutcome lint =
+      analyze::run_lint_gate(args, lint_input, std::cout);
+  if (lint != analyze::LintGateOutcome::kProceed) {
+    return analyze::lint_exit_code(lint);
+  }
+
   core::PredictionReport report;
   if (mode_name == "mesh") {
-    const mesh::InputDeck deck = mesh::make_standard_deck(size);
-    const partition::Partition part = partition::partition_deck(
-        deck, pes, partition::PartitionMethod::kMultilevel, 1);
-    report = model.predict_mesh_specific(deck, part);
+    report = model.predict_mesh_specific(deck, *part);
     std::cout << "Mesh-specific prediction (" << deck.name() << ", real "
               << "multilevel partition) on " << machine.name << ":\n";
   } else {

@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "analyze/lint_cli.hpp"
 #include "core/calibration.hpp"
 #include "core/comp_model.hpp"
 #include "core/model.hpp"
@@ -42,13 +43,25 @@ double homogeneous_fraction(const partition::PartitionStats& stats) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
   const simapp::ComputationCostEngine application;
   const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kMedium);
   const core::CostTable costs =
       core::calibrate_from_input(application, deck, {8, 64, 512, 4096});
   const core::KrakModel model(costs, network::make_es45_qsnet());
   const partition::Graph graph = partition::build_dual_graph(deck.grid());
+
+  analyze::LintInput lint_input;
+  lint_input.deck = &deck;
+  lint_input.machine = &model.machine();
+  lint_input.costs = &costs;
+  lint_input.pes = 256;
+  const analyze::LintGateOutcome lint =
+      analyze::run_lint_gate(args, lint_input, std::cout);
+  if (lint != analyze::LintGateOutcome::kProceed) {
+    return analyze::lint_exit_code(lint);
+  }
 
   std::cout << "Partition study: medium problem, mesh-specific model\n\n";
   for (std::int32_t pes : {64, 256}) {

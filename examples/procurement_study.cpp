@@ -9,6 +9,7 @@
 #include <iostream>
 #include <vector>
 
+#include "analyze/lint_cli.hpp"
 #include "core/calibration.hpp"
 #include "core/model.hpp"
 #include "mesh/deck.hpp"
@@ -16,8 +17,9 @@
 #include "simapp/costmodel.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace krak;
+  const util::ArgParser args(argc, argv);
 
   const simapp::ComputationCostEngine application;
   const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kLarge);
@@ -27,6 +29,28 @@ int main() {
 
   const core::KrakModel installed(costs, network::make_es45_qsnet());
   const core::KrakModel candidate(costs, network::make_hypothetical_upgrade());
+
+  // Lint against the candidate machine too: a procurement run with a
+  // mistyped upgrade description is exactly what the gate is for.
+  analyze::LintInput lint_input;
+  lint_input.deck = &deck;
+  lint_input.machine = &installed.machine();
+  lint_input.costs = &costs;
+  lint_input.pes = 1024;
+  const analyze::LintGateOutcome first =
+      analyze::run_lint_gate(args, lint_input, std::cout);
+  if (first == analyze::LintGateOutcome::kExitError) {
+    return analyze::lint_exit_code(first);
+  }
+  lint_input.machine = &candidate.machine();
+  const analyze::LintGateOutcome second =
+      analyze::run_lint_gate(args, lint_input, std::cout);
+  if (second != analyze::LintGateOutcome::kProceed) {
+    return analyze::lint_exit_code(second);
+  }
+  if (first != analyze::LintGateOutcome::kProceed) {
+    return analyze::lint_exit_code(first);
+  }
 
   std::cout << "Procurement study: large problem ("
             << deck.grid().num_cells() << " cells), "

@@ -10,15 +10,18 @@
 
 #include <iostream>
 
+#include "analyze/lint_cli.hpp"
 #include "core/calibration.hpp"
 #include "core/model.hpp"
 #include "mesh/deck.hpp"
 #include "network/machine.hpp"
 #include "simapp/simkrak.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace krak;
+  const util::ArgParser args(argc, argv);
 
   // 1. The input deck: a 204,800-cell cylinder of four materials.
   const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kMedium);
@@ -35,6 +38,18 @@ int main() {
   // 3. Build the model for the paper's validation machine and predict.
   const core::KrakModel model(costs, network::make_es45_qsnet());
   constexpr std::int32_t kPes = 256;
+
+  // Optional `--lint` / `--lint-only` gate over everything built so far.
+  analyze::LintInput lint_input;
+  lint_input.deck = &deck;
+  lint_input.machine = &model.machine();
+  lint_input.costs = &costs;
+  lint_input.pes = kPes;
+  const analyze::LintGateOutcome lint =
+      analyze::run_lint_gate(args, lint_input, std::cout);
+  if (lint != analyze::LintGateOutcome::kProceed) {
+    return analyze::lint_exit_code(lint);
+  }
   const core::PredictionReport prediction = model.predict_general(
       deck.grid().num_cells(), kPes, core::GeneralModelMode::kHomogeneous);
   std::cout << "\nGeneral-model prediction for " << kPes << " processors:\n"

@@ -8,21 +8,36 @@
 #include <iostream>
 #include <vector>
 
+#include "analyze/lint_cli.hpp"
 #include "core/calibration.hpp"
 #include "core/model.hpp"
 #include "mesh/deck.hpp"
 #include "network/machine.hpp"
 #include "simapp/costmodel.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace krak;
+  const util::ArgParser args(argc, argv);
 
   const simapp::ComputationCostEngine application;
+  const mesh::InputDeck calibration_deck =
+      mesh::make_standard_deck(mesh::DeckSize::kMedium);
   const core::CostTable costs = core::calibrate_from_input(
-      application, mesh::make_standard_deck(mesh::DeckSize::kMedium),
-      {8, 64, 512, 4096});
+      application, calibration_deck, {8, 64, 512, 4096});
   const core::KrakModel model(costs, network::make_es45_qsnet());
+
+  analyze::LintInput lint_input;
+  lint_input.deck = &calibration_deck;
+  lint_input.machine = &model.machine();
+  lint_input.costs = &costs;
+  lint_input.pes = 1024;  // the largest point in the sweep below
+  const analyze::LintGateOutcome lint =
+      analyze::run_lint_gate(args, lint_input, std::cout);
+  if (lint != analyze::LintGateOutcome::kProceed) {
+    return analyze::lint_exit_code(lint);
+  }
 
   constexpr double kEfficiencyTarget = 0.70;
   std::cout << "Strong-scaling study on " << model.machine().name

@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "analyze/lint_cli.hpp"
 #include "core/calibration.hpp"
 #include "core/model.hpp"
 #include "core/optimizer.hpp"
@@ -37,6 +38,18 @@ int main(int argc, char** argv) {
       application, mesh::make_standard_deck(mesh::DeckSize::kMedium),
       {8, 64, 512, 4096});
   const core::KrakModel model(costs, network::make_es45_qsnet());
+
+  const mesh::InputDeck deck = mesh::make_standard_deck(size);
+  analyze::LintInput lint_input;
+  lint_input.deck = &deck;
+  lint_input.machine = &model.machine();
+  lint_input.costs = &costs;
+  lint_input.pes = 1024;
+  const analyze::LintGateOutcome lint =
+      analyze::run_lint_gate(args, lint_input, std::cout);
+  if (lint != analyze::LintGateOutcome::kProceed) {
+    return analyze::lint_exit_code(lint);
+  }
 
   std::cout << "Sensitivity study: " << deck_name << " problem (" << cells
             << " cells), +" << util::format_percent(delta, 0)

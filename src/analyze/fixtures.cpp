@@ -1,0 +1,114 @@
+#include "analyze/fixtures.hpp"
+
+#include <utility>
+
+#include "analyze/lint_curves.hpp"
+#include "analyze/lint_deck.hpp"
+#include "analyze/lint_machine.hpp"
+#include "analyze/lint_partition.hpp"
+#include "analyze/linter.hpp"
+#include "util/piecewise.hpp"
+
+namespace krak::analyze {
+
+namespace {
+
+/// 8x4 deck of foam and aluminum with no HE gas and a detonator far
+/// outside the domain: trips deck-detonator twice (outside + no HE).
+mesh::InputDeck make_broken_deck() {
+  const std::int32_t nx = 8;
+  const std::int32_t ny = 4;
+  std::vector<mesh::Material> materials(
+      static_cast<std::size_t>(nx) * ny, mesh::Material::kFoam);
+  for (std::size_t i = 0; i < materials.size() / 2; ++i) {
+    materials[i] = mesh::Material::kAluminumInner;
+  }
+  return mesh::InputDeck("corrupted", mesh::Grid(nx, ny),
+                         std::move(materials),
+                         mesh::Point{1000.0, 1000.0});
+}
+
+/// Subdomain records violating conservation, the faces+1 rule, the
+/// face-group sum, and boundary symmetry — corruption a trace importer
+/// or a buggy partitioner could realistically produce.
+std::vector<partition::SubdomainInfo> make_broken_subdomains() {
+  partition::SubdomainInfo pe0;
+  pe0.pe = 0;
+  pe0.total_cells = 20;  // per-material sums to 16: material-conservation
+  pe0.cells_per_material = {0, 10, 6, 0};
+  partition::NeighborBoundary boundary;
+  boundary.neighbor = 1;
+  boundary.total_faces = 4;
+  boundary.faces_per_group = {1, 1, 1};  // sums to 3: face-group-sum
+  boundary.ghost_nodes_local = 1;  // 1 ghost on 4 faces: ghost-face bound
+  boundary.ghost_nodes_remote = 0;
+  pe0.neighbors.push_back(boundary);
+
+  partition::SubdomainInfo pe1;
+  pe1.pe = 1;
+  pe1.total_cells = 8;  // 20 + 8 != 32 deck cells: cell-conservation
+  pe1.cells_per_material = {0, 4, 4, 0};
+  // pe1 lists no boundary back to pe0: boundary-symmetry.
+
+  std::vector<partition::SubdomainInfo> subdomains;
+  subdomains.push_back(std::move(pe0));
+  subdomains.push_back(std::move(pe1));
+  return subdomains;
+}
+
+/// Machine with an impossible shape and an interconnect whose Tmsg
+/// decreases with message size (per-byte table loaded with totals).
+network::MachineConfig make_broken_machine() {
+  const std::vector<double> size_points = {1.0, 1024.0};
+  const std::vector<double> latency_seconds = {5.0, 5.0};  // 5 "s": unit mix-up
+  const std::vector<double> per_byte_seconds = {1e-2, 1e-9};
+  const util::PiecewiseLinear latency(size_points, latency_seconds);
+  const util::PiecewiseLinear byte_cost(size_points, per_byte_seconds);
+  network::MachineConfig machine;
+  machine.name = "corrupted";
+  machine.nodes = 4;
+  machine.pes_per_node = 0;      // machine-shape
+  machine.compute_speedup = -1;  // machine-shape
+  machine.network = network::MessageCostModel(latency, byte_cost);
+  return machine;
+}
+
+/// Cost table whose only curves shrink in total cost (monotonicity) and
+/// oscillate (knees), with every other required pair missing (coverage).
+core::CostTable make_broken_costs() {
+  core::CostTable costs;
+  // Total cost: 1e-4 s at 100 cells, 1e-5 s at 1000 cells — impossible.
+  costs.add_sample(1, mesh::Material::kHEGas, 100.0, 1e-6);
+  costs.add_sample(1, mesh::Material::kHEGas, 1000.0, 1e-8);
+  // Two prominent knees (totals stay monotone so only the knee fires).
+  const double xs[] = {1.0, 10.0, 100.0, 1000.0, 10000.0};
+  const double ys[] = {1e-6, 2e-6, 1e-6, 2e-6, 1e-6};
+  for (std::size_t i = 0; i < 5; ++i) {
+    costs.add_sample(3, mesh::Material::kAluminumInner, xs[i], ys[i]);
+  }
+  return costs;
+}
+
+}  // namespace
+
+CorruptedFixture make_corrupted_fixture() {
+  CorruptedFixture fixture{make_broken_deck(), make_broken_subdomains(),
+                           make_broken_machine(), make_broken_costs(),
+                           simapp::SimKrakOptions{}, /*pes=*/100};
+  fixture.options.iterations = 0;  // options-range
+  return fixture;
+}
+
+DiagnosticReport lint_fixture(const CorruptedFixture& fixture) {
+  LintInput input;
+  input.deck = &fixture.deck;
+  input.machine = &fixture.machine;
+  input.costs = &fixture.costs;
+  input.options = &fixture.options;
+  input.pes = fixture.pes;
+  DiagnosticReport report = lint_model(input);
+  lint_subdomains(fixture.deck, fixture.subdomains, report);
+  return report;
+}
+
+}  // namespace krak::analyze

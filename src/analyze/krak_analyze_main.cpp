@@ -1,0 +1,129 @@
+// krak_analyze: static model-input linter (docs/ANALYSIS.md).
+//
+// Validates a deck + partition + machine + cost table bundle before any
+// simulation runs and prints a severity-ranked diagnostic report:
+//
+//   krak_analyze --deck medium --pes 256 --method multilevel
+//   krak_analyze --deck corrupted            # built-in broken fixture
+//   krak_analyze --deck small --format csv
+//
+// Exit status: 0 when no errors were found, 1 when the inputs are
+// inconsistent, 2 on usage errors.
+
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "analyze/fixtures.hpp"
+#include "analyze/linter.hpp"
+#include "core/cost_table.hpp"
+#include "mesh/deck.hpp"
+#include "network/machine.hpp"
+#include "partition/partition.hpp"
+#include "simapp/costmodel.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace krak;
+
+constexpr const char* kUsage =
+    "usage: krak_analyze [--deck small|medium|large|figure2|corrupted]\n"
+    "                    [--pes N] [--method strip|rcb|multilevel|material-aware]\n"
+    "                    [--machine es45|upgrade] [--format text|csv]\n"
+    "                    [--no-partition] [--no-costs]\n";
+
+mesh::InputDeck make_deck(const std::string& name) {
+  if (name == "small") return mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  if (name == "medium") {
+    return mesh::make_standard_deck(mesh::DeckSize::kMedium);
+  }
+  if (name == "large") return mesh::make_standard_deck(mesh::DeckSize::kLarge);
+  if (name == "figure2") return mesh::make_figure2_deck();
+  throw util::InvalidArgument("unknown deck '" + name + "'");
+}
+
+partition::PartitionMethod parse_method(const std::string& name) {
+  if (name == "strip") return partition::PartitionMethod::kStrip;
+  if (name == "rcb") return partition::PartitionMethod::kRcb;
+  if (name == "multilevel") return partition::PartitionMethod::kMultilevel;
+  if (name == "material-aware") {
+    return partition::PartitionMethod::kMaterialAware;
+  }
+  throw util::InvalidArgument("unknown partition method '" + name + "'");
+}
+
+/// Cost table sampled from the ground-truth engine at geometric subgrid
+/// sizes: the noise-free analogue of a calibration campaign, fast
+/// enough to lint the large deck interactively.
+core::CostTable make_sampled_costs() {
+  const simapp::ComputationCostEngine engine;
+  core::CostTable costs;
+  for (std::int32_t phase = 1; phase <= simapp::kPhaseCount; ++phase) {
+    for (mesh::Material material : mesh::all_materials()) {
+      for (double cells = 1.0; cells <= 262144.0; cells *= 4.0) {
+        costs.add_sample(phase, material, cells,
+                         engine.per_cell_cost(phase, material,
+                                              static_cast<std::int64_t>(cells)));
+      }
+    }
+  }
+  return costs;
+}
+
+int run(const util::ArgParser& args) {
+  const std::string format = args.get_string("format", "text");
+  if (format != "text" && format != "csv") {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  const std::string deck_name = args.get_string("deck", "medium");
+  analyze::DiagnosticReport report;
+  if (deck_name == "corrupted") {
+    report = analyze::lint_fixture(analyze::make_corrupted_fixture());
+  } else {
+    const mesh::InputDeck deck = make_deck(deck_name);
+    const auto pes = static_cast<std::int32_t>(args.get_int("pes", 64));
+    const network::MachineConfig machine =
+        args.get_string("machine", "es45") == "upgrade"
+            ? network::make_hypothetical_upgrade()
+            : network::make_es45_qsnet();
+
+    analyze::LintInput input;
+    input.deck = &deck;
+    input.machine = &machine;
+    input.pes = pes;
+
+    partition::Partition partition(1, {0});
+    if (!args.has("no-partition")) {
+      partition = partition::partition_deck(
+          deck, pes, parse_method(args.get_string("method", "multilevel")));
+      input.partition = &partition;
+    }
+    core::CostTable costs;
+    if (!args.has("no-costs")) {
+      costs = make_sampled_costs();
+      input.costs = &costs;
+    }
+    report = analyze::lint_model(input);
+  }
+
+  std::cout << (format == "csv" ? report.to_csv() : report.to_text());
+  return report.has_errors() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(util::ArgParser(argc, argv));
+  } catch (const util::InvalidArgument& error) {
+    std::cerr << "krak_analyze: " << error.what() << "\n" << kUsage;
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "krak_analyze: " << error.what() << "\n";
+    return 1;
+  }
+}

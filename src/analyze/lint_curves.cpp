@@ -1,0 +1,179 @@
+#include "analyze/lint_curves.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/rules.hpp"
+#include "simapp/costmodel.hpp"
+#include "util/error.hpp"
+
+namespace krak::analyze {
+
+namespace {
+
+/// Relative prominence a local maximum needs before it counts as a knee;
+/// calibration noise (~1%) must stay below this.
+constexpr double kKneeProminence = 0.02;
+
+/// Relative tolerance for the total-cost monotonicity comparison.
+constexpr double kMonotoneSlack = 1e-9;
+
+std::string curve_component(std::int32_t phase, mesh::Material material) {
+  std::ostringstream os;
+  os << "cost-table/phase " << phase << "/"
+     << mesh::material_short_name(material);
+  return os.str();
+}
+
+void lint_curve(std::int32_t phase, mesh::Material material,
+                std::span<const double> cells, std::span<const double> costs,
+                DiagnosticReport& report) {
+  const std::string where = curve_component(phase, material);
+
+  std::size_t zero_samples = 0;
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    const double y = util::span_at(costs, i);
+    if (!std::isfinite(y) || y < 0.0) {
+      std::ostringstream os;
+      os << "per-cell cost " << y << " at " << util::span_at(cells, i)
+         << " cells is not a non-negative finite time";
+      report.error(rules::kCurvePositive, where, os.str());
+      return;  // downstream checks are meaningless on a broken curve
+    }
+    if (y == 0.0) ++zero_samples;
+  }
+  if (zero_samples > 0) {
+    std::ostringstream os;
+    os << zero_samples << " zero-cost sample(s); non-negative least squares "
+       << "attributed no time to this material at those scales";
+    report.info(rules::kCurvePositive, where, os.str());
+  }
+
+  if (costs.size() < 2) {
+    report.warning(rules::kCurveCoverage, where,
+                   "only one sample; the curve degenerates to a constant "
+                   "and cannot capture the knee");
+    return;
+  }
+
+  // The checks below compare adjacent strictly-positive samples; zeroed
+  // NNLS columns carry no cost information and are skipped.
+  std::vector<std::size_t> positive;
+  positive.reserve(costs.size());
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    if (util::span_at(costs, i) > 0.0) positive.push_back(i);
+  }
+
+  // Total subgrid cost n*T(n) must not decrease as n grows.
+  for (std::size_t k = 1; k < positive.size(); ++k) {
+    const std::size_t lo = positive[k - 1];
+    const std::size_t hi = positive[k];
+    const double total_lo = util::span_at(cells, lo) * util::span_at(costs, lo);
+    const double total_hi = util::span_at(cells, hi) * util::span_at(costs, hi);
+    if (total_hi < total_lo * (1.0 - kMonotoneSlack)) {
+      std::ostringstream os;
+      os << "total cost shrinks with more cells: " << total_lo << " s at "
+         << util::span_at(cells, lo) << " cells vs " << total_hi << " s at "
+         << util::span_at(cells, hi) << " cells";
+      report.error(rules::kCurveTotalMonotone, where, os.str());
+      break;  // one witness per curve keeps the report readable
+    }
+  }
+
+  // Knee consistency: at most one significant local maximum.
+  std::size_t knees = 0;
+  for (std::size_t k = 1; k + 1 < positive.size(); ++k) {
+    const double left = util::span_at(costs, positive[k - 1]);
+    const double mid = util::span_at(costs, positive[k]);
+    const double right = util::span_at(costs, positive[k + 1]);
+    if (mid > left * (1.0 + kKneeProminence) &&
+        mid > right * (1.0 + kKneeProminence)) {
+      ++knees;
+    }
+  }
+  if (knees > 1) {
+    std::ostringstream os;
+    os << knees << " distinct knees in the per-cell curve; expected at most "
+       << "one (noisy or mis-merged calibration samples?)";
+    report.warning(rules::kCurveKnee, where, os.str());
+  }
+}
+
+}  // namespace
+
+void lint_cost_table(const core::CostTable& table, DiagnosticReport& report,
+                     const MaterialMask& required) {
+  for (std::int32_t phase = 1; phase <= simapp::kPhaseCount; ++phase) {
+    for (mesh::Material material : mesh::all_materials()) {
+      const bool needed = required[mesh::material_index(material)];
+      if (!table.has_samples(phase, material)) {
+        if (needed) {
+          report.error(rules::kCurveCoverage, curve_component(phase, material),
+                       "no calibration samples; the model cannot evaluate "
+                       "this (phase, material) pair");
+        }
+        continue;
+      }
+      lint_curve(phase, material, table.sample_cells(phase, material),
+                 table.sample_costs(phase, material), report);
+    }
+  }
+}
+
+void lint_message_model(const network::MessageCostModel& model,
+                        std::string_view component, DiagnosticReport& report) {
+  const std::string where(component);
+
+  // Probe the paper's relevant size range: collective payloads (4 B) to
+  // large-subgrid boundary exchanges (~1 MB), geometrically spaced so
+  // every plausible breakpoint region is visited.
+  double previous_time = -1.0;
+  bool monotone_reported = false;
+  for (double bytes = 1.0; bytes <= 4.0 * 1024.0 * 1024.0; bytes *= 2.0) {
+    const double latency = model.latency(bytes);
+    const double per_byte = model.byte_cost(bytes);
+    const double time = model.message_time(bytes);
+    if (!std::isfinite(latency) || latency < 0.0 || !std::isfinite(per_byte) ||
+        per_byte < 0.0) {
+      std::ostringstream os;
+      os << "L(" << bytes << ") = " << latency << " s, TB(" << bytes
+         << ") = " << per_byte << " s/B; both terms must be non-negative "
+         << "finite times";
+      report.error(rules::kMessageUnits, where, os.str());
+      return;
+    }
+    if (!monotone_reported && time < previous_time * (1.0 - 1e-12)) {
+      std::ostringstream os;
+      os << "Tmsg is not non-decreasing: Tmsg(" << bytes << ") = " << time
+         << " s is below Tmsg(" << bytes / 2.0 << ") = " << previous_time
+         << " s";
+      report.error(rules::kMessageUnits, where, os.str());
+      monotone_reported = true;
+    }
+    previous_time = time;
+  }
+
+  // Unit plausibility: a start-up cost outside [1 ns, 1 s] almost always
+  // means the table was loaded in the wrong unit (us vs s).
+  const double l8 = model.latency(8.0);
+  if (l8 > 1.0 || (l8 > 0.0 && l8 < 1e-9)) {
+    std::ostringstream os;
+    os << "L(8 B) = " << l8 << " s is outside [1 ns, 1 s]; latency table "
+       << "probably loaded in the wrong unit";
+    report.warning(rules::kMessageUnits, where, os.str());
+  }
+  // Dimension check: TB is a per-byte cost. If one byte "costs" more
+  // than the whole start-up latency, a total message time was most
+  // likely stored where a per-byte cost belongs.
+  const double tb8 = model.byte_cost(8.0);
+  if (l8 > 0.0 && tb8 > l8) {
+    std::ostringstream os;
+    os << "TB(8 B) = " << tb8 << " s/B exceeds L(8 B) = " << l8
+       << " s; the per-byte table looks like total times (unit mix-up)";
+    report.warning(rules::kMessageUnits, where, os.str());
+  }
+}
+
+}  // namespace krak::analyze

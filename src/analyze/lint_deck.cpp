@@ -1,0 +1,77 @@
+#include "analyze/lint_deck.hpp"
+
+#include <sstream>
+
+#include "analyze/rules.hpp"
+
+namespace krak::analyze {
+
+namespace {
+
+/// Raw enum-range validation. Everything else in the deck (and in the
+/// linter itself) indexes per-material arrays with material_index(), so
+/// an out-of-range byte here is checked before anything dereferences it.
+bool materials_in_range(const mesh::InputDeck& deck,
+                        DiagnosticReport& report) {
+  std::int64_t bad = 0;
+  for (mesh::Material m : deck.materials()) {
+    if (static_cast<std::size_t>(m) >= mesh::kMaterialCount) ++bad;
+  }
+  if (bad > 0) {
+    std::ostringstream os;
+    os << bad << " cell(s) carry a material id outside the " << "0.."
+       << mesh::kMaterialCount - 1 << " range";
+    report.error(rules::kDeckShape, "deck/" + deck.name(), os.str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void lint_deck(const mesh::InputDeck& deck, DiagnosticReport& report) {
+  const std::string where = "deck/" + deck.name();
+
+  if (!materials_in_range(deck, report)) return;
+
+  const mesh::Grid& grid = deck.grid();
+  const mesh::Point det = deck.detonator();
+  const bool inside = det.x >= 0.0 &&
+                      det.x <= static_cast<double>(grid.nx()) &&
+                      det.y >= 0.0 && det.y <= static_cast<double>(grid.ny());
+  if (!inside) {
+    std::ostringstream os;
+    os << "detonator (" << det.x << ", " << det.y << ") lies outside the "
+       << grid.nx() << " x " << grid.ny() << " domain";
+    report.error(rules::kDeckDetonator, where, os.str());
+  }
+
+  const auto counts = deck.material_cell_counts();
+  const std::int64_t he_cells =
+      counts[mesh::material_index(mesh::Material::kHEGas)];
+  if (he_cells == 0) {
+    report.warning(rules::kDeckDetonator, where,
+                   "no high-explosive gas cells: a detonation problem "
+                   "cannot start (calibration-only decks are exempt by "
+                   "intent, but check this is one)");
+  } else if (inside) {
+    // The detonator must sit in (or on the edge of) an HE gas cell.
+    const auto clamp_index = [](double v, std::int32_t n) {
+      auto i = static_cast<std::int32_t>(v);
+      if (i >= n) i = n - 1;
+      if (i < 0) i = 0;
+      return i;
+    };
+    const mesh::CellId cell = grid.cell_at(clamp_index(det.x, grid.nx()),
+                                           clamp_index(det.y, grid.ny()));
+    if (deck.material_of(cell) != mesh::Material::kHEGas) {
+      std::ostringstream os;
+      os << "detonator cell holds "
+         << mesh::material_short_name(deck.material_of(cell))
+         << ", not HE gas";
+      report.warning(rules::kDeckDetonator, where, os.str());
+    }
+  }
+}
+
+}  // namespace krak::analyze

@@ -1,0 +1,75 @@
+#include "analyze/lint_machine.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "analyze/lint_curves.hpp"
+#include "analyze/rules.hpp"
+#include "network/collectives.hpp"
+
+namespace krak::analyze {
+
+void lint_machine(const network::MachineConfig& machine, std::int32_t pes,
+                  DiagnosticReport& report) {
+  const std::string where = machine.name.empty()
+                                ? std::string("machine")
+                                : "machine/" + machine.name;
+
+  bool shape_ok = true;
+  if (machine.nodes <= 0) {
+    std::ostringstream os;
+    os << "node count " << machine.nodes << " must be positive";
+    report.error(rules::kMachineShape, where, os.str());
+    shape_ok = false;
+  }
+  if (machine.pes_per_node <= 0) {
+    std::ostringstream os;
+    os << "PEs per node " << machine.pes_per_node << " must be positive";
+    report.error(rules::kMachineShape, where, os.str());
+    shape_ok = false;
+  }
+  if (!(machine.compute_speedup > 0.0) ||
+      !std::isfinite(machine.compute_speedup)) {
+    std::ostringstream os;
+    os << "compute speedup " << machine.compute_speedup
+       << " must be a positive finite factor";
+    report.error(rules::kMachineShape, where, os.str());
+    shape_ok = false;
+  }
+
+  const std::int32_t run_pes = pes > 0 && shape_ok
+                                   ? pes
+                                   : (shape_ok ? machine.total_pes() : pes);
+  if (shape_ok && pes > machine.total_pes()) {
+    std::ostringstream os;
+    os << "run requests " << pes << " PEs but the machine has only "
+       << machine.total_pes() << " (" << machine.nodes << " nodes x "
+       << machine.pes_per_node << ")";
+    report.error(rules::kMachineShape, where, os.str());
+  }
+
+  // Collective-tree coverage (Equations 8-10 charge ceil(log2 P) message
+  // steps): the depth-d binary tree must reach every rank, and depth
+  // d-1 must not already suffice.
+  if (run_pes >= 1) {
+    const std::int32_t depth = network::CollectiveModel::tree_depth(run_pes);
+    const std::int64_t reach = std::int64_t{1} << depth;
+    const std::int64_t prev_reach =
+        depth > 0 ? (std::int64_t{1} << (depth - 1)) : 0;
+    if (reach < run_pes || (run_pes > 1 && prev_reach >= run_pes)) {
+      std::ostringstream os;
+      os << "binary tree of depth " << depth << " reaches " << reach
+         << " ranks; it does not tightly cover " << run_pes << " PEs";
+      report.error(rules::kTreeCoverage, where, os.str());
+    } else if ((run_pes & (run_pes - 1)) != 0) {
+      std::ostringstream os;
+      os << run_pes << " PEs is not a power of two; the ceil(log2 P) tree "
+         << "of the paper overcharges the last tree level";
+      report.info(rules::kTreeCoverage, where, os.str());
+    }
+  }
+
+  lint_message_model(machine.network, where + "/network", report);
+}
+
+}  // namespace krak::analyze

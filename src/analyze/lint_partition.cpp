@@ -1,0 +1,190 @@
+#include "analyze/lint_partition.hpp"
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "analyze/rules.hpp"
+#include "util/error.hpp"
+
+namespace krak::analyze {
+
+namespace {
+
+std::string pe_component(partition::PeId pe) {
+  std::ostringstream os;
+  os << "partition/pe " << pe;
+  return os.str();
+}
+
+std::string boundary_component(partition::PeId pe, partition::PeId neighbor) {
+  std::ostringstream os;
+  os << "partition/pe " << pe << " -> pe " << neighbor;
+  return os.str();
+}
+
+void lint_boundary(const partition::SubdomainInfo& sub,
+                   const partition::NeighborBoundary& boundary,
+                   DiagnosticReport& report) {
+  const std::string where = boundary_component(sub.pe, boundary.neighbor);
+
+  if (boundary.neighbor < 0) {
+    report.error(rules::kBoundarySymmetry, where,
+                 "boundary references a negative neighbor PE id");
+    return;
+  }
+
+  std::int64_t group_sum = 0;
+  for (std::int64_t faces : boundary.faces_per_group) group_sum += faces;
+  if (group_sum != boundary.total_faces) {
+    std::ostringstream os;
+    os << "per-group face counts sum to " << group_sum
+       << " but the boundary reports " << boundary.total_faces
+       << " total faces";
+    report.error(rules::kFaceGroupSum, where, os.str());
+  }
+
+  // The faces+1 rule of Section 4.2: an open run of k shared faces
+  // carries k+1 ghost nodes, so f faces suggest ~f+1 ghosts.  Real
+  // boundaries can fall below that — a closed loop of f faces (an
+  // enclosed subdomain) has exactly f nodes, and two runs meeting at a
+  // diagonal corner share an endpoint — but each node terminates at
+  // most four boundary faces, so the hard bounds are [ceil(f/2), 2f].
+  const std::int64_t faces = boundary.total_faces;
+  const std::int64_t ghosts = boundary.total_ghost_nodes();
+  if (faces <= 0) {
+    report.error(rules::kGhostFace, where,
+                 "boundary with no shared faces should not exist");
+  } else if (ghosts < (faces + 1) / 2 || ghosts > 2 * faces) {
+    std::ostringstream os;
+    os << ghosts << " ghost nodes on a boundary of " << faces
+       << " shared faces is topologically impossible (each node joins at"
+       << " most four faces, so between " << (faces + 1) / 2 << " and "
+       << 2 * faces << " are expected)";
+    report.error(rules::kGhostFace, where, os.str());
+  }
+
+  if (boundary.multi_material_ghost_nodes > ghosts) {
+    std::ostringstream os;
+    os << boundary.multi_material_ghost_nodes
+       << " multi-material ghost nodes exceed the boundary's " << ghosts
+       << " ghost nodes";
+    report.error(rules::kGhostFace, where, os.str());
+  }
+}
+
+}  // namespace
+
+void lint_subdomains(const mesh::InputDeck& deck,
+                     std::span<const partition::SubdomainInfo> subdomains,
+                     DiagnosticReport& report) {
+  // Conservation across PEs (Equation 2 sums per-PE, per-material cell
+  // counts; a lost or duplicated cell silently skews every prediction).
+  std::int64_t total_cells = 0;
+  std::array<std::int64_t, mesh::kMaterialCount> material_cells{};
+  for (const partition::SubdomainInfo& sub : subdomains) {
+    total_cells += sub.total_cells;
+    std::int64_t material_sum = 0;
+    for (std::size_t m = 0; m < mesh::kMaterialCount; ++m) {
+      material_cells[m] += sub.cells_per_material[m];
+      material_sum += sub.cells_per_material[m];
+    }
+    if (material_sum != sub.total_cells) {
+      std::ostringstream os;
+      os << "per-material cells sum to " << material_sum
+         << " but the subdomain reports " << sub.total_cells << " cells";
+      report.error(rules::kMaterialConservation, pe_component(sub.pe),
+                   os.str());
+    }
+    if (sub.total_cells == 0) {
+      report.warning(rules::kEmptySubdomain, pe_component(sub.pe),
+                     "subdomain owns no cells; the PE idles every phase");
+    }
+  }
+
+  if (total_cells != deck.grid().num_cells()) {
+    std::ostringstream os;
+    os << "subdomains hold " << total_cells << " cells but the deck has "
+       << deck.grid().num_cells();
+    report.error(rules::kCellConservation, "partition", os.str());
+  }
+
+  const auto deck_materials = deck.material_cell_counts();
+  for (std::size_t m = 0; m < mesh::kMaterialCount; ++m) {
+    if (material_cells[m] != deck_materials[m]) {
+      std::ostringstream os;
+      os << "subdomains hold " << material_cells[m] << " "
+         << mesh::material_short_name(mesh::material_from_index(m))
+         << " cells but the deck has " << deck_materials[m];
+      report.error(rules::kMaterialConservation, "partition", os.str());
+    }
+  }
+
+  // Boundary invariants, then pairwise symmetry.
+  std::map<std::pair<partition::PeId, partition::PeId>,
+           const partition::NeighborBoundary*>
+      boundaries;
+  for (const partition::SubdomainInfo& sub : subdomains) {
+    for (const partition::NeighborBoundary& boundary : sub.neighbors) {
+      lint_boundary(sub, boundary, report);
+      boundaries[{sub.pe, boundary.neighbor}] = &boundary;
+    }
+  }
+
+  for (const auto& [key, boundary] : boundaries) {
+    const auto [pe, neighbor] = key;
+    if (pe > neighbor) continue;  // visit each pair once, from the low side
+    const std::string where = boundary_component(pe, neighbor);
+    const auto mirror_it = boundaries.find({neighbor, pe});
+    if (mirror_it == boundaries.end()) {
+      std::ostringstream os;
+      os << "pe " << neighbor << " does not list pe " << pe
+         << " as a neighbor";
+      report.error(rules::kBoundarySymmetry, where, os.str());
+      continue;
+    }
+    const partition::NeighborBoundary& mirror = *mirror_it->second;
+    if (mirror.total_faces != boundary->total_faces) {
+      std::ostringstream os;
+      os << "face counts disagree across the boundary: " << boundary->total_faces
+         << " vs " << mirror.total_faces;
+      report.error(rules::kBoundarySymmetry, where, os.str());
+    }
+    if (mirror.total_ghost_nodes() != boundary->total_ghost_nodes()) {
+      std::ostringstream os;
+      os << "ghost-node totals disagree across the boundary: "
+         << boundary->total_ghost_nodes() << " vs "
+         << mirror.total_ghost_nodes();
+      report.error(rules::kBoundarySymmetry, where, os.str());
+    } else if (boundary->ghost_nodes_local + mirror.ghost_nodes_local >
+               boundary->total_ghost_nodes()) {
+      // Each shared node is owned by at most one of the two sides (a
+      // corner node can belong to a third PE, so the sum may fall short
+      // of the total but can never exceed it).
+      std::ostringstream os;
+      os << "both sides together claim "
+         << boundary->ghost_nodes_local + mirror.ghost_nodes_local
+         << " locally-owned ghost nodes out of "
+         << boundary->total_ghost_nodes();
+      report.error(rules::kBoundarySymmetry, where, os.str());
+    }
+  }
+}
+
+void lint_partition(const mesh::InputDeck& deck,
+                    const partition::Partition& partition,
+                    DiagnosticReport& report) {
+  if (partition.num_cells() != deck.grid().num_cells()) {
+    std::ostringstream os;
+    os << "partition assigns " << partition.num_cells()
+       << " cells but the deck has " << deck.grid().num_cells();
+    report.error(rules::kCellConservation, "partition", os.str());
+    return;  // stats would throw on the mismatch
+  }
+  const partition::PartitionStats stats(deck, partition);
+  lint_subdomains(deck, stats.subdomains(), report);
+}
+
+}  // namespace krak::analyze

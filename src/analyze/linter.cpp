@@ -1,0 +1,69 @@
+#include "analyze/linter.hpp"
+
+#include <sstream>
+
+#include "analyze/lint_curves.hpp"
+#include "analyze/lint_deck.hpp"
+#include "analyze/lint_machine.hpp"
+#include "analyze/lint_partition.hpp"
+#include "analyze/rules.hpp"
+
+namespace krak::analyze {
+
+namespace {
+
+bool materials_in_range(const mesh::InputDeck& deck) {
+  for (mesh::Material m : deck.materials()) {
+    if (static_cast<std::size_t>(m) >= mesh::kMaterialCount) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DiagnosticReport lint_model(const LintInput& input) {
+  DiagnosticReport report;
+
+  const bool deck_usable =
+      input.deck != nullptr && materials_in_range(*input.deck);
+
+  if (input.deck != nullptr) {
+    lint_deck(*input.deck, report);
+  } else {
+    report.error(rules::kDeckShape, "deck", "no input deck provided");
+  }
+
+  // Partition checks index per-material arrays by the deck's material
+  // bytes; skip them when the deck itself is corrupt.
+  if (input.partition != nullptr && deck_usable) {
+    lint_partition(*input.deck, *input.partition, report);
+  }
+
+  if (input.machine != nullptr) {
+    lint_machine(*input.machine, input.pes, report);
+  }
+
+  if (input.costs != nullptr) {
+    MaterialMask required = kAllMaterials;
+    if (deck_usable) {
+      // Calibration can only learn materials the deck contains.
+      const auto counts = input.deck->material_cell_counts();
+      for (std::size_t m = 0; m < mesh::kMaterialCount; ++m) {
+        required[m] = counts[m] > 0;
+      }
+    }
+    lint_cost_table(*input.costs, report, required);
+  }
+
+  if (input.options != nullptr) {
+    if (input.options->iterations < 1) {
+      std::ostringstream os;
+      os << "iterations = " << input.options->iterations << " must be >= 1";
+      report.error(rules::kOptionsRange, "options", os.str());
+    }
+  }
+
+  return report;
+}
+
+}  // namespace krak::analyze

@@ -10,7 +10,7 @@ CollectiveModel::CollectiveModel(MessageCostModel message_model)
     : model_(std::move(message_model)) {}
 
 std::int32_t CollectiveModel::tree_depth(std::int32_t pes) {
-  util::check(pes >= 1, "tree_depth requires at least one PE");
+  KRAK_REQUIRE(pes >= 1, "tree_depth requires at least one PE");
   const auto u = static_cast<std::uint32_t>(pes);
   // ceil(log2(pes)): bit_width(p - 1) for p > 1.
   return (pes == 1) ? 0 : static_cast<std::int32_t>(std::bit_width(u - 1));

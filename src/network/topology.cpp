@@ -9,12 +9,12 @@ using util::check;
 
 Placement::Placement(std::int32_t pes, std::int32_t pes_per_node)
     : pes_(pes), pes_per_node_(pes_per_node) {
-  check(pes > 0, "Placement requires at least one PE");
-  check(pes_per_node > 0, "Placement requires pes_per_node > 0");
+  KRAK_REQUIRE(pes > 0, "Placement requires at least one PE");
+  KRAK_REQUIRE(pes_per_node > 0, "Placement requires pes_per_node > 0");
 }
 
 std::int32_t Placement::node_of(std::int32_t pe) const {
-  check(pe >= 0 && pe < pes_, "pe out of range");
+  KRAK_REQUIRE(pe >= 0 && pe < pes_, "pe out of range");
   return pe / pes_per_node_;
 }
 

@@ -16,14 +16,14 @@ std::int64_t Graph::total_vertex_weight() const {
 }
 
 std::span<const std::int32_t> Graph::neighbors(std::int32_t v) const {
-  check(v >= 0 && v < num_vertices(), "vertex id out of range");
+  KRAK_REQUIRE(v >= 0 && v < num_vertices(), "vertex id out of range");
   const auto begin = static_cast<std::size_t>(xadj[v]);
   const auto end = static_cast<std::size_t>(xadj[v + 1]);
   return {adjncy.data() + begin, end - begin};
 }
 
 std::span<const std::int32_t> Graph::edge_weights(std::int32_t v) const {
-  check(v >= 0 && v < num_vertices(), "vertex id out of range");
+  KRAK_REQUIRE(v >= 0 && v < num_vertices(), "vertex id out of range");
   const auto begin = static_cast<std::size_t>(xadj[v]);
   const auto end = static_cast<std::size_t>(xadj[v + 1]);
   return {ewgt.data() + begin, end - begin};
@@ -31,22 +31,22 @@ std::span<const std::int32_t> Graph::edge_weights(std::int32_t v) const {
 
 void Graph::validate() const {
   const std::int32_t n = num_vertices();
-  require_internal(xadj.size() == static_cast<std::size_t>(n) + 1,
-                   "Graph xadj size mismatch");
-  require_internal(xadj.front() == 0, "Graph xadj must start at 0");
-  require_internal(xadj.back() == static_cast<std::int64_t>(adjncy.size()),
-                   "Graph xadj must end at adjncy size");
-  require_internal(adjncy.size() == ewgt.size(),
-                   "Graph adjncy/ewgt size mismatch");
+  KRAK_ASSERT(xadj.size() == static_cast<std::size_t>(n) + 1,
+              "Graph xadj size mismatch");
+  KRAK_ASSERT(xadj.front() == 0, "Graph xadj must start at 0");
+  KRAK_ASSERT(xadj.back() == static_cast<std::int64_t>(adjncy.size()),
+              "Graph xadj must end at adjncy size");
+  KRAK_ASSERT(adjncy.size() == ewgt.size(),
+              "Graph adjncy/ewgt size mismatch");
   for (std::int32_t v = 0; v < n; ++v) {
-    require_internal(xadj[v] <= xadj[v + 1], "Graph xadj must be monotone");
+    KRAK_ASSERT(xadj[v] <= xadj[v + 1], "Graph xadj must be monotone");
     for (std::int32_t u : neighbors(v)) {
-      require_internal(u >= 0 && u < n, "Graph neighbor out of range");
-      require_internal(u != v, "Graph must not contain self loops");
+      KRAK_ASSERT(u >= 0 && u < n, "Graph neighbor out of range");
+      KRAK_ASSERT(u != v, "Graph must not contain self loops");
       // Symmetry: v must appear in u's list.
       const auto nu = neighbors(u);
-      require_internal(std::find(nu.begin(), nu.end(), v) != nu.end(),
-                       "Graph adjacency must be symmetric");
+      KRAK_ASSERT(std::find(nu.begin(), nu.end(), v) != nu.end(),
+                  "Graph adjacency must be symmetric");
     }
   }
 }
@@ -73,10 +73,10 @@ Graph build_weighted_dual_graph(
     std::span<const double, mesh::kMaterialCount> material_costs) {
   double min_cost = 0.0;
   for (double cost : material_costs) {
-    check(cost >= 0.0, "material costs must be non-negative");
+    KRAK_REQUIRE(cost >= 0.0, "material costs must be non-negative");
     if (cost > 0.0 && (min_cost == 0.0 || cost < min_cost)) min_cost = cost;
   }
-  check(min_cost > 0.0, "at least one material cost must be positive");
+  KRAK_REQUIRE(min_cost > 0.0, "at least one material cost must be positive");
 
   Graph g = build_dual_graph(deck.grid());
   for (std::int32_t v = 0; v < g.num_vertices(); ++v) {

@@ -305,8 +305,8 @@ void refine(const Graph& graph, std::int32_t parts, std::vector<PeId>& part,
 
 Partition partition_multilevel(const Graph& graph, std::int32_t parts,
                                std::uint64_t seed) {
-  util::check(parts > 0, "partition_multilevel requires parts > 0");
-  util::check(graph.num_vertices() >= parts, "more parts than vertices");
+  KRAK_REQUIRE(parts > 0, "partition_multilevel requires parts > 0");
+  KRAK_REQUIRE(graph.num_vertices() >= parts, "more parts than vertices");
   util::Rng rng(seed);
 
   if (parts == 1) {

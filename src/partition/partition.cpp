@@ -11,15 +11,15 @@ using util::check;
 
 Partition::Partition(std::int32_t parts, std::vector<PeId> assignment)
     : parts_(parts), assignment_(std::move(assignment)) {
-  check(parts > 0, "Partition requires at least one part");
-  check(!assignment_.empty(), "Partition requires at least one cell");
+  KRAK_REQUIRE(parts > 0, "Partition requires at least one part");
+  KRAK_REQUIRE(!assignment_.empty(), "Partition requires at least one cell");
   for (PeId pe : assignment_) {
-    check(pe >= 0 && pe < parts, "Partition assignment out of range");
+    KRAK_REQUIRE(pe >= 0 && pe < parts, "Partition assignment out of range");
   }
 }
 
 PeId Partition::pe_of(std::int64_t cell) const {
-  check(cell >= 0 && cell < num_cells(), "cell id out of range");
+  KRAK_REQUIRE(cell >= 0 && cell < num_cells(), "cell id out of range");
   return assignment_[static_cast<std::size_t>(cell)];
 }
 
@@ -30,7 +30,7 @@ std::vector<std::int64_t> Partition::cell_counts() const {
 }
 
 std::vector<std::int64_t> Partition::cells_of_pe(PeId pe) const {
-  check(pe >= 0 && pe < parts_, "pe id out of range");
+  KRAK_REQUIRE(pe >= 0 && pe < parts_, "pe id out of range");
   std::vector<std::int64_t> cells;
   for (std::size_t cell = 0; cell < assignment_.size(); ++cell) {
     if (assignment_[cell] == pe) cells.push_back(static_cast<std::int64_t>(cell));
@@ -40,8 +40,8 @@ std::vector<std::int64_t> Partition::cells_of_pe(PeId pe) const {
 
 PartitionQuality evaluate_partition(const Graph& graph,
                                     const Partition& partition) {
-  check(graph.num_vertices() == partition.num_cells(),
-        "graph/partition size mismatch");
+  KRAK_REQUIRE(graph.num_vertices() == partition.num_cells(),
+               "graph/partition size mismatch");
   PartitionQuality q;
   const auto counts = partition.cell_counts();
   q.min_cells = *std::min_element(counts.begin(), counts.end());
@@ -99,9 +99,9 @@ Partition partition_cost_aware(
 }
 
 Partition partition_strips(std::int64_t num_cells, std::int32_t parts) {
-  check(num_cells > 0, "partition_strips requires cells");
-  check(parts > 0, "partition_strips requires parts");
-  check(parts <= num_cells, "more parts than cells");
+  KRAK_REQUIRE(num_cells > 0, "partition_strips requires cells");
+  KRAK_REQUIRE(parts > 0, "partition_strips requires parts");
+  KRAK_REQUIRE(parts <= num_cells, "more parts than cells");
   std::vector<PeId> assignment(static_cast<std::size_t>(num_cells));
   // Distribute the remainder one cell at a time so strip sizes differ by
   // at most one.
@@ -120,8 +120,8 @@ Partition partition_strips(std::int64_t num_cells, std::int32_t parts) {
 Partition partition_deck(const mesh::InputDeck& deck, std::int32_t parts,
                          PartitionMethod method, std::uint64_t seed) {
   const mesh::Grid& grid = deck.grid();
-  check(parts > 0, "partition_deck requires parts > 0");
-  check(parts <= grid.num_cells(), "more parts than cells");
+  KRAK_REQUIRE(parts > 0, "partition_deck requires parts > 0");
+  KRAK_REQUIRE(parts <= grid.num_cells(), "more parts than cells");
   switch (method) {
     case PartitionMethod::kStrip:
       return partition_strips(grid.num_cells(), parts);
@@ -140,7 +140,7 @@ Partition partition_deck(const mesh::InputDeck& deck, std::int32_t parts,
     case PartitionMethod::kMaterialAware:
       return partition_material_aware(deck, parts);
   }
-  check(false, "unknown partition method");
+  KRAK_ASSERT(false, "unknown partition method");
   return partition_strips(grid.num_cells(), parts);  // unreachable
 }
 

@@ -78,10 +78,10 @@ void rcb_recurse(const std::vector<Point>& centers,
 
 Partition partition_rcb(const std::vector<Point>& centers,
                         std::int32_t parts) {
-  util::check(!centers.empty(), "partition_rcb requires points");
-  util::check(parts > 0, "partition_rcb requires parts > 0");
-  util::check(static_cast<std::size_t>(parts) <= centers.size(),
-              "more parts than points");
+  KRAK_REQUIRE(!centers.empty(), "partition_rcb requires points");
+  KRAK_REQUIRE(parts > 0, "partition_rcb requires parts > 0");
+  KRAK_REQUIRE(static_cast<std::size_t>(parts) <= centers.size(),
+               "more parts than points");
   std::vector<std::int64_t> indices(centers.size());
   std::iota(indices.begin(), indices.end(), 0);
   std::vector<PeId> assignment(centers.size(), 0);

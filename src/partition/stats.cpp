@@ -43,8 +43,8 @@ std::int64_t SubdomainInfo::total_ghost_nodes() const {
 PartitionStats::PartitionStats(const mesh::InputDeck& deck,
                                const Partition& partition) {
   const mesh::Grid& grid = deck.grid();
-  util::check(partition.num_cells() == grid.num_cells(),
-              "partition does not match deck");
+  KRAK_REQUIRE(partition.num_cells() == grid.num_cells(),
+               "partition does not match deck");
   const std::int32_t parts = partition.parts();
   subdomains_.resize(static_cast<std::size_t>(parts));
   for (PeId pe = 0; pe < parts; ++pe) {
@@ -137,8 +137,8 @@ PartitionStats::PartitionStats(const mesh::InputDeck& deck,
 }
 
 const SubdomainInfo& PartitionStats::subdomain(PeId pe) const {
-  util::check(pe >= 0 && pe < parts(), "pe id out of range");
-  return subdomains_[static_cast<std::size_t>(pe)];
+  KRAK_REQUIRE(pe >= 0, "pe id must be non-negative");
+  return util::span_at(subdomains_, static_cast<std::size_t>(pe));
 }
 
 std::int64_t PartitionStats::total_boundary_faces() const {

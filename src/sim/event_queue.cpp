@@ -5,16 +5,16 @@
 namespace krak::sim {
 
 void EventQueue::schedule(double time, Action action) {
-  util::check(time >= now_, "cannot schedule an event in the past");
-  util::check(static_cast<bool>(action), "event action must be callable");
+  KRAK_REQUIRE(time >= now_, "cannot schedule an event in the past");
+  KRAK_REQUIRE(static_cast<bool>(action), "event action must be callable");
   events_.push(Event{time, next_seq_++, std::move(action)});
 }
 
 std::size_t EventQueue::run(std::size_t max_events) {
   std::size_t fired = 0;
   while (!events_.empty()) {
-    util::require_internal(fired < max_events,
-                           "event queue exceeded max_events (runaway?)");
+    KRAK_ASSERT(fired < max_events,
+                "event queue exceeded max_events (runaway?)");
     // The action may schedule more events, so pop before firing.
     Event event = std::move(const_cast<Event&>(events_.top()));
     events_.pop();

@@ -78,7 +78,9 @@ class SimKrak {
                            double bytes_per_node, std::int32_t phase) const;
 
   const mesh::InputDeck& deck_;
-  const partition::Partition& partition_;
+  // Stored by value: callers routinely pass freshly built partitions as
+  // temporaries, and a dangling reference here outlives the expression.
+  partition::Partition partition_;
   const network::MachineConfig& machine_;
   const ComputationCostEngine& costs_;
   SimKrakOptions options_;

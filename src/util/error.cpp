@@ -28,4 +28,32 @@ void require_internal(bool condition, std::string_view message,
   }
 }
 
+namespace detail {
+
+void throw_requirement(const char* expression, std::string_view message,
+                       const std::source_location& loc) {
+  std::ostringstream os;
+  os << "precondition violated: " << message << " [" << expression << "] at "
+     << format_location(loc);
+  throw InvalidArgument(os.str());
+}
+
+void throw_assertion(const char* expression, std::string_view message,
+                     const std::source_location& loc) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << message << " [" << expression
+     << "] at " << format_location(loc);
+  throw InternalError(os.str());
+}
+
+void throw_index(std::size_t index, std::size_t size,
+                 const std::source_location& loc) {
+  std::ostringstream os;
+  os << "index " << index << " out of range for size " << size << " at "
+     << format_location(loc);
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+
 }  // namespace krak::util

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <iterator>
 #include <source_location>
 #include <stdexcept>
 #include <string>
@@ -44,4 +46,55 @@ void require_internal(bool condition, std::string_view message,
 /// Format a source location as "file:line (function)".
 [[nodiscard]] std::string format_location(const std::source_location& loc);
 
+namespace detail {
+
+/// Out-of-line throw helpers keep the macro expansions below to a single
+/// predictable branch at each call site (hot loops stay inlinable).
+[[noreturn]] void throw_requirement(const char* expression,
+                                    std::string_view message,
+                                    const std::source_location& loc);
+[[noreturn]] void throw_assertion(const char* expression,
+                                  std::string_view message,
+                                  const std::source_location& loc);
+[[noreturn]] void throw_index(std::size_t index, std::size_t size,
+                              const std::source_location& loc);
+
+}  // namespace detail
+
+/// Bounds-checked element access for vectors, arrays, and spans: the
+/// drop-in replacement for raw `v[i]` at contract boundaries. Throws
+/// InternalError naming the index, the size, and the call site instead
+/// of invoking undefined behavior.
+template <typename Container>
+[[nodiscard]] constexpr decltype(auto) span_at(
+    Container&& container, std::size_t index,
+    std::source_location loc = std::source_location::current()) {
+  if (index >= std::size(container)) {
+    detail::throw_index(index, std::size(container), loc);
+  }
+  return std::forward<Container>(container)[index];
+}
+
 }  // namespace krak::util
+
+/// Check a caller-supplied precondition; throws InvalidArgument with the
+/// failing expression text and call site on failure. Unlike util::check
+/// the condition text itself lands in the message, so sweep logs show
+/// *what* was violated, not only where.
+#define KRAK_REQUIRE(condition, message)                            \
+  do {                                                              \
+    if (!(condition)) {                                             \
+      ::krak::util::detail::throw_requirement(                      \
+          #condition, (message), std::source_location::current());  \
+    }                                                               \
+  } while (false)
+
+/// Check an internal invariant; throws InternalError (a library bug)
+/// with the failing expression text and call site on failure.
+#define KRAK_ASSERT(condition, message)                             \
+  do {                                                              \
+    if (!(condition)) {                                             \
+      ::krak::util::detail::throw_assertion(                        \
+          #condition, (message), std::source_location::current());  \
+    }                                                               \
+  } while (false)

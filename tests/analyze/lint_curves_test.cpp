@@ -1,0 +1,171 @@
+#include "analyze/lint_curves.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analyze/rules.hpp"
+#include "core/cost_table.hpp"
+#include "network/machine.hpp"
+#include "simapp/costmodel.hpp"
+#include "util/piecewise.hpp"
+
+namespace krak::analyze {
+namespace {
+
+/// Cost table with a well-behaved curve for every (phase, material):
+/// constant per-cell cost, so totals grow linearly and no knee exists.
+core::CostTable make_clean_table() {
+  core::CostTable table;
+  for (std::int32_t phase = 1; phase <= simapp::kPhaseCount; ++phase) {
+    for (mesh::Material material : mesh::all_materials()) {
+      for (double cells : {10.0, 100.0, 1000.0, 10000.0}) {
+        table.add_sample(phase, material, cells, 2e-6);
+      }
+    }
+  }
+  return table;
+}
+
+TEST(LintCostTable, CleanTablePasses) {
+  DiagnosticReport report;
+  lint_cost_table(make_clean_table(), report);
+  EXPECT_TRUE(report.empty()) << report.to_text();
+}
+
+TEST(LintCostTable, MissingRequiredPairIsCoverageError) {
+  core::CostTable table;  // entirely empty
+  DiagnosticReport report;
+  lint_cost_table(table, report);
+  EXPECT_TRUE(report.has_rule(rules::kCurveCoverage));
+  // 15 phases x 4 materials, all missing.
+  EXPECT_EQ(report.error_count(), 60u);
+}
+
+TEST(LintCostTable, MaskExemptsAbsentMaterials) {
+  core::CostTable table;
+  for (std::int32_t phase = 1; phase <= simapp::kPhaseCount; ++phase) {
+    for (double cells : {10.0, 100.0}) {
+      table.add_sample(phase, mesh::Material::kFoam, cells, 1e-6);
+    }
+  }
+  const MaterialMask foam_only = {false, false, true, false};
+  DiagnosticReport report;
+  lint_cost_table(table, report, foam_only);
+  EXPECT_TRUE(report.empty()) << report.to_text();
+}
+
+TEST(LintCostTable, ShrinkingTotalCostIsMonotoneError) {
+  core::CostTable table = make_clean_table();
+  // 100 cells * 1e-4 = 1e-2 s, then 1000 cells * 1e-6 = 1e-3 s: the
+  // whole subgrid got cheaper by growing. Impossible.
+  table.add_sample(1, mesh::Material::kHEGas, 100.0, 1e-4);
+  table.add_sample(1, mesh::Material::kHEGas, 1000.0, 1e-6);
+  DiagnosticReport report;
+  lint_cost_table(table, report);
+  EXPECT_TRUE(report.has_rule(rules::kCurveTotalMonotone));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintCostTable, DoubleKneeIsWarning) {
+  core::CostTable table = make_clean_table();
+  const double xs[] = {1.0, 10.0, 100.0, 1000.0, 10000.0};
+  const double ys[] = {1e-6, 2e-6, 1e-6, 2e-6, 1e-6};
+  for (std::size_t i = 0; i < 5; ++i) {
+    table.add_sample(3, mesh::Material::kAluminumInner, xs[i], ys[i]);
+  }
+  DiagnosticReport report;
+  lint_cost_table(table, report);
+  EXPECT_TRUE(report.has_rule(rules::kCurveKnee));
+  // The oscillation keeps totals rising, so the knee warning is the only
+  // finding and it is not an error.
+  EXPECT_FALSE(report.has_errors()) << report.to_text();
+}
+
+TEST(LintCostTable, SingleKneeIsAccepted) {
+  core::CostTable table = make_clean_table();
+  // One knee at 100 cells (cache falloff), as the paper's curves show.
+  const double xs[] = {1.0, 100.0, 1000.0, 10000.0};
+  const double ys[] = {1e-6, 3e-6, 2.5e-6, 2.4e-6};
+  for (std::size_t i = 0; i < 4; ++i) {
+    table.add_sample(5, mesh::Material::kFoam, xs[i], ys[i]);
+  }
+  DiagnosticReport report;
+  lint_cost_table(table, report);
+  EXPECT_FALSE(report.has_rule(rules::kCurveKnee)) << report.to_text();
+}
+
+TEST(LintCostTable, SingleSampleIsCoverageWarning) {
+  core::CostTable table = make_clean_table();
+  core::CostTable sparse;
+  sparse.add_sample(1, mesh::Material::kHEGas, 100.0, 1e-6);
+  const MaterialMask he_only = {true, false, false, false};
+  DiagnosticReport report;
+  lint_cost_table(sparse, report, he_only);
+  EXPECT_TRUE(report.has_rule(rules::kCurveCoverage));
+  EXPECT_EQ(report.warning_count(), 1u);
+}
+
+TEST(LintCostTable, ZeroCostSamplesAreInfoNotError) {
+  core::CostTable table;
+  for (std::int32_t phase = 1; phase <= simapp::kPhaseCount; ++phase) {
+    for (double cells : {10.0, 100.0, 1000.0}) {
+      table.add_sample(phase, mesh::Material::kAluminumOuter, cells, 0.0);
+    }
+  }
+  const MaterialMask outer_only = {false, false, false, true};
+  DiagnosticReport report;
+  lint_cost_table(table, report, outer_only);
+  EXPECT_FALSE(report.has_errors()) << report.to_text();
+  EXPECT_EQ(report.count(Severity::kInfo),
+            static_cast<std::size_t>(simapp::kPhaseCount));
+  EXPECT_TRUE(report.has_rule(rules::kCurvePositive));
+}
+
+network::MessageCostModel make_model(double latency_seconds,
+                                     double per_byte_seconds) {
+  const std::vector<double> sizes = {1.0, 4.0 * 1024.0 * 1024.0};
+  const std::vector<double> lat = {latency_seconds, latency_seconds};
+  const std::vector<double> tb = {per_byte_seconds, per_byte_seconds};
+  return network::MessageCostModel(util::PiecewiseLinear(sizes, lat),
+                                   util::PiecewiseLinear(sizes, tb));
+}
+
+TEST(LintMessageModel, Es45QsNetModelIsClean) {
+  DiagnosticReport report;
+  lint_message_model(network::make_es45_qsnet().network, "net", report);
+  EXPECT_TRUE(report.empty()) << report.to_text();
+}
+
+TEST(LintMessageModel, SecondsScaleLatencyIsUnitWarning) {
+  DiagnosticReport report;
+  lint_message_model(make_model(5.0, 1e-9), "net", report);
+  EXPECT_TRUE(report.has_rule(rules::kMessageUnits));
+  EXPECT_EQ(report.warning_count(), 1u);
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(LintMessageModel, PerByteLargerThanLatencyIsUnitWarning) {
+  // A "per-byte" cost above the whole start-up latency means total
+  // message times were loaded into the TB table.
+  DiagnosticReport report;
+  lint_message_model(make_model(5e-6, 1e-4), "net", report);
+  EXPECT_TRUE(report.has_rule(rules::kMessageUnits));
+  EXPECT_GE(report.warning_count(), 1u);
+}
+
+TEST(LintMessageModel, DecreasingTmsgIsError) {
+  // Per-byte cost falling fast enough that Tmsg(2S) < Tmsg(S).
+  const std::vector<double> sizes = {1.0, 4.0 * 1024.0 * 1024.0};
+  const std::vector<double> lat = {1e-6, 1e-6};
+  const std::vector<double> tb = {1e-2, 1e-12};
+  const network::MessageCostModel model(util::PiecewiseLinear(sizes, lat),
+                                        util::PiecewiseLinear(sizes, tb));
+  DiagnosticReport report;
+  lint_message_model(model, "net", report);
+  EXPECT_TRUE(report.has_rule(rules::kMessageUnits));
+  EXPECT_TRUE(report.has_errors());
+}
+
+}  // namespace
+}  // namespace krak::analyze

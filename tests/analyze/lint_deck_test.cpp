@@ -1,0 +1,74 @@
+#include "analyze/lint_deck.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analyze/rules.hpp"
+#include "mesh/deck.hpp"
+
+namespace krak::analyze {
+namespace {
+
+TEST(LintDeck, StandardDecksAreClean) {
+  for (mesh::DeckSize size : {mesh::DeckSize::kSmall, mesh::DeckSize::kMedium,
+                              mesh::DeckSize::kLarge}) {
+    const mesh::InputDeck deck = mesh::make_standard_deck(size);
+    DiagnosticReport report;
+    lint_deck(deck, report);
+    EXPECT_TRUE(report.empty()) << deck.name() << ":\n" << report.to_text();
+  }
+}
+
+TEST(LintDeck, Figure2DeckIsClean) {
+  DiagnosticReport report;
+  lint_deck(mesh::make_figure2_deck(), report);
+  EXPECT_TRUE(report.empty()) << report.to_text();
+}
+
+TEST(LintDeck, DetonatorOutsideDomainIsError) {
+  std::vector<mesh::Material> materials(16, mesh::Material::kHEGas);
+  const mesh::InputDeck deck("det-out", mesh::Grid(4, 4),
+                             std::move(materials), mesh::Point{40.0, 2.0});
+  DiagnosticReport report;
+  lint_deck(deck, report);
+  EXPECT_TRUE(report.has_rule(rules::kDeckDetonator));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintDeck, NoHighExplosiveIsWarning) {
+  std::vector<mesh::Material> materials(16, mesh::Material::kFoam);
+  const mesh::InputDeck deck("inert", mesh::Grid(4, 4), std::move(materials),
+                             mesh::Point{2.0, 2.0});
+  DiagnosticReport report;
+  lint_deck(deck, report);
+  EXPECT_TRUE(report.has_rule(rules::kDeckDetonator));
+  EXPECT_FALSE(report.has_errors());
+  EXPECT_EQ(report.warning_count(), 1u);
+}
+
+TEST(LintDeck, DetonatorOnNonHECellIsWarning) {
+  // HE gas exists, but the detonator sits on a foam cell.
+  std::vector<mesh::Material> materials(16, mesh::Material::kFoam);
+  materials[0] = mesh::Material::kHEGas;  // cell (0, 0)
+  const mesh::InputDeck deck("misplaced", mesh::Grid(4, 4),
+                             std::move(materials), mesh::Point{3.5, 3.5});
+  DiagnosticReport report;
+  lint_deck(deck, report);
+  EXPECT_TRUE(report.has_rule(rules::kDeckDetonator));
+  EXPECT_FALSE(report.has_errors());
+  EXPECT_EQ(report.warning_count(), 1u);
+}
+
+TEST(LintDeck, DetonatorOnHECellIsClean) {
+  std::vector<mesh::Material> materials(16, mesh::Material::kFoam);
+  materials[0] = mesh::Material::kHEGas;  // cell (0, 0)
+  const mesh::InputDeck deck("ok", mesh::Grid(4, 4), std::move(materials),
+                             mesh::Point{0.5, 0.5});
+  DiagnosticReport report;
+  lint_deck(deck, report);
+  EXPECT_TRUE(report.empty()) << report.to_text();
+}
+
+}  // namespace
+}  // namespace krak::analyze

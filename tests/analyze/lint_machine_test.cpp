@@ -1,0 +1,60 @@
+#include "analyze/lint_machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analyze/rules.hpp"
+#include "network/machine.hpp"
+
+namespace krak::analyze {
+namespace {
+
+TEST(LintMachine, Es45AtPowerOfTwoIsClean) {
+  DiagnosticReport report;
+  lint_machine(network::make_es45_qsnet(), 256, report);
+  EXPECT_TRUE(report.empty()) << report.to_text();
+}
+
+TEST(LintMachine, HypotheticalUpgradeIsClean) {
+  DiagnosticReport report;
+  lint_machine(network::make_hypothetical_upgrade(), 64, report);
+  EXPECT_TRUE(report.empty()) << report.to_text();
+}
+
+TEST(LintMachine, NonPowerOfTwoRunIsInfoOnly) {
+  DiagnosticReport report;
+  lint_machine(network::make_es45_qsnet(), 100, report);
+  EXPECT_FALSE(report.has_errors()) << report.to_text();
+  EXPECT_EQ(report.warning_count(), 0u);
+  EXPECT_TRUE(report.has_rule(rules::kTreeCoverage));
+  EXPECT_EQ(report.count(Severity::kInfo), 1u);
+}
+
+TEST(LintMachine, RunLargerThanMachineIsShapeError) {
+  const network::MachineConfig machine = network::make_es45_qsnet();
+  DiagnosticReport report;
+  lint_machine(machine, machine.total_pes() + 1, report);
+  EXPECT_TRUE(report.has_rule(rules::kMachineShape));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintMachine, BrokenShapeReportsEveryField) {
+  network::MachineConfig machine = network::make_es45_qsnet();
+  machine.nodes = 0;
+  machine.pes_per_node = -4;
+  machine.compute_speedup = -1.0;
+  DiagnosticReport report;
+  lint_machine(machine, 64, report);
+  EXPECT_TRUE(report.has_rule(rules::kMachineShape));
+  EXPECT_GE(report.error_count(), 3u);
+}
+
+TEST(LintMachine, WholeMachineDefaultWhenPesNotGiven) {
+  // pes <= 0 means "the whole machine"; the ES-45 cluster's PE count is
+  // a power of two, so no tree finding appears.
+  DiagnosticReport report;
+  lint_machine(network::make_es45_qsnet(), 0, report);
+  EXPECT_FALSE(report.has_errors()) << report.to_text();
+}
+
+}  // namespace
+}  // namespace krak::analyze

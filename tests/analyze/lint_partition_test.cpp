@@ -1,0 +1,212 @@
+#include "analyze/lint_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analyze/rules.hpp"
+#include "mesh/deck.hpp"
+#include "partition/partition.hpp"
+
+namespace krak::analyze {
+namespace {
+
+/// 4x4 single-material deck whose cells are easy to partition by hand.
+mesh::InputDeck make_tiny_deck() {
+  std::vector<mesh::Material> materials(16, mesh::Material::kHEGas);
+  return mesh::InputDeck("tiny", mesh::Grid(4, 4), std::move(materials),
+                         mesh::Point{0.5, 0.5});
+}
+
+/// Consistent two-PE split of the tiny deck (left half / right half):
+/// the 4-face vertical boundary has 5 ghost nodes, 1 owned locally on
+/// each side and 3 owned by... the hash decides; we mirror totals.
+std::vector<partition::SubdomainInfo> make_consistent_subdomains() {
+  partition::SubdomainInfo pe0;
+  pe0.pe = 0;
+  pe0.total_cells = 8;
+  pe0.cells_per_material = {8, 0, 0, 0};
+  partition::NeighborBoundary b01;
+  b01.neighbor = 1;
+  b01.total_faces = 4;
+  b01.faces_per_group = {4, 0, 0};
+  b01.ghost_nodes_local = 2;
+  b01.ghost_nodes_remote = 3;
+  pe0.neighbors.push_back(b01);
+
+  partition::SubdomainInfo pe1;
+  pe1.pe = 1;
+  pe1.total_cells = 8;
+  pe1.cells_per_material = {8, 0, 0, 0};
+  partition::NeighborBoundary b10;
+  b10.neighbor = 0;
+  b10.total_faces = 4;
+  b10.faces_per_group = {4, 0, 0};
+  b10.ghost_nodes_local = 3;
+  b10.ghost_nodes_remote = 2;
+  pe1.neighbors.push_back(b10);
+
+  return {pe0, pe1};
+}
+
+TEST(LintSubdomains, ConsistentSplitPasses) {
+  DiagnosticReport report;
+  lint_subdomains(make_tiny_deck(), make_consistent_subdomains(), report);
+  EXPECT_TRUE(report.empty()) << report.to_text();
+}
+
+TEST(LintSubdomains, MaterialSumMismatchIsError) {
+  auto subs = make_consistent_subdomains();
+  subs[0].cells_per_material = {6, 0, 0, 0};  // sums to 6, claims 8
+  DiagnosticReport report;
+  lint_subdomains(make_tiny_deck(), subs, report);
+  EXPECT_TRUE(report.has_rule(rules::kMaterialConservation));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintSubdomains, LostCellsAreConservationError) {
+  auto subs = make_consistent_subdomains();
+  subs[1].total_cells = 6;
+  subs[1].cells_per_material = {6, 0, 0, 0};
+  DiagnosticReport report;
+  lint_subdomains(make_tiny_deck(), subs, report);
+  EXPECT_TRUE(report.has_rule(rules::kCellConservation));
+  EXPECT_TRUE(report.has_rule(rules::kMaterialConservation));
+}
+
+TEST(LintSubdomains, EmptySubdomainIsWarning) {
+  auto subs = make_consistent_subdomains();
+  subs[0].total_cells = 16;
+  subs[0].cells_per_material = {16, 0, 0, 0};
+  subs[1].total_cells = 0;
+  subs[1].cells_per_material = {0, 0, 0, 0};
+  DiagnosticReport report;
+  lint_subdomains(make_tiny_deck(), subs, report);
+  EXPECT_TRUE(report.has_rule(rules::kEmptySubdomain));
+  EXPECT_EQ(report.warning_count(), 1u);
+}
+
+TEST(LintSubdomains, FaceGroupSumMismatchIsError) {
+  auto subs = make_consistent_subdomains();
+  subs[0].neighbors[0].faces_per_group = {2, 1, 0};  // sums to 3, not 4
+  DiagnosticReport report;
+  lint_subdomains(make_tiny_deck(), subs, report);
+  EXPECT_TRUE(report.has_rule(rules::kFaceGroupSum));
+}
+
+TEST(LintSubdomains, TooFewGhostNodesIsError) {
+  auto subs = make_consistent_subdomains();
+  // 1 ghost node on 4 faces: below the hard ceil(f/2) = 2 bound.
+  for (auto& sub : subs) {
+    sub.neighbors[0].ghost_nodes_local = 1;
+    sub.neighbors[0].ghost_nodes_remote = 0;
+  }
+  DiagnosticReport report;
+  lint_subdomains(make_tiny_deck(), subs, report);
+  EXPECT_TRUE(report.has_rule(rules::kGhostFace));
+}
+
+TEST(LintSubdomains, TooManyGhostNodesIsError) {
+  auto subs = make_consistent_subdomains();
+  // 9 ghost nodes on 4 faces: above the 2f = 8 bound.
+  for (auto& sub : subs) {
+    sub.neighbors[0].ghost_nodes_local = 4;
+    sub.neighbors[0].ghost_nodes_remote = 5;
+  }
+  DiagnosticReport report;
+  lint_subdomains(make_tiny_deck(), subs, report);
+  EXPECT_TRUE(report.has_rule(rules::kGhostFace));
+}
+
+TEST(LintSubdomains, ClosedLoopGhostCountIsAccepted) {
+  // An enclosed subdomain: f faces, f ghost nodes. Below faces+1 but
+  // topologically legal, so it must NOT be flagged.
+  auto subs = make_consistent_subdomains();
+  for (auto& sub : subs) {
+    sub.neighbors[0].ghost_nodes_local = 2;
+    sub.neighbors[0].ghost_nodes_remote = 2;
+  }
+  DiagnosticReport report;
+  lint_subdomains(make_tiny_deck(), subs, report);
+  EXPECT_TRUE(report.empty()) << report.to_text();
+}
+
+TEST(LintSubdomains, MissingMirrorBoundaryIsSymmetryError) {
+  auto subs = make_consistent_subdomains();
+  subs[1].neighbors.clear();
+  DiagnosticReport report;
+  lint_subdomains(make_tiny_deck(), subs, report);
+  EXPECT_TRUE(report.has_rule(rules::kBoundarySymmetry));
+}
+
+TEST(LintSubdomains, FaceCountDisagreementIsSymmetryError) {
+  auto subs = make_consistent_subdomains();
+  subs[1].neighbors[0].total_faces = 3;
+  subs[1].neighbors[0].faces_per_group = {3, 0, 0};
+  DiagnosticReport report;
+  lint_subdomains(make_tiny_deck(), subs, report);
+  EXPECT_TRUE(report.has_rule(rules::kBoundarySymmetry));
+}
+
+TEST(LintSubdomains, GhostTotalDisagreementIsSymmetryError) {
+  auto subs = make_consistent_subdomains();
+  subs[1].neighbors[0].ghost_nodes_local = 3;
+  subs[1].neighbors[0].ghost_nodes_remote = 3;  // 6 vs pe0's 5
+  DiagnosticReport report;
+  lint_subdomains(make_tiny_deck(), subs, report);
+  EXPECT_TRUE(report.has_rule(rules::kBoundarySymmetry));
+}
+
+TEST(LintSubdomains, OverClaimedOwnershipIsSymmetryError) {
+  auto subs = make_consistent_subdomains();
+  // Both sides claim 4 of the 5 shared nodes: 8 > 5 owners total.
+  subs[0].neighbors[0].ghost_nodes_local = 4;
+  subs[0].neighbors[0].ghost_nodes_remote = 1;
+  subs[1].neighbors[0].ghost_nodes_local = 4;
+  subs[1].neighbors[0].ghost_nodes_remote = 1;
+  DiagnosticReport report;
+  lint_subdomains(make_tiny_deck(), subs, report);
+  EXPECT_TRUE(report.has_rule(rules::kBoundarySymmetry));
+}
+
+TEST(LintSubdomains, ThirdPartyOwnedCornerNodesAreAccepted) {
+  // The ownership split need not mirror: a corner node may be owned by
+  // a third PE, so local(a->b) + local(b->a) < total is legal.
+  auto subs = make_consistent_subdomains();
+  subs[0].neighbors[0].ghost_nodes_local = 1;
+  subs[0].neighbors[0].ghost_nodes_remote = 4;
+  subs[1].neighbors[0].ghost_nodes_local = 2;
+  subs[1].neighbors[0].ghost_nodes_remote = 3;
+  DiagnosticReport report;
+  lint_subdomains(make_tiny_deck(), subs, report);
+  EXPECT_TRUE(report.empty()) << report.to_text();
+}
+
+TEST(LintSubdomains, NegativeNeighborIsError) {
+  auto subs = make_consistent_subdomains();
+  subs[0].neighbors[0].neighbor = -3;
+  DiagnosticReport report;
+  lint_subdomains(make_tiny_deck(), subs, report);
+  EXPECT_TRUE(report.has_rule(rules::kBoundarySymmetry));
+}
+
+TEST(LintPartition, RealPartitionOfStandardDeckIsClean) {
+  const mesh::InputDeck deck =
+      mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const partition::Partition part = partition::partition_deck(
+      deck, 16, partition::PartitionMethod::kMultilevel, 1);
+  DiagnosticReport report;
+  lint_partition(deck, part, report);
+  EXPECT_TRUE(report.empty()) << report.to_text();
+}
+
+TEST(LintPartition, SizeMismatchIsConservationError) {
+  const mesh::InputDeck deck = make_tiny_deck();
+  const partition::Partition part(2, std::vector<partition::PeId>(8, 0));
+  DiagnosticReport report;
+  lint_partition(deck, part, report);
+  EXPECT_TRUE(report.has_rule(rules::kCellConservation));
+}
+
+}  // namespace
+}  // namespace krak::analyze

@@ -1,0 +1,113 @@
+// Integration tests: the linter end to end on a fully clean bundle and
+// on the corrupted fixture, asserting the exact diagnostics the fixture
+// was built to trip (docs/ANALYSIS.md lists the same expectations).
+
+#include "analyze/linter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analyze/fixtures.hpp"
+#include "analyze/lint_partition.hpp"
+#include "analyze/rules.hpp"
+#include "core/calibration.hpp"
+#include "mesh/deck.hpp"
+#include "network/machine.hpp"
+#include "partition/partition.hpp"
+#include "simapp/costmodel.hpp"
+
+namespace krak::analyze {
+namespace {
+
+TEST(LintModel, CleanBundleHasNoFindings) {
+  const mesh::InputDeck deck =
+      mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const partition::Partition part = partition::partition_deck(
+      deck, 16, partition::PartitionMethod::kMultilevel, 1);
+  const network::MachineConfig machine = network::make_es45_qsnet();
+  const simapp::ComputationCostEngine application;
+  const core::CostTable costs =
+      core::calibrate_from_input(application, deck, {4, 16, 64});
+  const simapp::SimKrakOptions options;
+
+  LintInput input;
+  input.deck = &deck;
+  input.partition = &part;
+  input.machine = &machine;
+  input.costs = &costs;
+  input.options = &options;
+  input.pes = 16;
+
+  const DiagnosticReport report = lint_model(input);
+  EXPECT_FALSE(report.has_errors()) << report.to_text();
+  EXPECT_EQ(report.warning_count(), 0u) << report.to_text();
+}
+
+TEST(LintModel, MissingDeckIsError) {
+  const DiagnosticReport report = lint_model(LintInput{});
+  EXPECT_TRUE(report.has_rule(rules::kDeckShape));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintModel, NonPositiveIterationsIsOptionsError) {
+  const mesh::InputDeck deck =
+      mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  simapp::SimKrakOptions options;
+  options.iterations = 0;
+  LintInput input;
+  input.deck = &deck;
+  input.options = &options;
+  const DiagnosticReport report = lint_model(input);
+  EXPECT_TRUE(report.has_rule(rules::kOptionsRange));
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(CorruptedFixture, TripsAtLeastFiveDistinctErrorRules) {
+  const DiagnosticReport report = lint_fixture(make_corrupted_fixture());
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_GE(report.distinct_rule_count(Severity::kError), 5u)
+      << report.to_text();
+}
+
+TEST(CorruptedFixture, TripsEveryExpectedRule) {
+  const DiagnosticReport report = lint_fixture(make_corrupted_fixture());
+  // Deck: detonator at (1000, 1000) on an 8x4 grid with no HE gas.
+  EXPECT_TRUE(report.has_rule(rules::kDeckDetonator));
+  // Subdomains: lost cells, mismatched material sums, 3-for-4 face
+  // groups, one ghost node on four faces, no mirror boundary.
+  EXPECT_TRUE(report.has_rule(rules::kCellConservation));
+  EXPECT_TRUE(report.has_rule(rules::kMaterialConservation));
+  EXPECT_TRUE(report.has_rule(rules::kFaceGroupSum));
+  EXPECT_TRUE(report.has_rule(rules::kGhostFace));
+  EXPECT_TRUE(report.has_rule(rules::kBoundarySymmetry));
+  // Machine: zero PEs per node, negative speedup, seconds-scale latency.
+  EXPECT_TRUE(report.has_rule(rules::kMachineShape));
+  EXPECT_TRUE(report.has_rule(rules::kMessageUnits));
+  // Cost table: shrinking totals, double knee, missing pairs.
+  EXPECT_TRUE(report.has_rule(rules::kCurveTotalMonotone));
+  EXPECT_TRUE(report.has_rule(rules::kCurveKnee));
+  EXPECT_TRUE(report.has_rule(rules::kCurveCoverage));
+  // Options: zero iterations.
+  EXPECT_TRUE(report.has_rule(rules::kOptionsRange));
+}
+
+TEST(CorruptedFixture, ExactDiagnosticsOnHandBuiltSubdomains) {
+  // Lint ONLY the hand-built subdomain records so the counts are exact
+  // and independent of the machine/cost findings.
+  const CorruptedFixture fixture = make_corrupted_fixture();
+  DiagnosticReport report;
+  lint_subdomains(fixture.deck, fixture.subdomains, report);
+
+  // pe0 claims 20 cells but its materials sum to 16.
+  // pe0+pe1 hold 28 != 32 deck cells; Al-inner 14 != 16, foam 10 != 16.
+  // pe0->pe1: groups sum 3 != 4 faces; 1 ghost on 4 faces; no mirror.
+  EXPECT_EQ(report.error_count(), 7u) << report.to_text();
+  EXPECT_EQ(report.warning_count(), 0u) << report.to_text();
+  EXPECT_TRUE(report.has_rule(rules::kMaterialConservation));
+  EXPECT_TRUE(report.has_rule(rules::kCellConservation));
+  EXPECT_TRUE(report.has_rule(rules::kFaceGroupSum));
+  EXPECT_TRUE(report.has_rule(rules::kGhostFace));
+  EXPECT_TRUE(report.has_rule(rules::kBoundarySymmetry));
+}
+
+}  // namespace
+}  // namespace krak::analyze

@@ -1,0 +1,106 @@
+// Thread-pool stress tests, written to give TSan (KRAK_SANITIZE=thread)
+// real contention to chew on: concurrent submitters racing wait_idle,
+// overlapping parallel_for calls from separate threads, and
+// construction/destruction churn with work still queued.
+
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace krak::util {
+namespace {
+
+TEST(ThreadPoolStress, ConcurrentSubmittersAndWaiters) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kSubmitters = 4;
+  constexpr int kTasksEach = 500;
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+      }
+      pool.wait_idle();
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kSubmitters * kTasksEach);
+}
+
+TEST(ThreadPoolStress, OverlappingParallelForFromTwoThreads) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 2000;
+  std::vector<std::atomic<int>> first(kCount);
+  std::vector<std::atomic<int>> second(kCount);
+
+  std::thread a([&pool, &first] {
+    pool.parallel_for(kCount, [&first](std::size_t i) {
+      first[i].fetch_add(1);
+    });
+  });
+  std::thread b([&pool, &second] {
+    pool.parallel_for(kCount, [&second](std::size_t i) {
+      second[i].fetch_add(1);
+    });
+  });
+  a.join();
+  b.join();
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(first[i].load(), 1) << "first, index " << i;
+    ASSERT_EQ(second[i].load(), 1) << "second, index " << i;
+  }
+}
+
+TEST(ThreadPoolStress, ConstructionDestructionChurnDrainsQueuedWork) {
+  std::atomic<int> counter{0};
+  constexpr int kRounds = 50;
+  constexpr int kTasksPerRound = 64;
+  for (int round = 0; round < kRounds; ++round) {
+    ThreadPool pool(3);
+    for (int i = 0; i < kTasksPerRound; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor must drain everything queued above
+  EXPECT_EQ(counter.load(), kRounds * kTasksPerRound);
+}
+
+TEST(ThreadPoolStress, TaskChainsFanOutAndRejoin) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kRoots = 100;
+  for (int i = 0; i < kRoots; ++i) {
+    pool.submit([&pool, &counter] {
+      counter.fetch_add(1);
+      pool.submit([&pool, &counter] {
+        counter.fetch_add(1);
+        pool.submit([&counter] { counter.fetch_add(1); });
+      });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 3 * kRoots);
+}
+
+TEST(ThreadPoolStress, RepeatedWaitIdleBetweenBursts) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int burst = 0; burst < 200; ++burst) {
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    ASSERT_EQ(counter.load(), (burst + 1) * 8);
+  }
+}
+
+}  // namespace
+}  // namespace krak::util
