@@ -1,0 +1,225 @@
+// krak_bench: the JSON bench harness (docs/OBSERVABILITY.md).
+//
+// Runs the Table 5 / Table 6 validation campaigns plus a simulator
+// replay and emits a schema-stable krak-bench-v1 document
+// (BENCH_*.json) carrying per-run wall times, thread-pool utilization,
+// the replay's compute / point-to-point / collective decomposition,
+// and a snapshot of the global metric registry — everything a later PR
+// needs to compare performance against this one.
+//
+// Usage:
+//   krak_bench [--quick] [--out FILE]   generate a report (default
+//                                       BENCH_PR2.json)
+//   krak_bench --validate FILE          schema-check an existing report
+//
+// --quick calibrates on the small deck only and shrinks the campaigns;
+// it exists for CI smoke coverage, not for cross-PR comparison. Every
+// generated report is self-validated before it is written, so a
+// schema/emitter mismatch fails the run instead of producing an
+// artifact that only breaks downstream.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/bench_report.hpp"
+#include "core/calibration.hpp"
+#include "core/campaign.hpp"
+#include "obs/bench_schema.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "partition/partition.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace krak;
+
+struct Options {
+  bool quick = false;
+  std::string out = "BENCH_PR2.json";
+  std::string validate;  // non-empty: validate this file and exit
+};
+
+[[noreturn]] void usage(int exit_code) {
+  std::cout << "usage: krak_bench [--quick] [--out FILE]\n"
+               "       krak_bench --validate FILE\n";
+  std::exit(exit_code);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      options.quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      options.out = argv[++i];
+    } else if (arg == "--validate" && i + 1 < argc) {
+      options.validate = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::cerr << "krak_bench: unknown argument '" << arg << "'\n";
+      usage(2);
+    }
+  }
+  return options;
+}
+
+int validate_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "krak_bench: cannot open '" << path << "'\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  obs::Json report;
+  try {
+    report = obs::Json::parse(buffer.str());
+  } catch (const util::KrakError& error) {
+    std::cerr << "krak_bench: " << path << ": " << error.what() << "\n";
+    return 1;
+  }
+  const std::vector<std::string> violations =
+      obs::validate_bench_report(report);
+  for (const std::string& violation : violations) {
+    std::cerr << path << ": " << violation << "\n";
+  }
+  if (!violations.empty()) {
+    std::cerr << path << ": " << violations.size()
+              << " schema violation(s)\n";
+    return 1;
+  }
+  std::cout << path << ": valid " << obs::kBenchSchemaId << " report\n";
+  return 0;
+}
+
+simapp::SimKrakResult run_replay(const mesh::InputDeck& deck, std::int32_t pes,
+                                 const network::MachineConfig& machine,
+                                 const simapp::ComputationCostEngine& engine,
+                                 std::int32_t iterations) {
+  const partition::Partition part = partition::partition_deck(
+      deck, pes, partition::PartitionMethod::kMultilevel, /*seed=*/1);
+  simapp::SimKrakOptions options;
+  options.iterations = iterations;
+  const simapp::SimKrak app(deck, part, machine, engine, options);
+  return app.run();
+}
+
+obs::Json build_report(const Options& options) {
+  std::vector<obs::Json> campaigns;
+  std::vector<obs::Json> replays;
+
+  if (options.quick) {
+    // Small-deck-only model: calibration at {8, 32, 128} takes a couple
+    // of seconds instead of the medium deck's minutes.
+    const mesh::InputDeck small =
+        mesh::make_standard_deck(mesh::DeckSize::kSmall);
+    const simapp::ComputationCostEngine engine;
+    const network::MachineConfig machine = network::make_es45_qsnet();
+    const core::KrakModel model(
+        core::calibrate_from_input(engine, small, {8, 32, 128}), machine);
+
+    std::vector<core::CampaignRun> mesh_specific;
+    for (std::int32_t pes : {8, 16}) {
+      mesh_specific.push_back(
+          {mesh::DeckSize::kSmall, pes, core::CampaignRun::Flavor::kMeshSpecific});
+    }
+    std::vector<core::CampaignRun> general;
+    for (std::int32_t pes : {16, 32}) {
+      general.push_back({mesh::DeckSize::kSmall, pes,
+                         core::CampaignRun::Flavor::kGeneralHomogeneous});
+    }
+    campaigns.push_back(core::campaign_to_json(
+        "table5_quick",
+        core::run_validation_campaign(model, engine, mesh_specific)));
+    campaigns.push_back(core::campaign_to_json(
+        "table6_quick",
+        core::run_validation_campaign(model, engine, general)));
+    replays.push_back(core::replay_to_json(
+        "small_8pe", run_replay(small, 8, machine, engine,
+                                /*iterations=*/2)));
+  } else {
+    const krakbench::Environment& env = krakbench::environment();
+    campaigns.push_back(core::campaign_to_json(
+        "table5_meshspecific",
+        core::run_validation_campaign(env.model, env.engine,
+                                      core::table5_runs())));
+    campaigns.push_back(core::campaign_to_json(
+        "table6_general",
+        core::run_validation_campaign(env.model, env.engine,
+                                      core::table6_runs())));
+    replays.push_back(core::replay_to_json(
+        "medium_64pe",
+        run_replay(mesh::make_standard_deck(mesh::DeckSize::kMedium), 64,
+                   env.machine, env.engine, /*iterations=*/3)));
+  }
+
+  return core::make_bench_report(
+      options.quick ? "krak_bench_quick" : "krak_bench", options.quick,
+      core::detect_bench_environment(), std::move(campaigns),
+      std::move(replays), obs::global_registry().snapshot());
+}
+
+// Console digest of an already-validated report, so the fields below
+// are guaranteed present.
+void print_summary(const obs::Json& report) {
+  for (const obs::Json& campaign : report.find("campaigns")->as_array()) {
+    std::cout << "campaign " << campaign.find("name")->as_string() << ": "
+              << campaign.find("runs")->as_array().size() << " runs, wall "
+              << campaign.find("wall_seconds")->as_double()
+              << " s, utilization "
+              << campaign.find("thread_utilization")->as_double()
+              << ", worst |error| "
+              << campaign.find("worst_abs_error")->as_double() << "\n";
+  }
+  for (const obs::Json& replay : report.find("replays")->as_array()) {
+    const obs::Json& phases = *replay.find("phases");
+    std::cout << "replay " << replay.find("name")->as_string() << ": "
+              << replay.find("ranks")->as_double() << " ranks, makespan "
+              << replay.find("makespan_s")->as_double() << " s (compute "
+              << phases.find("compute_s")->as_double() << ", p2p "
+              << phases.find("p2p_s")->as_double() << ", collective "
+              << phases.find("collective_s")->as_double() << ")\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_args(argc, argv);
+  if (!options.validate.empty()) return validate_file(options.validate);
+
+  std::cout << "krak_bench: generating " << options.out
+            << (options.quick ? " (quick mode)" : "") << "\n";
+  const obs::Json report = build_report(options);
+
+  const std::vector<std::string> violations =
+      obs::validate_bench_report(report);
+  if (!violations.empty()) {
+    for (const std::string& violation : violations) {
+      std::cerr << "self-validation: " << violation << "\n";
+    }
+    std::cerr << "krak_bench: generated report violates "
+              << obs::kBenchSchemaId << "; refusing to write\n";
+    return 1;
+  }
+
+  std::ofstream out(options.out);
+  if (!out) {
+    std::cerr << "krak_bench: cannot write '" << options.out << "'\n";
+    return 1;
+  }
+  out << report.dump(2) << "\n";
+  out.close();
+
+  print_summary(report);
+  std::cout << "krak_bench: wrote " << options.out << " ("
+            << obs::kBenchSchemaId << ")\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+#include "core/bench_report.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+#include "obs/report.hpp"
+#include "util/error.hpp"
+
+#ifndef KRAK_GIT_SHA_DEFAULT
+#define KRAK_GIT_SHA_DEFAULT "unknown"
+#endif
+#ifndef KRAK_BUILD_TYPE
+#define KRAK_BUILD_TYPE "unknown"
+#endif
+
+namespace krak::core {
+
+BenchEnvironment detect_bench_environment() {
+  BenchEnvironment env;
+  const char* sha = std::getenv("KRAK_GIT_SHA");
+  env.git_sha = (sha != nullptr && *sha != '\0') ? sha : KRAK_GIT_SHA_DEFAULT;
+  env.build_type = KRAK_BUILD_TYPE;
+#if defined(__clang__)
+  env.compiler = "clang " __clang_version__;
+#elif defined(__GNUC__)
+  env.compiler = "gcc " __VERSION__;
+#endif
+  env.hardware_concurrency = static_cast<std::int64_t>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  return env;
+}
+
+obs::Json campaign_to_json(const std::string& name,
+                           const CampaignSummary& summary) {
+  util::check(summary.points.size() == summary.run_wall_seconds.size(),
+              "campaign summary points/wall-times mismatch");
+  obs::Json out = obs::Json::object();
+  out["name"] = name;
+  out["wall_seconds"] = summary.wall_seconds;
+  out["threads"] = static_cast<std::int64_t>(summary.threads_used);
+  out["thread_utilization"] = summary.thread_utilization;
+  out["worst_abs_error"] = summary.worst_abs_error;
+  out["mean_abs_error"] = summary.mean_abs_error;
+  obs::Json runs = obs::Json::array();
+  for (std::size_t i = 0; i < summary.points.size(); ++i) {
+    const ValidationPoint& point = summary.points[i];
+    obs::Json run = obs::Json::object();
+    run["problem"] = point.problem;
+    run["pes"] = point.pes;
+    run["measured_s"] = point.measured;
+    run["predicted_s"] = point.predicted;
+    run["error"] = point.error();
+    run["wall_seconds"] = summary.run_wall_seconds[i];
+    runs.push_back(std::move(run));
+  }
+  out["runs"] = std::move(runs);
+  return out;
+}
+
+obs::Json replay_to_json(const std::string& name,
+                         const simapp::SimKrakResult& result) {
+  obs::Json out = obs::Json::object();
+  out["name"] = name;
+  out["ranks"] = result.ranks;
+  out["makespan_s"] = result.total_time;
+  out["time_per_iteration_s"] = result.time_per_iteration;
+  out["events"] = static_cast<std::int64_t>(result.events_processed);
+  out["max_queue_depth"] = static_cast<std::int64_t>(result.max_queue_depth);
+
+  obs::Json phases = obs::Json::object();
+  phases["compute_s"] = result.totals.compute;
+  phases["p2p_s"] = result.totals.p2p_seconds();
+  phases["collective_s"] = result.totals.collective_seconds();
+  out["phases"] = std::move(phases);
+
+  obs::Json blocked = obs::Json::object();
+  blocked["send_wait_s"] = result.totals.send_wait;
+  blocked["recv_wait_s"] = result.totals.recv_wait;
+  blocked["collective_wait_s"] = result.totals.collective_wait;
+  blocked["collective_cost_s"] = result.totals.collective_cost;
+  out["blocked"] = std::move(blocked);
+
+  obs::Json traffic = obs::Json::object();
+  traffic["p2p_messages"] = result.traffic.point_to_point_messages;
+  traffic["p2p_bytes"] = result.traffic.point_to_point_bytes;
+  traffic["allreduces"] = result.traffic.allreduces;
+  traffic["broadcasts"] = result.traffic.broadcasts;
+  traffic["gathers"] = result.traffic.gathers;
+  out["traffic"] = std::move(traffic);
+
+  obs::Json per_phase = obs::Json::array();
+  for (std::size_t p = 0; p < result.phase_times.size(); ++p) {
+    obs::Json entry = obs::Json::object();
+    entry["phase"] = static_cast<std::int64_t>(p + 1);
+    entry["mean_seconds"] = result.phase_times[p];
+    per_phase.push_back(std::move(entry));
+  }
+  out["iteration_phases"] = std::move(per_phase);
+  return out;
+}
+
+obs::Json make_bench_report(const std::string& name, bool quick,
+                            const BenchEnvironment& environment,
+                            std::vector<obs::Json> campaigns,
+                            std::vector<obs::Json> replays,
+                            const obs::Snapshot& metrics) {
+  obs::Json report = obs::Json::object();
+  report["schema"] = std::string(obs::kBenchSchemaId);
+  report["name"] = name;
+  report["quick"] = quick;
+
+  obs::Json env = obs::Json::object();
+  env["git_sha"] = environment.git_sha;
+  env["build_type"] = environment.build_type;
+  env["compiler"] = environment.compiler;
+  env["hardware_concurrency"] = environment.hardware_concurrency;
+  report["environment"] = std::move(env);
+
+  obs::Json campaign_array = obs::Json::array();
+  for (obs::Json& campaign : campaigns) {
+    campaign_array.push_back(std::move(campaign));
+  }
+  report["campaigns"] = std::move(campaign_array);
+
+  obs::Json replay_array = obs::Json::array();
+  for (obs::Json& replay : replays) replay_array.push_back(std::move(replay));
+  report["replays"] = std::move(replay_array);
+
+  report["metrics"] = obs::snapshot_to_json(metrics);
+  return report;
+}
+
+}  // namespace krak::core

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "obs/bench_schema.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "simapp/simkrak.hpp"
+
+namespace krak::core {
+
+/// Build-environment stamp embedded in every BENCH_*.json so a
+/// performance trajectory across PRs stays attributable.
+struct BenchEnvironment {
+  std::string git_sha = "unknown";
+  std::string build_type = "unknown";
+  std::string compiler = "unknown";
+  std::int64_t hardware_concurrency = 1;
+};
+
+/// Fill from compiler macros, std::thread::hardware_concurrency, and —
+/// for the git SHA — the KRAK_GIT_SHA environment variable (exported by
+/// CI) falling back to the configure-time KRAK_GIT_SHA_DEFAULT.
+[[nodiscard]] BenchEnvironment detect_bench_environment();
+
+/// One validation campaign as a krak-bench-v1 "campaigns" entry.
+[[nodiscard]] obs::Json campaign_to_json(const std::string& name,
+                                         const CampaignSummary& summary);
+
+/// One simulator replay as a krak-bench-v1 "replays" entry, carrying the
+/// compute / p2p / collective decomposition and blocked-time split.
+[[nodiscard]] obs::Json replay_to_json(const std::string& name,
+                                       const simapp::SimKrakResult& result);
+
+/// Assemble the full report document (see docs/OBSERVABILITY.md for the
+/// schema). The caller validates with obs::validate_bench_report before
+/// publishing.
+[[nodiscard]] obs::Json make_bench_report(const std::string& name, bool quick,
+                                          const BenchEnvironment& environment,
+                                          std::vector<obs::Json> campaigns,
+                                          std::vector<obs::Json> replays,
+                                          const obs::Snapshot& metrics);
+
+}  // namespace krak::core

@@ -1,8 +1,11 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -32,9 +35,20 @@ CampaignSummary run_validation_campaign(
   util::check(!runs.empty(), "campaign needs at least one run");
   CampaignSummary summary;
   summary.points.resize(runs.size());
+  summary.run_wall_seconds.assign(runs.size(), 0.0);
 
+  using Clock = std::chrono::steady_clock;
+  const auto seconds_since = [](Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+  obs::Timer& run_timer = obs::global_registry().timer("campaign.run");
+  obs::Timer& campaign_timer = obs::global_registry().timer("campaign.total");
+
+  const auto campaign_start = Clock::now();
   util::ThreadPool pool(threads);
+  summary.threads_used = std::min(runs.size(), pool.thread_count());
   pool.parallel_for(runs.size(), [&](std::size_t i) {
+    const auto run_start = Clock::now();
     const CampaignRun& run = runs[i];
     const mesh::InputDeck deck = mesh::make_standard_deck(run.deck);
     switch (run.flavor) {
@@ -53,7 +67,19 @@ CampaignSummary run_validation_campaign(
                              GeneralModelMode::kHeterogeneous, engine, config);
         break;
     }
+    summary.run_wall_seconds[i] = seconds_since(run_start);
+    run_timer.record(summary.run_wall_seconds[i]);
   });
+  summary.wall_seconds = seconds_since(campaign_start);
+  campaign_timer.record(summary.wall_seconds);
+
+  double busy = 0.0;
+  for (const double run_wall : summary.run_wall_seconds) busy += run_wall;
+  if (summary.wall_seconds > 0.0 && summary.threads_used > 0) {
+    summary.thread_utilization =
+        std::min(1.0, busy / (summary.wall_seconds *
+                              static_cast<double>(summary.threads_used)));
+  }
 
   double sum = 0.0;
   for (const ValidationPoint& point : summary.points) {

@@ -23,6 +23,15 @@ struct CampaignSummary {
   double worst_abs_error = 0.0;
   double mean_abs_error = 0.0;
 
+  /// Observability (docs/OBSERVABILITY.md): wall time of the whole
+  /// campaign, wall time of each run (input order, measured inside the
+  /// pool), the worker count used, and how well the pool was kept busy:
+  /// sum(run_wall_seconds) / (wall_seconds * threads_used), in (0, 1].
+  double wall_seconds = 0.0;
+  std::vector<double> run_wall_seconds;
+  std::size_t threads_used = 0;
+  double thread_utilization = 0.0;
+
   /// Render as the paper's validation-table layout.
   [[nodiscard]] std::string to_string() const;
 };

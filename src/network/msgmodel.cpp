@@ -45,21 +45,18 @@ MessageCostModel MessageCostModel::scaled(double latency_factor,
   check(latency_factor > 0.0 && byte_cost_factor > 0.0,
         "scale factors must be positive");
   if (zero_) return {};
-  PiecewiseLinear latency = latency_;
-  PiecewiseLinear byte_cost = byte_cost_;
-  // Rebuild the y values scaled; x breakpoints are unchanged.
-  PiecewiseLinear scaled_latency;
-  scaled_latency.set_interpolation(Interpolation::kLogX);
-  for (std::size_t i = 0; i < latency.size(); ++i) {
-    scaled_latency.add_point(latency.xs()[i], latency.ys()[i] * latency_factor);
-  }
-  PiecewiseLinear scaled_bytes;
-  scaled_bytes.set_interpolation(Interpolation::kLogX);
-  for (std::size_t i = 0; i < byte_cost.size(); ++i) {
-    scaled_bytes.add_point(byte_cost.xs()[i],
-                           byte_cost.ys()[i] * byte_cost_factor);
-  }
-  return MessageCostModel(std::move(scaled_latency), std::move(scaled_bytes));
+  // Scale the y values only; x breakpoints and — crucially — the source
+  // table's interpolation and extrapolation modes carry over unchanged,
+  // so a scaled Hockney (linear-interp) model stays Hockney and a
+  // linear-extrapolating table keeps extrapolating.
+  const auto scale_table = [](const PiecewiseLinear& table, double factor) {
+    std::vector<double> ys(table.ys().begin(), table.ys().end());
+    for (double& y : ys) y *= factor;
+    return PiecewiseLinear(table.xs(), ys, table.interpolation(),
+                           table.extrapolation());
+  };
+  return MessageCostModel(scale_table(latency_, latency_factor),
+                          scale_table(byte_cost_, byte_cost_factor));
 }
 
 MessageCostModel make_qsnet1_model() {

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace krak::obs {
+
+/// Minimal JSON document tree: enough to emit and re-read the BENCH_*
+/// reports (docs/OBSERVABILITY.md) without an external dependency.
+///
+/// Objects keep their keys sorted (std::map), so serialization is
+/// byte-stable for a given tree — golden tests and cross-PR diffs of
+/// BENCH_*.json rely on this. Numbers are doubles serialized with
+/// shortest-round-trip formatting; non-finite values are rejected at
+/// dump time because JSON cannot represent them.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  /// null by default.
+  Json() = default;
+  Json(bool value) : value_(value) {}                       // NOLINT(*-explicit-*)
+  Json(double value) : value_(value) {}                     // NOLINT(*-explicit-*)
+  Json(int value) : value_(static_cast<double>(value)) {}   // NOLINT(*-explicit-*)
+  Json(std::int64_t value) : value_(static_cast<double>(value)) {}  // NOLINT(*-explicit-*)
+  Json(std::string value) : value_(std::move(value)) {}     // NOLINT(*-explicit-*)
+  Json(const char* value) : value_(std::string(value)) {}   // NOLINT(*-explicit-*)
+
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+
+  [[nodiscard]] bool is_null() const;
+  [[nodiscard]] bool is_bool() const;
+  [[nodiscard]] bool is_number() const;
+  [[nodiscard]] bool is_string() const;
+  [[nodiscard]] bool is_array() const;
+  [[nodiscard]] bool is_object() const;
+
+  /// Typed reads; throw InvalidArgument on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object element access; inserts null under a missing key (and turns
+  /// a null value into an object first, so building nests naturally).
+  Json& operator[](const std::string& key);
+
+  /// Member lookup without insertion; nullptr when absent or not an
+  /// object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  /// Append to an array (a null value becomes an array first).
+  void push_back(Json element);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serialize. indent > 0 pretty-prints with that many spaces per
+  /// level; indent == 0 emits the compact single-line form.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Parse a complete JSON document (trailing garbage is an error).
+  /// Throws KrakError with a byte offset on malformed input.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  [[nodiscard]] bool operator==(const Json& other) const {
+    return value_ == other.value_;
+  }
+
+ private:
+  explicit Json(Object value) : value_(std::move(value)) {}
+  explicit Json(Array value) : value_(std::move(value)) {}
+
+  void write(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_ = nullptr;
+};
+
+/// Escape and quote one string for embedding in JSON output.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace krak::obs

@@ -1,0 +1,48 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace krak::obs {
+
+Json snapshot_to_json(const Snapshot& snapshot) {
+  Json out = Json::object();
+  for (const auto& [name, metric] : snapshot) {
+    Json entry = Json::object();
+    entry["kind"] = std::string(metric_kind_name(metric.kind));
+    switch (metric.kind) {
+      case MetricValue::Kind::kCounter:
+        entry["count"] = metric.count;
+        break;
+      case MetricValue::Kind::kGauge:
+        entry["value"] = metric.value;
+        break;
+      case MetricValue::Kind::kTimer:
+        entry["count"] = metric.count;
+        entry["total_seconds"] = metric.value;
+        break;
+    }
+    out[name] = std::move(entry);
+  }
+  return out;
+}
+
+void write_json_report(const Snapshot& snapshot, const std::string& path) {
+  std::ofstream out(path);
+  util::check(out.good(), "cannot open JSON report file for writing");
+  out << snapshot_to_json(snapshot).dump(2) << "\n";
+  util::check(out.good(), "failed writing JSON report");
+}
+
+void write_csv_report(const Snapshot& snapshot, const std::string& path) {
+  util::CsvWriter csv(path);
+  csv.write_header({"name", "kind", "count", "value"});
+  for (const auto& [name, metric] : snapshot) {
+    csv.write_row({name, std::string(metric_kind_name(metric.kind)),
+                   std::to_string(metric.count), std::to_string(metric.value)});
+  }
+}
+
+}  // namespace krak::obs

@@ -1,13 +1,46 @@
 #include "partition/partition.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
+#include <string>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace krak::partition {
 
 using util::check;
+
+namespace {
+
+/// Per-method timing and quality probes (docs/OBSERVABILITY.md). Cheap
+/// relative to partitioning itself: one registry lookup per call plus a
+/// cell-count scan for the balance gauges.
+void record_partition_metrics(PartitionMethod method,
+                              const Partition& partition, double seconds) {
+  if (!obs::enabled()) return;
+  obs::Registry& registry = obs::global_registry();
+  const std::string prefix =
+      "partition." + std::string(partition_method_name(method));
+  registry.counter(prefix + ".calls").add(1);
+  registry.timer(prefix + ".seconds").record(seconds);
+  const std::vector<std::int64_t> counts = partition.cell_counts();
+  std::int64_t max_cells = 0;
+  std::int32_t empty_parts = 0;
+  for (const std::int64_t count : counts) {
+    max_cells = std::max(max_cells, count);
+    if (count == 0) ++empty_parts;
+  }
+  const double mean_cells = static_cast<double>(partition.num_cells()) /
+                            static_cast<double>(partition.parts());
+  registry.gauge(prefix + ".imbalance")
+      .set(static_cast<double>(max_cells) / mean_cells);
+  registry.gauge(prefix + ".empty_parts")
+      .set(static_cast<double>(empty_parts));
+}
+
+}  // namespace
 
 Partition::Partition(std::int32_t parts, std::vector<PeId> assignment)
     : parts_(parts), assignment_(std::move(assignment)) {
@@ -122,23 +155,31 @@ Partition partition_deck(const mesh::InputDeck& deck, std::int32_t parts,
   const mesh::Grid& grid = deck.grid();
   KRAK_REQUIRE(parts > 0, "partition_deck requires parts > 0");
   KRAK_REQUIRE(parts <= grid.num_cells(), "more parts than cells");
+  const auto start = std::chrono::steady_clock::now();
+  const auto finish = [&](Partition partition) {
+    record_partition_metrics(
+        method, partition,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+    return partition;
+  };
   switch (method) {
     case PartitionMethod::kStrip:
-      return partition_strips(grid.num_cells(), parts);
+      return finish(partition_strips(grid.num_cells(), parts));
     case PartitionMethod::kRcb: {
       std::vector<mesh::Point> centers;
       centers.reserve(static_cast<std::size_t>(grid.num_cells()));
       for (std::int64_t cell = 0; cell < grid.num_cells(); ++cell) {
         centers.push_back(grid.cell_center(static_cast<mesh::CellId>(cell)));
       }
-      return partition_rcb(centers, parts);
+      return finish(partition_rcb(centers, parts));
     }
     case PartitionMethod::kMultilevel: {
       const Graph graph = build_dual_graph(grid);
-      return partition_multilevel(graph, parts, seed);
+      return finish(partition_multilevel(graph, parts, seed));
     }
     case PartitionMethod::kMaterialAware:
-      return partition_material_aware(deck, parts);
+      return finish(partition_material_aware(deck, parts));
   }
   KRAK_ASSERT(false, "unknown partition method");
   return partition_strips(grid.num_cells(), parts);  // unreachable

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace krak::sim {
@@ -8,6 +10,7 @@ void EventQueue::schedule(double time, Action action) {
   KRAK_REQUIRE(time >= now_, "cannot schedule an event in the past");
   KRAK_REQUIRE(static_cast<bool>(action), "event action must be callable");
   events_.push(Event{time, next_seq_++, std::move(action)});
+  max_size_ = std::max(max_size_, events_.size());
 }
 
 std::size_t EventQueue::run(std::size_t max_events) {

@@ -26,6 +26,11 @@ class EventQueue {
   [[nodiscard]] bool empty() const { return events_.empty(); }
   [[nodiscard]] std::size_t size() const { return events_.size(); }
 
+  /// High-water mark of pending events since construction — a proxy for
+  /// how much simulated concurrency was in flight (exported to the
+  /// observability layer as `sim.max_queue_depth`).
+  [[nodiscard]] std::size_t max_size() const { return max_size_; }
+
   /// Fire events in time order until none remain. Returns the number of
   /// events processed. Throws InternalError if the event count exceeds
   /// `max_events` (runaway-simulation guard).
@@ -47,6 +52,7 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, Later> events_;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  std::size_t max_size_ = 0;
 };
 
 }  // namespace krak::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace krak::sim {
@@ -74,6 +75,7 @@ SimResult Simulator::run() {
 
   SimResult result;
   result.finish_times.assign(static_cast<std::size_t>(n), 0.0);
+  result.breakdown.assign(static_cast<std::size_t>(n), RankTimeBreakdown{});
   result.records.assign(static_cast<std::size_t>(n), {});
 
   if (nic_.enabled) {
@@ -87,21 +89,46 @@ SimResult Simulator::run() {
     queue_.schedule(0.0, [this, r, &result] { step_rank(r, result); });
   }
   result.events_processed = queue_.run();
+  result.max_queue_depth = queue_.max_size();
 
   for (RankId r = 0; r < n; ++r) {
     const RankState& state = states_[static_cast<std::size_t>(r)];
     if (!state.finished) {
+      // Report the op the rank actually blocked on: enter_collective
+      // advances pc past the collective before parking the rank, so pc
+      // would misname the op (or point past the schedule's end).
+      const std::size_t at = state.blocked ? state.blocked_op : state.pc;
       std::ostringstream os;
-      os << "simulation deadlock: rank " << r << " blocked at op " << state.pc;
-      if (state.pc < schedules_[static_cast<std::size_t>(r)].size()) {
-        const Op& op = schedules_[static_cast<std::size_t>(r)][state.pc];
-        os << " (" << op_kind_name(op.kind) << ", peer " << op.peer << ", tag "
-           << op.tag << ")";
+      os << "simulation deadlock: rank " << r << " blocked at op " << at;
+      if (at < schedules_[static_cast<std::size_t>(r)].size()) {
+        const Op& op = schedules_[static_cast<std::size_t>(r)][at];
+        os << " (" << op_kind_name(op.kind);
+        if (op.kind == OpKind::kRecv || op.kind == OpKind::kIsend) {
+          os << ", peer " << op.peer << ", tag " << op.tag;
+        }
+        os << ")";
+      }
+      if (state.reason == BlockReason::kCollectiveWait) {
+        os << " waiting for all ranks to enter the collective";
       }
       throw util::KrakError(os.str());
     }
     result.finish_times[static_cast<std::size_t>(r)] = state.clock;
     result.makespan = std::max(result.makespan, state.clock);
+  }
+
+  // Run-level probes only — nothing per-op or per-event, so the
+  // simulator's hot loop stays instrumentation-free.
+  if (obs::enabled()) {
+    obs::Registry& registry = obs::global_registry();
+    static obs::Counter& runs = registry.counter("sim.runs");
+    static obs::Counter& events = registry.counter("sim.events");
+    static obs::Counter& messages = registry.counter("sim.p2p_messages");
+    static obs::Gauge& depth = registry.gauge("sim.max_queue_depth");
+    runs.add(1);
+    events.add(static_cast<std::int64_t>(result.events_processed));
+    messages.add(result.traffic.point_to_point_messages);
+    depth.set(static_cast<double>(result.max_queue_depth));
   }
   return result;
 }
@@ -112,17 +139,21 @@ void Simulator::step_rank(RankId rank, SimResult& result) {
   state.blocked = false;
   state.reason = BlockReason::kNone;
   const Schedule& schedule = schedules_[static_cast<std::size_t>(rank)];
+  RankTimeBreakdown& breakdown =
+      result.breakdown[static_cast<std::size_t>(rank)];
 
   while (state.pc < schedule.size() && !state.blocked) {
     const Op& op = schedule[state.pc];
     switch (op.kind) {
       case OpKind::kCompute: {
         state.clock += op.duration;
+        breakdown.compute += op.duration;
         ++state.pc;
         break;
       }
       case OpKind::kIsend: {
         state.clock += config_.send_overhead;
+        breakdown.send_overhead += config_.send_overhead;
         // Shared-NIC injection: payloads from one node's ranks
         // serialize at the adapter. The serialization delays the wire
         // transfer, not the sender's CPU (asynchronous send).
@@ -166,9 +197,11 @@ void Simulator::step_rank(RankId rank, SimResult& result) {
         break;
       }
       case OpKind::kWaitAllSends: {
+        const double before = state.clock;
         for (double completion : state.send_completions) {
           state.clock = std::max(state.clock, completion);
         }
+        breakdown.send_wait += state.clock - before;
         state.send_completions.clear();
         ++state.pc;
         break;
@@ -178,11 +211,16 @@ void Simulator::step_rank(RankId rank, SimResult& result) {
         if (it == state.mailbox.arrived.end() || it->second.empty()) {
           state.blocked = true;
           state.reason = BlockReason::kRecvWait;
+          state.blocked_op = state.pc;
           break;
         }
         const double arrival = it->second.front();
         it->second.pop_front();
+        if (arrival > state.clock) {
+          breakdown.recv_wait += arrival - state.clock;
+        }
         state.clock = std::max(state.clock, arrival) + config_.recv_overhead;
+        breakdown.recv_overhead += config_.recv_overhead;
         ++state.pc;
         break;
       }
@@ -222,6 +260,9 @@ void Simulator::enter_collective(RankId rank, const Op& op, SimResult& result) {
   }
   ++coll.entered;
   coll.max_entry = std::max(coll.max_entry, state.clock);
+  // pc moves past the collective now so the release event resumes at the
+  // next op; blocked_op keeps naming the collective for diagnostics.
+  state.blocked_op = state.pc;
   ++state.pc;
   state.blocked = true;
   state.reason = BlockReason::kCollectiveWait;
@@ -248,8 +289,15 @@ void Simulator::enter_collective(RankId rank, const Op& op, SimResult& result) {
   }
   const double completion = coll.max_entry + cost;
   for (RankId r = 0; r < ranks(); ++r) {
-    queue_.schedule(completion, [this, r, completion, &result] {
+    queue_.schedule(completion, [this, r, completion, cost, &result] {
       RankState& released = states_[static_cast<std::size_t>(r)];
+      // The rank's clock froze at its entry time, so the gap to the
+      // common completion splits into skew wait (until the last rank
+      // entered) plus the tree cost every rank pays.
+      RankTimeBreakdown& breakdown =
+          result.breakdown[static_cast<std::size_t>(r)];
+      breakdown.collective_wait += completion - cost - released.clock;
+      breakdown.collective_cost += cost;
       released.clock = std::max(released.clock, completion);
       step_rank(r, result);
     });

@@ -42,16 +42,62 @@ struct TrafficStats {
   std::int64_t gathers = 0;
 };
 
+/// Where one rank's simulated time went, split so the components sum
+/// exactly to the rank's finish time:
+///
+///   finish = compute + send_overhead + recv_overhead
+///          + send_wait + recv_wait + collective_wait + collective_cost
+///
+/// This is the per-phase decomposition the paper's model reasons about
+/// (compute vs. boundary exchange vs. collectives, Eqs. 1-10), measured
+/// from the inside of the replay instead of predicted.
+struct RankTimeBreakdown {
+  /// Time advancing through kCompute ops.
+  double compute = 0.0;
+  /// CPU cost of posting asynchronous sends (kIsend).
+  double send_overhead = 0.0;
+  /// CPU cost of completing blocking receives (kRecv).
+  double recv_overhead = 0.0;
+  /// Time parked in kWaitAllSends until posted payloads left the NIC.
+  double send_wait = 0.0;
+  /// Time blocked in kRecv for a message that had not yet arrived
+  /// (BlockReason::kRecvWait).
+  double recv_wait = 0.0;
+  /// Time blocked in a collective waiting for the last rank to enter
+  /// (BlockReason::kCollectiveWait) — load-imbalance skew.
+  double collective_wait = 0.0;
+  /// This rank's share of the collective's tree cost proper.
+  double collective_cost = 0.0;
+
+  /// Point-to-point communication time (overheads plus waits).
+  [[nodiscard]] double p2p_seconds() const {
+    return send_overhead + recv_overhead + send_wait + recv_wait;
+  }
+  /// Collective time (skew wait plus tree cost).
+  [[nodiscard]] double collective_seconds() const {
+    return collective_wait + collective_cost;
+  }
+  /// Everything, equal to the rank's finish time by construction.
+  [[nodiscard]] double total_seconds() const {
+    return compute + p2p_seconds() + collective_seconds();
+  }
+};
+
 /// Result of running all rank schedules to completion.
 struct SimResult {
   /// Time at which the last rank finished (the simulated runtime).
   double makespan = 0.0;
   /// Per-rank completion times.
   std::vector<double> finish_times;
+  /// Per-rank time decomposition; breakdown[r].total_seconds() ==
+  /// finish_times[r] exactly.
+  std::vector<RankTimeBreakdown> breakdown;
   /// records[rank][slot] = clock value captured by kRecord ops.
   std::vector<std::map<std::int32_t, double>> records;
   TrafficStats traffic;
   std::size_t events_processed = 0;
+  /// High-water mark of the event queue during the run.
+  std::size_t max_queue_depth = 0;
 };
 
 /// Discrete-event simulator of message-passing ranks.
@@ -99,6 +145,10 @@ class Simulator {
   struct RankState {
     double clock = 0.0;
     std::size_t pc = 0;
+    /// Index of the op the rank is blocked on. enter_collective advances
+    /// pc past the collective before parking the rank, so pc alone
+    /// misidentifies the blocking op in deadlock reports.
+    std::size_t blocked_op = 0;
     bool blocked = false;
     BlockReason reason = BlockReason::kNone;
     bool finished = false;

@@ -195,6 +195,17 @@ SimKrakResult SimKrak::run() const {
       sim_result.makespan / static_cast<double>(options_.iterations);
   result.traffic = sim_result.traffic;
   result.events_processed = sim_result.events_processed;
+  result.max_queue_depth = sim_result.max_queue_depth;
+  result.rank_breakdown = sim_result.breakdown;
+  for (const sim::RankTimeBreakdown& rank : result.rank_breakdown) {
+    result.totals.compute += rank.compute;
+    result.totals.send_overhead += rank.send_overhead;
+    result.totals.recv_overhead += rank.recv_overhead;
+    result.totals.send_wait += rank.send_wait;
+    result.totals.recv_wait += rank.recv_wait;
+    result.totals.collective_wait += rank.collective_wait;
+    result.totals.collective_cost += rank.collective_cost;
+  }
 
   // Phase boundaries from rank 0's records (identical on all ranks by
   // construction).

@@ -42,8 +42,17 @@ struct SimKrakResult {
   /// Mean wall time of each phase (communication included).
   std::array<double, kPhaseCount> phase_times{};
   sim::TrafficStats traffic;
+  /// Sum of the per-rank time decompositions over all ranks:
+  /// compute vs. point-to-point vs. collective, the per-phase split the
+  /// paper's Equations 1-10 predict (totals.total_seconds() is the sum
+  /// of rank finish times, i.e. ranks x makespan minus end-of-run idle).
+  sim::RankTimeBreakdown totals;
+  /// Per-rank decomposition, index = rank.
+  std::vector<sim::RankTimeBreakdown> rank_breakdown;
   std::int32_t ranks = 0;
   std::size_t events_processed = 0;
+  /// High-water mark of the simulator's event queue.
+  std::size_t max_queue_depth = 0;
 };
 
 /// SimKrak: a discrete-event-simulated execution of the Krak iteration.

@@ -47,6 +47,9 @@ class PiecewiseLinear {
   void set_interpolation(Interpolation interp);
   void set_extrapolation(Extrapolation extrap);
 
+  [[nodiscard]] Interpolation interpolation() const { return interp_; }
+  [[nodiscard]] Extrapolation extrapolation() const { return extrap_; }
+
   /// Evaluate at x. Requires at least one breakpoint.
   [[nodiscard]] double operator()(double x) const;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <memory>
 
 #include "util/error.hpp"
 
@@ -48,18 +50,39 @@ void ThreadPool::parallel_for(std::size_t count,
   if (count == 0) return;
   // Chunk indices dynamically via a shared counter so uneven task costs
   // (e.g. large vs. small processor counts in a sweep) stay balanced.
-  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  // A worker exception must reach the caller, not std::terminate: the
+  // first one (by completion order) is captured, later ones are dropped,
+  // and remaining indices are abandoned — a sweep with a broken point
+  // has no meaningful partial answer.
+  struct SharedState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<SharedState>();
   const std::size_t workers = std::min(count, thread_count());
   for (std::size_t w = 0; w < workers; ++w) {
-    submit([next, count, &fn] {
+    submit([state, count, &fn] {
       for (;;) {
-        const std::size_t i = next->fetch_add(1);
+        if (state->failed.load(std::memory_order_acquire)) return;
+        const std::size_t i = state->next.fetch_add(1);
         if (i >= count) return;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard lock(state->error_mutex);
+          if (!state->error) state->error = std::current_exception();
+          state->failed.store(true, std::memory_order_release);
+          return;
+        }
       }
     });
   }
   wait_idle();
+  if (state->failed.load(std::memory_order_acquire)) {
+    std::rethrow_exception(state->error);
+  }
 }
 
 void ThreadPool::worker_loop() {

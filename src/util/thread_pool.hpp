@@ -13,9 +13,11 @@ namespace krak::util {
 /// Fixed-size worker pool for embarrassingly parallel sweeps.
 ///
 /// Used by calibration (independent SimKrak runs per subgrid size) and the
-/// scaling benches (independent processor counts). Tasks must not throw;
-/// exceptions escaping a task terminate the process by design — a sweep
-/// with a broken point has no meaningful partial answer.
+/// scaling benches (independent processor counts). Tasks handed to
+/// submit() must not throw — an exception escaping a raw task terminates
+/// the process. parallel_for is safe: it catches exceptions from fn,
+/// stops handing out new indices, and rethrows the first one in the
+/// calling thread.
 class ThreadPool {
  public:
   /// Spawn `threads` workers (defaults to hardware concurrency, min 1).
@@ -37,7 +39,10 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, count) across the pool and wait for all.
   /// fn is invoked concurrently; it must be safe for concurrent calls
-  /// with distinct indices.
+  /// with distinct indices. If any invocation throws, the first
+  /// exception (in completion order) is rethrown here after in-flight
+  /// indices drain; indices not yet claimed when it was captured are
+  /// skipped.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -1,0 +1,107 @@
+// The emitter (core/bench_report) and the schema validator
+// (obs/bench_schema) are written independently; this test pins them to
+// each other: a report assembled from real campaign and replay results
+// must validate clean.
+
+#include "core/bench_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/campaign.hpp"
+#include "network/machine.hpp"
+#include "obs/bench_schema.hpp"
+#include "partition/partition.hpp"
+
+namespace krak::core {
+namespace {
+
+struct BenchReportFixture : public ::testing::Test {
+  simapp::ComputationCostEngine engine;
+  network::MachineConfig machine = network::make_es45_qsnet();
+  KrakModel model{
+      calibrate_from_input(engine,
+                           mesh::make_standard_deck(mesh::DeckSize::kSmall),
+                           {8, 32, 128}),
+      machine};
+
+  simapp::SimKrakResult run_replay(std::int32_t pes) const {
+    const mesh::InputDeck deck =
+        mesh::make_standard_deck(mesh::DeckSize::kSmall);
+    const partition::Partition part = partition::partition_deck(
+        deck, pes, partition::PartitionMethod::kMultilevel, 1);
+    simapp::SimKrakOptions options;
+    options.iterations = 2;
+    return simapp::SimKrak(deck, part, machine, engine, options).run();
+  }
+};
+
+TEST(BenchEnvironmentDetect, FieldsAreNonEmpty) {
+  const BenchEnvironment env = detect_bench_environment();
+  EXPECT_FALSE(env.git_sha.empty());
+  EXPECT_FALSE(env.build_type.empty());
+  EXPECT_FALSE(env.compiler.empty());
+  EXPECT_GE(env.hardware_concurrency, 1);
+}
+
+TEST_F(BenchReportFixture, CampaignJsonCarriesEveryRun) {
+  const std::vector<CampaignRun> runs = {
+      {mesh::DeckSize::kSmall, 8, CampaignRun::Flavor::kGeneralHomogeneous},
+      {mesh::DeckSize::kSmall, 16, CampaignRun::Flavor::kGeneralHomogeneous},
+  };
+  const CampaignSummary summary =
+      run_validation_campaign(model, engine, runs, {}, 2);
+  const obs::Json json = campaign_to_json("unit_campaign", summary);
+  EXPECT_EQ(json.find("name")->as_string(), "unit_campaign");
+  EXPECT_EQ(json.find("runs")->size(), 2u);
+  EXPECT_DOUBLE_EQ(json.find("wall_seconds")->as_double(),
+                   summary.wall_seconds);
+}
+
+TEST_F(BenchReportFixture, ReplayJsonPhasesMatchBreakdownTotals) {
+  const simapp::SimKrakResult result = run_replay(8);
+  const obs::Json json = replay_to_json("unit_replay", result);
+  const obs::Json* phases = json.find("phases");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_DOUBLE_EQ(phases->find("compute_s")->as_double(),
+                   result.totals.compute);
+  EXPECT_DOUBLE_EQ(phases->find("p2p_s")->as_double(),
+                   result.totals.p2p_seconds());
+  EXPECT_DOUBLE_EQ(phases->find("collective_s")->as_double(),
+                   result.totals.collective_seconds());
+  EXPECT_DOUBLE_EQ(json.find("makespan_s")->as_double(), result.total_time);
+}
+
+TEST_F(BenchReportFixture, AssembledReportPassesSchemaValidation) {
+  const std::vector<CampaignRun> runs = {
+      {mesh::DeckSize::kSmall, 8, CampaignRun::Flavor::kMeshSpecific},
+      {mesh::DeckSize::kSmall, 16, CampaignRun::Flavor::kGeneralHomogeneous},
+  };
+  const CampaignSummary summary =
+      run_validation_campaign(model, engine, runs, {}, 2);
+
+  std::vector<obs::Json> campaigns;
+  campaigns.push_back(campaign_to_json("quick_campaign", summary));
+  std::vector<obs::Json> replays;
+  replays.push_back(replay_to_json("quick_replay", run_replay(8)));
+
+  const obs::Json report = make_bench_report(
+      "unit_report", /*quick=*/true, detect_bench_environment(),
+      std::move(campaigns), std::move(replays),
+      obs::global_registry().snapshot());
+
+  const std::vector<std::string> violations =
+      obs::validate_bench_report(report);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violation(s), first: "
+      << (violations.empty() ? "" : violations.front());
+
+  // The document also survives a serialization round trip bit-exact.
+  EXPECT_EQ(obs::Json::parse(report.dump(2)).dump(2), report.dump(2));
+}
+
+}  // namespace
+}  // namespace krak::core

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/calibration.hpp"
@@ -86,6 +87,52 @@ TEST_F(CampaignFixture, SummaryRendersAsTable) {
       run_validation_campaign(model, engine, runs).to_string();
   EXPECT_NE(text.find("Problem"), std::string::npos);
   EXPECT_NE(text.find("worst |error|"), std::string::npos);
+}
+
+TEST_F(CampaignFixture, ObservabilityFieldsAreConsistent) {
+  const std::vector<CampaignRun> runs = {
+      {mesh::DeckSize::kSmall, 8, CampaignRun::Flavor::kGeneralHomogeneous},
+      {mesh::DeckSize::kSmall, 16, CampaignRun::Flavor::kGeneralHomogeneous},
+      {mesh::DeckSize::kSmall, 32, CampaignRun::Flavor::kGeneralHomogeneous},
+  };
+  const CampaignSummary summary =
+      run_validation_campaign(model, engine, runs, {}, 2);
+  EXPECT_GT(summary.wall_seconds, 0.0);
+  ASSERT_EQ(summary.run_wall_seconds.size(), runs.size());
+  double busy = 0.0;
+  for (const double run_wall : summary.run_wall_seconds) {
+    EXPECT_GT(run_wall, 0.0);
+    EXPECT_LE(run_wall, summary.wall_seconds * 1.01);
+    busy += run_wall;
+  }
+  EXPECT_EQ(summary.threads_used, 2u);
+  EXPECT_GT(summary.thread_utilization, 0.0);
+  EXPECT_LE(summary.thread_utilization, 1.0);
+  // utilization = busy / (wall * threads), clamped to 1.
+  EXPECT_NEAR(summary.thread_utilization,
+              std::min(1.0, busy / (summary.wall_seconds * 2.0)), 1e-9);
+}
+
+TEST_F(CampaignFixture, ThreadsUsedNeverExceedsRunCount) {
+  const std::vector<CampaignRun> runs = {
+      {mesh::DeckSize::kSmall, 8, CampaignRun::Flavor::kGeneralHomogeneous},
+  };
+  const CampaignSummary summary =
+      run_validation_campaign(model, engine, runs, {}, 8);
+  EXPECT_EQ(summary.threads_used, 1u);
+}
+
+TEST_F(CampaignFixture, PoisonedRunSurfacesItsError) {
+  // Regression for the thread-pool exception fix: a run with an invalid
+  // processor count throws inside a pool worker; the campaign must
+  // surface that KrakError to the caller instead of terminating.
+  const std::vector<CampaignRun> runs = {
+      {mesh::DeckSize::kSmall, 8, CampaignRun::Flavor::kGeneralHomogeneous},
+      {mesh::DeckSize::kSmall, -1, CampaignRun::Flavor::kGeneralHomogeneous},
+      {mesh::DeckSize::kSmall, 16, CampaignRun::Flavor::kGeneralHomogeneous},
+  };
+  EXPECT_THROW((void)run_validation_campaign(model, engine, runs, {}, 2),
+               util::KrakError);
 }
 
 TEST(CampaignPresets, MatchPaperTables) {

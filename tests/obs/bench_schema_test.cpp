@@ -1,0 +1,162 @@
+#include "obs/bench_schema.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace krak::obs {
+namespace {
+
+/// Hand-built minimal conforming document (independent of the emitter
+/// in core/bench_report.cpp, so schema and emitter are tested against
+/// each other rather than against themselves).
+Json minimal_valid_report() {
+  Json report = Json::object();
+  report["schema"] = std::string(kBenchSchemaId);
+  report["name"] = "unit";
+  report["quick"] = true;
+
+  Json& env = report["environment"];
+  env["git_sha"] = "deadbeef";
+  env["build_type"] = "Release";
+  env["compiler"] = "gcc 13";
+  env["hardware_concurrency"] = 8;
+
+  Json run = Json::object();
+  run["problem"] = "small 80x40";
+  run["pes"] = 16;
+  run["measured_s"] = 0.5;
+  run["predicted_s"] = 0.45;
+  run["error"] = 0.1;
+  run["wall_seconds"] = 0.01;
+
+  Json campaign = Json::object();
+  campaign["name"] = "table5";
+  campaign["wall_seconds"] = 0.02;
+  campaign["threads"] = 4;
+  campaign["thread_utilization"] = 0.9;
+  campaign["worst_abs_error"] = 0.1;
+  campaign["mean_abs_error"] = 0.1;
+  campaign["runs"].push_back(std::move(run));
+  report["campaigns"].push_back(std::move(campaign));
+
+  Json replay = Json::object();
+  replay["name"] = "small_8pe";
+  replay["ranks"] = 8;
+  replay["makespan_s"] = 0.03;
+  replay["time_per_iteration_s"] = 0.015;
+  replay["events"] = 1234;
+  replay["max_queue_depth"] = 9;
+  Json& phases = replay["phases"];
+  phases["compute_s"] = 0.1;
+  phases["p2p_s"] = 0.01;
+  phases["collective_s"] = 0.05;
+  Json& blocked = replay["blocked"];
+  blocked["send_wait_s"] = 0.0;
+  blocked["recv_wait_s"] = 0.004;
+  blocked["collective_wait_s"] = 0.03;
+  blocked["collective_cost_s"] = 0.02;
+  Json& traffic = replay["traffic"];
+  traffic["p2p_messages"] = 640;
+  traffic["p2p_bytes"] = 1.5e6;
+  traffic["allreduces"] = 48;
+  traffic["broadcasts"] = 16;
+  traffic["gathers"] = 8;
+  report["replays"].push_back(std::move(replay));
+
+  Json& metrics = report["metrics"];
+  Json counter = Json::object();
+  counter["kind"] = "counter";
+  counter["count"] = 3;
+  metrics["sim.runs"] = std::move(counter);
+  Json timer = Json::object();
+  timer["kind"] = "timer";
+  timer["count"] = 2;
+  timer["total_seconds"] = 0.5;
+  metrics["campaign.run"] = std::move(timer);
+  return report;
+}
+
+/// Mutable access to the first element of an array-valued Json. The
+/// public API only exposes const element access (reports are built by
+/// push_back and never edited); tests mutate in place to corrupt
+/// documents.
+Json& first_element(Json& array_owner) {
+  return const_cast<Json&>(array_owner.as_array().front());
+}
+
+/// True when some violation message contains `needle`.
+bool mentions(const std::vector<std::string>& violations,
+              const std::string& needle) {
+  for (const std::string& violation : violations) {
+    if (violation.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(BenchSchema, MinimalReportIsValid) {
+  const std::vector<std::string> violations =
+      validate_bench_report(minimal_valid_report());
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front());
+}
+
+TEST(BenchSchema, NonObjectTopLevelFails) {
+  EXPECT_TRUE(mentions(validate_bench_report(Json(1.0)),
+                       "top level must be an object"));
+}
+
+TEST(BenchSchema, WrongSchemaIdIsReported) {
+  Json report = minimal_valid_report();
+  report["schema"] = "krak-bench-v999";
+  EXPECT_TRUE(mentions(validate_bench_report(report), "$.schema"));
+}
+
+TEST(BenchSchema, MissingEnvironmentKeyIsReported) {
+  Json report = minimal_valid_report();
+  Json env = Json::object();
+  env["git_sha"] = "deadbeef";
+  env["build_type"] = "Release";
+  env["compiler"] = "gcc 13";  // hardware_concurrency omitted
+  report["environment"] = std::move(env);
+  EXPECT_TRUE(mentions(validate_bench_report(report), "hardware_concurrency"));
+}
+
+TEST(BenchSchema, EmptyCampaignsArrayIsReported) {
+  Json report = minimal_valid_report();
+  report["campaigns"] = Json::array();
+  EXPECT_TRUE(mentions(validate_bench_report(report), "$.campaigns"));
+}
+
+TEST(BenchSchema, UtilizationAboveOneIsOutOfRange) {
+  Json report = minimal_valid_report();
+  first_element(report["campaigns"])["thread_utilization"] = 1.5;
+  EXPECT_TRUE(
+      mentions(validate_bench_report(report), "thread_utilization"));
+}
+
+TEST(BenchSchema, NegativeBlockedTimeIsOutOfRange) {
+  Json report = minimal_valid_report();
+  first_element(report["replays"])["blocked"]["recv_wait_s"] = -0.5;
+  EXPECT_TRUE(mentions(validate_bench_report(report), "recv_wait_s"));
+}
+
+TEST(BenchSchema, UnknownMetricKindIsReported) {
+  Json report = minimal_valid_report();
+  Json bad = Json::object();
+  bad["kind"] = "histogram";
+  report["metrics"]["weird"] = std::move(bad);
+  EXPECT_TRUE(mentions(validate_bench_report(report), "unknown metric kind"));
+}
+
+TEST(BenchSchema, ViolationPathsNameTheOffendingElement) {
+  Json report = minimal_valid_report();
+  Json& campaign = first_element(report["campaigns"]);
+  first_element(campaign["runs"])["pes"] = 0;  // below minimum of 1
+  EXPECT_TRUE(mentions(validate_bench_report(report),
+                       "$.campaigns[0].runs[0].pes"));
+}
+
+}  // namespace
+}  // namespace krak::obs

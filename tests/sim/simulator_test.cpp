@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "network/msgmodel.hpp"
 #include "util/error.hpp"
 
@@ -170,6 +172,57 @@ TEST(Simulator, DeadlockDetectedAndReported) {
   sim.set_schedule(0, {Op::recv(1, 1.0, 1)});
   sim.set_schedule(1, {Op::recv(0, 1.0, 1)});
   EXPECT_THROW((void)sim.run(), util::KrakError);
+}
+
+TEST(Simulator, RecvDeadlockNamesTheBlockingOp) {
+  Simulator sim = make_simulator(2);
+  sim.set_schedule(0, {Op::recv(1, 1.0, 7)});
+  sim.set_schedule(1, {Op::recv(0, 1.0, 9)});
+  try {
+    (void)sim.run();
+    FAIL() << "expected deadlock";
+  } catch (const util::KrakError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("recv"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag"), std::string::npos) << what;
+  }
+}
+
+TEST(Simulator, CollectiveDeadlockNamesTheCollective) {
+  // Regression: enter_collective advances pc past the collective before
+  // parking the rank, so a report built from pc named the op after the
+  // collective (or fell past the schedule's end and named nothing).
+  // Rank 0 computes, then parks in an allreduce rank 1 never joins.
+  Simulator sim = make_simulator(2);
+  sim.set_schedule(0, {Op::compute(1.0), Op::allreduce(8.0)});
+  sim.set_schedule(1, {Op::compute(2.0)});
+  try {
+    (void)sim.run();
+    FAIL() << "expected deadlock";
+  } catch (const util::KrakError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("allreduce"), std::string::npos) << what;
+    EXPECT_NE(what.find("blocked at op 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("waiting for all ranks to enter the collective"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(Simulator, TrailingCollectiveDeadlockStillNamesIt) {
+  // The collective is the schedule's last op, so the advanced pc points
+  // one past the end — the old report could not name any op at all.
+  Simulator sim = make_simulator(2);
+  sim.set_schedule(0, {Op::broadcast(4.0)});
+  sim.set_schedule(1, {});
+  try {
+    (void)sim.run();
+    FAIL() << "expected deadlock";
+  } catch (const util::KrakError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("broadcast"), std::string::npos) << what;
+    EXPECT_NE(what.find("blocked at op 0"), std::string::npos) << what;
+  }
 }
 
 TEST(Simulator, MismatchedCollectiveKindThrows) {

@@ -54,6 +54,38 @@ TEST(SimKrak, PhaseTimesSumToIterationTime) {
               1e-9 * result.time_per_iteration);
 }
 
+TEST(SimKrak, BreakdownTotalsAreConsistent) {
+  const Fixture f;
+  const SimKrak app(f.deck, f.partition(8), f.machine, f.engine, {});
+  const SimKrakResult result = app.run();
+
+  // Per-rank decompositions exist for every rank, sum to the rank's
+  // finish time (bounded by the makespan), and their sum is the totals.
+  ASSERT_EQ(result.rank_breakdown.size(), 8u);
+  sim::RankTimeBreakdown expected;
+  for (const sim::RankTimeBreakdown& rank : result.rank_breakdown) {
+    EXPECT_GT(rank.total_seconds(), 0.0);
+    EXPECT_LE(rank.total_seconds(), result.total_time * (1.0 + 1e-9));
+    expected.compute += rank.compute;
+    expected.send_overhead += rank.send_overhead;
+    expected.recv_overhead += rank.recv_overhead;
+    expected.send_wait += rank.send_wait;
+    expected.recv_wait += rank.recv_wait;
+    expected.collective_wait += rank.collective_wait;
+    expected.collective_cost += rank.collective_cost;
+  }
+  EXPECT_DOUBLE_EQ(result.totals.total_seconds(), expected.total_seconds());
+  EXPECT_DOUBLE_EQ(result.totals.compute, expected.compute);
+  EXPECT_DOUBLE_EQ(result.totals.collective_cost, expected.collective_cost);
+
+  // The Krak iteration computes, exchanges boundaries, and synchronizes
+  // on collectives every phase — all three phase buckets must be live.
+  EXPECT_GT(result.totals.compute, 0.0);
+  EXPECT_GT(result.totals.p2p_seconds(), 0.0);
+  EXPECT_GT(result.totals.collective_seconds(), 0.0);
+  EXPECT_GT(result.max_queue_depth, 0u);
+}
+
 TEST(SimKrak, DeterministicForFixedSeed) {
   const Fixture f;
   const partition::Partition part = f.partition(8);

@@ -74,6 +74,38 @@ TEST(PiecewiseLinear, LogXRejectsNonPositiveBreakpoints) {
   EXPECT_THROW(PiecewiseLinear(xs, ys, Interpolation::kLogX), InvalidArgument);
 }
 
+TEST(PiecewiseLinear, ModeAccessorsReportConfiguration) {
+  PiecewiseLinear f;
+  EXPECT_EQ(f.interpolation(), Interpolation::kLinear);
+  EXPECT_EQ(f.extrapolation(), Extrapolation::kClamp);
+  f.set_interpolation(Interpolation::kLogX);
+  f.set_extrapolation(Extrapolation::kLinear);
+  EXPECT_EQ(f.interpolation(), Interpolation::kLogX);
+  EXPECT_EQ(f.extrapolation(), Extrapolation::kLinear);
+
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0, 4.0};
+  const PiecewiseLinear g(xs, ys, Interpolation::kLogX,
+                          Extrapolation::kLinear);
+  EXPECT_EQ(g.interpolation(), Interpolation::kLogX);
+  EXPECT_EQ(g.extrapolation(), Extrapolation::kLinear);
+}
+
+TEST(PiecewiseLinear, AccessorsRoundTripThroughConstructor) {
+  // Rebuilding from xs()/ys() plus the mode accessors reproduces the
+  // function everywhere — the contract MessageCostModel::scaled relies
+  // on.
+  const std::vector<double> xs = {1.0, 10.0, 100.0};
+  const std::vector<double> ys = {5.0, 3.0, 2.0};
+  const PiecewiseLinear f(xs, ys, Interpolation::kLogX,
+                          Extrapolation::kLinear);
+  const PiecewiseLinear g(f.xs(), f.ys(), f.interpolation(),
+                          f.extrapolation());
+  for (double x : {1.0, 3.0, 10.0, 42.0, 100.0, 1000.0}) {
+    EXPECT_DOUBLE_EQ(g(x), f(x)) << "at " << x;
+  }
+}
+
 TEST(PiecewiseLinear, AddPointKeepsSortedOrder) {
   PiecewiseLinear f;
   f.add_point(10.0, 1.0);

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -102,6 +103,58 @@ TEST(ThreadPool, DestructorDrainsOutstandingWork) {
     }
   }  // destructor joins
   EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  // Regression: a KrakError escaping a worker used to hit the raw task
+  // wrapper and std::terminate the whole process.
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   8,
+                   [](std::size_t i) {
+                     if (i == 3) throw KrakError("poisoned index");
+                   }),
+               KrakError);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstExceptionWithMessage) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(4, [](std::size_t i) {
+      if (i == 1) throw InvalidArgument("index 1 rejected");
+    });
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("index 1 rejected"),
+              std::string::npos);
+  }
+}
+
+TEST(ThreadPool, ParallelForStopsClaimingAfterFailure) {
+  // After the failure is observed, unclaimed indices are skipped — the
+  // executed count stays well below the total.
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  constexpr std::size_t kCount = 100000;
+  EXPECT_THROW(pool.parallel_for(kCount,
+                                 [&executed](std::size_t i) {
+                                   executed.fetch_add(1);
+                                   if (i == 0) {
+                                     throw KrakError("early failure");
+                                   }
+                                 }),
+               KrakError);
+  EXPECT_LT(executed.load(), static_cast<int>(kCount));
+}
+
+TEST(ThreadPool, PoolIsReusableAfterParallelForFailure) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(4, [](std::size_t) { throw KrakError("boom"); }),
+      KrakError);
+  std::atomic<int> counter{0};
+  pool.parallel_for(16, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 16);
 }
 
 TEST(ThreadPool, ParallelForAccumulatesCorrectSum) {
