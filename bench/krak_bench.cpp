@@ -9,7 +9,9 @@
 //
 // Usage:
 //   krak_bench [--quick] [--out FILE]   generate a report (default
-//                                       BENCH_PR2.json)
+//                                       BENCH_PR3.json)
+//   krak_bench --faults FILE            inject a krakfaults plan into
+//                                       every campaign measurement
 //   krak_bench --validate FILE          schema-check an existing report
 //
 // --quick calibrates on the small deck only and shrinks the campaigns;
@@ -17,7 +19,15 @@
 // generated report is self-validated before it is written, so a
 // schema/emitter mismatch fails the run instead of producing an
 // artifact that only breaks downstream.
+//
+// Campaign scenarios that fail (fault-injected hang, bad
+// configuration) do not abort the run: the remaining scenarios are
+// still measured, the report is still written — with a schema-valid
+// "failures" section naming each failed scenario and its cause — and
+// the exit status is non-zero so CI notices.
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -28,6 +38,7 @@
 #include "core/bench_report.hpp"
 #include "core/calibration.hpp"
 #include "core/campaign.hpp"
+#include "fault/plan.hpp"
 #include "obs/bench_schema.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -40,12 +51,13 @@ using namespace krak;
 
 struct Options {
   bool quick = false;
-  std::string out = "BENCH_PR2.json";
+  std::string out = "BENCH_PR3.json";
   std::string validate;  // non-empty: validate this file and exit
+  std::string faults;    // non-empty: krakfaults plan for the campaigns
 };
 
 [[noreturn]] void usage(int exit_code) {
-  std::cout << "usage: krak_bench [--quick] [--out FILE]\n"
+  std::cout << "usage: krak_bench [--quick] [--out FILE] [--faults FILE]\n"
                "       krak_bench --validate FILE\n";
   std::exit(exit_code);
 }
@@ -60,6 +72,8 @@ Options parse_args(int argc, char** argv) {
       options.out = argv[++i];
     } else if (arg == "--validate" && i + 1 < argc) {
       options.validate = argv[++i];
+    } else if (arg == "--faults" && i + 1 < argc) {
+      options.faults = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else {
@@ -115,6 +129,11 @@ obs::Json build_report(const Options& options) {
   std::vector<obs::Json> campaigns;
   std::vector<obs::Json> replays;
 
+  core::ValidationConfig config;
+  if (!options.faults.empty()) {
+    config.faults = fault::load_fault_plan(options.faults);
+  }
+
   if (options.quick) {
     // Small-deck-only model: calibration at {8, 32, 128} takes a couple
     // of seconds instead of the medium deck's minutes.
@@ -137,10 +156,10 @@ obs::Json build_report(const Options& options) {
     }
     campaigns.push_back(core::campaign_to_json(
         "table5_quick",
-        core::run_validation_campaign(model, engine, mesh_specific)));
+        core::run_validation_campaign(model, engine, mesh_specific, config)));
     campaigns.push_back(core::campaign_to_json(
         "table6_quick",
-        core::run_validation_campaign(model, engine, general)));
+        core::run_validation_campaign(model, engine, general, config)));
     replays.push_back(core::replay_to_json(
         "small_8pe", run_replay(small, 8, machine, engine,
                                 /*iterations=*/2)));
@@ -149,11 +168,11 @@ obs::Json build_report(const Options& options) {
     campaigns.push_back(core::campaign_to_json(
         "table5_meshspecific",
         core::run_validation_campaign(env.model, env.engine,
-                                      core::table5_runs())));
+                                      core::table5_runs(), config)));
     campaigns.push_back(core::campaign_to_json(
         "table6_general",
         core::run_validation_campaign(env.model, env.engine,
-                                      core::table6_runs())));
+                                      core::table6_runs(), config)));
     replays.push_back(core::replay_to_json(
         "medium_64pe",
         run_replay(mesh::make_standard_deck(mesh::DeckSize::kMedium), 64,
@@ -164,6 +183,17 @@ obs::Json build_report(const Options& options) {
       options.quick ? "krak_bench_quick" : "krak_bench", options.quick,
       core::detect_bench_environment(), std::move(campaigns),
       std::move(replays), obs::global_registry().snapshot());
+}
+
+/// Total scenario failures recorded across every campaign.
+std::size_t count_failures(const obs::Json& report) {
+  std::size_t failures = 0;
+  for (const obs::Json& campaign : report.find("campaigns")->as_array()) {
+    if (const obs::Json* list = campaign.find("failures")) {
+      failures += list->size();
+    }
+  }
+  return failures;
 }
 
 // Console digest of an already-validated report, so the fields below
@@ -177,6 +207,12 @@ void print_summary(const obs::Json& report) {
               << campaign.find("thread_utilization")->as_double()
               << ", worst |error| "
               << campaign.find("worst_abs_error")->as_double() << "\n";
+    if (const obs::Json* list = campaign.find("failures")) {
+      for (const obs::Json& failure : list->as_array()) {
+        std::cout << "  FAILED " << failure.find("scenario")->as_string()
+                  << ": " << failure.find("error")->as_string() << "\n";
+      }
+    }
   }
   for (const obs::Json& replay : report.find("replays")->as_array()) {
     const obs::Json& phases = *replay.find("phases");
@@ -197,7 +233,13 @@ int main(int argc, char** argv) {
 
   std::cout << "krak_bench: generating " << options.out
             << (options.quick ? " (quick mode)" : "") << "\n";
-  const obs::Json report = build_report(options);
+  obs::Json report;
+  try {
+    report = build_report(options);
+  } catch (const std::exception& error) {
+    std::cerr << "krak_bench: " << error.what() << "\n";
+    return 1;
+  }
 
   const std::vector<std::string> violations =
       obs::validate_bench_report(report);
@@ -212,14 +254,29 @@ int main(int argc, char** argv) {
 
   std::ofstream out(options.out);
   if (!out) {
-    std::cerr << "krak_bench: cannot write '" << options.out << "'\n";
+    std::cerr << "krak_bench: cannot write " << options.out << ": "
+              << std::strerror(errno) << "\n";
     return 1;
   }
   out << report.dump(2) << "\n";
   out.close();
+  if (!out) {
+    std::cerr << "krak_bench: error writing " << options.out << ": "
+              << std::strerror(errno) << "\n";
+    return 1;
+  }
 
   print_summary(report);
+  const std::size_t failures = count_failures(report);
   std::cout << "krak_bench: wrote " << options.out << " ("
             << obs::kBenchSchemaId << ")\n";
+  if (failures > 0) {
+    // The partial report above is still schema-valid and on disk; the
+    // non-zero exit is the signal that some scenarios never measured.
+    std::cerr << "krak_bench: " << failures
+              << " campaign scenario(s) failed; see the report's"
+                 " \"failures\" section\n";
+    return 1;
+  }
   return 0;
 }

@@ -7,14 +7,24 @@
 //   krak_analyze --deck corrupted            # built-in broken fixture
 //   krak_analyze --deck small --format csv
 //
+// File linting (event traces and fault-injection specs):
+//
+//   krak_analyze --trace run.kraktrace
+//   krak_analyze --trace corrupted           # built-in broken trace
+//   krak_analyze --faults plan.krakfaults --pes 64
+//   krak_analyze --faults corrupted
+//
 // Exit status: 0 when no errors were found, 1 when the inputs are
 // inconsistent, 2 on usage errors.
 
 #include <exception>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "analyze/fixtures.hpp"
+#include "analyze/lint_faults.hpp"
+#include "analyze/lint_trace.hpp"
 #include "analyze/linter.hpp"
 #include "core/cost_table.hpp"
 #include "mesh/deck.hpp"
@@ -32,7 +42,9 @@ constexpr const char* kUsage =
     "usage: krak_analyze [--deck small|medium|large|figure2|corrupted]\n"
     "                    [--pes N] [--method strip|rcb|multilevel|material-aware]\n"
     "                    [--machine es45|upgrade] [--format text|csv]\n"
-    "                    [--no-partition] [--no-costs]\n";
+    "                    [--no-partition] [--no-costs]\n"
+    "       krak_analyze --trace FILE|corrupted [--format text|csv]\n"
+    "       krak_analyze --faults FILE|corrupted [--pes N] [--format text|csv]\n";
 
 mesh::InputDeck make_deck(const std::string& name) {
   if (name == "small") return mesh::make_standard_deck(mesh::DeckSize::kSmall);
@@ -81,7 +93,25 @@ int run(const util::ArgParser& args) {
 
   const std::string deck_name = args.get_string("deck", "medium");
   analyze::DiagnosticReport report;
-  if (deck_name == "corrupted") {
+  if (args.has("trace")) {
+    const std::string trace = args.get_string("trace", "");
+    if (trace == "corrupted") {
+      std::istringstream in(analyze::corrupted_trace_text());
+      (void)analyze::lint_trace(in, report);
+    } else {
+      report = analyze::lint_trace_file(trace);
+    }
+  } else if (args.has("faults")) {
+    const std::string faults = args.get_string("faults", "");
+    const auto pes = static_cast<std::int32_t>(args.get_int("pes", 0));
+    if (faults == "corrupted") {
+      std::istringstream in(analyze::corrupted_fault_spec_text());
+      report = analyze::lint_faults(fault::parse_fault_plan(in), pes,
+                                    simapp::kPhaseCount);
+    } else {
+      report = analyze::lint_fault_file(faults, pes, simapp::kPhaseCount);
+    }
+  } else if (deck_name == "corrupted") {
     report = analyze::lint_fixture(analyze::make_corrupted_fixture());
   } else {
     const mesh::InputDeck deck = make_deck(deck_name);

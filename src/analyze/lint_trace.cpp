@@ -1,0 +1,244 @@
+#include "analyze/lint_trace.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "analyze/rules.hpp"
+
+namespace krak::analyze {
+
+namespace {
+
+constexpr const char* kMagic = "kraktrace";
+constexpr int kVersion = 1;
+
+const std::set<std::string>& known_kinds() {
+  static const std::set<std::string> kinds = {
+      "compute", "isend",     "recv",   "waitall",
+      "allreduce", "broadcast", "gather", "record"};
+  return kinds;
+}
+
+std::string line_component(std::size_t line) {
+  return "trace/line " + std::to_string(line);
+}
+
+}  // namespace
+
+TraceFile lint_trace(std::istream& in, DiagnosticReport& report) {
+  TraceFile trace;
+  std::size_t line_number = 0;
+  std::string line;
+
+  // Header: magic + version.
+  if (!std::getline(in, line)) {
+    report.error(rules::kTraceFormat, "trace", "empty input, missing header");
+    return trace;
+  }
+  ++line_number;
+  {
+    std::istringstream hs(line);
+    std::string magic;
+    int version = 0;
+    if (!(hs >> magic >> version) || magic != kMagic || version != kVersion) {
+      report.error(rules::kTraceFormat, line_component(line_number),
+                   "expected header '" + std::string(kMagic) + " " +
+                       std::to_string(kVersion) + "', got '" + line + "'");
+      return trace;
+    }
+  }
+
+  bool saw_ranks = false;
+  bool saw_end = false;
+  // Last timestamp seen per rank, for the monotonicity rule.
+  std::map<std::int32_t, double> last_time;
+  // Directed (from, to, tag) -> (sends, recvs) for the matching rule.
+  std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>,
+           std::pair<std::int64_t, std::int64_t>>
+      messages;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive) || directive.front() == '#') continue;
+    if (directive == "end") {
+      saw_end = true;
+      break;
+    }
+    if (directive == "ranks") {
+      std::int32_t ranks = 0;
+      if (!(ls >> ranks) || ranks < 1) {
+        report.error(rules::kTraceFormat, line_component(line_number),
+                     "'ranks' needs a positive rank count");
+      } else if (saw_ranks) {
+        report.error(rules::kTraceFormat, line_component(line_number),
+                     "duplicate 'ranks' line");
+      } else {
+        trace.ranks = ranks;
+        saw_ranks = true;
+      }
+      continue;
+    }
+    if (directive != "op") {
+      report.error(rules::kTraceFormat, line_component(line_number),
+                   "unknown directive '" + directive + "'");
+      continue;
+    }
+    if (!saw_ranks) {
+      report.error(rules::kTraceFormat, line_component(line_number),
+                   "'op' before the 'ranks' line");
+      continue;
+    }
+
+    TraceEvent event;
+    if (!(ls >> event.rank >> event.time_s >> event.kind)) {
+      report.error(rules::kTraceFormat, line_component(line_number),
+                   "expected 'op <rank> <t_seconds> <kind>'");
+      continue;
+    }
+    bool fields_ok = true;
+    std::string token;
+    while (ls >> token) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+        report.error(rules::kTraceFormat, line_component(line_number),
+                     "bad field '" + token + "' (expected key=value)");
+        fields_ok = false;
+        break;
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      std::istringstream vs(value);
+      bool parsed = false;
+      if (key == "peer") {
+        parsed = static_cast<bool>(vs >> event.peer);
+      } else if (key == "tag") {
+        parsed = static_cast<bool>(vs >> event.tag);
+      } else if (key == "bytes") {
+        parsed = static_cast<bool>(vs >> event.bytes);
+      } else {
+        report.error(rules::kTraceFormat, line_component(line_number),
+                     "unknown field '" + key + "'");
+        fields_ok = false;
+        break;
+      }
+      if (!parsed || !vs.eof()) {
+        report.error(rules::kTraceFormat, line_component(line_number),
+                     "field " + key + "='" + value + "' is not a number");
+        fields_ok = false;
+        break;
+      }
+    }
+    if (!fields_ok) continue;
+
+    // Op-kind validity.
+    const bool kind_known = known_kinds().count(event.kind) != 0;
+    if (!kind_known) {
+      report.error(rules::kTraceOpKind, line_component(line_number),
+                   "unknown op kind '" + event.kind + "'");
+    }
+
+    // Rank / peer bounds.
+    bool rank_ok = event.rank >= 0 && event.rank < trace.ranks;
+    if (!rank_ok) {
+      report.error(rules::kTraceRankBounds, line_component(line_number),
+                   "rank " + std::to_string(event.rank) +
+                       " outside [0, " + std::to_string(trace.ranks) + ")");
+    }
+    const bool point_to_point = event.kind == "isend" || event.kind == "recv";
+    if (point_to_point) {
+      if (event.peer < 0) {
+        report.error(rules::kTraceFormat, line_component(line_number),
+                     "'" + event.kind + "' needs a peer=P field");
+        rank_ok = false;
+      } else if (event.peer >= trace.ranks) {
+        report.error(rules::kTraceRankBounds, line_component(line_number),
+                     "peer " + std::to_string(event.peer) + " outside [0, " +
+                         std::to_string(trace.ranks) + ")");
+        rank_ok = false;
+      }
+    }
+
+    // Per-rank timestamp monotonicity (only meaningful in-bounds).
+    if (event.rank >= 0 && event.rank < trace.ranks) {
+      const auto it = last_time.find(event.rank);
+      if (it != last_time.end() && event.time_s < it->second) {
+        std::ostringstream os;
+        os << "rank " << event.rank << " time went backwards: " << event.time_s
+           << " after " << it->second;
+        report.error(rules::kTraceMonotoneTime, line_component(line_number),
+                     os.str());
+      }
+      last_time[event.rank] =
+          std::max(event.time_s,
+                   it != last_time.end() ? it->second : event.time_s);
+    }
+
+    if (point_to_point && rank_ok) {
+      if (event.kind == "isend") {
+        ++messages[{event.rank, event.peer, event.tag}].first;
+      } else {
+        ++messages[{event.peer, event.rank, event.tag}].second;
+      }
+    }
+    trace.events.push_back(std::move(event));
+  }
+
+  if (!saw_end) {
+    report.error(rules::kTraceFormat, "trace",
+                 "missing 'end' (file truncated?)");
+  }
+  if (!saw_ranks && saw_end) {
+    report.error(rules::kTraceFormat, "trace", "missing 'ranks' line");
+  }
+
+  for (const auto& [key, counts] : messages) {
+    if (counts.first == counts.second) continue;
+    const auto [from, to, tag] = key;
+    std::ostringstream os;
+    os << counts.first << " send(s) vs " << counts.second
+       << " recv(s) for rank " << from << " -> rank " << to << ", tag " << tag;
+    report.error(rules::kTraceSendRecvMatch,
+                 "trace/" + std::to_string(from) + "->" + std::to_string(to),
+                 os.str());
+  }
+  return trace;
+}
+
+DiagnosticReport lint_trace_file(const std::string& path) {
+  DiagnosticReport report;
+  std::ifstream in(path);
+  if (!in) {
+    report.error(rules::kTraceFormat, "trace",
+                 "cannot open " + path + ": " + std::strerror(errno));
+    return report;
+  }
+  (void)lint_trace(in, report);
+  return report;
+}
+
+std::string corrupted_trace_text() {
+  // One violation per rule: an op before fixing... see the inline notes.
+  return "kraktrace 1\n"
+         "ranks 2\n"
+         "# rank 1's clock runs backwards        -> trace-monotone-time\n"
+         "op 1 2.0 compute\n"
+         "op 1 1.0 compute\n"
+         "# rank 7 does not exist in a 2-rank run -> trace-rank-bounds\n"
+         "op 7 0.0 compute\n"
+         "# 'teleport' is not an op kind          -> trace-op-kind\n"
+         "op 0 0.5 teleport\n"
+         "# send with no matching recv            -> trace-send-recv-match\n"
+         "op 0 1.0 isend peer=1 tag=42 bytes=64\n"
+         "# malformed op record                   -> trace-format\n"
+         "op 0 oops compute\n"
+         "end\n";
+}
+
+}  // namespace krak::analyze

@@ -67,4 +67,32 @@ inline constexpr const char* kDeckShape = "deck-shape";
 /// SimKrak option ranges (iterations >= 1, etc.).
 inline constexpr const char* kOptionsRange = "options-range";
 
+// --- event-trace files (kraktrace 1, lint_trace.hpp) ----------------------
+
+/// Structural validity of a trace file: magic/version header, `ranks`
+/// line, well-formed `op` records, terminating `end`.
+inline constexpr const char* kTraceFormat = "trace-format";
+/// Per-rank timestamps must be non-decreasing: a rank's events are its
+/// local history and simulated clocks never run backwards.
+inline constexpr const char* kTraceMonotoneTime = "trace-monotone-time";
+/// Every rank and peer must lie in [0, ranks) declared by the header.
+inline constexpr const char* kTraceRankBounds = "trace-rank-bounds";
+/// Op kinds are a closed set (compute/isend/recv/waitall/allreduce/
+/// broadcast/gather/record).
+inline constexpr const char* kTraceOpKind = "trace-op-kind";
+/// Every directed (from, to, tag) send count must equal the matching
+/// receive count, or the replayed run would deadlock or drop payloads.
+inline constexpr const char* kTraceSendRecvMatch = "trace-send-recv-match";
+
+// --- fault-spec files (krakfaults 1, fault/plan.hpp) ----------------------
+
+/// Structural validity of a fault-spec file (parse failures).
+inline constexpr const char* kFaultSpecFormat = "fault-spec-format";
+/// Value ranges: slowdown factor >= 1, drop probability in [0, 1),
+/// bandwidth factor in (0, 1], non-negative durations and costs.
+inline constexpr const char* kFaultSpecRange = "fault-spec-range";
+/// Injection targets must exist: rank within the run, phase within the
+/// iteration, no wildcard rank where a single rank is required.
+inline constexpr const char* kFaultSpecTarget = "fault-spec-target";
+
 }  // namespace krak::analyze::rules

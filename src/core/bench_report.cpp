@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <set>
 #include <thread>
 
 #include "obs/report.hpp"
@@ -42,8 +43,13 @@ obs::Json campaign_to_json(const std::string& name,
   out["thread_utilization"] = summary.thread_utilization;
   out["worst_abs_error"] = summary.worst_abs_error;
   out["mean_abs_error"] = summary.mean_abs_error;
+  std::set<std::size_t> failed;
+  for (const CampaignFailure& failure : summary.failures) {
+    failed.insert(failure.run_index);
+  }
   obs::Json runs = obs::Json::array();
   for (std::size_t i = 0; i < summary.points.size(); ++i) {
+    if (failed.count(i) != 0) continue;  // placeholder, listed under failures
     const ValidationPoint& point = summary.points[i];
     obs::Json run = obs::Json::object();
     run["problem"] = point.problem;
@@ -55,6 +61,27 @@ obs::Json campaign_to_json(const std::string& name,
     runs.push_back(std::move(run));
   }
   out["runs"] = std::move(runs);
+  if (!summary.failures.empty()) {
+    obs::Json failures = obs::Json::array();
+    for (const CampaignFailure& failure : summary.failures) {
+      obs::Json entry = obs::Json::object();
+      entry["run_index"] = static_cast<std::int64_t>(failure.run_index);
+      entry["scenario"] = failure.scenario;
+      entry["error"] = failure.error;
+      if (failure.has_sim_failure) {
+        obs::Json cause = obs::Json::object();
+        cause["kind"] =
+            std::string(sim::sim_failure_kind_name(failure.sim_failure.kind));
+        cause["rank"] = failure.sim_failure.rank;
+        cause["op_index"] =
+            static_cast<std::int64_t>(failure.sim_failure.op_index);
+        cause["detail"] = failure.sim_failure.to_string();
+        entry["sim_failure"] = std::move(cause);
+      }
+      failures.push_back(std::move(entry));
+    }
+    out["failures"] = std::move(failures);
+  }
   return out;
 }
 
@@ -80,6 +107,26 @@ obs::Json replay_to_json(const std::string& name,
   blocked["collective_wait_s"] = result.totals.collective_wait;
   blocked["collective_cost_s"] = result.totals.collective_cost;
   out["blocked"] = std::move(blocked);
+
+  if (result.fault_stats.injections > 0 || result.failed()) {
+    obs::Json fault = obs::Json::object();
+    fault["injections"] = result.fault_stats.injections;
+    fault["retransmits"] = result.fault_stats.retransmits;
+    fault["messages_lost"] = result.fault_stats.messages_lost;
+    fault["fault_delay_s"] = result.fault_stats.fault_delay_seconds;
+    fault["recovery_s"] = result.fault_stats.recovery_seconds;
+    obs::Json failures = obs::Json::array();
+    for (const sim::SimFailure& failure : result.failures) {
+      obs::Json entry = obs::Json::object();
+      entry["kind"] = std::string(sim::sim_failure_kind_name(failure.kind));
+      entry["rank"] = failure.rank;
+      entry["op_index"] = static_cast<std::int64_t>(failure.op_index);
+      entry["detail"] = failure.to_string();
+      failures.push_back(std::move(entry));
+    }
+    fault["failures"] = std::move(failures);
+    out["fault"] = std::move(fault);
+  }
 
   obs::Json traffic = obs::Json::object();
   traffic["p2p_messages"] = result.traffic.point_to_point_messages;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <mutex>
+#include <set>
 #include <sstream>
 
 #include "obs/metrics.hpp"
@@ -12,10 +14,33 @@
 
 namespace krak::core {
 
+std::string campaign_run_name(const CampaignRun& run) {
+  std::string flavor;
+  switch (run.flavor) {
+    case CampaignRun::Flavor::kMeshSpecific:
+      flavor = "mesh-specific";
+      break;
+    case CampaignRun::Flavor::kGeneralHomogeneous:
+      flavor = "general-homogeneous";
+      break;
+    case CampaignRun::Flavor::kGeneralHeterogeneous:
+      flavor = "general-heterogeneous";
+      break;
+  }
+  return std::string(mesh::deck_size_name(run.deck)) + "/" +
+         std::to_string(run.pes) + "pe/" + flavor;
+}
+
 std::string CampaignSummary::to_string() const {
+  std::set<std::size_t> failed;
+  for (const CampaignFailure& failure : failures) {
+    failed.insert(failure.run_index);
+  }
   util::TextTable table(
       {"Problem", "PE Count", "Meas. (ms)", "Pred. (ms)", "Error"});
-  for (const ValidationPoint& point : points) {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ValidationPoint& point = points[i];
+    if (failed.count(i) != 0) continue;
     table.add_row({point.problem, std::to_string(point.pes),
                    util::format_double(point.measured * 1e3, 1),
                    util::format_double(point.predicted * 1e3, 1),
@@ -25,6 +50,9 @@ std::string CampaignSummary::to_string() const {
   os << table.to_string();
   os << "worst |error| " << util::format_percent(worst_abs_error)
      << ", mean |error| " << util::format_percent(mean_abs_error) << "\n";
+  for (const CampaignFailure& failure : failures) {
+    os << "FAILED " << failure.scenario << ": " << failure.error << "\n";
+  }
   return os.str();
 }
 
@@ -43,35 +71,63 @@ CampaignSummary run_validation_campaign(
   };
   obs::Timer& run_timer = obs::global_registry().timer("campaign.run");
   obs::Timer& campaign_timer = obs::global_registry().timer("campaign.total");
+  obs::Counter& failure_counter =
+      obs::global_registry().counter("campaign.failures");
 
+  std::mutex failures_mutex;
   const auto campaign_start = Clock::now();
   util::ThreadPool pool(threads);
   summary.threads_used = std::min(runs.size(), pool.thread_count());
   pool.parallel_for(runs.size(), [&](std::size_t i) {
     const auto run_start = Clock::now();
     const CampaignRun& run = runs[i];
-    const mesh::InputDeck deck = mesh::make_standard_deck(run.deck);
-    switch (run.flavor) {
-      case CampaignRun::Flavor::kMeshSpecific:
-        summary.points[i] =
-            validate_mesh_specific(deck, run.pes, model, engine, config);
-        break;
-      case CampaignRun::Flavor::kGeneralHomogeneous:
-        summary.points[i] =
-            validate_general(deck, run.pes, model,
-                             GeneralModelMode::kHomogeneous, engine, config);
-        break;
-      case CampaignRun::Flavor::kGeneralHeterogeneous:
-        summary.points[i] =
-            validate_general(deck, run.pes, model,
-                             GeneralModelMode::kHeterogeneous, engine, config);
-        break;
+    // One scenario failing must not take down the sweep: record the
+    // cause (structured when the simulator diagnosed it) and move on.
+    // The catch lives inside the worker lambda because the pool
+    // propagates uncaught worker exceptions to the caller.
+    try {
+      const mesh::InputDeck deck = mesh::make_standard_deck(run.deck);
+      ValidationConfig run_config = config;
+      if (!run.faults.empty()) run_config.faults = run.faults;
+      switch (run.flavor) {
+        case CampaignRun::Flavor::kMeshSpecific:
+          summary.points[i] =
+              validate_mesh_specific(deck, run.pes, model, engine, run_config);
+          break;
+        case CampaignRun::Flavor::kGeneralHomogeneous:
+          summary.points[i] = validate_general(deck, run.pes, model,
+                                               GeneralModelMode::kHomogeneous,
+                                               engine, run_config);
+          break;
+        case CampaignRun::Flavor::kGeneralHeterogeneous:
+          summary.points[i] = validate_general(deck, run.pes, model,
+                                               GeneralModelMode::kHeterogeneous,
+                                               engine, run_config);
+          break;
+      }
+    } catch (const std::exception& error) {
+      CampaignFailure failure;
+      failure.run_index = i;
+      failure.scenario = campaign_run_name(run);
+      failure.error = error.what();
+      if (const auto* sim_error =
+              dynamic_cast<const sim::SimFailureError*>(&error)) {
+        failure.has_sim_failure = true;
+        failure.sim_failure = sim_error->failure();
+      }
+      const std::lock_guard<std::mutex> lock(failures_mutex);
+      summary.failures.push_back(std::move(failure));
     }
     summary.run_wall_seconds[i] = seconds_since(run_start);
     run_timer.record(summary.run_wall_seconds[i]);
   });
   summary.wall_seconds = seconds_since(campaign_start);
   campaign_timer.record(summary.wall_seconds);
+  std::sort(summary.failures.begin(), summary.failures.end(),
+            [](const CampaignFailure& a, const CampaignFailure& b) {
+              return a.run_index < b.run_index;
+            });
+  failure_counter.add(static_cast<std::int64_t>(summary.failures.size()));
 
   double busy = 0.0;
   for (const double run_wall : summary.run_wall_seconds) busy += run_wall;
@@ -81,13 +137,21 @@ CampaignSummary run_validation_campaign(
                               static_cast<double>(summary.threads_used)));
   }
 
+  std::set<std::size_t> failed;
+  for (const CampaignFailure& failure : summary.failures) {
+    failed.insert(failure.run_index);
+  }
   double sum = 0.0;
-  for (const ValidationPoint& point : summary.points) {
-    const double error = std::abs(point.error());
+  std::size_t measured = 0;
+  for (std::size_t i = 0; i < summary.points.size(); ++i) {
+    if (failed.count(i) != 0) continue;  // placeholder, no measurement
+    const double error = std::abs(summary.points[i].error());
     summary.worst_abs_error = std::max(summary.worst_abs_error, error);
     sum += error;
+    ++measured;
   }
-  summary.mean_abs_error = sum / static_cast<double>(summary.points.size());
+  if (measured > 0) sum /= static_cast<double>(measured);
+  summary.mean_abs_error = sum;
   return summary;
 }
 
@@ -95,7 +159,11 @@ std::vector<CampaignRun> table5_runs() {
   std::vector<CampaignRun> runs;
   for (mesh::DeckSize deck : {mesh::DeckSize::kSmall, mesh::DeckSize::kMedium}) {
     for (std::int32_t pes : {16, 64, 128}) {
-      runs.push_back({deck, pes, CampaignRun::Flavor::kMeshSpecific});
+      CampaignRun run;
+      run.deck = deck;
+      run.pes = pes;
+      run.flavor = CampaignRun::Flavor::kMeshSpecific;
+      runs.push_back(std::move(run));
     }
   }
   return runs;
@@ -105,7 +173,11 @@ std::vector<CampaignRun> table6_runs() {
   std::vector<CampaignRun> runs;
   for (mesh::DeckSize deck : {mesh::DeckSize::kMedium, mesh::DeckSize::kLarge}) {
     for (std::int32_t pes : {128, 256, 512}) {
-      runs.push_back({deck, pes, CampaignRun::Flavor::kGeneralHomogeneous});
+      CampaignRun run;
+      run.deck = deck;
+      run.pes = pes;
+      run.flavor = CampaignRun::Flavor::kGeneralHomogeneous;
+      runs.push_back(std::move(run));
     }
   }
   return runs;

@@ -5,23 +5,56 @@
 #include <vector>
 
 #include "core/validation.hpp"
+#include "sim/simulator.hpp"
 
 namespace krak::core {
 
 /// One configuration of a validation campaign.
 struct CampaignRun {
-  mesh::DeckSize deck = mesh::DeckSize::kMedium;
-  std::int32_t pes = 0;
   /// Which model flavor to validate against the measurement.
   enum class Flavor { kMeshSpecific, kGeneralHomogeneous, kGeneralHeterogeneous };
+
+  CampaignRun() = default;
+  CampaignRun(mesh::DeckSize deck_size, std::int32_t pe_count, Flavor f)
+      : deck(deck_size), pes(pe_count), flavor(f) {}
+
+  mesh::DeckSize deck = mesh::DeckSize::kMedium;
+  std::int32_t pes = 0;
   Flavor flavor = Flavor::kGeneralHomogeneous;
+  /// Per-run fault plan; when non-empty it replaces the campaign-wide
+  /// ValidationConfig::faults for this scenario only.
+  fault::FaultPlan faults;
+};
+
+/// Stable scenario label ("medium/128pe/mesh-specific") used in reports
+/// and failure records.
+[[nodiscard]] std::string campaign_run_name(const CampaignRun& run);
+
+/// One scenario of a campaign that did not produce a measurement. The
+/// campaign keeps sweeping the remaining scenarios (graceful
+/// degradation); the failure is recorded here instead of aborting.
+struct CampaignFailure {
+  std::size_t run_index = 0;  ///< index into the campaign's run list
+  std::string scenario;       ///< campaign_run_name of the failed run
+  std::string error;          ///< human-readable cause (exception text)
+  /// Structured simulator diagnosis, present when the failure was a
+  /// sim::SimFailureError (watchdog-detected hang / lost message /
+  /// time-limit breach) rather than a generic error.
+  bool has_sim_failure = false;
+  sim::SimFailure sim_failure;
 };
 
 /// Aggregate outcome of a campaign.
 struct CampaignSummary {
-  std::vector<ValidationPoint> points;  ///< one per run, in input order
+  /// One per run, in input order. Entries at indices named by
+  /// `failures` are default-constructed placeholders, excluded from the
+  /// error aggregates below.
+  std::vector<ValidationPoint> points;
+  std::vector<CampaignFailure> failures;  ///< sorted by run_index
   double worst_abs_error = 0.0;
   double mean_abs_error = 0.0;
+
+  [[nodiscard]] bool degraded() const { return !failures.empty(); }
 
   /// Observability (docs/OBSERVABILITY.md): wall time of the whole
   /// campaign, wall time of each run (input order, measured inside the

@@ -1,5 +1,7 @@
 #include "core/table_io.hpp"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -38,7 +40,10 @@ void write_cost_table(std::ostream& out, const CostTable& table) {
 
 void save_cost_table(const std::string& path, const CostTable& table) {
   std::ofstream out(path);
-  if (!out) throw util::KrakError("save_cost_table: cannot open " + path);
+  if (!out) {
+    throw util::KrakError("save_cost_table: cannot open " + path + ": " +
+                          std::strerror(errno));
+  }
   write_cost_table(out, table);
 }
 
@@ -85,8 +90,17 @@ CostTable read_cost_table(std::istream& in) {
 
 CostTable load_cost_table(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw util::KrakError("load_cost_table: cannot open " + path);
-  return read_cost_table(in);
+  if (!in) {
+    throw util::KrakError("load_cost_table: cannot open " + path + ": " +
+                          std::strerror(errno));
+  }
+  // Name the file in parse errors so a truncated table on disk is a
+  // one-line diagnosis, not a hunt.
+  try {
+    return read_cost_table(in);
+  } catch (const util::KrakError& error) {
+    throw util::KrakError("load_cost_table: " + path + ": " + error.what());
+  }
 }
 
 }  // namespace krak::core

@@ -26,8 +26,14 @@ Measurement measure(const mesh::InputDeck& deck, std::int32_t pes,
   simapp::SimKrakOptions options;
   options.iterations = config.iterations;
   options.noise_seed = config.noise_seed;
+  options.faults = config.faults;
   const simapp::SimKrak app(deck, part, machine, engine, options);
-  return Measurement{app.run().time_per_iteration, std::move(part)};
+  simapp::SimKrakResult result = app.run();
+  // A measurement the watchdog had to cut short is not a measurement;
+  // surface the structured cause so campaigns can record it per
+  // scenario instead of aborting the sweep.
+  if (result.failed()) throw sim::SimFailureError(result.failures.front());
+  return Measurement{result.time_per_iteration, std::move(part)};
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/model.hpp"
+#include "fault/plan.hpp"
 #include "mesh/deck.hpp"
 #include "network/machine.hpp"
 #include "simapp/costmodel.hpp"
@@ -30,6 +31,11 @@ struct ValidationConfig {
   std::uint64_t partition_seed = 1;
   std::uint64_t noise_seed = 42;
   std::int32_t iterations = 3;
+  /// Optional fault-injection plan applied to the SimKrak measurement.
+  /// If the injected faults make the measurement fail (watchdog fires),
+  /// the validate_* functions throw sim::SimFailureError carrying the
+  /// first structured failure.
+  fault::FaultPlan faults;
 };
 
 /// Measure `deck` on `pes` processors with SimKrak (multilevel

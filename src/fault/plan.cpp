@@ -1,0 +1,273 @@
+#include "fault/plan.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace krak::fault {
+
+namespace {
+
+constexpr std::string_view kMagic = "krakfaults";
+constexpr int kVersion = 1;
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw util::KrakError("malformed fault spec: " + what);
+}
+
+std::string rank_token(std::int32_t rank) {
+  return rank == kAllRanks ? std::string("*") : std::to_string(rank);
+}
+
+/// key=value fields of one directive line, consumed with presence
+/// checks so a typo'd key is an error, not a silently ignored token.
+class Fields {
+ public:
+  Fields(const std::string& directive, std::istringstream& line)
+      : directive_(directive) {
+    std::string token;
+    while (line >> token) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+        malformed("'" + directive + "': bad field '" + token +
+                  "' (expected key=value)");
+      }
+      const std::string key = token.substr(0, eq);
+      if (!fields_.emplace(key, token.substr(eq + 1)).second) {
+        malformed("'" + directive + "': duplicate field '" + key + "'");
+      }
+    }
+  }
+
+  [[nodiscard]] std::int32_t rank(const std::string& key = "rank") {
+    const std::string value = take(key);
+    if (value == "*") return kAllRanks;
+    return static_cast<std::int32_t>(to_int(key, value));
+  }
+
+  [[nodiscard]] std::int64_t integer(const std::string& key) {
+    const std::string value = take(key);
+    return to_int(key, value);
+  }
+
+  [[nodiscard]] double number(const std::string& key) {
+    const std::string value = take(key);
+    try {
+      std::size_t used = 0;
+      const double parsed = std::stod(value, &used);
+      if (used != value.size()) throw std::invalid_argument(value);
+      return parsed;
+    } catch (const std::exception&) {
+      malformed("'" + directive_ + "': field " + key + "='" + value +
+                "' is not a number");
+    }
+  }
+
+  [[nodiscard]] double number_or(const std::string& key, double fallback) {
+    return fields_.count(key) != 0 ? number(key) : fallback;
+  }
+  [[nodiscard]] std::int64_t integer_or(const std::string& key,
+                                        std::int64_t fallback) {
+    return fields_.count(key) != 0 ? integer(key) : fallback;
+  }
+
+  /// All fields must have been consumed.
+  void finish() const {
+    if (!fields_.empty()) {
+      malformed("'" + directive_ + "': unknown field '" +
+                fields_.begin()->first + "'");
+    }
+  }
+
+ private:
+  std::string take(const std::string& key) {
+    const auto it = fields_.find(key);
+    if (it == fields_.end()) {
+      malformed("'" + directive_ + "': missing field '" + key + "'");
+    }
+    std::string value = it->second;
+    fields_.erase(it);
+    return value;
+  }
+
+  std::int64_t to_int(const std::string& key, const std::string& value) {
+    try {
+      std::size_t used = 0;
+      const std::int64_t parsed = std::stoll(value, &used);
+      if (used != value.size()) throw std::invalid_argument(value);
+      return parsed;
+    } catch (const std::exception&) {
+      malformed("'" + directive_ + "': field " + key + "='" + value +
+                "' is not an integer");
+    }
+  }
+
+  std::string directive_;
+  std::map<std::string, std::string> fields_;
+};
+
+}  // namespace
+
+void write_fault_plan(std::ostream& out, const FaultPlan& plan) {
+  out << kMagic << " " << kVersion << "\n";
+  out << "seed " << plan.seed << "\n";
+  for (const ComputeSlowdown& s : plan.slowdowns) {
+    out << "slowdown rank=" << rank_token(s.rank) << " factor=" << s.factor
+        << "\n";
+  }
+  for (const NoiseBurst& n : plan.noise) {
+    out << "noise rank=" << rank_token(n.rank) << " period=" << n.period_s
+        << " duration=" << n.duration_s << "\n";
+  }
+  for (const OneOffDelay& d : plan.delays) {
+    out << "delay rank=" << rank_token(d.rank) << " phase=" << d.phase
+        << " iter=" << d.iteration << " seconds=" << d.seconds << "\n";
+  }
+  for (const MessageFaultModel& m : plan.message_faults) {
+    out << "messages rank=" << rank_token(m.rank)
+        << " drop=" << m.drop_probability << " delay=" << m.extra_delay_s
+        << " rto=" << m.retransmit_timeout_s << " retries=" << m.max_retries
+        << "\n";
+  }
+  for (const NicDegrade& d : plan.degrades) {
+    out << "degrade rank=" << rank_token(d.rank)
+        << " bandwidth=" << d.bandwidth_factor << "\n";
+  }
+  for (const RankCrash& c : plan.crashes) {
+    out << "crash rank=" << rank_token(c.rank) << " phase=" << c.phase
+        << " iter=" << c.iteration << " restart=" << c.restart_s
+        << " interval=" << c.checkpoint_interval_s << "\n";
+  }
+  if (plan.max_sim_seconds > 0.0) {
+    out << "watchdog max_seconds=" << plan.max_sim_seconds << "\n";
+  }
+  out << "end\n";
+  if (!out) throw util::KrakError("write_fault_plan: stream failure");
+}
+
+void save_fault_plan(const std::string& path, const FaultPlan& plan) {
+  std::ofstream out(path);
+  if (!out) {
+    throw util::KrakError("save_fault_plan: cannot open " + path + ": " +
+                          std::strerror(errno));
+  }
+  write_fault_plan(out, plan);
+}
+
+FaultPlan parse_fault_plan(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header)) malformed("missing header");
+  {
+    std::istringstream hs(header);
+    std::string magic;
+    int version = 0;
+    if (!(hs >> magic >> version)) malformed("missing header");
+    if (magic != kMagic) malformed("bad magic '" + magic + "'");
+    if (version != kVersion) {
+      malformed("unsupported version " + std::to_string(version));
+    }
+  }
+
+  FaultPlan plan;
+  bool saw_end = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive) || directive.front() == '#') continue;
+    if (directive == "end") {
+      saw_end = true;
+      break;
+    }
+    if (directive == "seed") {
+      std::uint64_t seed = 0;
+      if (!(ls >> seed)) malformed("'seed': missing value");
+      plan.seed = seed;
+      continue;
+    }
+    Fields fields(directive, ls);
+    if (directive == "slowdown") {
+      ComputeSlowdown s;
+      s.rank = fields.rank();
+      s.factor = fields.number("factor");
+      plan.slowdowns.push_back(s);
+    } else if (directive == "noise") {
+      NoiseBurst n;
+      n.rank = fields.rank();
+      n.period_s = fields.number("period");
+      n.duration_s = fields.number("duration");
+      plan.noise.push_back(n);
+    } else if (directive == "delay") {
+      OneOffDelay d;
+      d.rank = fields.rank();
+      d.phase = static_cast<std::int32_t>(fields.integer("phase"));
+      d.iteration = static_cast<std::int32_t>(fields.integer("iter"));
+      d.seconds = fields.number("seconds");
+      plan.delays.push_back(d);
+    } else if (directive == "messages") {
+      MessageFaultModel m;
+      m.rank = fields.rank();
+      m.drop_probability = fields.number("drop");
+      m.extra_delay_s = fields.number_or("delay", 0.0);
+      m.retransmit_timeout_s = fields.number_or("rto", 1e-4);
+      m.max_retries =
+          static_cast<std::int32_t>(fields.integer_or("retries", 3));
+      plan.message_faults.push_back(m);
+    } else if (directive == "degrade") {
+      NicDegrade d;
+      d.rank = fields.rank();
+      d.bandwidth_factor = fields.number("bandwidth");
+      plan.degrades.push_back(d);
+    } else if (directive == "crash") {
+      RankCrash c;
+      c.rank = fields.rank();
+      c.phase = static_cast<std::int32_t>(fields.integer("phase"));
+      c.iteration = static_cast<std::int32_t>(fields.integer("iter"));
+      c.restart_s = fields.number("restart");
+      c.checkpoint_interval_s = fields.number_or("interval", 0.0);
+      plan.crashes.push_back(c);
+    } else if (directive == "watchdog") {
+      plan.max_sim_seconds = fields.number("max_seconds");
+    } else {
+      malformed("unknown directive '" + directive + "'");
+    }
+    fields.finish();
+  }
+  if (!saw_end) malformed("missing 'end'");
+  return plan;
+}
+
+FaultPlan load_fault_plan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw util::KrakError("load_fault_plan: cannot open " + path + ": " +
+                          std::strerror(errno));
+  }
+  try {
+    return parse_fault_plan(in);
+  } catch (const util::KrakError& error) {
+    throw util::KrakError("load_fault_plan: " + path + ": " + error.what());
+  }
+}
+
+double daly_optimal_interval(double checkpoint_cost_s, double mtbf_s) {
+  util::check(checkpoint_cost_s > 0.0, "checkpoint cost must be positive");
+  util::check(mtbf_s > 0.0, "MTBF must be positive");
+  return std::sqrt(2.0 * checkpoint_cost_s * mtbf_s);
+}
+
+double expected_recovery_cost(double restart_s, double checkpoint_interval_s,
+                              double elapsed_s) {
+  util::check(restart_s >= 0.0, "restart cost must be non-negative");
+  const double rework = checkpoint_interval_s > 0.0
+                            ? 0.5 * checkpoint_interval_s
+                            : std::max(elapsed_s, 0.0);
+  return restart_s + rework;
+}
+
+}  // namespace krak::fault

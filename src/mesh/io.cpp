@@ -1,5 +1,7 @@
 #include "mesh/io.hpp"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -47,7 +49,10 @@ void write_deck(std::ostream& out, const InputDeck& deck) {
 
 void save_deck(const std::string& path, const InputDeck& deck) {
   std::ofstream out(path);
-  if (!out) throw util::KrakError("save_deck: cannot open " + path);
+  if (!out) {
+    throw util::KrakError("save_deck: cannot open " + path + ": " +
+                          std::strerror(errno));
+  }
   write_deck(out, deck);
 }
 
@@ -128,8 +133,17 @@ InputDeck read_deck(std::istream& in) {
 
 InputDeck load_deck(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw util::KrakError("load_deck: cannot open " + path);
-  return read_deck(in);
+  if (!in) {
+    throw util::KrakError("load_deck: cannot open " + path + ": " +
+                          std::strerror(errno));
+  }
+  // Parse errors from read_deck name only the violation; a truncated or
+  // corrupted file on disk should name the file too.
+  try {
+    return read_deck(in);
+  } catch (const util::KrakError& error) {
+    throw util::KrakError("load_deck: " + path + ": " + error.what());
+  }
 }
 
 std::string describe_deck(const InputDeck& deck) {

@@ -113,6 +113,31 @@ void check_run(SchemaChecker& ck, const Json& run, const std::string& path) {
   ck.require_number(run, path, "wall_seconds", 0.0, kHuge);
 }
 
+/// "failures" entry of a campaign: a scenario that produced a recorded
+/// error instead of a measurement (krak-bench-v1 graceful degradation).
+void check_campaign_failure(SchemaChecker& ck, const Json& failure,
+                            const std::string& path) {
+  if (!failure.is_object()) {
+    ck.fail(path, "must be an object");
+    return;
+  }
+  ck.require_number(failure, path, "run_index", 0.0, kHuge);
+  ck.require_string(failure, path, "scenario");
+  ck.require_string(failure, path, "error");
+  // Optional structured simulator diagnosis.
+  if (const Json* cause = failure.find("sim_failure")) {
+    if (!cause->is_object()) {
+      ck.fail(path + ".sim_failure", "must be an object");
+      return;
+    }
+    const std::string sub = path + ".sim_failure";
+    ck.require_string(*cause, sub, "kind");
+    ck.require_number(*cause, sub, "rank", 0.0, kHuge);
+    ck.require_number(*cause, sub, "op_index", -1.0, kHuge);
+    ck.require_string(*cause, sub, "detail");
+  }
+}
+
 void check_campaign(SchemaChecker& ck, const Json& campaign,
                     const std::string& path) {
   if (!campaign.is_object()) {
@@ -128,7 +153,24 @@ void check_campaign(SchemaChecker& ck, const Json& campaign,
   ck.require_number(campaign, path, "thread_utilization", 0.0, 1.01);
   ck.require_number(campaign, path, "worst_abs_error", 0.0, kHuge);
   ck.require_number(campaign, path, "mean_abs_error", 0.0, kHuge);
-  if (const Json* runs = ck.require_array(campaign, path, "runs", 1)) {
+  // "failures" is optional (absent from clean reports, so pre-existing
+  // reports stay valid); when present it must be well-formed, and a
+  // campaign where every scenario failed may legitimately have zero
+  // measured runs.
+  std::size_t failure_count = 0;
+  if (const Json* failures = campaign.find("failures")) {
+    if (!failures->is_array()) {
+      ck.fail(path + ".failures", "must be an array");
+    } else {
+      failure_count = failures->size();
+      for (std::size_t i = 0; i < failures->as_array().size(); ++i) {
+        check_campaign_failure(ck, failures->as_array()[i],
+                               path + ".failures[" + std::to_string(i) + "]");
+      }
+    }
+  }
+  const std::size_t min_runs = failure_count > 0 ? 0 : 1;
+  if (const Json* runs = ck.require_array(campaign, path, "runs", min_runs)) {
     for (std::size_t i = 0; i < runs->as_array().size(); ++i) {
       check_run(ck, runs->as_array()[i],
                 path + ".runs[" + std::to_string(i) + "]");
@@ -168,6 +210,35 @@ void check_replay(SchemaChecker& ck, const Json& replay,
     ck.require_number(*traffic, sub, "allreduces", 0.0, kHuge);
     ck.require_number(*traffic, sub, "broadcasts", 0.0, kHuge);
     ck.require_number(*traffic, sub, "gathers", 0.0, kHuge);
+  }
+  // Optional fault-injection accounting, emitted only when a fault plan
+  // was active (keeps pre-existing reports valid).
+  if (const Json* fault = replay.find("fault")) {
+    if (!fault->is_object()) {
+      ck.fail(path + ".fault", "must be an object");
+      return;
+    }
+    const std::string sub = path + ".fault";
+    ck.require_number(*fault, sub, "injections", 0.0, kHuge);
+    ck.require_number(*fault, sub, "retransmits", 0.0, kHuge);
+    ck.require_number(*fault, sub, "messages_lost", 0.0, kHuge);
+    ck.require_number(*fault, sub, "fault_delay_s", 0.0, kHuge);
+    ck.require_number(*fault, sub, "recovery_s", 0.0, kHuge);
+    if (const Json* failures = ck.require_array(*fault, sub, "failures", 0)) {
+      for (std::size_t i = 0; i < failures->as_array().size(); ++i) {
+        const Json& entry = failures->as_array()[i];
+        const std::string entry_path =
+            sub + ".failures[" + std::to_string(i) + "]";
+        if (!entry.is_object()) {
+          ck.fail(entry_path, "must be an object");
+          continue;
+        }
+        ck.require_string(entry, entry_path, "kind");
+        ck.require_number(entry, entry_path, "rank", 0.0, kHuge);
+        ck.require_number(entry, entry_path, "op_index", -1.0, kHuge);
+        ck.require_string(entry, entry_path, "detail");
+      }
+    }
   }
 }
 

@@ -25,6 +25,41 @@ std::string_view op_kind_name(OpKind kind) {
   return "unknown";
 }
 
+std::string_view sim_failure_kind_name(SimFailure::Kind kind) {
+  switch (kind) {
+    case SimFailure::Kind::kDeadlock: return "deadlock";
+    case SimFailure::Kind::kLostMessage: return "lost-message";
+    case SimFailure::Kind::kTimeLimit: return "time-limit";
+  }
+  return "unknown";
+}
+
+std::string SimFailure::to_string() const {
+  // Keeps the exact wording the simulator used to throw pre-watchdog,
+  // so existing log greps and tests keep matching.
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kDeadlock:
+    case Kind::kLostMessage:
+      os << "simulation deadlock: rank " << rank << " blocked at op "
+         << op_index;
+      break;
+    case Kind::kTimeLimit:
+      os << "simulation watchdog: rank " << rank << " passed the "
+         << "simulated-time bound at op " << op_index;
+      break;
+  }
+  if (has_op) {
+    os << " (" << op_kind_name(op);
+    if (op == OpKind::kRecv || op == OpKind::kIsend) {
+      os << ", peer " << peer << ", tag " << tag;
+    }
+    os << ")";
+  }
+  if (!detail.empty()) os << " " << detail;
+  return os.str();
+}
+
 Simulator::Simulator(std::int32_t ranks, network::MessageCostModel network,
                      SimConfig config)
     : network_(network),
@@ -67,11 +102,19 @@ void Simulator::set_pair_network(PairCost message_time, PairCost latency) {
   pair_latency_ = std::move(latency);
 }
 
+void Simulator::set_fault_injector(FaultInjector* injector) {
+  fault_ = injector;
+}
+
+void Simulator::set_watchdog(WatchdogConfig watchdog) { watchdog_ = watchdog; }
+
 SimResult Simulator::run() {
   const std::int32_t n = ranks();
   states_.assign(static_cast<std::size_t>(n), RankState{});
   collective_states_.clear();
+  lost_.clear();
   queue_ = EventQueue{};
+  if (fault_ != nullptr) fault_->on_run_start(n);
 
   SimResult result;
   result.finish_times.assign(static_cast<std::size_t>(n), 0.0);
@@ -93,26 +136,15 @@ SimResult Simulator::run() {
 
   for (RankId r = 0; r < n; ++r) {
     const RankState& state = states_[static_cast<std::size_t>(r)];
-    if (!state.finished) {
-      // Report the op the rank actually blocked on: enter_collective
-      // advances pc past the collective before parking the rank, so pc
-      // would misname the op (or point past the schedule's end).
-      const std::size_t at = state.blocked ? state.blocked_op : state.pc;
-      std::ostringstream os;
-      os << "simulation deadlock: rank " << r << " blocked at op " << at;
-      if (at < schedules_[static_cast<std::size_t>(r)].size()) {
-        const Op& op = schedules_[static_cast<std::size_t>(r)][at];
-        os << " (" << op_kind_name(op.kind);
-        if (op.kind == OpKind::kRecv || op.kind == OpKind::kIsend) {
-          os << ", peer " << op.peer << ", tag " << op.tag;
-        }
-        os << ")";
+    if (!state.finished && !state.timed_out) {
+      const SimFailure failure = diagnose_stuck_rank(r);
+      if (!watchdog_.structured_failures) {
+        throw util::KrakError(failure.to_string());
       }
-      if (state.reason == BlockReason::kCollectiveWait) {
-        os << " waiting for all ranks to enter the collective";
-      }
-      throw util::KrakError(os.str());
+      result.failures.push_back(failure);
     }
+    // A failed rank's finish time is the clock where it stuck; its
+    // breakdown still sums to that clock exactly.
     result.finish_times[static_cast<std::size_t>(r)] = state.clock;
     result.makespan = std::max(result.makespan, state.clock);
   }
@@ -129,13 +161,60 @@ SimResult Simulator::run() {
     events.add(static_cast<std::int64_t>(result.events_processed));
     messages.add(result.traffic.point_to_point_messages);
     depth.set(static_cast<double>(result.max_queue_depth));
+    if (fault_ != nullptr) {
+      static obs::Counter& injections = registry.counter("fault.injections");
+      static obs::Counter& retransmits = registry.counter("fault.retransmits");
+      static obs::Counter& lost = registry.counter("fault.lost_messages");
+      static obs::Counter& failures = registry.counter("fault.sim_failures");
+      static obs::Gauge& delay = registry.gauge("fault.delay_injected_s");
+      static obs::Gauge& recovery = registry.gauge("fault.recovery_s");
+      injections.add(result.faults.injections);
+      retransmits.add(result.faults.retransmits);
+      lost.add(result.faults.messages_lost);
+      failures.add(static_cast<std::int64_t>(result.failures.size()));
+      delay.set(result.faults.fault_delay_seconds);
+      recovery.set(result.faults.recovery_seconds);
+    }
   }
   return result;
 }
 
+SimFailure Simulator::diagnose_stuck_rank(RankId rank) const {
+  const RankState& state = states_[static_cast<std::size_t>(rank)];
+  SimFailure failure;
+  failure.rank = rank;
+  // Report the op the rank actually blocked on: enter_collective
+  // advances pc past the collective before parking the rank, so pc
+  // would misname the op (or point past the schedule's end).
+  failure.op_index = state.blocked ? state.blocked_op : state.pc;
+  const Schedule& schedule = schedules_[static_cast<std::size_t>(rank)];
+  if (failure.op_index < schedule.size()) {
+    const Op& op = schedule[failure.op_index];
+    failure.has_op = true;
+    failure.op = op.kind;
+    failure.peer = op.peer;
+    failure.tag = op.tag;
+    if (op.kind == OpKind::kRecv) {
+      const auto it = lost_.find({op.peer, rank, op.tag});
+      if (it != lost_.end() && it->second > 0) {
+        failure.kind = SimFailure::Kind::kLostMessage;
+        std::ostringstream os;
+        os << "waiting for a message lost by the fault plan (" << it->second
+           << " loss(es) from peer " << op.peer << ", tag " << op.tag
+           << ", retransmit budget exhausted)";
+        failure.detail = os.str();
+      }
+    }
+  }
+  if (state.reason == BlockReason::kCollectiveWait) {
+    failure.detail = "waiting for all ranks to enter the collective";
+  }
+  return failure;
+}
+
 void Simulator::step_rank(RankId rank, SimResult& result) {
   RankState& state = states_[static_cast<std::size_t>(rank)];
-  if (state.finished) return;
+  if (state.finished || state.timed_out) return;
   state.blocked = false;
   state.reason = BlockReason::kNone;
   const Schedule& schedule = schedules_[static_cast<std::size_t>(rank)];
@@ -143,9 +222,51 @@ void Simulator::step_rank(RankId rank, SimResult& result) {
       result.breakdown[static_cast<std::size_t>(rank)];
 
   while (state.pc < schedule.size() && !state.blocked) {
+    if (watchdog_.max_sim_seconds > 0.0 &&
+        state.clock > watchdog_.max_sim_seconds) {
+      // The rank ran past the simulated-time bound: stop executing its
+      // ops and report structurally. The run keeps draining so the
+      // other ranks' timings stay meaningful.
+      SimFailure failure;
+      failure.kind = SimFailure::Kind::kTimeLimit;
+      failure.rank = rank;
+      failure.op_index = state.pc;
+      if (state.pc < schedule.size()) {
+        failure.has_op = true;
+        failure.op = schedule[state.pc].kind;
+        failure.peer = schedule[state.pc].peer;
+        failure.tag = schedule[state.pc].tag;
+      }
+      std::ostringstream os;
+      os << "(clock " << state.clock << " s > bound "
+         << watchdog_.max_sim_seconds << " s)";
+      failure.detail = os.str();
+      result.failures.push_back(std::move(failure));
+      state.timed_out = true;
+      return;
+    }
     const Op& op = schedule[state.pc];
     switch (op.kind) {
       case OpKind::kCompute: {
+        if (fault_ != nullptr) {
+          const double recovery =
+              fault_->recovery_delay(rank, state.compute_index, state.clock);
+          if (recovery > 0.0) {
+            state.clock += recovery;
+            breakdown.recovery += recovery;
+            result.faults.recovery_seconds += recovery;
+            ++result.faults.injections;
+          }
+          const double extra =
+              fault_->compute_delay(rank, state.compute_index, op.duration);
+          if (extra > 0.0) {
+            state.clock += extra;
+            breakdown.fault_delay += extra;
+            result.faults.fault_delay_seconds += extra;
+            ++result.faults.injections;
+          }
+          ++state.compute_index;
+        }
         state.clock += op.duration;
         breakdown.compute += op.duration;
         ++state.pc;
@@ -166,12 +287,24 @@ void Simulator::step_rank(RankId rank, SimResult& result) {
           injected_by = inject_at + op.bytes / nic_.injection_bandwidth;
           nic_free_[node] = injected_by;
         }
-        const double wire_time =
+        double wire_time =
             pair_message_time_ ? pair_message_time_(rank, op.peer, op.bytes)
                                : network_.message_time(op.bytes);
+        FaultInjector::MessageFate fate;
+        if (fault_ != nullptr) {
+          fate = fault_->message_fate(rank, op.peer, op.bytes,
+                                      state.send_index++);
+          wire_time *= fate.bandwidth_factor;
+          if (fate.extra_delay > 0.0 || fate.lost ||
+              fate.bandwidth_factor != 1.0) {
+            ++result.faults.injections;
+          }
+          result.faults.retransmits += fate.retransmits;
+        }
         // The payload cannot finish arriving before it finished leaving
         // the adapter.
-        const double arrival = std::max(inject_at + wire_time, injected_by);
+        const double arrival =
+            std::max(inject_at + wire_time, injected_by) + fate.extra_delay;
         // The send completes locally once the payload is handed to the
         // NIC (one start-up latency), not when it arrives remotely.
         const double handoff = pair_latency_
@@ -182,6 +315,15 @@ void Simulator::step_rank(RankId rank, SimResult& result) {
         result.traffic.point_to_point_bytes += op.bytes;
         const RankId to = op.peer;
         const std::int32_t tag = op.tag;
+        if (fate.lost) {
+          // Retries exhausted: the payload never arrives. The sender's
+          // local completion is unaffected (asynchronous send); the
+          // starved receiver is diagnosed at drain time.
+          ++result.faults.messages_lost;
+          ++lost_[{rank, to, tag}];
+          ++state.pc;
+          break;
+        }
         queue_.schedule(arrival, [this, rank, to, tag, arrival, &result] {
           RankState& receiver = states_[static_cast<std::size_t>(to)];
           receiver.mailbox.arrived[{rank, tag}].push_back(arrival);

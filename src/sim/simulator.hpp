@@ -4,12 +4,15 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "network/collectives.hpp"
 #include "network/msgmodel.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/ops.hpp"
+#include "util/error.hpp"
 
 namespace krak::sim {
 
@@ -33,6 +36,124 @@ struct NicConfig {
   double injection_bandwidth = 300e6;
 };
 
+/// Consulted by the simulator, when installed, to perturb a run with
+/// deterministic faults (docs/RESILIENCE.md). The simulator charges the
+/// returned delays to the RankTimeBreakdown's `fault_delay` / `recovery`
+/// components so the per-rank time identity stays exact; message fates
+/// perturb the wire only, so their effect shows up downstream as extra
+/// recv_wait / collective_wait (propagated delay), never as a broken
+/// identity. `fault::InjectionEngine` is the production implementation.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Fate of one point-to-point message.
+  struct MessageFate {
+    /// Seconds added to the wire arrival time (retransmit timeouts,
+    /// injected link delay).
+    double extra_delay = 0.0;
+    /// Multiplies the wire transfer time (NIC/link degradation); 1 is
+    /// healthy, 2 means half the bandwidth.
+    double bandwidth_factor = 1.0;
+    /// Retransmissions folded into extra_delay (for fault statistics).
+    std::int32_t retransmits = 0;
+    /// Retries exhausted: the payload never arrives. The receiver's
+    /// blocking recv becomes a structured failure at drain time.
+    bool lost = false;
+  };
+
+  /// Called once at the start of every Simulator::run so stateful
+  /// injectors (e.g. noise-burst accumulators) reset deterministically.
+  virtual void on_run_start(std::int32_t ranks) = 0;
+
+  /// Extra seconds injected into the `index`-th kCompute op of `rank`
+  /// (compute slowdown, OS-noise bursts, one-off delays); charged to
+  /// `fault_delay`. `duration` is the op's unperturbed length.
+  virtual double compute_delay(RankId rank, std::int64_t index,
+                               double duration) = 0;
+
+  /// Checkpoint/restart cost charged to `recovery` immediately before
+  /// the `index`-th kCompute op of `rank`; `now` is the rank's clock
+  /// (used for rework-since-start when no checkpoint interval is set).
+  virtual double recovery_delay(RankId rank, std::int64_t index,
+                                double now) = 0;
+
+  /// Perturbation of the `send_index`-th kIsend posted by `from`.
+  virtual MessageFate message_fate(RankId from, RankId to, double bytes,
+                                   std::int64_t send_index) = 0;
+};
+
+/// Watchdog policy: how the simulator reports runs that cannot finish.
+struct WatchdogConfig {
+  /// Convert would-be hangs (deadlocks, receives of lost messages) into
+  /// structured SimResult::failures instead of throwing KrakError, so a
+  /// sweep can record the diagnosis and keep going.
+  bool structured_failures = false;
+  /// Abort a rank (structured) once its simulated clock passes this
+  /// bound; <= 0 disables. A safety net against fault plans that inject
+  /// unbounded delay.
+  double max_sim_seconds = 0.0;
+};
+
+/// Structured diagnosis of a run that could not complete. `to_string()`
+/// renders the exact one-line message the simulator used to throw, so
+/// logs stay grep-compatible across the watchdog migration.
+struct SimFailure {
+  enum class Kind : std::uint8_t {
+    /// A rank blocked forever (unmatched recv or collective).
+    kDeadlock,
+    /// A rank blocked receiving a message the fault plan dropped past
+    /// its retransmit budget.
+    kLostMessage,
+    /// The watchdog's simulated-time bound fired.
+    kTimeLimit,
+  };
+  Kind kind = Kind::kDeadlock;
+  RankId rank = -1;
+  /// Index of the op the rank was executing or blocked on.
+  std::size_t op_index = 0;
+  /// True when op/peer/tag below describe a real schedule entry.
+  bool has_op = false;
+  OpKind op = OpKind::kCompute;
+  RankId peer = -1;
+  std::int32_t tag = 0;
+  /// Extra cause context ("waiting for all ranks...", retransmit count).
+  std::string detail;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] std::string_view sim_failure_kind_name(SimFailure::Kind kind);
+
+/// Thrown by layers that must abort on a SimFailure (e.g. a validation
+/// run whose measurement is meaningless); carries the structured cause
+/// so campaign sweeps can record it without parsing the message.
+class SimFailureError : public util::KrakError {
+ public:
+  explicit SimFailureError(SimFailure failure)
+      : util::KrakError(failure.to_string()), failure_(std::move(failure)) {}
+  [[nodiscard]] const SimFailure& failure() const { return failure_; }
+
+ private:
+  SimFailure failure_;
+};
+
+/// Injection totals of one simulation run (all zero without a fault
+/// injector installed).
+struct FaultStats {
+  /// Discrete injection events that fired (delays, recoveries, message
+  /// perturbations).
+  std::int64_t injections = 0;
+  /// Point-to-point retransmissions performed.
+  std::int64_t retransmits = 0;
+  /// Messages dropped past their retransmit budget.
+  std::int64_t messages_lost = 0;
+  /// Seconds charged to fault_delay, summed over ranks.
+  double fault_delay_seconds = 0.0;
+  /// Seconds charged to recovery, summed over ranks.
+  double recovery_seconds = 0.0;
+};
+
 /// Aggregate traffic statistics of one simulation run.
 struct TrafficStats {
   std::int64_t point_to_point_messages = 0;
@@ -47,10 +168,12 @@ struct TrafficStats {
 ///
 ///   finish = compute + send_overhead + recv_overhead
 ///          + send_wait + recv_wait + collective_wait + collective_cost
+///          + fault_delay + recovery
 ///
 /// This is the per-phase decomposition the paper's model reasons about
 /// (compute vs. boundary exchange vs. collectives, Eqs. 1-10), measured
-/// from the inside of the replay instead of predicted.
+/// from the inside of the replay instead of predicted. The last two
+/// components are zero unless a fault injector is installed.
 struct RankTimeBreakdown {
   /// Time advancing through kCompute ops.
   double compute = 0.0;
@@ -68,6 +191,13 @@ struct RankTimeBreakdown {
   double collective_wait = 0.0;
   /// This rank's share of the collective's tree cost proper.
   double collective_cost = 0.0;
+  /// Time lost to injected perturbations charged directly to this rank
+  /// (compute slowdown, OS-noise bursts, one-off delays); zero without
+  /// a fault injector.
+  double fault_delay = 0.0;
+  /// Checkpoint/restart cost of injected rank crashes; zero without a
+  /// fault injector.
+  double recovery = 0.0;
 
   /// Point-to-point communication time (overheads plus waits).
   [[nodiscard]] double p2p_seconds() const {
@@ -77,9 +207,11 @@ struct RankTimeBreakdown {
   [[nodiscard]] double collective_seconds() const {
     return collective_wait + collective_cost;
   }
+  /// Injected-fault time (directly charged delay plus recovery).
+  [[nodiscard]] double fault_seconds() const { return fault_delay + recovery; }
   /// Everything, equal to the rank's finish time by construction.
   [[nodiscard]] double total_seconds() const {
-    return compute + p2p_seconds() + collective_seconds();
+    return compute + p2p_seconds() + collective_seconds() + fault_seconds();
   }
 };
 
@@ -95,9 +227,17 @@ struct SimResult {
   /// records[rank][slot] = clock value captured by kRecord ops.
   std::vector<std::map<std::int32_t, double>> records;
   TrafficStats traffic;
+  FaultStats faults;
+  /// Structured hang/abort diagnoses; only populated when the watchdog
+  /// runs with structured_failures (otherwise the simulator throws).
+  /// For a failed rank, finish_times[r] holds the clock where it stuck,
+  /// and its breakdown still sums to that clock exactly.
+  std::vector<SimFailure> failures;
   std::size_t events_processed = 0;
   /// High-water mark of the event queue during the run.
   std::size_t max_queue_depth = 0;
+
+  [[nodiscard]] bool failed() const { return !failures.empty(); }
 };
 
 /// Discrete-event simulator of message-passing ranks.
@@ -131,9 +271,19 @@ class Simulator {
   using PairCost = std::function<double(RankId from, RankId to, double bytes)>;
   void set_pair_network(PairCost message_time, PairCost latency);
 
+  /// Install (or clear, with nullptr) a fault injector consulted on
+  /// every compute op and point-to-point send. Not owned; must outlive
+  /// run(). Without one the fault paths cost a single pointer test.
+  void set_fault_injector(FaultInjector* injector);
+
+  /// Configure the watchdog (structured failures, simulated-time bound).
+  void set_watchdog(WatchdogConfig watchdog);
+
   /// Run all schedules to completion and return the timing result.
   /// Throws KrakError on deadlock (a rank blocks forever) or on
-  /// mismatched collective sequences.
+  /// mismatched collective sequences — unless the watchdog runs with
+  /// structured_failures, in which case hangs are returned as
+  /// SimResult::failures and the surviving ranks' timings are kept.
   [[nodiscard]] SimResult run();
 
  private:
@@ -152,9 +302,15 @@ class Simulator {
     bool blocked = false;
     BlockReason reason = BlockReason::kNone;
     bool finished = false;
+    /// The watchdog's time bound fired on this rank; it executes no
+    /// further ops but is not counted as deadlocked at drain.
+    bool timed_out = false;
     std::vector<double> send_completions;
     Mailbox mailbox;
     std::size_t next_collective = 0;
+    /// Ordinal of the next kCompute / kIsend op (fault-injection keys).
+    std::int64_t compute_index = 0;
+    std::int64_t send_index = 0;
   };
   struct CollectiveState {
     OpKind kind = OpKind::kAllreduce;
@@ -165,12 +321,20 @@ class Simulator {
 
   void step_rank(RankId rank, SimResult& result);
   void enter_collective(RankId rank, const Op& op, SimResult& result);
+  /// Diagnose the unfinished rank `rank` at drain time (deadlock or
+  /// lost-message starvation).
+  [[nodiscard]] SimFailure diagnose_stuck_rank(RankId rank) const;
 
   network::MessageCostModel network_;
   network::CollectiveModel collectives_;
   PairCost pair_message_time_;
   PairCost pair_latency_;
   NicConfig nic_;
+  FaultInjector* fault_ = nullptr;
+  WatchdogConfig watchdog_;
+  /// (from, to, tag) -> count of messages the fault plan lost for good;
+  /// consulted when diagnosing a starved receiver.
+  std::map<std::tuple<RankId, RankId, std::int32_t>, std::int64_t> lost_;
   /// nic_free_[node]: the earliest time the node's adapter can accept
   /// another payload.
   std::vector<double> nic_free_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "fault/injector.hpp"
 #include "network/topology.hpp"
 #include "util/error.hpp"
 
@@ -183,6 +184,16 @@ SimKrakResult SimKrak::run() const {
           return hierarchy->latency(from, to, bytes);
         });
   }
+  // A non-empty fault plan installs the injection engine and arms the
+  // watchdog; an empty plan leaves the simulator untouched so the run
+  // is bit-identical to one without the fault subsystem.
+  std::unique_ptr<fault::InjectionEngine> injector;
+  if (!options_.faults.empty()) {
+    injector = std::make_unique<fault::InjectionEngine>(options_.faults, ranks,
+                                                        kPhaseCount);
+    simulator.set_fault_injector(injector.get());
+    simulator.set_watchdog(injector->watchdog());
+  }
   for (partition::PeId pe = 0; pe < ranks; ++pe) {
     simulator.set_schedule(pe, build_schedule(pe));
   }
@@ -197,6 +208,8 @@ SimKrakResult SimKrak::run() const {
   result.events_processed = sim_result.events_processed;
   result.max_queue_depth = sim_result.max_queue_depth;
   result.rank_breakdown = sim_result.breakdown;
+  result.fault_stats = sim_result.faults;
+  result.failures = sim_result.failures;
   for (const sim::RankTimeBreakdown& rank : result.rank_breakdown) {
     result.totals.compute += rank.compute;
     result.totals.send_overhead += rank.send_overhead;
@@ -205,26 +218,40 @@ SimKrakResult SimKrak::run() const {
     result.totals.recv_wait += rank.recv_wait;
     result.totals.collective_wait += rank.collective_wait;
     result.totals.collective_cost += rank.collective_cost;
+    result.totals.fault_delay += rank.fault_delay;
+    result.totals.recovery += rank.recovery;
   }
 
   // Phase boundaries from rank 0's records (identical on all ranks by
-  // construction).
+  // construction). A failed run may have stopped mid-iteration; average
+  // phase times over the iterations that completed, and only insist on
+  // a full record set when the run was clean.
   const auto& records = sim_result.records.front();
   double previous = 0.0;
   std::array<double, kPhaseCount> sums{};
+  std::int32_t recorded_iterations = 0;
   for (std::int32_t iter = 0; iter < options_.iterations; ++iter) {
+    bool complete = true;
     for (std::int32_t p = 0; p < kPhaseCount; ++p) {
       const auto it = records.find(iter * kPhaseCount + p);
-      util::require_internal(it != records.end(),
-                             "missing phase boundary record");
+      if (it == records.end()) {
+        util::require_internal(result.failed(),
+                               "missing phase boundary record");
+        complete = false;
+        break;
+      }
       sums[static_cast<std::size_t>(p)] += it->second - previous;
       previous = it->second;
     }
+    if (!complete) break;
+    ++recorded_iterations;
   }
-  for (std::int32_t p = 0; p < kPhaseCount; ++p) {
-    result.phase_times[static_cast<std::size_t>(p)] =
-        sums[static_cast<std::size_t>(p)] /
-        static_cast<double>(options_.iterations);
+  if (recorded_iterations > 0) {
+    for (std::int32_t p = 0; p < kPhaseCount; ++p) {
+      result.phase_times[static_cast<std::size_t>(p)] =
+          sums[static_cast<std::size_t>(p)] /
+          static_cast<double>(recorded_iterations);
+    }
   }
   return result;
 }

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdint>
 
+#include "fault/plan.hpp"
 #include "mesh/deck.hpp"
 #include "network/machine.hpp"
 #include "partition/partition.hpp"
@@ -31,6 +32,12 @@ struct SimKrakOptions {
   /// bandwidth (the ranks of one ES-45 node share a single QsNet
   /// adapter). Off by default — the paper's Tmsg is contention-free.
   bool nic_contention = false;
+  /// Deterministic fault-injection plan (see fault/plan.hpp). Empty by
+  /// default: no injector is installed and the run is bit-identical to
+  /// a build without the fault subsystem. A non-empty plan also arms
+  /// the simulator's watchdog, so hangs the plan induces surface as
+  /// structured SimKrakResult::failures instead of thrown deadlocks.
+  fault::FaultPlan faults;
 };
 
 /// Result of a SimKrak run.
@@ -53,6 +60,13 @@ struct SimKrakResult {
   std::size_t events_processed = 0;
   /// High-water mark of the simulator's event queue.
   std::size_t max_queue_depth = 0;
+  /// Aggregate fault-injection accounting (zero when no plan was set).
+  sim::FaultStats fault_stats;
+  /// Structured failures the watchdog recorded instead of hanging or
+  /// aborting. Non-empty only when options.faults armed the watchdog;
+  /// when non-empty, phase_times covers only fully recorded iterations.
+  std::vector<sim::SimFailure> failures;
+  [[nodiscard]] bool failed() const { return !failures.empty(); }
 };
 
 /// SimKrak: a discrete-event-simulated execution of the Krak iteration.

@@ -122,17 +122,66 @@ TEST_F(CampaignFixture, ThreadsUsedNeverExceedsRunCount) {
   EXPECT_EQ(summary.threads_used, 1u);
 }
 
-TEST_F(CampaignFixture, PoisonedRunSurfacesItsError) {
-  // Regression for the thread-pool exception fix: a run with an invalid
-  // processor count throws inside a pool worker; the campaign must
-  // surface that KrakError to the caller instead of terminating.
+TEST_F(CampaignFixture, PoisonedRunIsRecordedAndSweepContinues) {
+  // A run with an invalid processor count throws inside a pool worker;
+  // the campaign must record that scenario under failures (naming it)
+  // and still measure every other scenario instead of aborting the
+  // sweep.
   const std::vector<CampaignRun> runs = {
       {mesh::DeckSize::kSmall, 8, CampaignRun::Flavor::kGeneralHomogeneous},
       {mesh::DeckSize::kSmall, -1, CampaignRun::Flavor::kGeneralHomogeneous},
       {mesh::DeckSize::kSmall, 16, CampaignRun::Flavor::kGeneralHomogeneous},
   };
-  EXPECT_THROW((void)run_validation_campaign(model, engine, runs, {}, 2),
-               util::KrakError);
+  const CampaignSummary summary =
+      run_validation_campaign(model, engine, runs, {}, 2);
+  EXPECT_TRUE(summary.degraded());
+  ASSERT_EQ(summary.failures.size(), 1u);
+  EXPECT_EQ(summary.failures[0].run_index, 1u);
+  EXPECT_EQ(summary.failures[0].scenario, campaign_run_name(runs[1]));
+  EXPECT_FALSE(summary.failures[0].error.empty());
+  EXPECT_FALSE(summary.failures[0].has_sim_failure);
+  // The healthy scenarios still produced measurements and aggregates.
+  ASSERT_EQ(summary.points.size(), 3u);
+  EXPECT_GT(summary.points[0].measured, 0.0);
+  EXPECT_GT(summary.points[2].measured, 0.0);
+  EXPECT_GT(summary.mean_abs_error, 0.0);
+  EXPECT_TRUE(std::isfinite(summary.mean_abs_error));
+  // The rendered table names the failed scenario.
+  const std::string text = summary.to_string();
+  EXPECT_NE(text.find("FAILED"), std::string::npos);
+  EXPECT_NE(text.find(summary.failures[0].scenario), std::string::npos);
+}
+
+TEST_F(CampaignFixture, FaultHungScenarioIsRecordedWithStructuredCause) {
+  // The middle run carries a fault plan that loses nearly every message,
+  // so its measurement hangs and the watchdog reports a structured
+  // SimFailure; the campaign must record it (with the simulator's
+  // diagnosis, not just a string) and still measure the other runs.
+  std::vector<CampaignRun> runs = {
+      {mesh::DeckSize::kSmall, 8, CampaignRun::Flavor::kGeneralHomogeneous},
+      {mesh::DeckSize::kSmall, 16, CampaignRun::Flavor::kGeneralHomogeneous},
+      {mesh::DeckSize::kSmall, 32, CampaignRun::Flavor::kGeneralHomogeneous},
+  };
+  fault::MessageFaultModel lossy;
+  lossy.drop_probability = 0.9;
+  lossy.max_retries = 0;
+  runs[1].faults.message_faults.push_back(lossy);
+
+  const CampaignSummary summary =
+      run_validation_campaign(model, engine, runs, {}, 2);
+  EXPECT_TRUE(summary.degraded());
+  ASSERT_EQ(summary.failures.size(), 1u);
+  const CampaignFailure& failure = summary.failures[0];
+  EXPECT_EQ(failure.run_index, 1u);
+  EXPECT_EQ(failure.scenario, campaign_run_name(runs[1]));
+  ASSERT_TRUE(failure.has_sim_failure);
+  EXPECT_GE(failure.sim_failure.rank, 0);
+  // The recorded error is the simulator's own one-line diagnosis.
+  EXPECT_EQ(failure.error, failure.sim_failure.to_string());
+  EXPECT_NE(failure.error.find("rank"), std::string::npos) << failure.error;
+  // Healthy scenarios still measured.
+  EXPECT_GT(summary.points[0].measured, 0.0);
+  EXPECT_GT(summary.points[2].measured, 0.0);
 }
 
 TEST(CampaignPresets, MatchPaperTables) {

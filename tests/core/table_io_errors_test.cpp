@@ -1,0 +1,58 @@
+// Hardened file-open paths for the calibrated cost-table format: a
+// missing or truncated table must be a one-line diagnosis naming the
+// path and the cause (docs/RESILIENCE.md).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "core/table_io.hpp"
+#include "util/error.hpp"
+
+namespace krak::core {
+namespace {
+
+std::string load_error(const std::string& path) {
+  try {
+    (void)load_cost_table(path);
+  } catch (const util::KrakError& error) {
+    return error.what();
+  }
+  return {};
+}
+
+TEST(CostTableIoErrors, MissingFileNamesPathAndOsCause) {
+  const std::string path = "/nonexistent/dir/costs.krakcosts";
+  const std::string what = load_error(path);
+  ASSERT_FALSE(what.empty()) << "load_cost_table should have thrown";
+  EXPECT_NE(what.find("load_cost_table"), std::string::npos) << what;
+  EXPECT_NE(what.find(path), std::string::npos) << what;
+  EXPECT_NE(what.find("No such file"), std::string::npos) << what;
+}
+
+TEST(CostTableIoErrors, TruncatedFileNamesPathAndViolation) {
+  const std::string path = ::testing::TempDir() + "/truncated.krakcosts";
+  {
+    std::ofstream out(path);
+    out << "krakcosts 1\nsample 1 0 100\n";  // cut off mid-sample, no end
+  }
+  const std::string what = load_error(path);
+  ASSERT_FALSE(what.empty()) << "load_cost_table should have thrown";
+  EXPECT_NE(what.find(path), std::string::npos) << what;
+  EXPECT_NE(what.find("malformed cost table"), std::string::npos) << what;
+}
+
+TEST(CostTableIoErrors, SaveIntoMissingDirectoryNamesPathAndOsCause) {
+  try {
+    save_cost_table("/nonexistent/dir/costs.krakcosts", CostTable{});
+    FAIL() << "expected KrakError";
+  } catch (const util::KrakError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("save_cost_table"), std::string::npos) << what;
+    EXPECT_NE(what.find("No such file"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace krak::core

@@ -1,0 +1,61 @@
+// Hardened file-open paths: a missing or truncated deck file must be a
+// one-line diagnosis naming the path and the cause (docs/RESILIENCE.md).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "mesh/deck.hpp"
+#include "mesh/io.hpp"
+#include "util/error.hpp"
+
+namespace krak::mesh {
+namespace {
+
+std::string load_error(const std::string& path) {
+  try {
+    (void)load_deck(path);
+  } catch (const util::KrakError& error) {
+    return error.what();
+  }
+  return {};
+}
+
+TEST(DeckIoErrors, MissingFileNamesPathAndOsCause) {
+  const std::string path = "/nonexistent/dir/deck.krakdeck";
+  const std::string what = load_error(path);
+  ASSERT_FALSE(what.empty()) << "load_deck should have thrown";
+  EXPECT_NE(what.find("load_deck"), std::string::npos) << what;
+  EXPECT_NE(what.find(path), std::string::npos) << what;
+  EXPECT_NE(what.find("No such file"), std::string::npos) << what;
+}
+
+TEST(DeckIoErrors, TruncatedFileNamesPathAndViolation) {
+  const std::string path = ::testing::TempDir() + "/truncated.krakdeck";
+  {
+    std::ofstream out(path);
+    out << "krakdeck 1\nname clipped\ngrid 4 4\nmaterials 3x0\n";  // no end
+  }
+  const std::string what = load_error(path);
+  ASSERT_FALSE(what.empty()) << "load_deck should have thrown";
+  EXPECT_NE(what.find(path), std::string::npos) << what;
+  EXPECT_NE(what.find("malformed deck"), std::string::npos) << what;
+}
+
+TEST(DeckIoErrors, SaveIntoMissingDirectoryNamesPathAndOsCause) {
+  const InputDeck deck = make_standard_deck(DeckSize::kSmall);
+  const std::string path = "/nonexistent/dir/out.krakdeck";
+  try {
+    save_deck(path, deck);
+    FAIL() << "expected KrakError";
+  } catch (const util::KrakError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("save_deck"), std::string::npos) << what;
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("No such file"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace krak::mesh

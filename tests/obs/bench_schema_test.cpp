@@ -158,5 +158,89 @@ TEST(BenchSchema, ViolationPathsNameTheOffendingElement) {
                        "$.campaigns[0].runs[0].pes"));
 }
 
+/// A well-formed campaign "failures" entry (graceful degradation).
+Json campaign_failure_entry() {
+  Json failure = Json::object();
+  failure["run_index"] = 1;
+  failure["scenario"] = "small/16pe/general-homogeneous";
+  failure["error"] = "simulation deadlock: rank 0 blocked at op 3";
+  Json cause = Json::object();
+  cause["kind"] = "lost-message";
+  cause["rank"] = 0;
+  cause["op_index"] = 3;
+  cause["detail"] = "waiting for a message lost by the fault plan";
+  failure["sim_failure"] = std::move(cause);
+  return failure;
+}
+
+TEST(BenchSchema, CampaignFailuresSectionValidates) {
+  Json report = minimal_valid_report();
+  first_element(report["campaigns"])["failures"].push_back(
+      campaign_failure_entry());
+  const std::vector<std::string> violations =
+      validate_bench_report(report);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front());
+}
+
+TEST(BenchSchema, AllScenariosFailedAllowsZeroRuns) {
+  // A campaign where every scenario failed has no measured runs; that is
+  // legal only because the failures section explains the gap.
+  Json report = minimal_valid_report();
+  Json& campaign = first_element(report["campaigns"]);
+  campaign["runs"] = Json::array();
+  campaign["failures"].push_back(campaign_failure_entry());
+  EXPECT_TRUE(validate_bench_report(report).empty());
+}
+
+TEST(BenchSchema, ZeroRunsWithoutFailuresIsViolation) {
+  Json report = minimal_valid_report();
+  first_element(report["campaigns"])["runs"] = Json::array();
+  EXPECT_TRUE(mentions(validate_bench_report(report), "runs"));
+}
+
+TEST(BenchSchema, FailureMissingScenarioIsReported) {
+  Json report = minimal_valid_report();
+  Json failure = Json::object();
+  failure["run_index"] = 1;  // scenario and error omitted
+  first_element(report["campaigns"])["failures"].push_back(std::move(failure));
+  EXPECT_TRUE(mentions(validate_bench_report(report), "scenario"));
+}
+
+TEST(BenchSchema, NonObjectSimFailureIsReported) {
+  Json report = minimal_valid_report();
+  Json failure = campaign_failure_entry();
+  failure["sim_failure"] = "deadlock";  // must be a structured object
+  first_element(report["campaigns"])["failures"].push_back(std::move(failure));
+  EXPECT_TRUE(mentions(validate_bench_report(report), "sim_failure"));
+}
+
+TEST(BenchSchema, ReplayFaultSectionValidates) {
+  Json report = minimal_valid_report();
+  Json& fault = first_element(report["replays"])["fault"];
+  fault["injections"] = 12;
+  fault["retransmits"] = 3;
+  fault["messages_lost"] = 1;
+  fault["fault_delay_s"] = 0.05;
+  fault["recovery_s"] = 0.0;
+  fault["failures"] = Json::array();
+  const std::vector<std::string> violations =
+      validate_bench_report(report);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front());
+}
+
+TEST(BenchSchema, NegativeFaultDelayIsOutOfRange) {
+  Json report = minimal_valid_report();
+  Json& fault = first_element(report["replays"])["fault"];
+  fault["injections"] = 1;
+  fault["retransmits"] = 0;
+  fault["messages_lost"] = 0;
+  fault["fault_delay_s"] = -0.5;
+  fault["recovery_s"] = 0.0;
+  fault["failures"] = Json::array();
+  EXPECT_TRUE(mentions(validate_bench_report(report), "fault_delay_s"));
+}
+
 }  // namespace
 }  // namespace krak::obs
