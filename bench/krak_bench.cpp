@@ -9,7 +9,13 @@
 //
 // Usage:
 //   krak_bench [--quick] [--out FILE]   generate a report (default
-//                                       BENCH_PR3.json)
+//                                       BENCH_PR4.json)
+//   krak_bench --threads N              thread-pool width for the
+//                                       campaigns (0 = hardware)
+//   krak_bench --compare FILE           after generating, fail if any
+//                                       campaign's wall_seconds is more
+//                                       than 2x the like-named campaign
+//                                       in FILE (CI perf-smoke gate)
 //   krak_bench --faults FILE            inject a krakfaults plan into
 //                                       every campaign measurement
 //   krak_bench --validate FILE          schema-check an existing report
@@ -38,6 +44,7 @@
 #include "core/bench_report.hpp"
 #include "core/calibration.hpp"
 #include "core/campaign.hpp"
+#include "core/partition_cache.hpp"
 #include "fault/plan.hpp"
 #include "obs/bench_schema.hpp"
 #include "obs/json.hpp"
@@ -51,13 +58,16 @@ using namespace krak;
 
 struct Options {
   bool quick = false;
-  std::string out = "BENCH_PR3.json";
+  std::string out = "BENCH_PR4.json";
   std::string validate;  // non-empty: validate this file and exit
   std::string faults;    // non-empty: krakfaults plan for the campaigns
+  std::string compare;   // non-empty: baseline report for the perf gate
+  std::size_t threads = 0;  // campaign pool width; 0 = hardware
 };
 
 [[noreturn]] void usage(int exit_code) {
   std::cout << "usage: krak_bench [--quick] [--out FILE] [--faults FILE]\n"
+               "                  [--threads N] [--compare BASELINE]\n"
                "       krak_bench --validate FILE\n";
   std::exit(exit_code);
 }
@@ -74,6 +84,24 @@ Options parse_args(int argc, char** argv) {
       options.validate = argv[++i];
     } else if (arg == "--faults" && i + 1 < argc) {
       options.faults = argv[++i];
+    } else if (arg == "--compare" && i + 1 < argc) {
+      options.compare = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      std::size_t consumed = 0;
+      unsigned long parsed = 0;
+      try {
+        parsed = std::stoul(value, &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      if (consumed != value.size()) {
+        std::cerr << "krak_bench: --threads expects a non-negative"
+                     " integer, got '"
+                  << value << "'\n";
+        usage(2);
+      }
+      options.threads = static_cast<std::size_t>(parsed);
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else {
@@ -117,12 +145,64 @@ simapp::SimKrakResult run_replay(const mesh::InputDeck& deck, std::int32_t pes,
                                  const network::MachineConfig& machine,
                                  const simapp::ComputationCostEngine& engine,
                                  std::int32_t iterations) {
-  const partition::Partition part = partition::partition_deck(
+  // Seed 1 matches ValidationConfig::partition_seed, so the replay
+  // reuses the campaign's cached partition when both run in-process.
+  const auto partitioned = core::PartitionCache::global().get(
       deck, pes, partition::PartitionMethod::kMultilevel, /*seed=*/1);
   simapp::SimKrakOptions options;
   options.iterations = iterations;
-  const simapp::SimKrak app(deck, part, machine, engine, options);
+  const simapp::SimKrak app(deck, partitioned->partition, machine, engine,
+                            partitioned->stats, options);
   return app.run();
+}
+
+/// The perf-smoke regression gate: compare each campaign's wall time
+/// against the like-named campaign of a baseline report. Returns the
+/// number of campaigns that regressed by more than `factor`.
+int compare_campaign_walls(const obs::Json& report, const std::string& path,
+                           double factor) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "krak_bench: cannot open baseline '" << path << "'\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  obs::Json baseline;
+  try {
+    baseline = obs::Json::parse(buffer.str());
+  } catch (const util::KrakError& error) {
+    std::cerr << "krak_bench: " << path << ": " << error.what() << "\n";
+    return 1;
+  }
+  const std::vector<std::string> violations =
+      obs::validate_bench_report(baseline);
+  if (!violations.empty()) {
+    std::cerr << "krak_bench: baseline " << path << " has "
+              << violations.size() << " schema violation(s)\n";
+    return 1;
+  }
+
+  int regressions = 0;
+  for (const obs::Json& campaign : report.find("campaigns")->as_array()) {
+    const std::string& name = campaign.find("name")->as_string();
+    const double wall = campaign.find("wall_seconds")->as_double();
+    for (const obs::Json& base : baseline.find("campaigns")->as_array()) {
+      if (base.find("name")->as_string() != name) continue;
+      const double base_wall = base.find("wall_seconds")->as_double();
+      if (wall > base_wall * factor) {
+        std::cerr << "krak_bench: campaign '" << name << "' regressed: "
+                  << wall << " s vs baseline " << base_wall << " s (limit "
+                  << factor << "x)\n";
+        ++regressions;
+      } else {
+        std::cout << "campaign '" << name << "': " << wall
+                  << " s vs baseline " << base_wall << " s — within "
+                  << factor << "x\n";
+      }
+    }
+  }
+  return regressions;
 }
 
 obs::Json build_report(const Options& options) {
@@ -155,11 +235,13 @@ obs::Json build_report(const Options& options) {
                          core::CampaignRun::Flavor::kGeneralHomogeneous});
     }
     campaigns.push_back(core::campaign_to_json(
-        "table5_quick",
-        core::run_validation_campaign(model, engine, mesh_specific, config)));
+        "table5_quick", core::run_validation_campaign(model, engine,
+                                                      mesh_specific, config,
+                                                      options.threads)));
     campaigns.push_back(core::campaign_to_json(
-        "table6_quick",
-        core::run_validation_campaign(model, engine, general, config)));
+        "table6_quick", core::run_validation_campaign(model, engine, general,
+                                                      config,
+                                                      options.threads)));
     replays.push_back(core::replay_to_json(
         "small_8pe", run_replay(small, 8, machine, engine,
                                 /*iterations=*/2)));
@@ -168,11 +250,13 @@ obs::Json build_report(const Options& options) {
     campaigns.push_back(core::campaign_to_json(
         "table5_meshspecific",
         core::run_validation_campaign(env.model, env.engine,
-                                      core::table5_runs(), config)));
+                                      core::table5_runs(), config,
+                                      options.threads)));
     campaigns.push_back(core::campaign_to_json(
         "table6_general",
         core::run_validation_campaign(env.model, env.engine,
-                                      core::table6_runs(), config)));
+                                      core::table6_runs(), config,
+                                      options.threads)));
     replays.push_back(core::replay_to_json(
         "medium_64pe",
         run_replay(mesh::make_standard_deck(mesh::DeckSize::kMedium), 64,
@@ -270,6 +354,10 @@ int main(int argc, char** argv) {
   const std::size_t failures = count_failures(report);
   std::cout << "krak_bench: wrote " << options.out << " ("
             << obs::kBenchSchemaId << ")\n";
+  if (!options.compare.empty() &&
+      compare_campaign_walls(report, options.compare, /*factor=*/2.0) != 0) {
+    return 1;
+  }
   if (failures > 0) {
     // The partial report above is still schema-valid and on disk; the
     // non-zero exit is the signal that some scenarios never measured.

@@ -1,0 +1,134 @@
+// Google-benchmark microbenchmarks of the simulator's hot path
+// (docs/PERFORMANCE.md): the slab-backed event queue, the
+// open-addressing mailbox, schedule construction (replay vs. the
+// per-iteration rebuild it replaced), and the end-to-end event loop.
+// CI's perf-smoke job runs this with --benchmark_min_time=0.05 as a
+// does-it-still-run canary; run it bare for stable numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "network/machine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/mailbox.hpp"
+#include "simapp/simkrak.hpp"
+
+namespace {
+
+using namespace krak;
+
+// Heap churn at a realistic queue depth: a sliding window of pending
+// events where every fire schedules a successor, exercising the
+// sift-up/sift-down paths and the pooled slab with zero allocation in
+// steady state.
+void BM_EventQueueChurn(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    queue.reserve(depth + 1);
+    for (std::size_t i = 0; i < depth; ++i) {
+      queue.schedule(static_cast<double>(i),
+                     sim::SimEvent::step(static_cast<std::int32_t>(i)));
+    }
+    std::size_t remaining = 4 * depth;
+    const sim::EventRunStats stats = queue.run([&](const sim::SimEvent& e) {
+      if (remaining > 0) {
+        --remaining;
+        queue.schedule(queue.now() + 16.0, sim::SimEvent::step(e.rank));
+      }
+    });
+    benchmark::DoNotOptimize(stats.fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(5 * state.range(0)));
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(1 << 10)->Arg(1 << 14)
+    ->Unit(benchmark::kMicrosecond);
+
+// The Krak exchange pattern against the mailbox: a fixed set of
+// (peer, tag) keys hit every iteration, half the pops finding their
+// message pending and half coming back empty.
+void BM_MailboxPushPop(benchmark::State& state) {
+  const std::int32_t peers = 8;
+  const std::int32_t tags = 24;  // ~ tags of one boundary-exchange phase
+  for (auto _ : state) {
+    sim::Mailbox mailbox;
+    double arrival = 0.0;
+    for (std::int32_t round = 0; round < 64; ++round) {
+      for (std::int32_t peer = 0; peer < peers; ++peer) {
+        for (std::int32_t tag = 0; tag < tags; ++tag) {
+          mailbox.push(peer, tag, static_cast<double>(round));
+          if ((tag & 1) != 0) {
+            benchmark::DoNotOptimize(mailbox.try_pop(peer, tag, &arrival));
+          }
+        }
+      }
+    }
+    benchmark::DoNotOptimize(mailbox.probes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64 *
+                          peers * tags);
+}
+BENCHMARK(BM_MailboxPushPop)->Unit(benchmark::kMicrosecond);
+
+struct HotLoopEnv {
+  simapp::ComputationCostEngine engine;
+  network::MachineConfig machine = network::make_es45_qsnet();
+};
+
+const HotLoopEnv& hot_loop_env() {
+  static const HotLoopEnv env;
+  return env;
+}
+
+simapp::SimKrakOptions hot_loop_options(bool replay) {
+  simapp::SimKrakOptions options;
+  options.iterations = 3;
+  options.replay_schedules = replay;
+  return options;
+}
+
+// Schedule construction alone: template replay vs. the per-iteration
+// rebuild it replaced. Both produce bit-identical op streams (the
+// SimKrakReplay golden tests); this measures the construction saving.
+void BM_ScheduleBuild(benchmark::State& state) {
+  const HotLoopEnv& env = hot_loop_env();
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const partition::Partition part = partition::partition_deck(
+      deck, 64, partition::PartitionMethod::kMultilevel, 1);
+  const simapp::SimKrak app(deck, part, env.machine, env.engine,
+                            hot_loop_options(state.range(0) != 0));
+  for (auto _ : state) {
+    // Construction (including schedule building) plus the run; the
+    // contrast between range(0)=0 and 1 isolates the builder.
+    benchmark::DoNotOptimize(app.run());
+  }
+}
+BENCHMARK(BM_ScheduleBuild)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// End-to-end hot loop: the full simulated Krak iteration at the event
+// engine's steady state, items = events drained per second.
+void BM_SimHotLoop(benchmark::State& state) {
+  const HotLoopEnv& env = hot_loop_env();
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const auto pes = static_cast<std::int32_t>(state.range(0));
+  const partition::Partition part = partition::partition_deck(
+      deck, pes, partition::PartitionMethod::kMultilevel, 1);
+  const simapp::SimKrak app(deck, part, env.machine, env.engine,
+                            hot_loop_options(true));
+  std::size_t events = 0;
+  for (auto _ : state) {
+    const simapp::SimKrakResult result = app.run();
+    events += result.events_processed;
+    benchmark::DoNotOptimize(result.total_time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SimHotLoop)->Arg(16)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

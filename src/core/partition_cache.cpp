@@ -1,0 +1,101 @@
+#include "core/partition_cache.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace krak::core {
+
+namespace {
+
+/// FNV-1a over the deck's full content, so the cache can never alias
+/// two decks that merely share a name.
+std::uint64_t fingerprint(const mesh::InputDeck& deck) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  const auto mix_bytes = [&hash](const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash ^= bytes[i];
+      hash *= 0x100000001b3ull;
+    }
+  };
+  mix_bytes(deck.name().data(), deck.name().size());
+  const std::int32_t nx = deck.grid().nx();
+  const std::int32_t ny = deck.grid().ny();
+  mix_bytes(&nx, sizeof(nx));
+  mix_bytes(&ny, sizeof(ny));
+  mix_bytes(deck.materials().data(),
+            deck.materials().size() * sizeof(mesh::Material));
+  const mesh::Point detonator = deck.detonator();
+  mix_bytes(&detonator.x, sizeof(detonator.x));
+  mix_bytes(&detonator.y, sizeof(detonator.y));
+  return hash;
+}
+
+}  // namespace
+
+std::shared_ptr<const PartitionedDeck> PartitionCache::get(
+    const mesh::InputDeck& deck, std::int32_t pes,
+    partition::PartitionMethod method, std::uint64_t seed) {
+  const Key key{fingerprint(deck), pes, static_cast<std::int32_t>(method),
+                seed};
+  obs::Registry& registry = obs::global_registry();
+
+  std::promise<std::shared_ptr<const PartitionedDeck>> promise;
+  Future future;
+  bool owner = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++counters_.hits;
+      future = it->second;
+    } else {
+      ++counters_.misses;
+      owner = true;
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+    }
+  }
+
+  if (owner) {
+    registry.counter("campaign.partition_cache.misses").add();
+    try {
+      partition::Partition part = partition::partition_deck(deck, pes, method,
+                                                            seed);
+      auto stats =
+          std::make_shared<const partition::PartitionStats>(deck, part);
+      promise.set_value(std::make_shared<const PartitionedDeck>(
+          PartitionedDeck{std::move(part), std::move(stats)}));
+    } catch (...) {
+      // Propagate to every waiter, then evict so the configuration is
+      // retried rather than permanently poisoned.
+      promise.set_exception(std::current_exception());
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        entries_.erase(key);
+      }
+      throw;
+    }
+  } else {
+    registry.counter("campaign.partition_cache.hits").add();
+  }
+  return future.get();
+}
+
+void PartitionCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+PartitionCache::Counters PartitionCache::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+PartitionCache& PartitionCache::global() {
+  static PartitionCache cache;
+  return cache;
+}
+
+}  // namespace krak::core

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "mesh/deck.hpp"
+#include "partition/partition.hpp"
+#include "partition/stats.hpp"
+
+namespace krak::core {
+
+/// A partition plus the per-PE statistics derived from it, computed
+/// once per (deck, pes, method, seed) configuration and shared by every
+/// campaign run that needs it.
+struct PartitionedDeck {
+  partition::Partition partition;
+  std::shared_ptr<const partition::PartitionStats> stats;
+};
+
+/// Campaign-level memoization of the multilevel partitioner.
+///
+/// Partitioning dominates a validation campaign's wall time (see
+/// docs/PERFORMANCE.md), and the Table 5 / Table 6 / replay sweeps
+/// repeat configurations — the same deck partitioned over the same PE
+/// count with the same seed. The cache keys on a content fingerprint of
+/// the deck (name, grid, material layout, detonator) plus (pes, method,
+/// seed), so two decks that merely share a name cannot alias.
+///
+/// Thread-safe: campaign runs execute on a thread pool, and concurrent
+/// requests for the same key block on one shared computation instead of
+/// duplicating it. Hit/miss totals are mirrored into the observability
+/// registry as `campaign.partition_cache.hits` / `.misses`.
+class PartitionCache {
+ public:
+  /// Return the cached (partition, stats) of the configuration,
+  /// computing and inserting it on first use. Never returns null.
+  [[nodiscard]] std::shared_ptr<const PartitionedDeck> get(
+      const mesh::InputDeck& deck, std::int32_t pes,
+      partition::PartitionMethod method, std::uint64_t seed);
+
+  /// Drop every entry (test isolation; counters are kept).
+  void clear();
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+
+  /// The process-wide instance used by campaigns and benches.
+  static PartitionCache& global();
+
+ private:
+  using Key = std::tuple<std::uint64_t /* deck fingerprint */,
+                         std::int32_t /* pes */, std::int32_t /* method */,
+                         std::uint64_t /* seed */>;
+  using Future = std::shared_future<std::shared_ptr<const PartitionedDeck>>;
+
+  mutable std::mutex mutex_;
+  std::map<Key, Future> entries_;
+  Counters counters_;
+};
+
+}  // namespace krak::core

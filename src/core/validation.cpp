@@ -1,5 +1,8 @@
 #include "core/validation.hpp"
 
+#include <memory>
+
+#include "core/partition_cache.hpp"
 #include "partition/stats.hpp"
 #include "simapp/simkrak.hpp"
 
@@ -13,27 +16,32 @@ namespace {
 /// configuration).
 struct Measurement {
   double time = 0.0;
-  partition::Partition part;
+  std::shared_ptr<const PartitionedDeck> partitioned;
 };
 
 Measurement measure(const mesh::InputDeck& deck, std::int32_t pes,
                     const network::MachineConfig& machine,
                     const simapp::ComputationCostEngine& engine,
                     const ValidationConfig& config) {
-  partition::Partition part = partition::partition_deck(
-      deck, pes, partition::PartitionMethod::kMultilevel,
-      config.partition_seed);
+  // The partition and its statistics come from the campaign-level cache
+  // (docs/PERFORMANCE.md): runs sharing (deck, pes, seed) reuse one
+  // deterministic computation instead of repeating the dominant cost.
+  const std::shared_ptr<const PartitionedDeck> partitioned =
+      PartitionCache::global().get(deck, pes,
+                                   partition::PartitionMethod::kMultilevel,
+                                   config.partition_seed);
   simapp::SimKrakOptions options;
   options.iterations = config.iterations;
   options.noise_seed = config.noise_seed;
   options.faults = config.faults;
-  const simapp::SimKrak app(deck, part, machine, engine, options);
+  const simapp::SimKrak app(deck, partitioned->partition, machine, engine,
+                            partitioned->stats, options);
   simapp::SimKrakResult result = app.run();
   // A measurement the watchdog had to cut short is not a measurement;
   // surface the structured cause so campaigns can record it per
   // scenario instead of aborting the sweep.
   if (result.failed()) throw sim::SimFailureError(result.failures.front());
-  return Measurement{result.time_per_iteration, std::move(part)};
+  return Measurement{result.time_per_iteration, partitioned};
 }
 
 }  // namespace
@@ -47,7 +55,7 @@ ValidationPoint validate_mesh_specific(
   point.problem = deck.name();
   point.pes = pes;
   point.measured = m.time;
-  point.predicted = model.predict_mesh_specific(deck, m.part).total();
+  point.predicted = model.predict_mesh_specific(*m.partitioned->stats).total();
   return point;
 }
 

@@ -132,7 +132,8 @@ void check_campaign_failure(SchemaChecker& ck, const Json& failure,
     }
     const std::string sub = path + ".sim_failure";
     ck.require_string(*cause, sub, "kind");
-    ck.require_number(*cause, sub, "rank", 0.0, kHuge);
+    // rank -1: a run-level diagnosis (e.g. event-limit), not a rank's.
+    ck.require_number(*cause, sub, "rank", -1.0, kHuge);
     ck.require_number(*cause, sub, "op_index", -1.0, kHuge);
     ck.require_string(*cause, sub, "detail");
   }
@@ -234,7 +235,8 @@ void check_replay(SchemaChecker& ck, const Json& replay,
           continue;
         }
         ck.require_string(entry, entry_path, "kind");
-        ck.require_number(entry, entry_path, "rank", 0.0, kHuge);
+        // rank -1: a run-level diagnosis (e.g. event-limit).
+        ck.require_number(entry, entry_path, "rank", -1.0, kHuge);
         ck.require_number(entry, entry_path, "op_index", -1.0, kHuge);
         ck.require_string(entry, entry_path, "detail");
       }

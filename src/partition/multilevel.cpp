@@ -85,12 +85,17 @@ CoarseningStep coarsen_once(const Graph& fine, util::Rng& rng) {
 
   // Aggregate edges between coarse vertices. A scatter array keeps this
   // O(E) without hashing; it is cleared after each coarse vertex so the
-  // matched pair's combined neighbor list is deduplicated.
+  // matched pair's combined neighbor list is deduplicated. Coarse
+  // vertices are emitted in order, so the deduplicated lists stream
+  // straight into the CSR arrays — no per-vertex staging vectors.
   std::vector<std::int32_t> edge_pos(static_cast<std::size_t>(coarse_count), -1);
-  std::vector<std::vector<std::pair<std::int32_t, std::int32_t>>> coarse_adj(
-      static_cast<std::size_t>(coarse_count));
+  coarse.xadj.reserve(static_cast<std::size_t>(coarse_count) + 1);
+  coarse.xadj.push_back(0);
+  // Upper bound: coarsening only ever collapses or merges fine edges.
+  coarse.adjncy.reserve(fine.adjncy.size());
+  coarse.ewgt.reserve(fine.adjncy.size());
   for (std::int32_t cv = 0; cv < coarse_count; ++cv) {
-    auto& adj = coarse_adj[static_cast<std::size_t>(cv)];
+    const std::size_t start = coarse.adjncy.size();
     for (std::int32_t v : members[static_cast<std::size_t>(cv)]) {
       if (v == -1) continue;
       const auto neighbors = fine.neighbors(v);
@@ -101,25 +106,17 @@ CoarseningStep coarsen_once(const Graph& fine, util::Rng& rng) {
         if (cu == cv) continue;  // edge collapses inside the coarse vertex
         const std::int32_t pos = edge_pos[static_cast<std::size_t>(cu)];
         if (pos >= 0) {
-          adj[static_cast<std::size_t>(pos)].second += weights[e];
+          coarse.ewgt[start + static_cast<std::size_t>(pos)] += weights[e];
         } else {
           edge_pos[static_cast<std::size_t>(cu)] =
-              static_cast<std::int32_t>(adj.size());
-          adj.emplace_back(cu, weights[e]);
+              static_cast<std::int32_t>(coarse.adjncy.size() - start);
+          coarse.adjncy.push_back(cu);
+          coarse.ewgt.push_back(weights[e]);
         }
       }
     }
-    for (const auto& [cu, w] : adj) {
-      edge_pos[static_cast<std::size_t>(cu)] = -1;
-    }
-  }
-
-  coarse.xadj.reserve(static_cast<std::size_t>(coarse_count) + 1);
-  coarse.xadj.push_back(0);
-  for (std::int32_t cv = 0; cv < coarse_count; ++cv) {
-    for (const auto& [cu, w] : coarse_adj[static_cast<std::size_t>(cv)]) {
-      coarse.adjncy.push_back(cu);
-      coarse.ewgt.push_back(w);
+    for (std::size_t i = start; i < coarse.adjncy.size(); ++i) {
+      edge_pos[static_cast<std::size_t>(coarse.adjncy[i])] = -1;
     }
     coarse.xadj.push_back(static_cast<std::int64_t>(coarse.adjncy.size()));
   }
@@ -230,24 +227,50 @@ void refine(const Graph& graph, std::int32_t parts, std::vector<PeId>& part,
         graph.vwgt[static_cast<std::size_t>(v)];
   }
 
-  // Connection weight of v to each part, computed on demand.
+  // Connection weight of v to each part, computed on demand. `touched`
+  // (the parts v connects to, in first-occurrence order — the move
+  // loops' tie-break order) is hoisted out of the vertex loop: clearing
+  // keeps its capacity, so steady state allocates nothing per vertex.
   std::vector<std::int64_t> conn(static_cast<std::size_t>(parts), 0);
+  std::vector<PeId> touched;
+
+  // Interior fast path: a vertex whose neighbors all share its part can
+  // never move, and its conn/touched state would be discarded unread.
+  // Boundary membership is tracked incrementally: it depends only on a
+  // vertex's own part and its neighbors' parts, so a move of v can only
+  // change the status of v and of v's neighbors — exactly those are
+  // recomputed. Every pass then pays O(V) flag reads plus full gain
+  // computation on the O(boundary) fringe, instead of rescanning every
+  // adjacency list. The flag always equals what a fresh scan would
+  // return, so visit order and move decisions — and therefore the
+  // resulting assignment — are unchanged.
+  const auto is_boundary = [&graph, &part](std::int32_t v) -> char {
+    const PeId p = part[static_cast<std::size_t>(v)];
+    for (const std::int32_t u : graph.neighbors(v)) {
+      if (part[static_cast<std::size_t>(u)] != p) return 1;
+    }
+    return 0;
+  };
+  std::vector<char> boundary(static_cast<std::size_t>(n));
+  for (std::int32_t v = 0; v < n; ++v) {
+    boundary[static_cast<std::size_t>(v)] = is_boundary(v);
+  }
+
   constexpr int kMaxPasses = 32;
   for (int pass = 0; pass < kMaxPasses; ++pass) {
     bool moved_any = false;
     for (std::int32_t v = 0; v < n; ++v) {
+      if (!boundary[static_cast<std::size_t>(v)]) continue;
       const PeId from = part[static_cast<std::size_t>(v)];
       const auto neighbors = graph.neighbors(v);
       const auto weights = graph.edge_weights(v);
-      bool boundary = false;
-      std::vector<PeId> touched;
+      touched.clear();
       for (std::size_t e = 0; e < neighbors.size(); ++e) {
         const PeId p = part[static_cast<std::size_t>(neighbors[e])];
         if (conn[static_cast<std::size_t>(p)] == 0) touched.push_back(p);
         conn[static_cast<std::size_t>(p)] += weights[e];
-        if (p != from) boundary = true;
       }
-      if (boundary) {
+      {
         const std::int64_t vw = graph.vwgt[static_cast<std::size_t>(v)];
         const std::int64_t internal = conn[static_cast<std::size_t>(from)];
         PeId best_part = from;
@@ -292,6 +315,10 @@ void refine(const Graph& graph, std::int32_t parts, std::vector<PeId>& part,
             weight[static_cast<std::size_t>(from)] -= vw;
             weight[static_cast<std::size_t>(best_part)] += vw;
             moved_any = true;
+            boundary[static_cast<std::size_t>(v)] = is_boundary(v);
+            for (const std::int32_t u : neighbors) {
+              boundary[static_cast<std::size_t>(u)] = is_boundary(u);
+            }
           }
         }
       }

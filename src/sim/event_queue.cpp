@@ -6,26 +6,39 @@
 
 namespace krak::sim {
 
-void EventQueue::schedule(double time, Action action) {
+void EventQueue::schedule(double time, SimEvent event) {
   KRAK_REQUIRE(time >= now_, "cannot schedule an event in the past");
-  KRAK_REQUIRE(static_cast<bool>(action), "event action must be callable");
-  events_.push(Event{time, next_seq_++, std::move(action)});
-  max_size_ = std::max(max_size_, events_.size());
+  if (heap_.size() < heap_.capacity()) ++pooled_;
+  heap_.push_back(Entry{time, next_seq_++, event});
+  // Sift up: restore the heap property along the root path.
+  std::size_t child = heap_.size() - 1;
+  while (child > 0) {
+    const std::size_t parent = (child - 1) / 2;
+    if (!heap_[child].before(heap_[parent])) break;
+    std::swap(heap_[child], heap_[parent]);
+    child = parent;
+  }
+  max_size_ = std::max(max_size_, heap_.size());
 }
 
-std::size_t EventQueue::run(std::size_t max_events) {
-  std::size_t fired = 0;
-  while (!events_.empty()) {
-    KRAK_ASSERT(fired < max_events,
-                "event queue exceeded max_events (runaway?)");
-    // The action may schedule more events, so pop before firing.
-    Event event = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    now_ = event.time;
-    event.action();
-    ++fired;
+EventQueue::Entry EventQueue::pop_min() {
+  const Entry top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  // Sift down: push the displaced tail entry to its place.
+  const std::size_t n = heap_.size();
+  std::size_t parent = 0;
+  while (true) {
+    const std::size_t left = 2 * parent + 1;
+    if (left >= n) break;
+    const std::size_t right = left + 1;
+    std::size_t least = left;
+    if (right < n && heap_[right].before(heap_[left])) least = right;
+    if (!heap_[least].before(heap_[parent])) break;
+    std::swap(heap_[parent], heap_[least]);
+    parent = least;
   }
-  return fired;
+  return top;
 }
 
 }  // namespace krak::sim

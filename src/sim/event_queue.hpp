@@ -1,58 +1,149 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace krak::sim {
+
+/// What a scheduled simulator event does when it fires. Events carry
+/// indices into per-rank state instead of captured lambdas, so
+/// scheduling one writes a small POD into the queue's slab — no heap
+/// allocation, no type erasure, no virtual dispatch (docs/PERFORMANCE.md).
+enum class EventKind : std::uint8_t {
+  /// Resume executing ops of `rank` (initial kick-off and generic wake).
+  kStepRank,
+  /// A point-to-point payload from `peer` with `tag` arrives at `rank`
+  /// at the event's timestamp.
+  kMessageArrival,
+  /// A collective completes: release `rank` at the event's timestamp;
+  /// `value` is the tree cost every rank pays.
+  kCollectiveRelease,
+};
+
+/// One tagged simulator event (the payload of a queue entry). 24 bytes;
+/// the meaning of each field depends on `kind` (see EventKind).
+struct SimEvent {
+  EventKind kind = EventKind::kStepRank;
+  std::int32_t rank = -1;  ///< target rank
+  std::int32_t peer = -1;  ///< sending rank (kMessageArrival)
+  std::int32_t tag = 0;    ///< message tag (kMessageArrival)
+  double value = 0.0;      ///< collective cost (kCollectiveRelease)
+
+  [[nodiscard]] static SimEvent step(std::int32_t rank) {
+    SimEvent event;
+    event.kind = EventKind::kStepRank;
+    event.rank = rank;
+    return event;
+  }
+  [[nodiscard]] static SimEvent arrival(std::int32_t rank, std::int32_t peer,
+                                        std::int32_t tag) {
+    SimEvent event;
+    event.kind = EventKind::kMessageArrival;
+    event.rank = rank;
+    event.peer = peer;
+    event.tag = tag;
+    return event;
+  }
+  [[nodiscard]] static SimEvent release(std::int32_t rank, double cost) {
+    SimEvent event;
+    event.kind = EventKind::kCollectiveRelease;
+    event.rank = rank;
+    event.value = cost;
+    return event;
+  }
+};
+
+/// Outcome of one EventQueue::run drain.
+struct EventRunStats {
+  /// Events fired before the queue emptied or the budget tripped.
+  std::size_t fired = 0;
+  /// True when `max_events` fired with events still pending (runaway
+  /// guard). The caller decides whether that is a throw or a structured
+  /// failure; the queue itself never throws on the budget.
+  bool budget_exhausted = false;
+};
 
 /// Time-ordered event queue for the discrete-event simulator.
 ///
 /// Events at equal timestamps fire in insertion order (a monotone
 /// sequence number breaks ties), which keeps simulations deterministic.
+/// Entries are 40-byte PODs in a single contiguous slab (a binary heap
+/// over a reserved vector): scheduling is a bounds check plus a sift-up,
+/// and the slab's capacity is reused across the whole run. The number of
+/// events scheduled without growing the slab is exported to the
+/// observability layer as `sim.events.pooled`.
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  /// Pre-size the slab so a run of `expected_events` pending events
+  /// never reallocates.
+  void reserve(std::size_t expected_events) { heap_.reserve(expected_events); }
 
-  /// Schedule `action` at absolute time `time` (seconds); `time` must
+  /// Schedule `event` at absolute time `time` (seconds); `time` must
   /// not precede the current time.
-  void schedule(double time, Action action);
+  void schedule(double time, SimEvent event);
 
   /// Current simulation time: the timestamp of the most recently fired
   /// event (0 before any event fires).
   [[nodiscard]] double now() const { return now_; }
 
-  [[nodiscard]] bool empty() const { return events_.empty(); }
-  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// High-water mark of pending events since construction — a proxy for
   /// how much simulated concurrency was in flight (exported to the
   /// observability layer as `sim.max_queue_depth`).
   [[nodiscard]] std::size_t max_size() const { return max_size_; }
 
-  /// Fire events in time order until none remain. Returns the number of
-  /// events processed. Throws InternalError if the event count exceeds
-  /// `max_events` (runaway-simulation guard).
-  std::size_t run(std::size_t max_events = 1'000'000'000);
+  /// Events scheduled into already-allocated slab capacity (all but the
+  /// ones that forced the slab to grow).
+  [[nodiscard]] std::uint64_t pooled_events() const { return pooled_; }
+
+  /// Fire events in time order until none remain or `max_events` have
+  /// fired, dispatching each to `handler(const SimEvent&)`. The handler
+  /// may schedule more events. Never throws on the budget: when it is
+  /// exhausted the remaining events stay queued and the stats say so.
+  template <typename Handler>
+  EventRunStats run(Handler&& handler,
+                    std::size_t max_events = kDefaultMaxEvents) {
+    EventRunStats stats;
+    while (!heap_.empty()) {
+      if (stats.fired >= max_events) {
+        stats.budget_exhausted = true;
+        break;
+      }
+      const Entry top = pop_min();
+      now_ = top.time;
+      handler(top.event);
+      ++stats.fired;
+    }
+    return stats;
+  }
+
+  /// Default runaway guard of Simulator runs (SimConfig::max_events).
+  static constexpr std::size_t kDefaultMaxEvents = 1'000'000'000;
 
  private:
-  struct Event {
+  struct Entry {
     double time;
     std::uint64_t seq;
-    Action action;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+    SimEvent event;
+
+    /// Strict total order: earlier time first, insertion order on ties.
+    [[nodiscard]] bool before(const Entry& other) const {
+      if (time != other.time) return time < other.time;
+      return seq < other.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  Entry pop_min();
+
+  std::vector<Entry> heap_;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t max_size_ = 0;
+  std::uint64_t pooled_ = 0;
 };
 
 }  // namespace krak::sim

@@ -1,0 +1,148 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/ops.hpp"
+
+namespace krak::sim {
+
+/// Per-rank in-flight message store of the discrete-event simulator.
+///
+/// Conceptually a map from (sending rank, tag) to a FIFO of arrival
+/// times. The representation is an open-addressing hash table (linear
+/// probing, power-of-two capacity) keyed by the pair packed into one
+/// uint64, whose slots head index-linked FIFO chains of pooled message
+/// records — no per-message heap allocation and no tree walk per
+/// delivery, unlike the map-of-deques it replaced (docs/PERFORMANCE.md).
+///
+/// Slots are never erased: a drained FIFO keeps its key so the common
+/// steady-state of the Krak exchange pattern (the same (peer, tag) pairs
+/// every iteration) probes straight to an existing slot. Pool records
+/// are recycled through a free list. Probe counts are surfaced through
+/// `probes()` and exported as `sim.mailbox.probes`.
+class Mailbox {
+ public:
+  /// Append one arrival to the (peer, tag) FIFO.
+  void push(RankId peer, std::int32_t tag, double arrival) {
+    if (used_ * 4 >= slots_.size() * 3) grow();
+    Slot& slot = locate(pack(peer, tag));
+    const std::int32_t record = allocate_record(arrival);
+    if (slot.head == -1) {
+      slot.head = record;
+    } else {
+      pool_[static_cast<std::size_t>(slot.tail)].next = record;
+    }
+    slot.tail = record;
+  }
+
+  /// Pop the oldest pending arrival of (peer, tag) into `*arrival`;
+  /// returns false when none is pending.
+  [[nodiscard]] bool try_pop(RankId peer, std::int32_t tag, double* arrival) {
+    if (slots_.empty()) return false;
+    Slot* slot = find(pack(peer, tag));
+    if (slot == nullptr || slot->head == -1) return false;
+    const std::int32_t record = slot->head;
+    Record& r = pool_[static_cast<std::size_t>(record)];
+    *arrival = r.arrival;
+    slot->head = r.next;
+    if (slot->head == -1) slot->tail = -1;
+    r.next = free_head_;
+    free_head_ = record;
+    return true;
+  }
+
+  /// Slot inspections performed by all lookups so far (the hash table's
+  /// work metric; == lookups when every probe hits its home slot).
+  [[nodiscard]] std::uint64_t probes() const { return probes_; }
+
+ private:
+  struct Slot {
+    std::uint64_t key = kEmptyKey;
+    std::int32_t head = -1;  ///< pool index of the oldest record
+    std::int32_t tail = -1;  ///< pool index of the newest record
+  };
+  struct Record {
+    double arrival = 0.0;
+    std::int32_t next = -1;
+  };
+  /// peer is a non-negative rank, so the high word ~0u never collides.
+  static constexpr std::uint64_t kEmptyKey = ~0ull;
+
+  static std::uint64_t pack(RankId peer, std::int32_t tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer))
+            << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+  }
+
+  /// SplitMix64 finalizer: avalanches the packed key so linear probing
+  /// sees a uniform distribution even for dense rank/tag ranges.
+  static std::uint64_t mix(std::uint64_t key) {
+    key ^= key >> 30;
+    key *= 0xbf58476d1ce4e5b9ull;
+    key ^= key >> 27;
+    key *= 0x94d049bb133111ebull;
+    key ^= key >> 31;
+    return key;
+  }
+
+  /// Find the slot holding `key`, or nullptr when absent.
+  [[nodiscard]] Slot* find(std::uint64_t key) {
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = mix(key) & mask;; i = (i + 1) & mask) {
+      ++probes_;
+      Slot& slot = slots_[i];
+      if (slot.key == key) return &slot;
+      if (slot.key == kEmptyKey) return nullptr;
+    }
+  }
+
+  /// Find the slot holding `key`, claiming an empty one when absent.
+  [[nodiscard]] Slot& locate(std::uint64_t key) {
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = mix(key) & mask;; i = (i + 1) & mask) {
+      ++probes_;
+      Slot& slot = slots_[i];
+      if (slot.key == key) return slot;
+      if (slot.key == kEmptyKey) {
+        slot.key = key;
+        ++used_;
+        return slot;
+      }
+    }
+  }
+
+  [[nodiscard]] std::int32_t allocate_record(double arrival) {
+    if (free_head_ != -1) {
+      const std::int32_t record = free_head_;
+      Record& r = pool_[static_cast<std::size_t>(record)];
+      free_head_ = r.next;
+      r.arrival = arrival;
+      r.next = -1;
+      return record;
+    }
+    pool_.push_back(Record{arrival, -1});
+    return static_cast<std::int32_t>(pool_.size() - 1);
+  }
+
+  void grow() {
+    const std::size_t capacity = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(capacity, Slot{});
+    const std::size_t mask = capacity - 1;
+    for (const Slot& slot : old) {
+      if (slot.key == kEmptyKey) continue;
+      std::size_t i = mix(slot.key) & mask;
+      while (slots_[i].key != kEmptyKey) i = (i + 1) & mask;
+      slots_[i] = slot;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<Record> pool_;
+  std::int32_t free_head_ = -1;
+  std::size_t used_ = 0;
+  std::uint64_t probes_ = 0;
+};
+
+}  // namespace krak::sim

@@ -30,6 +30,7 @@ std::string_view sim_failure_kind_name(SimFailure::Kind kind) {
     case SimFailure::Kind::kDeadlock: return "deadlock";
     case SimFailure::Kind::kLostMessage: return "lost-message";
     case SimFailure::Kind::kTimeLimit: return "time-limit";
+    case SimFailure::Kind::kEventLimit: return "event-limit";
   }
   return "unknown";
 }
@@ -47,6 +48,11 @@ std::string SimFailure::to_string() const {
     case Kind::kTimeLimit:
       os << "simulation watchdog: rank " << rank << " passed the "
          << "simulated-time bound at op " << op_index;
+      break;
+    case Kind::kEventLimit:
+      // Run-level, not per-rank: the exact wording the pre-watchdog
+      // KRAK_ASSERT threw, kept grep-compatible.
+      os << "event queue exceeded max_events (runaway?)";
       break;
   }
   if (has_op) {
@@ -114,6 +120,9 @@ SimResult Simulator::run() {
   collective_states_.clear();
   lost_.clear();
   queue_ = EventQueue{};
+  // Pre-size the slab: one kick-off event per rank plus in-flight
+  // headroom; growth beyond this is counted against sim.events.pooled.
+  queue_.reserve(static_cast<std::size_t>(n) * 2 + 64);
   if (fault_ != nullptr) fault_->on_run_start(n);
 
   SimResult result;
@@ -129,14 +138,36 @@ SimResult Simulator::run() {
     nic_free_.clear();
   }
   for (RankId r = 0; r < n; ++r) {
-    queue_.schedule(0.0, [this, r, &result] { step_rank(r, result); });
+    queue_.schedule(0.0, SimEvent::step(r));
   }
-  result.events_processed = queue_.run();
+  const EventRunStats run_stats = queue_.run(
+      [this, &result](const SimEvent& event) { dispatch(event, result); },
+      config_.max_events);
+  result.events_processed = run_stats.fired;
   result.max_queue_depth = queue_.max_size();
+  result.pooled_events = queue_.pooled_events();
+  for (const RankState& state : states_) {
+    result.mailbox_probes += state.mailbox.probes();
+  }
+
+  if (run_stats.budget_exhausted) {
+    SimFailure failure;
+    failure.kind = SimFailure::Kind::kEventLimit;
+    std::ostringstream os;
+    os << "(fired " << run_stats.fired << " event(s), budget "
+       << config_.max_events << ")";
+    failure.detail = os.str();
+    if (!watchdog_.structured_failures) {
+      throw util::InternalError(failure.to_string());
+    }
+    result.failures.push_back(std::move(failure));
+  }
 
   for (RankId r = 0; r < n; ++r) {
     const RankState& state = states_[static_cast<std::size_t>(r)];
-    if (!state.finished && !state.timed_out) {
+    // When the event budget tripped, unfinished ranks were stopped by
+    // the guard, not by a hang — skip the per-rank deadlock diagnosis.
+    if (!state.finished && !state.timed_out && !run_stats.budget_exhausted) {
       const SimFailure failure = diagnose_stuck_rank(r);
       if (!watchdog_.structured_failures) {
         throw util::KrakError(failure.to_string());
@@ -155,10 +186,14 @@ SimResult Simulator::run() {
     obs::Registry& registry = obs::global_registry();
     static obs::Counter& runs = registry.counter("sim.runs");
     static obs::Counter& events = registry.counter("sim.events");
+    static obs::Counter& pooled = registry.counter("sim.events.pooled");
+    static obs::Counter& probes = registry.counter("sim.mailbox.probes");
     static obs::Counter& messages = registry.counter("sim.p2p_messages");
     static obs::Gauge& depth = registry.gauge("sim.max_queue_depth");
     runs.add(1);
     events.add(static_cast<std::int64_t>(result.events_processed));
+    pooled.add(static_cast<std::int64_t>(result.pooled_events));
+    probes.add(static_cast<std::int64_t>(result.mailbox_probes));
     messages.add(result.traffic.point_to_point_messages);
     depth.set(static_cast<double>(result.max_queue_depth));
     if (fault_ != nullptr) {
@@ -210,6 +245,41 @@ SimFailure Simulator::diagnose_stuck_rank(RankId rank) const {
     failure.detail = "waiting for all ranks to enter the collective";
   }
   return failure;
+}
+
+void Simulator::dispatch(const SimEvent& event, SimResult& result) {
+  switch (event.kind) {
+    case EventKind::kStepRank: {
+      step_rank(event.rank, result);
+      break;
+    }
+    case EventKind::kMessageArrival: {
+      RankState& receiver = states_[static_cast<std::size_t>(event.rank)];
+      receiver.mailbox.push(event.peer, event.tag, queue_.now());
+      // Only a recv-blocked rank can make progress on delivery; a rank
+      // waiting inside a collective must stay parked until the
+      // collective completes.
+      if (receiver.blocked && receiver.reason == BlockReason::kRecvWait) {
+        step_rank(event.rank, result);
+      }
+      break;
+    }
+    case EventKind::kCollectiveRelease: {
+      const double completion = queue_.now();
+      const double cost = event.value;
+      RankState& released = states_[static_cast<std::size_t>(event.rank)];
+      // The rank's clock froze at its entry time, so the gap to the
+      // common completion splits into skew wait (until the last rank
+      // entered) plus the tree cost every rank pays.
+      RankTimeBreakdown& breakdown =
+          result.breakdown[static_cast<std::size_t>(event.rank)];
+      breakdown.collective_wait += completion - cost - released.clock;
+      breakdown.collective_cost += cost;
+      released.clock = std::max(released.clock, completion);
+      step_rank(event.rank, result);
+      break;
+    }
+  }
 }
 
 void Simulator::step_rank(RankId rank, SimResult& result) {
@@ -324,17 +394,7 @@ void Simulator::step_rank(RankId rank, SimResult& result) {
           ++state.pc;
           break;
         }
-        queue_.schedule(arrival, [this, rank, to, tag, arrival, &result] {
-          RankState& receiver = states_[static_cast<std::size_t>(to)];
-          receiver.mailbox.arrived[{rank, tag}].push_back(arrival);
-          // Only a recv-blocked rank can make progress on delivery; a
-          // rank waiting inside a collective must stay parked until the
-          // collective completes.
-          if (receiver.blocked &&
-              receiver.reason == BlockReason::kRecvWait) {
-            step_rank(to, result);
-          }
-        });
+        queue_.schedule(arrival, SimEvent::arrival(to, rank, tag));
         ++state.pc;
         break;
       }
@@ -349,15 +409,13 @@ void Simulator::step_rank(RankId rank, SimResult& result) {
         break;
       }
       case OpKind::kRecv: {
-        auto it = state.mailbox.arrived.find({op.peer, op.tag});
-        if (it == state.mailbox.arrived.end() || it->second.empty()) {
+        double arrival = 0.0;
+        if (!state.mailbox.try_pop(op.peer, op.tag, &arrival)) {
           state.blocked = true;
           state.reason = BlockReason::kRecvWait;
           state.blocked_op = state.pc;
           break;
         }
-        const double arrival = it->second.front();
-        it->second.pop_front();
         if (arrival > state.clock) {
           breakdown.recv_wait += arrival - state.clock;
         }
@@ -431,18 +489,7 @@ void Simulator::enter_collective(RankId rank, const Op& op, SimResult& result) {
   }
   const double completion = coll.max_entry + cost;
   for (RankId r = 0; r < ranks(); ++r) {
-    queue_.schedule(completion, [this, r, completion, cost, &result] {
-      RankState& released = states_[static_cast<std::size_t>(r)];
-      // The rank's clock froze at its entry time, so the gap to the
-      // common completion splits into skew wait (until the last rank
-      // entered) plus the tree cost every rank pays.
-      RankTimeBreakdown& breakdown =
-          result.breakdown[static_cast<std::size_t>(r)];
-      breakdown.collective_wait += completion - cost - released.clock;
-      breakdown.collective_cost += cost;
-      released.clock = std::max(released.clock, completion);
-      step_rank(r, result);
-    });
+    queue_.schedule(completion, SimEvent::release(r, cost));
   }
 }
 

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <string>
@@ -11,6 +10,7 @@
 #include "network/collectives.hpp"
 #include "network/msgmodel.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/mailbox.hpp"
 #include "sim/ops.hpp"
 #include "util/error.hpp"
 
@@ -22,6 +22,12 @@ struct SimConfig {
   double send_overhead = 0.4e-6;
   /// CPU time a rank spends completing one blocking receive.
   double recv_overhead = 0.4e-6;
+  /// Runaway-simulation guard: abort the run once this many events have
+  /// fired with events still pending. With the watchdog's
+  /// structured_failures the trip becomes a SimFailure::Kind::kEventLimit
+  /// in SimResult::failures; otherwise Simulator::run throws
+  /// InternalError (the historical behavior).
+  std::size_t max_events = EventQueue::kDefaultMaxEvents;
 };
 
 /// Optional shared-NIC injection model: the ranks of one SMP node share
@@ -107,6 +113,9 @@ struct SimFailure {
     kLostMessage,
     /// The watchdog's simulated-time bound fired.
     kTimeLimit,
+    /// The runaway guard fired: SimConfig::max_events events fired with
+    /// events still pending. A run-level diagnosis (rank is -1).
+    kEventLimit,
   };
   Kind kind = Kind::kDeadlock;
   RankId rank = -1;
@@ -236,6 +245,12 @@ struct SimResult {
   std::size_t events_processed = 0;
   /// High-water mark of the event queue during the run.
   std::size_t max_queue_depth = 0;
+  /// Events scheduled into already-allocated queue capacity (exported
+  /// as `sim.events.pooled`; see EventQueue::pooled_events).
+  std::uint64_t pooled_events = 0;
+  /// Mailbox hash-table slot inspections, summed over ranks (exported
+  /// as `sim.mailbox.probes`; see Mailbox::probes).
+  std::uint64_t mailbox_probes = 0;
 
   [[nodiscard]] bool failed() const { return !failures.empty(); }
 };
@@ -287,10 +302,6 @@ class Simulator {
   [[nodiscard]] SimResult run();
 
  private:
-  struct Mailbox {
-    // (peer, tag) -> FIFO of arrival times.
-    std::map<std::pair<RankId, std::int32_t>, std::deque<double>> arrived;
-  };
   enum class BlockReason : std::uint8_t { kNone, kRecvWait, kCollectiveWait };
   struct RankState {
     double clock = 0.0;
@@ -320,6 +331,7 @@ class Simulator {
   };
 
   void step_rank(RankId rank, SimResult& result);
+  void dispatch(const SimEvent& event, SimResult& result);
   void enter_collective(RankId rank, const Op& op, SimResult& result);
   /// Diagnose the unfinished rank `rank` at drain time (deadlock or
   /// lost-message starvation).

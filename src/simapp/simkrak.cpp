@@ -31,15 +31,28 @@ SimKrak::SimKrak(const mesh::InputDeck& deck,
                  const partition::Partition& partition,
                  const network::MachineConfig& machine,
                  const ComputationCostEngine& costs, SimKrakOptions options)
+    : SimKrak(deck, partition, machine, costs,
+              std::make_shared<partition::PartitionStats>(deck, partition),
+              options) {}
+
+SimKrak::SimKrak(const mesh::InputDeck& deck,
+                 const partition::Partition& partition,
+                 const network::MachineConfig& machine,
+                 const ComputationCostEngine& costs,
+                 std::shared_ptr<const partition::PartitionStats> stats,
+                 SimKrakOptions options)
     : deck_(deck),
       partition_(partition),
       machine_(machine),
       costs_(costs),
       options_(options),
-      stats_(deck, partition) {
+      stats_(std::move(stats)) {
+  util::check(stats_ != nullptr, "stats must not be null");
   util::check(options_.iterations >= 1, "iterations must be >= 1");
   util::check(partition_.parts() <= machine_.total_pes(),
               "partition uses more PEs than the machine has");
+  util::check(stats_->parts() == partition_.parts(),
+              "stats must describe the partition");
 }
 
 void SimKrak::append_boundary_exchange(
@@ -109,10 +122,136 @@ void SimKrak::append_ghost_update(sim::Schedule& schedule,
   }
 }
 
-sim::Schedule SimKrak::build_schedule(partition::PeId pe) const {
-  const partition::SubdomainInfo& sub = stats_.subdomain(pe);
+std::size_t SimKrak::boundary_exchange_op_count(
+    const partition::SubdomainInfo& sub) {
+  std::size_t messages = 0;
+  for (const partition::NeighborBoundary& boundary : sub.neighbors) {
+    for (std::size_t g = 0; g < mesh::kExchangeGroupCount; ++g) {
+      if (boundary.faces_per_group[g] != 0) {
+        messages += static_cast<std::size_t>(kBoundaryMessagesPerStep);
+      }
+    }
+    messages += static_cast<std::size_t>(kBoundaryMessagesPerStep);
+  }
+  return 2 * messages + 1;  // isends + recvs + wait_all_sends
+}
+
+std::size_t SimKrak::ghost_update_op_count(
+    const partition::SubdomainInfo& sub) {
+  return 2 * sub.neighbors.size() + 1;
+}
+
+std::size_t SimKrak::iteration_op_count(const partition::SubdomainInfo& sub) {
+  std::size_t count = 0;
+  for (const PhaseSpec& phase : iteration_phases()) {
+    count += 1;  // compute
+    switch (phase.action) {
+      case PhaseAction::kBroadcastPair:
+        count += 2;
+        break;
+      case PhaseAction::kBoundaryExchange:
+        count += 2 + boundary_exchange_op_count(sub) + 1;
+        break;
+      case PhaseAction::kGhostUpdate8:
+      case PhaseAction::kGhostUpdate16:
+        count += ghost_update_op_count(sub);
+        break;
+      case PhaseAction::kComputationOnly:
+        break;
+    }
+    count += phase.sync_sizes.size();
+    count += 1;  // record
+  }
+  return count;
+}
+
+SimKrak::IterationTemplate SimKrak::build_iteration_template(
+    partition::PeId pe) const {
+  const partition::SubdomainInfo& sub = stats_->subdomain(pe);
+  const std::span<const std::int64_t, mesh::kMaterialCount> cells(
+      sub.cells_per_material);
+  IterationTemplate tmpl;
+  tmpl.ops.reserve(iteration_op_count(sub));
+
+  for (const PhaseSpec& phase : iteration_phases()) {
+    // Computation: the noise-free ground-truth phase time; replay
+    // overwrites it with the iteration's noise draw when noise is on.
+    tmpl.compute_ops.emplace_back(tmpl.ops.size(), phase.number);
+    tmpl.ops.push_back(sim::Op::compute(
+        costs_.subgrid_time(phase.number, cells) / machine_.compute_speedup));
+
+    switch (phase.action) {
+      case PhaseAction::kBroadcastPair:
+        tmpl.ops.push_back(sim::Op::broadcast(4.0));
+        tmpl.ops.push_back(sim::Op::broadcast(8.0));
+        break;
+      case PhaseAction::kBoundaryExchange:
+        tmpl.ops.push_back(sim::Op::broadcast(4.0));
+        tmpl.ops.push_back(sim::Op::broadcast(8.0));
+        append_boundary_exchange(tmpl.ops, sub);
+        tmpl.ops.push_back(sim::Op::gather(32.0));
+        break;
+      case PhaseAction::kGhostUpdate8:
+      case PhaseAction::kGhostUpdate16:
+        append_ghost_update(tmpl.ops, sub, phase.ghost_bytes(), phase.number);
+        break;
+      case PhaseAction::kComputationOnly:
+        break;
+    }
+
+    // The global reductions separating phases (Table 1 sync points).
+    for (double size : phase.sync_sizes) {
+      tmpl.ops.push_back(sim::Op::allreduce(size));
+    }
+    // All ranks leave the final allreduce at the same simulated time,
+    // so this marker is a globally consistent phase boundary.
+    tmpl.record_ops.push_back(tmpl.ops.size());
+    tmpl.ops.push_back(sim::Op::record(phase.number - 1));
+  }
+  util::require_internal(tmpl.ops.size() == iteration_op_count(sub),
+                         "iteration op count drifted from the builder");
+  return tmpl;
+}
+
+sim::Schedule SimKrak::build_schedule_replay(partition::PeId pe) const {
+  const partition::SubdomainInfo& sub = stats_->subdomain(pe);
+  const IterationTemplate tmpl = build_iteration_template(pe);
+  const std::span<const std::int64_t, mesh::kMaterialCount> cells(
+      sub.cells_per_material);
+  util::Rng rng(rank_seed(options_.noise_seed, pe));
+
+  sim::Schedule schedule;
+  schedule.reserve(tmpl.ops.size() *
+                   static_cast<std::size_t>(options_.iterations));
+  for (std::int32_t iter = 0; iter < options_.iterations; ++iter) {
+    const std::size_t base = schedule.size();
+    schedule.insert(schedule.end(), tmpl.ops.begin(), tmpl.ops.end());
+    if (options_.enable_noise) {
+      // Resample in exactly the rebuild path's draw order — one draw
+      // per phase per iteration from the same per-rank stream — so the
+      // two paths are bit-identical (golden-tested).
+      for (const auto& [pos, phase] : tmpl.compute_ops) {
+        double compute_time = costs_.measured_subgrid_time(phase, cells, rng);
+        compute_time /= machine_.compute_speedup;
+        schedule[base + pos].duration = compute_time;
+      }
+    }
+    if (iter > 0) {
+      for (const std::size_t pos : tmpl.record_ops) {
+        schedule[base + pos].slot =
+            tmpl.ops[pos].slot + iter * kPhaseCount;
+      }
+    }
+  }
+  return schedule;
+}
+
+sim::Schedule SimKrak::build_schedule_rebuild(partition::PeId pe) const {
+  const partition::SubdomainInfo& sub = stats_->subdomain(pe);
   util::Rng rng(rank_seed(options_.noise_seed, pe));
   sim::Schedule schedule;
+  schedule.reserve(iteration_op_count(sub) *
+                   static_cast<std::size_t>(options_.iterations));
 
   const std::span<const std::int64_t, mesh::kMaterialCount> cells(
       sub.cells_per_material);
@@ -159,6 +298,11 @@ sim::Schedule SimKrak::build_schedule(partition::PeId pe) const {
     }
   }
   return schedule;
+}
+
+sim::Schedule SimKrak::build_schedule(partition::PeId pe) const {
+  return options_.replay_schedules ? build_schedule_replay(pe)
+                                   : build_schedule_rebuild(pe);
 }
 
 SimKrakResult SimKrak::run() const {

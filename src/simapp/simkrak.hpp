@@ -2,6 +2,9 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "fault/plan.hpp"
 #include "mesh/deck.hpp"
@@ -32,6 +35,12 @@ struct SimKrakOptions {
   /// bandwidth (the ranks of one ES-45 node share a single QsNet
   /// adapter). Off by default — the paper's Tmsg is contention-free.
   bool nic_contention = false;
+  /// Build each rank's per-iteration op sequence once and replay it
+  /// across `iterations`, resampling only the noisy compute times and
+  /// the record slots per iteration (docs/PERFORMANCE.md). The op
+  /// stream is bit-identical to the per-iteration rebuild — the legacy
+  /// path is kept reachable (and golden-tested) by clearing this flag.
+  bool replay_schedules = true;
   /// Deterministic fault-injection plan (see fault/plan.hpp). Empty by
   /// default: no injector is installed and the run is bit-identical to
   /// a build without the fault subsystem. A non-empty plan also arms
@@ -84,21 +93,52 @@ class SimKrak {
           const network::MachineConfig& machine,
           const ComputationCostEngine& costs, SimKrakOptions options = {});
 
+  /// Shares an already computed PartitionStats (e.g. from the campaign
+  /// partition cache) instead of rebuilding one from the partition.
+  /// `stats` must describe exactly `partition` over `deck`.
+  SimKrak(const mesh::InputDeck& deck, const partition::Partition& partition,
+          const network::MachineConfig& machine,
+          const ComputationCostEngine& costs,
+          std::shared_ptr<const partition::PartitionStats> stats,
+          SimKrakOptions options);
+
   /// Run the simulation and aggregate timing results.
   [[nodiscard]] SimKrakResult run() const;
 
   /// The per-PE subgrid statistics the schedules were built from.
   [[nodiscard]] const partition::PartitionStats& stats() const {
-    return stats_;
+    return *stats_;
   }
 
  private:
+  /// One iteration's op sequence plus the positions replay must patch:
+  /// compute ops get a fresh noise draw per iteration, record ops get
+  /// the iteration's slot offset. Everything else is invariant.
+  struct IterationTemplate {
+    sim::Schedule ops;  ///< compute times noise-free, record slots for iter 0
+    /// (op position, phase number) of every compute op, in phase order.
+    std::vector<std::pair<std::size_t, std::int32_t>> compute_ops;
+    /// Op positions of the per-phase record markers.
+    std::vector<std::size_t> record_ops;
+  };
+
   [[nodiscard]] sim::Schedule build_schedule(partition::PeId pe) const;
+  [[nodiscard]] sim::Schedule build_schedule_replay(partition::PeId pe) const;
+  [[nodiscard]] sim::Schedule build_schedule_rebuild(partition::PeId pe) const;
+  [[nodiscard]] IterationTemplate build_iteration_template(
+      partition::PeId pe) const;
   void append_boundary_exchange(sim::Schedule& schedule,
                                 const partition::SubdomainInfo& sub) const;
   void append_ghost_update(sim::Schedule& schedule,
                            const partition::SubdomainInfo& sub,
                            double bytes_per_node, std::int32_t phase) const;
+  [[nodiscard]] static std::size_t boundary_exchange_op_count(
+      const partition::SubdomainInfo& sub);
+  [[nodiscard]] static std::size_t ghost_update_op_count(
+      const partition::SubdomainInfo& sub);
+  /// Exact number of ops one iteration appends for this subdomain.
+  [[nodiscard]] static std::size_t iteration_op_count(
+      const partition::SubdomainInfo& sub);
 
   const mesh::InputDeck& deck_;
   // Stored by value: callers routinely pass freshly built partitions as
@@ -107,7 +147,7 @@ class SimKrak {
   const network::MachineConfig& machine_;
   const ComputationCostEngine& costs_;
   SimKrakOptions options_;
-  partition::PartitionStats stats_;
+  std::shared_ptr<const partition::PartitionStats> stats_;
 };
 
 /// Convenience wrapper: partition `deck` over `pes` processors with the

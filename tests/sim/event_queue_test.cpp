@@ -11,85 +11,143 @@ namespace {
 
 TEST(EventQueue, FiresInTimeOrder) {
   EventQueue queue;
-  std::vector<int> order;
-  queue.schedule(3.0, [&order] { order.push_back(3); });
-  queue.schedule(1.0, [&order] { order.push_back(1); });
-  queue.schedule(2.0, [&order] { order.push_back(2); });
-  EXPECT_EQ(queue.run(), 3u);
-  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  std::vector<std::int32_t> order;
+  queue.schedule(3.0, SimEvent::step(3));
+  queue.schedule(1.0, SimEvent::step(1));
+  queue.schedule(2.0, SimEvent::step(2));
+  const EventRunStats stats =
+      queue.run([&order](const SimEvent& e) { order.push_back(e.rank); });
+  EXPECT_EQ(stats.fired, 3u);
+  EXPECT_FALSE(stats.budget_exhausted);
+  EXPECT_EQ(order, (std::vector<std::int32_t>{1, 2, 3}));
 }
 
 TEST(EventQueue, EqualTimesFireInInsertionOrder) {
   EventQueue queue;
-  std::vector<int> order;
-  for (int i = 0; i < 10; ++i) {
-    queue.schedule(5.0, [&order, i] { order.push_back(i); });
+  std::vector<std::int32_t> order;
+  for (std::int32_t i = 0; i < 10; ++i) {
+    queue.schedule(5.0, SimEvent::step(i));
   }
-  queue.run();
-  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  queue.run([&order](const SimEvent& e) { order.push_back(e.rank); });
+  for (std::int32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, ManyEqualAndInterleavedTimesStaysStable) {
+  // A heavier tie-breaking exercise: several timestamp groups scheduled
+  // out of order, each expected to fire in insertion order.
+  EventQueue queue;
+  std::vector<std::int32_t> order;
+  std::int32_t id = 0;
+  for (std::int32_t round = 0; round < 20; ++round) {
+    for (double time : {7.0, 3.0, 5.0}) {
+      queue.schedule(time, SimEvent::step(id++));
+    }
+  }
+  queue.run([&order](const SimEvent& e) { order.push_back(e.rank); });
+  ASSERT_EQ(order.size(), 60u);
+  // Within each time group, ids must be increasing.
+  std::vector<std::int32_t> last_by_group(3, -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::size_t group = i / 20;  // 3..., then 5..., then 7...
+    EXPECT_GT(order[i], last_by_group[group]);
+    last_by_group[group] = order[i];
+  }
 }
 
 TEST(EventQueue, NowTracksFiringTime) {
   EventQueue queue;
   double seen = -1.0;
-  queue.schedule(2.5, [&queue, &seen] { seen = queue.now(); });
-  queue.run();
+  queue.schedule(2.5, SimEvent::step(0));
+  queue.run([&queue, &seen](const SimEvent&) { seen = queue.now(); });
   EXPECT_DOUBLE_EQ(seen, 2.5);
   EXPECT_DOUBLE_EQ(queue.now(), 2.5);
 }
 
-TEST(EventQueue, ActionsCanScheduleMoreEvents) {
+TEST(EventQueue, HandlersCanScheduleMoreEvents) {
   EventQueue queue;
   int fired = 0;
-  queue.schedule(1.0, [&queue, &fired] {
+  queue.schedule(1.0, SimEvent::step(0));
+  const EventRunStats stats = queue.run([&queue, &fired](const SimEvent& e) {
     ++fired;
-    queue.schedule(2.0, [&queue, &fired] {
-      ++fired;
-      queue.schedule(3.0, [&fired] { ++fired; });
-    });
+    if (e.rank < 2) {
+      queue.schedule(queue.now() + 1.0, SimEvent::step(e.rank + 1));
+    }
   });
-  EXPECT_EQ(queue.run(), 3u);
+  EXPECT_EQ(stats.fired, 3u);
   EXPECT_EQ(fired, 3);
 }
 
 TEST(EventQueue, SchedulingInThePastThrows) {
   EventQueue queue;
-  queue.schedule(5.0, [&queue] {
-    EXPECT_THROW(queue.schedule(4.0, [] {}), util::InvalidArgument);
+  queue.schedule(5.0, SimEvent::step(0));
+  queue.run([&queue](const SimEvent&) {
+    EXPECT_THROW(queue.schedule(4.0, SimEvent::step(1)),
+                 util::InvalidArgument);
   });
-  queue.run();
 }
 
 TEST(EventQueue, SchedulingAtCurrentTimeAllowed) {
   EventQueue queue;
   bool fired = false;
-  queue.schedule(5.0, [&queue, &fired] {
-    queue.schedule(5.0, [&fired] { fired = true; });
+  queue.schedule(5.0, SimEvent::step(0));
+  queue.run([&queue, &fired](const SimEvent& e) {
+    if (e.rank == 0) {
+      queue.schedule(5.0, SimEvent::step(1));
+    } else {
+      fired = true;
+    }
   });
-  queue.run();
   EXPECT_TRUE(fired);
 }
 
-TEST(EventQueue, EmptyActionRejected) {
+TEST(EventQueue, BudgetExhaustionReportedNotThrown) {
   EventQueue queue;
-  EXPECT_THROW(queue.schedule(1.0, EventQueue::Action{}),
-               util::InvalidArgument);
-}
-
-TEST(EventQueue, RunawayGuardTrips) {
-  EventQueue queue;
-  // A self-perpetuating event chain must hit the max_events guard.
-  std::function<void()> reschedule = [&queue, &reschedule] {
-    queue.schedule(queue.now() + 1.0, reschedule);
-  };
-  queue.schedule(0.0, reschedule);
-  EXPECT_THROW((void)queue.run(100), util::InternalError);
+  // A self-perpetuating event chain must trip the max_events budget.
+  queue.schedule(0.0, SimEvent::step(0));
+  const EventRunStats stats = queue.run(
+      [&queue](const SimEvent&) {
+        queue.schedule(queue.now() + 1.0, SimEvent::step(0));
+      },
+      /*max_events=*/100);
+  EXPECT_TRUE(stats.budget_exhausted);
+  EXPECT_EQ(stats.fired, 100u);
+  EXPECT_FALSE(queue.empty());  // the runaway chain is still pending
 }
 
 TEST(EventQueue, EmptyRunReturnsZero) {
   EventQueue queue;
-  EXPECT_EQ(queue.run(), 0u);
+  const EventRunStats stats = queue.run([](const SimEvent&) {});
+  EXPECT_EQ(stats.fired, 0u);
+  EXPECT_FALSE(stats.budget_exhausted);
   EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, ReservedCapacityCountsPooledEvents) {
+  EventQueue queue;
+  queue.reserve(8);
+  for (std::int32_t i = 0; i < 8; ++i) {
+    queue.schedule(static_cast<double>(i), SimEvent::step(i));
+  }
+  EXPECT_EQ(queue.pooled_events(), 8u);
+  EXPECT_EQ(queue.max_size(), 8u);
+}
+
+TEST(EventQueue, PayloadRoundTrips) {
+  EventQueue queue;
+  queue.schedule(1.0, SimEvent::arrival(/*rank=*/3, /*peer=*/7, /*tag=*/42));
+  queue.schedule(2.0, SimEvent::release(/*rank=*/5, /*cost=*/0.125));
+  std::vector<SimEvent> seen;
+  queue.run([&seen](const SimEvent& e) { seen.push_back(e); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].kind, EventKind::kMessageArrival);
+  EXPECT_EQ(seen[0].rank, 3);
+  EXPECT_EQ(seen[0].peer, 7);
+  EXPECT_EQ(seen[0].tag, 42);
+  EXPECT_EQ(seen[1].kind, EventKind::kCollectiveRelease);
+  EXPECT_EQ(seen[1].rank, 5);
+  EXPECT_DOUBLE_EQ(seen[1].value, 0.125);
 }
 
 }  // namespace

@@ -271,5 +271,57 @@ TEST(Simulator, RunIsRepeatable) {
             b.traffic.point_to_point_messages);
 }
 
+/// A 2-rank exchange of `messages` point-to-point round trips; every
+/// arrival is its own event, so the run fires well over `messages`
+/// events in total.
+Simulator make_chatty_simulator(std::size_t max_events) {
+  SimConfig config;
+  config.send_overhead = 0.0;
+  config.recv_overhead = 0.0;
+  config.max_events = max_events;
+  Simulator sim(2, network::make_hockney_model(1e-6, 1e9), config);
+  Schedule sender;
+  Schedule receiver;
+  for (std::int32_t m = 0; m < 32; ++m) {
+    sender.push_back(Op::isend(1, 8.0, m));
+    sender.push_back(Op::wait_all_sends());
+    receiver.push_back(Op::recv(0, 8.0, m));
+  }
+  sim.set_schedule(0, std::move(sender));
+  sim.set_schedule(1, std::move(receiver));
+  return sim;
+}
+
+TEST(Simulator, EventLimitThrowsWithoutStructuredFailures) {
+  Simulator sim = make_chatty_simulator(/*max_events=*/4);
+  EXPECT_THROW(sim.run(), util::InternalError);
+}
+
+TEST(Simulator, EventLimitSurfacesAsStructuredFailure) {
+  Simulator sim = make_chatty_simulator(/*max_events=*/4);
+  WatchdogConfig watchdog;
+  watchdog.structured_failures = true;
+  sim.set_watchdog(watchdog);
+  const SimResult result = sim.run();
+  ASSERT_FALSE(result.failures.empty());
+  const SimFailure& failure = result.failures.front();
+  EXPECT_EQ(failure.kind, SimFailure::Kind::kEventLimit);
+  EXPECT_EQ(failure.rank, -1);  // run-level diagnosis, not a rank's
+  EXPECT_EQ(sim_failure_kind_name(failure.kind), "event-limit");
+  // The historical runaway-guard message stays grep-compatible.
+  EXPECT_NE(failure.to_string().find("max_events"), std::string::npos);
+  EXPECT_NE(failure.detail.find("budget 4"), std::string::npos);
+}
+
+TEST(Simulator, GenerousEventLimitDoesNotTrip) {
+  Simulator sim = make_chatty_simulator(/*max_events=*/1 << 20);
+  WatchdogConfig watchdog;
+  watchdog.structured_failures = true;
+  sim.set_watchdog(watchdog);
+  const SimResult result = sim.run();
+  EXPECT_TRUE(result.failures.empty());
+  EXPECT_GT(result.makespan, 0.0);
+}
+
 }  // namespace
 }  // namespace krak::sim

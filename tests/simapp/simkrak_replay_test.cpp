@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fault/plan.hpp"
+#include "mesh/deck.hpp"
+#include "network/machine.hpp"
+#include "partition/partition.hpp"
+#include "simapp/simkrak.hpp"
+
+namespace krak::simapp {
+namespace {
+
+// Golden determinism contract of the schedule-replay optimization: the
+// replayed op stream must be indistinguishable from the per-iteration
+// rebuild it replaced, down to the last ulp of every simulated time.
+
+struct Fixture {
+  mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  network::MachineConfig machine = network::make_es45_qsnet();
+  ComputationCostEngine engine;
+
+  [[nodiscard]] SimKrakResult run(std::int32_t pes,
+                                  SimKrakOptions options) const {
+    const partition::Partition part = partition::partition_deck(
+        deck, pes, partition::PartitionMethod::kMultilevel, 1);
+    return SimKrak(deck, part, machine, engine, options).run();
+  }
+};
+
+void expect_bit_identical(const SimKrakResult& replayed,
+                          const SimKrakResult& rebuilt) {
+  // Exact equality throughout: EXPECT_EQ on doubles, not EXPECT_NEAR.
+  EXPECT_EQ(replayed.total_time, rebuilt.total_time);
+  EXPECT_EQ(replayed.time_per_iteration, rebuilt.time_per_iteration);
+  for (std::size_t p = 0; p < replayed.phase_times.size(); ++p) {
+    EXPECT_EQ(replayed.phase_times[p], rebuilt.phase_times[p]) << "phase " << p;
+  }
+  EXPECT_EQ(replayed.events_processed, rebuilt.events_processed);
+  EXPECT_EQ(replayed.traffic.point_to_point_messages,
+            rebuilt.traffic.point_to_point_messages);
+  EXPECT_EQ(replayed.traffic.point_to_point_bytes,
+            rebuilt.traffic.point_to_point_bytes);
+  EXPECT_EQ(replayed.traffic.allreduces, rebuilt.traffic.allreduces);
+  EXPECT_EQ(replayed.traffic.broadcasts, rebuilt.traffic.broadcasts);
+  EXPECT_EQ(replayed.traffic.gathers, rebuilt.traffic.gathers);
+  EXPECT_EQ(replayed.fault_stats.fault_delay_seconds,
+            rebuilt.fault_stats.fault_delay_seconds);
+  EXPECT_EQ(replayed.failures.size(), rebuilt.failures.size());
+  ASSERT_EQ(replayed.rank_breakdown.size(), rebuilt.rank_breakdown.size());
+  for (std::size_t r = 0; r < replayed.rank_breakdown.size(); ++r) {
+    const sim::RankTimeBreakdown& a = replayed.rank_breakdown[r];
+    const sim::RankTimeBreakdown& b = rebuilt.rank_breakdown[r];
+    EXPECT_EQ(a.compute, b.compute) << "rank " << r;
+    EXPECT_EQ(a.send_overhead, b.send_overhead) << "rank " << r;
+    EXPECT_EQ(a.recv_overhead, b.recv_overhead) << "rank " << r;
+    EXPECT_EQ(a.send_wait, b.send_wait) << "rank " << r;
+    EXPECT_EQ(a.recv_wait, b.recv_wait) << "rank " << r;
+    EXPECT_EQ(a.collective_wait, b.collective_wait) << "rank " << r;
+    EXPECT_EQ(a.collective_cost, b.collective_cost) << "rank " << r;
+    EXPECT_EQ(a.fault_delay, b.fault_delay) << "rank " << r;
+    EXPECT_EQ(a.recovery, b.recovery) << "rank " << r;
+    EXPECT_EQ(a.total_seconds(), b.total_seconds()) << "rank " << r;
+  }
+}
+
+void run_both_and_compare(const Fixture& f, std::int32_t pes,
+                          SimKrakOptions options) {
+  options.replay_schedules = true;
+  const SimKrakResult replayed = f.run(pes, options);
+  options.replay_schedules = false;
+  const SimKrakResult rebuilt = f.run(pes, options);
+  expect_bit_identical(replayed, rebuilt);
+}
+
+TEST(SimKrakReplay, BitIdenticalToRebuildAcrossPeCounts) {
+  const Fixture f;
+  for (const std::int32_t pes : {16, 64, 128}) {
+    SCOPED_TRACE(pes);
+    SimKrakOptions options;
+    options.iterations = 3;  // noise on: 3 distinct draws per phase
+    run_both_and_compare(f, pes, options);
+  }
+}
+
+TEST(SimKrakReplay, BitIdenticalWithoutNoise) {
+  const Fixture f;
+  SimKrakOptions options;
+  options.iterations = 2;
+  options.enable_noise = false;
+  run_both_and_compare(f, 64, options);
+}
+
+TEST(SimKrakReplay, BitIdenticalWithFaultPlan) {
+  const Fixture f;
+  for (const std::int32_t pes : {16, 64, 128}) {
+    SCOPED_TRACE(pes);
+    SimKrakOptions options;
+    options.iterations = 3;
+    fault::OneOffDelay delay;
+    delay.rank = 1;
+    delay.phase = 3;
+    delay.iteration = 1;
+    delay.seconds = 0.01;
+    options.faults.delays.push_back(delay);
+    options.faults.slowdowns.push_back({fault::kAllRanks, 1.02});
+    options.faults.seed = 7;
+    run_both_and_compare(f, pes, options);
+  }
+}
+
+}  // namespace
+}  // namespace krak::simapp
