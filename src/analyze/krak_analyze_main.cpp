@@ -7,12 +7,15 @@
 //   krak_analyze --deck corrupted            # built-in broken fixture
 //   krak_analyze --deck small --format csv
 //
-// File linting (event traces and fault-injection specs):
+// File linting (event traces, fault-injection specs, and persistent
+// partition-store entries):
 //
 //   krak_analyze --trace run.kraktrace
 //   krak_analyze --trace corrupted           # built-in broken trace
 //   krak_analyze --faults plan.krakfaults --pes 64
 //   krak_analyze --faults corrupted
+//   krak_analyze --partition-store store/abc-64-multilevel-1.krakpart
+//   krak_analyze --partition-store corrupted # built-in broken entry
 //
 // Exit status: 0 when no errors were found, 1 when the inputs are
 // inconsistent, 2 on usage errors.
@@ -24,6 +27,7 @@
 
 #include "analyze/fixtures.hpp"
 #include "analyze/lint_faults.hpp"
+#include "analyze/lint_partition_store.hpp"
 #include "analyze/lint_trace.hpp"
 #include "analyze/linter.hpp"
 #include "core/cost_table.hpp"
@@ -44,7 +48,8 @@ constexpr const char* kUsage =
     "                    [--machine es45|upgrade] [--format text|csv]\n"
     "                    [--no-partition] [--no-costs]\n"
     "       krak_analyze --trace FILE|corrupted [--format text|csv]\n"
-    "       krak_analyze --faults FILE|corrupted [--pes N] [--format text|csv]\n";
+    "       krak_analyze --faults FILE|corrupted [--pes N] [--format text|csv]\n"
+    "       krak_analyze --partition-store FILE|corrupted [--format text|csv]\n";
 
 mesh::InputDeck make_deck(const std::string& name) {
   if (name == "small") return mesh::make_standard_deck(mesh::DeckSize::kSmall);
@@ -100,6 +105,14 @@ int run(const util::ArgParser& args) {
       (void)analyze::lint_trace(in, report);
     } else {
       report = analyze::lint_trace_file(trace);
+    }
+  } else if (args.has("partition-store")) {
+    const std::string store = args.get_string("partition-store", "");
+    if (store == "corrupted") {
+      std::istringstream in(analyze::corrupted_partition_store_text());
+      (void)analyze::lint_partition_store(in, report);
+    } else {
+      report = analyze::lint_partition_store_file(store);
     }
   } else if (args.has("faults")) {
     const std::string faults = args.get_string("faults", "");

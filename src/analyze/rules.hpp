@@ -84,6 +84,24 @@ inline constexpr const char* kTraceOpKind = "trace-op-kind";
 /// receive count, or the replayed run would deadlock or drop payloads.
 inline constexpr const char* kTraceSendRecvMatch = "trace-send-recv-match";
 
+// --- partition-store files (krakpart 1, core/partition_store.hpp) ---------
+
+/// Structural validity of a partition-store entry: magic/version
+/// header, the fixed header fields (fingerprint, pes, method, seed,
+/// cells, checksum), known partition method, terminating `end`.
+inline constexpr const char* kPartitionStoreFormat = "partition-store-format";
+/// CSR offsets must start at 0, end at the cell count, be monotone
+/// non-decreasing, and agree with each part line's cell count.
+inline constexpr const char* kPartitionStoreOffsets = "partition-store-offsets";
+/// Part labels must be the sequence 0..pes-1 and every cell id must lie
+/// in [0, cells), be assigned exactly once, and leave no cell unowned.
+inline constexpr const char* kPartitionStoreBounds = "partition-store-bounds";
+/// The declared checksum must equal FNV-1a over the reconstructed
+/// assignment (core::partition_checksum) — the integrity seal the store
+/// itself verifies before trusting a file.
+inline constexpr const char* kPartitionStoreChecksum =
+    "partition-store-checksum";
+
 // --- fault-spec files (krakfaults 1, fault/plan.hpp) ----------------------
 
 /// Structural validity of a fault-spec file (parse failures).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/partition_cache.hpp"
 #include "linalg/solve.hpp"
 #include "partition/partition.hpp"
 #include "partition/stats.hpp"
@@ -49,9 +50,13 @@ CostTable calibrate_from_input(const simapp::ComputationCostEngine& engine,
   CostTable table;
   for (std::int32_t pes : pe_counts) {
     check(pes >= 1, "PE counts must be positive");
-    const partition::Partition part = partition::partition_deck(
-        deck, pes, partition::PartitionMethod::kMultilevel, config.seed);
-    const partition::PartitionStats stats(deck, part);
+    // Routed through the campaign-wide cache: the calibration partitions
+    // also land in the persistent store, and a calibration PE count that
+    // a campaign later revisits is computed once.
+    const std::shared_ptr<const PartitionedDeck> partitioned =
+        PartitionCache::global().get(
+            deck, pes, partition::PartitionMethod::kMultilevel, config.seed);
+    const partition::PartitionStats& stats = *partitioned->stats;
 
     // The sample's representative subgrid size: the balanced share.
     const double mean_cells = static_cast<double>(deck.grid().num_cells()) /

@@ -75,10 +75,7 @@ CampaignSummary run_validation_campaign(
       obs::global_registry().counter("campaign.failures");
 
   std::mutex failures_mutex;
-  const auto campaign_start = Clock::now();
-  util::ThreadPool pool(threads);
-  summary.threads_used = std::min(runs.size(), pool.thread_count());
-  pool.parallel_for(runs.size(), [&](std::size_t i) {
+  const auto run_one = [&](std::size_t i) {
     const auto run_start = Clock::now();
     const CampaignRun& run = runs[i];
     // One scenario failing must not take down the sweep: record the
@@ -120,7 +117,17 @@ CampaignSummary run_validation_campaign(
     }
     summary.run_wall_seconds[i] = seconds_since(run_start);
     run_timer.record(summary.run_wall_seconds[i]);
-  });
+  };
+
+  const auto campaign_start = Clock::now();
+  util::ThreadPool pool(threads);
+  summary.threads_used = std::min(runs.size(), pool.thread_count());
+  // Grain 1: each run is seconds of work, so one run is the unit of
+  // dynamic load balancing and the per-chunk dispatch cost is noise.
+  pool.parallel_for_chunked(
+      runs.size(), 1, [&run_one](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) run_one(i);
+      });
   summary.wall_seconds = seconds_since(campaign_start);
   campaign_timer.record(summary.wall_seconds);
   std::sort(summary.failures.begin(), summary.failures.end(),

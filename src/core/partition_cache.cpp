@@ -6,39 +6,12 @@
 
 namespace krak::core {
 
-namespace {
-
-/// FNV-1a over the deck's full content, so the cache can never alias
-/// two decks that merely share a name.
-std::uint64_t fingerprint(const mesh::InputDeck& deck) {
-  std::uint64_t hash = 0xcbf29ce484222325ull;
-  const auto mix_bytes = [&hash](const void* data, std::size_t size) {
-    const auto* bytes = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < size; ++i) {
-      hash ^= bytes[i];
-      hash *= 0x100000001b3ull;
-    }
-  };
-  mix_bytes(deck.name().data(), deck.name().size());
-  const std::int32_t nx = deck.grid().nx();
-  const std::int32_t ny = deck.grid().ny();
-  mix_bytes(&nx, sizeof(nx));
-  mix_bytes(&ny, sizeof(ny));
-  mix_bytes(deck.materials().data(),
-            deck.materials().size() * sizeof(mesh::Material));
-  const mesh::Point detonator = deck.detonator();
-  mix_bytes(&detonator.x, sizeof(detonator.x));
-  mix_bytes(&detonator.y, sizeof(detonator.y));
-  return hash;
-}
-
-}  // namespace
-
 std::shared_ptr<const PartitionedDeck> PartitionCache::get(
     const mesh::InputDeck& deck, std::int32_t pes,
-    partition::PartitionMethod method, std::uint64_t seed) {
-  const Key key{fingerprint(deck), pes, static_cast<std::int32_t>(method),
-                seed};
+    partition::PartitionMethod method, std::uint64_t seed,
+    std::int32_t threads) {
+  const std::uint64_t fingerprint = deck_fingerprint(deck);
+  const Key key{fingerprint, pes, static_cast<std::int32_t>(method), seed};
   obs::Registry& registry = obs::global_registry();
 
   std::promise<std::shared_ptr<const PartitionedDeck>> promise;
@@ -61,8 +34,17 @@ std::shared_ptr<const PartitionedDeck> PartitionCache::get(
   if (owner) {
     registry.counter("campaign.partition_cache.misses").add();
     try {
-      partition::Partition part = partition::partition_deck(deck, pes, method,
-                                                            seed);
+      const std::shared_ptr<PartitionStore> disk = store();
+      const PartitionStore::Key store_key{fingerprint, pes, method, seed};
+      std::optional<partition::Partition> loaded;
+      if (disk != nullptr) loaded = disk->load(store_key);
+      partition::Partition part =
+          loaded.has_value()
+              ? std::move(*loaded)
+              : partition::partition_deck(deck, pes, method, seed, threads);
+      if (disk != nullptr && !loaded.has_value()) {
+        disk->save(store_key, part);
+      }
       auto stats =
           std::make_shared<const partition::PartitionStats>(deck, part);
       promise.set_value(std::make_shared<const PartitionedDeck>(
@@ -81,6 +63,16 @@ std::shared_ptr<const PartitionedDeck> PartitionCache::get(
     registry.counter("campaign.partition_cache.hits").add();
   }
   return future.get();
+}
+
+void PartitionCache::set_store(std::shared_ptr<PartitionStore> store) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  store_ = std::move(store);
+}
+
+std::shared_ptr<PartitionStore> PartitionCache::store() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return store_;
 }
 
 void PartitionCache::clear() {

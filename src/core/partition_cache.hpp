@@ -7,6 +7,7 @@
 #include <mutex>
 #include <tuple>
 
+#include "core/partition_store.hpp"
 #include "mesh/deck.hpp"
 #include "partition/partition.hpp"
 #include "partition/stats.hpp"
@@ -38,9 +39,20 @@ class PartitionCache {
  public:
   /// Return the cached (partition, stats) of the configuration,
   /// computing and inserting it on first use. Never returns null.
+  /// `threads` only affects how fast a miss is computed — the result is
+  /// bit-identical at every value (see partition_multilevel) and is
+  /// deliberately not part of the cache key.
   [[nodiscard]] std::shared_ptr<const PartitionedDeck> get(
       const mesh::InputDeck& deck, std::int32_t pes,
-      partition::PartitionMethod method, std::uint64_t seed);
+      partition::PartitionMethod method, std::uint64_t seed,
+      std::int32_t threads = 1);
+
+  /// Attach a persistent on-disk store (nullptr detaches). Misses then
+  /// consult the store before partitioning, and freshly computed
+  /// partitions are written back, so a rerun against the same store
+  /// directory skips every partition computation.
+  void set_store(std::shared_ptr<PartitionStore> store);
+  [[nodiscard]] std::shared_ptr<PartitionStore> store() const;
 
   /// Drop every entry (test isolation; counters are kept).
   void clear();
@@ -63,6 +75,7 @@ class PartitionCache {
   mutable std::mutex mutex_;
   std::map<Key, Future> entries_;
   Counters counters_;
+  std::shared_ptr<PartitionStore> store_;
 };
 
 }  // namespace krak::core

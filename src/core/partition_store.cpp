@@ -1,0 +1,309 @@
+#include "core/partition_store.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <string>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace krak::core {
+
+namespace {
+
+void bump_store_counter(const char* name) {
+  if (!obs::enabled()) return;
+  obs::global_registry().counter(name).add();
+}
+
+std::string hex16(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+/// Whitespace tokenizer over the whole file. Entry files hold millions
+/// of integers, so parsing goes through from_chars over one buffer
+/// instead of iostream extraction — the difference is what makes a warm
+/// store load cheap relative to repartitioning.
+class Tokenizer {
+ public:
+  explicit Tokenizer(const std::string& text) : text_(text) {}
+
+  bool next(std::string_view& token) {
+    while (pos_ < text_.size() && is_space(text_[pos_])) ++pos_;
+    if (pos_ >= text_.size()) return false;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && !is_space(text_[pos_])) ++pos_;
+    token = std::string_view(text_).substr(start, pos_ - start);
+    return true;
+  }
+
+  template <typename T>
+  bool next_value(T& value, int base = 10) {
+    std::string_view token;
+    if (!next(token)) return false;
+    const auto result =
+        std::from_chars(token.data(), token.data() + token.size(), value, base);
+    return result.ec == std::errc{} &&
+           result.ptr == token.data() + token.size();
+  }
+
+ private:
+  static bool is_space(char c) {
+    return c == ' ' || c == '\n' || c == '\r' || c == '\t';
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void append_value(std::string& out, std::uint64_t value) {
+  char buffer[24];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, result.ptr);
+}
+
+/// Parse and fully validate an entry file against `key`; nullopt on any
+/// violation. Validation mirrors `krak_analyze --partition-store`
+/// (src/analyze/lint_partition_store.cpp) minus the diagnostics.
+std::optional<partition::Partition> parse_entry(const std::string& text,
+                                                const PartitionStore::Key& key) {
+  Tokenizer tok(text);
+  std::string_view word;
+  if (!tok.next(word) || word != "krakpart") return std::nullopt;
+  std::uint64_t version = 0;
+  if (!tok.next_value(version) || version != 1) return std::nullopt;
+
+  std::uint64_t fingerprint = 0;
+  if (!tok.next(word) || word != "fingerprint") return std::nullopt;
+  if (!tok.next_value(fingerprint, 16)) return std::nullopt;
+  std::int64_t pes = 0;
+  if (!tok.next(word) || word != "pes") return std::nullopt;
+  if (!tok.next_value(pes) || pes <= 0) return std::nullopt;
+  if (!tok.next(word) || word != "method") return std::nullopt;
+  std::string_view method_name;
+  if (!tok.next(method_name)) return std::nullopt;
+  std::uint64_t seed = 0;
+  if (!tok.next(word) || word != "seed") return std::nullopt;
+  if (!tok.next_value(seed)) return std::nullopt;
+  std::int64_t cells = 0;
+  if (!tok.next(word) || word != "cells") return std::nullopt;
+  if (!tok.next_value(cells) || cells <= 0) return std::nullopt;
+  std::uint64_t checksum = 0;
+  if (!tok.next(word) || word != "checksum") return std::nullopt;
+  if (!tok.next_value(checksum, 16)) return std::nullopt;
+
+  if (fingerprint != key.fingerprint || pes != key.pes || seed != key.seed ||
+      method_name != partition::partition_method_name(key.method)) {
+    return std::nullopt;
+  }
+
+  if (!tok.next(word) || word != "offsets") return std::nullopt;
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(pes) + 1);
+  for (std::int64_t& offset : offsets) {
+    if (!tok.next_value(offset)) return std::nullopt;
+  }
+  if (offsets.front() != 0 || offsets.back() != cells) return std::nullopt;
+  for (std::size_t p = 0; p + 1 < offsets.size(); ++p) {
+    if (offsets[p] > offsets[p + 1]) return std::nullopt;
+  }
+
+  std::vector<partition::PeId> assignment(static_cast<std::size_t>(cells), -1);
+  std::int64_t assigned = 0;
+  for (std::int64_t p = 0; p < pes; ++p) {
+    std::int64_t label = -1;
+    if (!tok.next(word) || word != "part") return std::nullopt;
+    if (!tok.next_value(label) || label != p) return std::nullopt;
+    const std::int64_t count = offsets[static_cast<std::size_t>(p) + 1] -
+                               offsets[static_cast<std::size_t>(p)];
+    for (std::int64_t k = 0; k < count; ++k) {
+      std::int64_t cell = -1;
+      if (!tok.next_value(cell)) return std::nullopt;
+      if (cell < 0 || cell >= cells) return std::nullopt;
+      if (assignment[static_cast<std::size_t>(cell)] != -1) return std::nullopt;
+      assignment[static_cast<std::size_t>(cell)] =
+          static_cast<partition::PeId>(p);
+      ++assigned;
+    }
+  }
+  if (!tok.next(word) || word != "end") return std::nullopt;
+  if (tok.next(word)) return std::nullopt;  // trailing garbage
+  if (assigned != cells) return std::nullopt;
+  if (partition_checksum(assignment) != checksum) return std::nullopt;
+  return partition::Partition(static_cast<std::int32_t>(pes),
+                              std::move(assignment));
+}
+
+}  // namespace
+
+std::uint64_t deck_fingerprint(const mesh::InputDeck& deck) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  const auto mix_bytes = [&hash](const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash ^= bytes[i];
+      hash *= 0x100000001b3ull;
+    }
+  };
+  mix_bytes(deck.name().data(), deck.name().size());
+  const std::int32_t nx = deck.grid().nx();
+  const std::int32_t ny = deck.grid().ny();
+  mix_bytes(&nx, sizeof(nx));
+  mix_bytes(&ny, sizeof(ny));
+  mix_bytes(deck.materials().data(),
+            deck.materials().size() * sizeof(mesh::Material));
+  const mesh::Point detonator = deck.detonator();
+  mix_bytes(&detonator.x, sizeof(detonator.x));
+  mix_bytes(&detonator.y, sizeof(detonator.y));
+  return hash;
+}
+
+std::uint64_t partition_checksum(
+    const std::vector<partition::PeId>& assignment) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const partition::PeId pe : assignment) {
+    hash ^= static_cast<std::uint32_t>(pe);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+PartitionStore::PartitionStore(std::filesystem::path directory)
+    : directory_(std::move(directory)) {
+  std::filesystem::create_directories(directory_);
+}
+
+std::filesystem::path PartitionStore::entry_path(const Key& key) const {
+  std::string name = hex16(key.fingerprint);
+  name += '-';
+  append_value(name, static_cast<std::uint64_t>(key.pes));
+  name += '-';
+  name += partition::partition_method_name(key.method);
+  name += '-';
+  append_value(name, key.seed);
+  name += ".krakpart";
+  return directory_ / name;
+}
+
+std::optional<partition::Partition> PartitionStore::load(const Key& key) {
+  const std::filesystem::path path = entry_path(key);
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.misses;
+      bump_store_counter("partition_store.misses");
+      return std::nullopt;
+    }
+    in.seekg(0, std::ios::end);
+    text.resize(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(text.data(), static_cast<std::streamsize>(text.size()));
+  }
+  std::optional<partition::Partition> partition = parse_entry(text, key);
+  if (!partition.has_value()) {
+    // Evict: a failed check means the file is corrupt or stale, and a
+    // deleted entry is simply recomputed on the next run.
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.rejects;
+    bump_store_counter("partition_store.rejects");
+    return std::nullopt;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.hits;
+    bump_store_counter("partition_store.hits");
+  }
+  return partition;
+}
+
+void PartitionStore::save(const Key& key, const partition::Partition& part) {
+  KRAK_REQUIRE(part.parts() == key.pes,
+               "PartitionStore::save key/partition PE count mismatch");
+  const std::vector<partition::PeId>& assignment = part.assignment();
+  std::string text;
+  text.reserve(assignment.size() * 8 + 64 * static_cast<std::size_t>(key.pes));
+  text += "krakpart 1\nfingerprint ";
+  text += hex16(key.fingerprint);
+  text += "\npes ";
+  append_value(text, static_cast<std::uint64_t>(key.pes));
+  text += "\nmethod ";
+  text += partition::partition_method_name(key.method);
+  text += "\nseed ";
+  append_value(text, key.seed);
+  text += "\ncells ";
+  append_value(text, static_cast<std::uint64_t>(assignment.size()));
+  text += "\nchecksum ";
+  text += hex16(partition_checksum(assignment));
+
+  const std::vector<std::int64_t> counts = part.cell_counts();
+  text += "\noffsets 0";
+  std::int64_t offset = 0;
+  for (const std::int64_t count : counts) {
+    offset += count;
+    text += ' ';
+    append_value(text, static_cast<std::uint64_t>(offset));
+  }
+  // Cells grouped by part in ascending order: one bucket-fill pass over
+  // the CSR offsets instead of one assignment scan per part.
+  std::vector<std::int64_t> grouped(assignment.size());
+  {
+    std::vector<std::int64_t> cursor(counts.size(), 0);
+    std::int64_t base = 0;
+    for (std::size_t p = 0; p < counts.size(); ++p) {
+      cursor[p] = base;
+      base += counts[p];
+    }
+    for (std::size_t cell = 0; cell < assignment.size(); ++cell) {
+      grouped[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(assignment[cell])]++)] =
+          static_cast<std::int64_t>(cell);
+    }
+  }
+  std::int64_t next = 0;
+  for (std::int32_t p = 0; p < key.pes; ++p) {
+    text += "\npart ";
+    append_value(text, static_cast<std::uint64_t>(p));
+    for (std::int64_t k = 0; k < counts[static_cast<std::size_t>(p)]; ++k) {
+      text += ' ';
+      append_value(text,
+                   static_cast<std::uint64_t>(grouped[static_cast<std::size_t>(
+                       next++)]));
+    }
+  }
+  text += "\nend\n";
+
+  // Temp-file-plus-rename keeps a crash from leaving a truncated file
+  // under a valid entry name. The temp name is per-entry, so concurrent
+  // saves of different keys never collide; concurrent saves of the same
+  // key write identical bytes.
+  const std::filesystem::path path = entry_path(key);
+  const std::filesystem::path temp = path.string() + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    KRAK_REQUIRE(static_cast<bool>(out), "PartitionStore: cannot open " +
+                                             temp.string() + " for writing");
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    KRAK_REQUIRE(static_cast<bool>(out),
+                 "PartitionStore: short write to " + temp.string());
+  }
+  std::filesystem::rename(temp, path);
+}
+
+PartitionStore::Counters PartitionStore::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace krak::core

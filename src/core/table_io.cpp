@@ -4,7 +4,6 @@
 #include <cstring>
 #include <fstream>
 #include <iomanip>
-#include <sstream>
 
 #include "util/error.hpp"
 

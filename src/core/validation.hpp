@@ -31,6 +31,11 @@ struct ValidationConfig {
   std::uint64_t partition_seed = 1;
   std::uint64_t noise_seed = 42;
   std::int32_t iterations = 3;
+  /// Worker threads for the multilevel partitioner's speculative
+  /// parallel paths on a partition-cache miss. Never changes any
+  /// measured or predicted value: the partition is bit-identical at
+  /// every thread count.
+  std::int32_t partition_threads = 1;
   /// Optional fault-injection plan applied to the SimKrak measurement.
   /// If the injected faults make the measurement fail (watchdog fires),
   /// the validate_* functions throw sim::SimFailureError carrying the

@@ -53,18 +53,31 @@ void Graph::validate() const {
 
 Graph build_dual_graph(const mesh::Grid& grid) {
   const auto n = static_cast<std::int32_t>(grid.num_cells());
+  const auto nx = static_cast<std::int32_t>(grid.nx());
+  const auto ny = static_cast<std::int32_t>(grid.ny());
   Graph g;
   g.vwgt.assign(static_cast<std::size_t>(n), 1);
   g.xadj.reserve(static_cast<std::size_t>(n) + 1);
   g.xadj.push_back(0);
-  for (std::int32_t v = 0; v < n; ++v) {
-    const auto neighbors = grid.neighbors_of_cell(v);
-    for (mesh::CellId u : neighbors) {
-      g.adjncy.push_back(u);
-      g.ewgt.push_back(1);
+  // Emit the 4-neighborhood straight from the row-major layout in the
+  // order neighbors_of_cell uses — (i-1,j), (i+1,j), (i,j-1), (i,j+1) —
+  // without materialising a per-cell vector. Every interior face
+  // contributes two directed edges.
+  const auto num_edges = static_cast<std::size_t>(
+      2 * ((static_cast<std::int64_t>(nx) - 1) * ny +
+           static_cast<std::int64_t>(nx) * (ny - 1)));
+  g.adjncy.reserve(num_edges);
+  for (std::int32_t j = 0; j < ny; ++j) {
+    for (std::int32_t i = 0; i < nx; ++i) {
+      const std::int32_t cell = j * nx + i;
+      if (i > 0) g.adjncy.push_back(cell - 1);
+      if (i + 1 < nx) g.adjncy.push_back(cell + 1);
+      if (j > 0) g.adjncy.push_back(cell - nx);
+      if (j + 1 < ny) g.adjncy.push_back(cell + nx);
+      g.xadj.push_back(static_cast<std::int64_t>(g.adjncy.size()));
     }
-    g.xadj.push_back(static_cast<std::int64_t>(g.adjncy.size()));
   }
+  g.ewgt.assign(g.adjncy.size(), 1);
   return g;
 }
 

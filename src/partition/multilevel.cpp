@@ -1,17 +1,43 @@
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cmath>
+#include <cstring>
 #include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
 #include <numeric>
+#include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "partition/partition.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+// Multilevel k-way partitioner (the project's Metis stand-in).
+//
+// Everything in this file obeys one contract: the resulting assignment
+// is a pure function of (graph, parts, seed). Thread count, ladder-cache
+// hits, and every fast path below are output-invariant, so the model's
+// measured/predicted numbers never move when the partitioner gets
+// faster. docs/PERFORMANCE.md ("Partitioner") walks through the
+// identity argument for each path; tests/partition/determinism_test.cpp
+// enforces it against checked-in checksums at 1/2/8 threads.
 
 namespace krak::partition {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 /// One coarsening step: heavy-edge matching, as in Metis. Returns the
 /// coarse graph and the fine->coarse vertex map.
@@ -20,26 +46,32 @@ struct CoarseningStep {
   std::vector<std::int32_t> fine_to_coarse;
 };
 
-CoarseningStep coarsen_once(const Graph& fine, util::Rng& rng) {
-  const std::int32_t n = fine.num_vertices();
-  std::vector<std::int32_t> match(static_cast<std::size_t>(n), -1);
-  std::vector<std::int32_t> order(static_cast<std::size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-  std::shuffle(order.begin(), order.end(), rng);
-
-  // Heavy-edge matching: pair each unmatched vertex with its unmatched
-  // neighbor across the heaviest edge.
-  for (std::int32_t v : order) {
+/// Serial reference matching: walk the shuffled order, pair each
+/// unmatched vertex with its unmatched neighbor across the heaviest
+/// edge (first occurrence wins ties via the strict comparison).
+void match_serial(const Graph& fine, const std::vector<std::int32_t>& order,
+                  std::vector<std::int32_t>& match) {
+  const std::int64_t* const xadj = fine.xadj.data();
+  const std::int32_t* const adjncy = fine.adjncy.data();
+  const std::int32_t* const ewgt = fine.ewgt.data();
+  const std::size_t count = order.size();
+  for (std::size_t oi = 0; oi < count; ++oi) {
+    if (oi + 8 < count) {
+      // The shuffled order makes both loads effectively random; telling
+      // the prefetcher a few iterations ahead hides most of the misses.
+      const std::int32_t pv = order[oi + 8];
+      __builtin_prefetch(&match[static_cast<std::size_t>(pv)]);
+      __builtin_prefetch(&xadj[pv]);
+    }
+    const std::int32_t v = order[oi];
     if (match[static_cast<std::size_t>(v)] != -1) continue;
-    const auto neighbors = fine.neighbors(v);
-    const auto weights = fine.edge_weights(v);
     std::int32_t best = -1;
     std::int32_t best_weight = -1;
-    for (std::size_t e = 0; e < neighbors.size(); ++e) {
-      const std::int32_t u = neighbors[e];
+    for (std::int64_t e = xadj[v]; e < xadj[v + 1]; ++e) {
+      const std::int32_t u = adjncy[e];
       if (match[static_cast<std::size_t>(u)] != -1) continue;
-      if (weights[e] > best_weight) {
-        best_weight = weights[e];
+      if (ewgt[e] > best_weight) {
+        best_weight = ewgt[e];
         best = u;
       }
     }
@@ -49,6 +81,90 @@ CoarseningStep coarsen_once(const Graph& fine, util::Rng& rng) {
     } else {
       match[static_cast<std::size_t>(v)] = v;  // stays single
     }
+  }
+}
+
+/// Speculative parallel matching, identical output to match_serial.
+///
+/// The order is processed in fixed windows. Workers compute a match
+/// proposal for every position of the window against the match state as
+/// of the window start (no writes happen during the parallel phase), a
+/// serial committer then walks the window in order. Matches only ever
+/// grow, so a proposal is still exact at commit time unless its partner
+/// was taken by an earlier commit:
+///  - the proposed partner is the first strictly-heaviest unmatched
+///    neighbor over a superset of the commit-time unmatched set; if it
+///    is still unmatched, removing other vertices can only have removed
+///    competitors it already beat, so it is still the serial pick;
+///  - a self-match proposal (no unmatched neighbor at snapshot time)
+///    stays valid because the unmatched set only shrinks.
+/// Invalidated proposals (rare) are recomputed serially in place.
+void match_speculative(const Graph& fine, const std::vector<std::int32_t>& order,
+                       std::vector<std::int32_t>& match,
+                       util::ThreadPool& pool) {
+  const std::int64_t* const xadj = fine.xadj.data();
+  const std::int32_t* const adjncy = fine.adjncy.data();
+  const std::int32_t* const ewgt = fine.ewgt.data();
+  constexpr std::size_t kWindow = 8192;
+  constexpr std::int32_t kAlreadyMatched = -2;
+  std::vector<std::int32_t> proposal(std::min(kWindow, order.size()));
+
+  const auto propose = [&](std::int32_t v) -> std::int32_t {
+    std::int32_t best = -1;
+    std::int32_t best_weight = -1;
+    for (std::int64_t e = xadj[v]; e < xadj[v + 1]; ++e) {
+      const std::int32_t u = adjncy[e];
+      if (match[static_cast<std::size_t>(u)] != -1) continue;
+      if (ewgt[e] > best_weight) {
+        best_weight = ewgt[e];
+        best = u;
+      }
+    }
+    return best;  // -1: self-match
+  };
+
+  for (std::size_t window = 0; window < order.size(); window += kWindow) {
+    const std::size_t end = std::min(window + kWindow, order.size());
+    const std::size_t size = end - window;
+    pool.parallel_for_chunked(
+        size, 1024, [&](std::size_t begin, std::size_t stop) {
+          for (std::size_t i = begin; i < stop; ++i) {
+            const std::int32_t v = order[window + i];
+            proposal[i] = match[static_cast<std::size_t>(v)] != -1
+                              ? kAlreadyMatched
+                              : propose(v);
+          }
+        });
+    for (std::size_t i = 0; i < size; ++i) {
+      const std::int32_t v = order[window + i];
+      if (match[static_cast<std::size_t>(v)] != -1) continue;
+      std::int32_t best = proposal[i];
+      if (best == kAlreadyMatched ||
+          (best >= 0 && match[static_cast<std::size_t>(best)] != -1)) {
+        best = propose(v);  // partner taken by an earlier commit
+      }
+      if (best != -1) {
+        match[static_cast<std::size_t>(v)] = best;
+        match[static_cast<std::size_t>(best)] = v;
+      } else {
+        match[static_cast<std::size_t>(v)] = v;
+      }
+    }
+  }
+}
+
+CoarseningStep coarsen_once(const Graph& fine, util::Rng& rng,
+                            util::ThreadPool* pool) {
+  const std::int32_t n = fine.num_vertices();
+  std::vector<std::int32_t> match(static_cast<std::size_t>(n), -1);
+  std::vector<std::int32_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  if (pool != nullptr) {
+    match_speculative(fine, order, match, *pool);
+  } else {
+    match_serial(fine, order, match);
   }
 
   CoarseningStep step;
@@ -83,43 +199,113 @@ CoarseningStep coarsen_once(const Graph& fine, util::Rng& rng) {
     }
   }
 
-  // Aggregate edges between coarse vertices. A scatter array keeps this
-  // O(E) without hashing; it is cleared after each coarse vertex so the
-  // matched pair's combined neighbor list is deduplicated. Coarse
-  // vertices are emitted in order, so the deduplicated lists stream
-  // straight into the CSR arrays — no per-vertex staging vectors.
-  std::vector<std::int32_t> edge_pos(static_cast<std::size_t>(coarse_count), -1);
-  coarse.xadj.reserve(static_cast<std::size_t>(coarse_count) + 1);
-  coarse.xadj.push_back(0);
-  // Upper bound: coarsening only ever collapses or merges fine edges.
-  coarse.adjncy.reserve(fine.adjncy.size());
-  coarse.ewgt.reserve(fine.adjncy.size());
-  for (std::int32_t cv = 0; cv < coarse_count; ++cv) {
-    const std::size_t start = coarse.adjncy.size();
+  // Aggregate edges between coarse vertices. A coarse vertex merges at
+  // most two fine adjacency lists, so deduplicating with a linear scan
+  // over its own (short) output range beats a scatter array: no O(n)
+  // clearing, and the range being scanned is the cache line just
+  // written. Coarse vertices are emitted in order and neighbors in
+  // first-occurrence order — the same lists the scatter version built.
+  const std::int64_t* const fxadj = fine.xadj.data();
+  const std::int32_t* const fadjncy = fine.adjncy.data();
+  const std::int32_t* const fewgt = fine.ewgt.data();
+  const std::int32_t* const f2c = step.fine_to_coarse.data();
+
+  if (pool == nullptr) {
+    coarse.xadj.reserve(static_cast<std::size_t>(coarse_count) + 1);
+    coarse.xadj.push_back(0);
+    // Upper bound: coarsening only ever collapses or merges fine edges.
+    coarse.adjncy.reserve(fine.adjncy.size());
+    coarse.ewgt.reserve(fine.adjncy.size());
+    for (std::int32_t cv = 0; cv < coarse_count; ++cv) {
+      const std::size_t start = coarse.adjncy.size();
+      for (std::int32_t v : members[static_cast<std::size_t>(cv)]) {
+        if (v == -1) continue;
+        for (std::int64_t e = fxadj[v]; e < fxadj[v + 1]; ++e) {
+          const std::int32_t cu = f2c[fadjncy[e]];
+          if (cu == cv) continue;  // edge collapses inside the coarse vertex
+          std::size_t pos = start;
+          const std::size_t filled = coarse.adjncy.size();
+          while (pos < filled && coarse.adjncy[pos] != cu) ++pos;
+          if (pos < filled) {
+            coarse.ewgt[pos] += fewgt[e];
+          } else {
+            coarse.adjncy.push_back(cu);
+            coarse.ewgt.push_back(fewgt[e]);
+          }
+        }
+      }
+      coarse.xadj.push_back(static_cast<std::int64_t>(coarse.adjncy.size()));
+    }
+    return step;
+  }
+
+  // Two-pass parallel aggregation, identical output to the streaming
+  // loop: coarse degrees are counted per coarse vertex in parallel, a
+  // serial prefix sum fixes every vertex's CSR range, and a second
+  // parallel pass fills the ranges. Each coarse vertex's list is built
+  // by the same member-order linear dedup as the serial loop, and the
+  // ranges are disjoint, so the passes are race-free and the resulting
+  // CSR arrays are byte-identical.
+  const std::size_t grain = std::max<std::size_t>(
+      1024, static_cast<std::size_t>(coarse_count) / (pool->thread_count() * 4));
+  const auto emit = [&](std::int32_t cv, std::int32_t* out_adj,
+                        std::int32_t* out_wgt) -> std::int64_t {
+    std::int64_t filled = 0;
     for (std::int32_t v : members[static_cast<std::size_t>(cv)]) {
       if (v == -1) continue;
-      const auto neighbors = fine.neighbors(v);
-      const auto weights = fine.edge_weights(v);
-      for (std::size_t e = 0; e < neighbors.size(); ++e) {
-        const std::int32_t cu =
-            step.fine_to_coarse[static_cast<std::size_t>(neighbors[e])];
-        if (cu == cv) continue;  // edge collapses inside the coarse vertex
-        const std::int32_t pos = edge_pos[static_cast<std::size_t>(cu)];
-        if (pos >= 0) {
-          coarse.ewgt[start + static_cast<std::size_t>(pos)] += weights[e];
+      for (std::int64_t e = fxadj[v]; e < fxadj[v + 1]; ++e) {
+        const std::int32_t cu = f2c[fadjncy[e]];
+        if (cu == cv) continue;
+        std::int64_t pos = 0;
+        while (pos < filled && out_adj[pos] != cu) ++pos;
+        if (pos < filled) {
+          if (out_wgt != nullptr) out_wgt[pos] += fewgt[e];
         } else {
-          edge_pos[static_cast<std::size_t>(cu)] =
-              static_cast<std::int32_t>(coarse.adjncy.size() - start);
-          coarse.adjncy.push_back(cu);
-          coarse.ewgt.push_back(weights[e]);
+          out_adj[filled] = cu;
+          if (out_wgt != nullptr) out_wgt[filled] = fewgt[e];
+          ++filled;
         }
       }
     }
-    for (std::size_t i = start; i < coarse.adjncy.size(); ++i) {
-      edge_pos[static_cast<std::size_t>(coarse.adjncy[i])] = -1;
-    }
-    coarse.xadj.push_back(static_cast<std::int64_t>(coarse.adjncy.size()));
+    return filled;
+  };
+
+  coarse.xadj.assign(static_cast<std::size_t>(coarse_count) + 1, 0);
+  pool->parallel_for_chunked(
+      static_cast<std::size_t>(coarse_count), grain,
+      [&](std::size_t begin, std::size_t stop) {
+        // Degree pass: count distinct coarse neighbors into a scratch
+        // list; a pair merges at most two short adjacency lists.
+        std::vector<std::int32_t> scratch(16);
+        for (std::size_t cv = begin; cv < stop; ++cv) {
+          const std::int32_t c = static_cast<std::int32_t>(cv);
+          const std::int64_t cap =
+              (members[cv][0] != -1 ? fxadj[members[cv][0] + 1] -
+                                          fxadj[members[cv][0]]
+                                    : 0) +
+              (members[cv][1] != -1 ? fxadj[members[cv][1] + 1] -
+                                          fxadj[members[cv][1]]
+                                    : 0);
+          if (static_cast<std::size_t>(cap) > scratch.size()) {
+            scratch.resize(static_cast<std::size_t>(cap));
+          }
+          coarse.xadj[cv + 1] = emit(c, scratch.data(), nullptr);
+        }
+      });
+  for (std::size_t cv = 0; cv < static_cast<std::size_t>(coarse_count); ++cv) {
+    coarse.xadj[cv + 1] += coarse.xadj[cv];
   }
+  coarse.adjncy.resize(static_cast<std::size_t>(coarse.xadj.back()));
+  coarse.ewgt.resize(static_cast<std::size_t>(coarse.xadj.back()));
+  pool->parallel_for_chunked(
+      static_cast<std::size_t>(coarse_count), grain,
+      [&](std::size_t begin, std::size_t stop) {
+        for (std::size_t cv = begin; cv < stop; ++cv) {
+          emit(static_cast<std::int32_t>(cv),
+               coarse.adjncy.data() + coarse.xadj[cv],
+               coarse.ewgt.data() + coarse.xadj[cv]);
+        }
+      });
   return step;
 }
 
@@ -214,8 +400,22 @@ std::vector<PeId> initial_partition(const Graph& graph, std::int32_t parts,
 /// to the neighboring part with the best cut gain, subject to a balance
 /// ceiling. Also performs balance repair moves when a part exceeds the
 /// ceiling even at zero or negative gain.
+///
+/// A vertex's move decision depends only on its own part, its
+/// neighbors' parts and edge weights, and the weights of the parts
+/// involved. Between passes most of that state is untouched, so the
+/// loop keeps per-part and per-vertex stamps and skips any vertex whose
+/// decision inputs provably did not change since its last evaluation —
+/// the skipped evaluation would have reproduced the same "stay"
+/// decision, so the move sequence is bit-identical to evaluating
+/// everything. Two stamp granularities keep the skip rate high:
+/// `weight_stamp` advances on every weight change of a part, while
+/// `danger_stamp` advances only when a change can flip one of the three
+/// predicates a decision actually reads (the balance-ceiling filter,
+/// the overweight test, and the never-empty guard), which lets vertices
+/// ignore irrelevant weight drift in non-overweight parts.
 void refine(const Graph& graph, std::int32_t parts, std::vector<PeId>& part,
-            double max_imbalance) {
+            double max_imbalance, util::ThreadPool* pool) {
   const std::int32_t n = graph.num_vertices();
   const std::int64_t total = graph.total_vertex_weight();
   const auto ceiling = static_cast<std::int64_t>(
@@ -234,104 +434,342 @@ void refine(const Graph& graph, std::int32_t parts, std::vector<PeId>& part,
   std::vector<std::int64_t> conn(static_cast<std::size_t>(parts), 0);
   std::vector<PeId> touched;
 
+  const std::int64_t* const xadj = graph.xadj.data();
+  const std::int32_t* const adjncy = graph.adjncy.data();
+  const std::int32_t* const ewgt = graph.ewgt.data();
+
   // Interior fast path: a vertex whose neighbors all share its part can
-  // never move, and its conn/touched state would be discarded unread.
-  // Boundary membership is tracked incrementally: it depends only on a
-  // vertex's own part and its neighbors' parts, so a move of v can only
-  // change the status of v and of v's neighbors — exactly those are
-  // recomputed. Every pass then pays O(V) flag reads plus full gain
-  // computation on the O(boundary) fringe, instead of rescanning every
-  // adjacency list. The flag always equals what a fresh scan would
-  // return, so visit order and move decisions — and therefore the
-  // resulting assignment — are unchanged.
-  const auto is_boundary = [&graph, &part](std::int32_t v) -> char {
+  // never move. Boundary membership depends only on a vertex's own part
+  // and its neighbors' parts, so a move of v can only change the status
+  // of v and of v's neighbors — exactly those are recomputed after each
+  // move, and the flag always equals what a fresh scan would return.
+  const auto is_boundary = [&part, xadj, adjncy](std::int32_t v) -> char {
     const PeId p = part[static_cast<std::size_t>(v)];
-    for (const std::int32_t u : graph.neighbors(v)) {
-      if (part[static_cast<std::size_t>(u)] != p) return 1;
+    for (std::int64_t e = xadj[v]; e < xadj[v + 1]; ++e) {
+      if (part[static_cast<std::size_t>(adjncy[e])] != p) return 1;
     }
     return 0;
   };
   std::vector<char> boundary(static_cast<std::size_t>(n));
-  for (std::int32_t v = 0; v < n; ++v) {
-    boundary[static_cast<std::size_t>(v)] = is_boundary(v);
+  if (pool != nullptr) {
+    pool->parallel_for_chunked(static_cast<std::size_t>(n), 4096,
+                               [&](std::size_t begin, std::size_t end) {
+                                 for (std::size_t v = begin; v < end; ++v) {
+                                   boundary[v] = is_boundary(
+                                       static_cast<std::int32_t>(v));
+                                 }
+                               });
+  } else {
+    for (std::int32_t v = 0; v < n; ++v) {
+      boundary[static_cast<std::size_t>(v)] = is_boundary(v);
+    }
+  }
+
+  std::int64_t max_vw = 0;
+  for (const std::int32_t w : graph.vwgt) {
+    max_vw = std::max<std::int64_t>(max_vw, w);
+  }
+  std::vector<std::uint32_t> weight_stamp(static_cast<std::size_t>(parts), 1);
+  std::vector<std::uint32_t> danger_stamp(static_cast<std::size_t>(parts), 1);
+  std::vector<std::uint32_t> moved_stamp(static_cast<std::size_t>(n), 1);
+  std::vector<std::uint32_t> vertex_stamp(static_cast<std::size_t>(n), 0);
+  std::uint32_t move_counter = 1;
+
+  // Advance a part's stamps after its weight changed from old_w to
+  // new_w. The danger stamp moves only when the change can flip a
+  // predicate some vertex's decision reads: the ceiling filter
+  // (weight + vw > ceiling for vw in [1, max_vw]), the overweight test
+  // (weight > ceiling), or the never-empty guard (weight - vw > 0).
+  const auto bump_part = [&](PeId p, std::int64_t old_w, std::int64_t new_w) {
+    weight_stamp[static_cast<std::size_t>(p)] = move_counter;
+    const std::int64_t lo = std::min(old_w, new_w);
+    const std::int64_t hi = std::max(old_w, new_w);
+    const bool ceiling_flip = lo <= ceiling - 1 && hi > ceiling - max_vw;
+    const bool overweight_flip = lo <= ceiling && hi > ceiling;
+    const bool empty_flip = lo <= max_vw && hi > 1;
+    if (ceiling_flip || overweight_flip || empty_flip) {
+      danger_stamp[static_cast<std::size_t>(p)] = move_counter;
+    }
+  };
+
+  // True when any decision input of v changed after `stamp`; stamp 0
+  // means "never evaluated". Overweight parts re-check against the
+  // fine-grained weight stamp because the balance-repair branch orders
+  // candidates by exact weights.
+  const auto is_stale = [&](std::int32_t v, std::uint32_t stamp) -> bool {
+    if (stamp == 0) return true;
+    const PeId from = part[static_cast<std::size_t>(v)];
+    const bool overweight_now = weight[static_cast<std::size_t>(from)] > ceiling;
+    const auto& part_stamps = overweight_now ? weight_stamp : danger_stamp;
+    if (part_stamps[static_cast<std::size_t>(from)] > stamp) return true;
+    for (std::int64_t e = xadj[v]; e < xadj[v + 1]; ++e) {
+      const std::int32_t u = adjncy[e];
+      if (moved_stamp[static_cast<std::size_t>(u)] > stamp ||
+          part_stamps[static_cast<std::size_t>(
+              part[static_cast<std::size_t>(u)])] > stamp) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // The move decision of the serial algorithm, computed against the
+  // current assignment with caller-provided scratch. Returns `from`
+  // for "stay".
+  const auto evaluate_move = [&](std::int32_t v,
+                                 std::vector<std::int64_t>& conn_scratch,
+                                 std::vector<PeId>& touched_scratch) -> PeId {
+    const PeId from = part[static_cast<std::size_t>(v)];
+    touched_scratch.clear();
+    for (std::int64_t e = xadj[v]; e < xadj[v + 1]; ++e) {
+      const PeId p = part[static_cast<std::size_t>(adjncy[e])];
+      if (conn_scratch[static_cast<std::size_t>(p)] == 0) {
+        touched_scratch.push_back(p);
+      }
+      conn_scratch[static_cast<std::size_t>(p)] += ewgt[e];
+    }
+    const std::int64_t vw = graph.vwgt[static_cast<std::size_t>(v)];
+    const std::int64_t internal = conn_scratch[static_cast<std::size_t>(from)];
+    PeId best_part = from;
+    std::int64_t best_gain = 0;
+    if (weight[static_cast<std::size_t>(from)] > ceiling) {
+      // Balance repair: bleed the overweight part toward its lightest
+      // adjacent part, taking cut gain only as tie-break. Negative-gain
+      // moves are allowed — restoring balance beats edge cut here
+      // (Metis behaves the same way).
+      std::int64_t best_weight = weight[static_cast<std::size_t>(from)] - vw;
+      for (PeId p : touched_scratch) {
+        if (p == from) continue;
+        const std::int64_t gain =
+            conn_scratch[static_cast<std::size_t>(p)] - internal;
+        const std::int64_t w = weight[static_cast<std::size_t>(p)];
+        if (w + vw >= weight[static_cast<std::size_t>(from)]) continue;
+        if (w < best_weight ||
+            (w == best_weight && best_part != from && gain > best_gain)) {
+          best_weight = w;
+          best_gain = gain;
+          best_part = p;
+        }
+      }
+    } else {
+      for (PeId p : touched_scratch) {
+        if (p == from) continue;
+        const std::int64_t gain =
+            conn_scratch[static_cast<std::size_t>(p)] - internal;
+        if (weight[static_cast<std::size_t>(p)] + vw > ceiling) continue;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_part = p;
+        }
+      }
+    }
+    for (PeId p : touched_scratch) conn_scratch[static_cast<std::size_t>(p)] = 0;
+    return best_part;
+  };
+
+  // Speculative parallel gain recomputation (pool mode): before each
+  // serial pass, workers evaluate every vertex the pass will visit
+  // against the pass-start state. The serial walk reuses a proposal
+  // only when the same stamp check proves the vertex's decision inputs
+  // did not change after the snapshot — the exactness argument is the
+  // cross-pass skip's, applied within a pass — and recomputes the rest
+  // in place, so the applied move sequence is the serial one.
+  std::vector<PeId> proposal;
+  std::vector<char> has_proposal;
+  if (pool != nullptr) {
+    proposal.resize(static_cast<std::size_t>(n));
+    has_proposal.resize(static_cast<std::size_t>(n));
   }
 
   constexpr int kMaxPasses = 32;
   for (int pass = 0; pass < kMaxPasses; ++pass) {
     bool moved_any = false;
+    const std::uint32_t pass_stamp = move_counter;
+    if (pool != nullptr) {
+      const std::size_t grain = std::max<std::size_t>(
+          4096, static_cast<std::size_t>(n) / (pool->thread_count() * 4));
+      pool->parallel_for_chunked(
+          static_cast<std::size_t>(n), grain,
+          [&](std::size_t begin, std::size_t end) {
+            std::vector<std::int64_t> conn_scratch(
+                static_cast<std::size_t>(parts), 0);
+            std::vector<PeId> touched_scratch;
+            for (std::size_t i = begin; i < end; ++i) {
+              const auto v = static_cast<std::int32_t>(i);
+              has_proposal[i] = 0;
+              if (!boundary[i]) continue;
+              if (!is_stale(v, vertex_stamp[i])) continue;
+              proposal[i] = evaluate_move(v, conn_scratch, touched_scratch);
+              has_proposal[i] = 1;
+            }
+          });
+    }
     for (std::int32_t v = 0; v < n; ++v) {
       if (!boundary[static_cast<std::size_t>(v)]) continue;
+      if (!is_stale(v, vertex_stamp[static_cast<std::size_t>(v)])) continue;
       const PeId from = part[static_cast<std::size_t>(v)];
-      const auto neighbors = graph.neighbors(v);
-      const auto weights = graph.edge_weights(v);
-      touched.clear();
-      for (std::size_t e = 0; e < neighbors.size(); ++e) {
-        const PeId p = part[static_cast<std::size_t>(neighbors[e])];
-        if (conn[static_cast<std::size_t>(p)] == 0) touched.push_back(p);
-        conn[static_cast<std::size_t>(p)] += weights[e];
+      PeId best_part = from;
+      if (pool != nullptr && has_proposal[static_cast<std::size_t>(v)] != 0 &&
+          !is_stale(v, pass_stamp)) {
+        best_part = proposal[static_cast<std::size_t>(v)];
+      } else {
+        best_part = evaluate_move(v, conn, touched);
       }
-      {
+      vertex_stamp[static_cast<std::size_t>(v)] = move_counter;
+      if (best_part != from) {
         const std::int64_t vw = graph.vwgt[static_cast<std::size_t>(v)];
-        const std::int64_t internal = conn[static_cast<std::size_t>(from)];
-        PeId best_part = from;
-        std::int64_t best_gain = 0;
-        const bool from_overweight =
-            weight[static_cast<std::size_t>(from)] > ceiling;
-        if (from_overweight) {
-          // Balance repair: bleed the overweight part toward its
-          // lightest adjacent part, taking cut gain only as tie-break.
-          // Negative-gain moves are allowed — restoring balance beats
-          // edge cut here (Metis behaves the same way).
-          std::int64_t best_weight = weight[static_cast<std::size_t>(from)] - vw;
-          for (PeId p : touched) {
-            if (p == from) continue;
-            const std::int64_t gain =
-                conn[static_cast<std::size_t>(p)] - internal;
-            const std::int64_t w = weight[static_cast<std::size_t>(p)];
-            if (w + vw >= weight[static_cast<std::size_t>(from)]) continue;
-            if (w < best_weight ||
-                (w == best_weight && best_part != from && gain > best_gain)) {
-              best_weight = w;
-              best_gain = gain;
-              best_part = p;
-            }
-          }
-        } else {
-          for (PeId p : touched) {
-            if (p == from) continue;
-            const std::int64_t gain =
-                conn[static_cast<std::size_t>(p)] - internal;
-            if (weight[static_cast<std::size_t>(p)] + vw > ceiling) continue;
-            if (gain > best_gain) {
-              best_gain = gain;
-              best_part = p;
-            }
-          }
-        }
-        if (best_part != from) {
-          // Never empty a part: the model indexes every PE.
-          if (weight[static_cast<std::size_t>(from)] - vw > 0) {
-            part[static_cast<std::size_t>(v)] = best_part;
-            weight[static_cast<std::size_t>(from)] -= vw;
-            weight[static_cast<std::size_t>(best_part)] += vw;
-            moved_any = true;
-            boundary[static_cast<std::size_t>(v)] = is_boundary(v);
-            for (const std::int32_t u : neighbors) {
-              boundary[static_cast<std::size_t>(u)] = is_boundary(u);
-            }
+        // Never empty a part: the model indexes every PE.
+        if (weight[static_cast<std::size_t>(from)] - vw > 0) {
+          part[static_cast<std::size_t>(v)] = best_part;
+          ++move_counter;
+          moved_stamp[static_cast<std::size_t>(v)] = move_counter;
+          const std::int64_t old_from = weight[static_cast<std::size_t>(from)];
+          const std::int64_t old_to =
+              weight[static_cast<std::size_t>(best_part)];
+          weight[static_cast<std::size_t>(from)] -= vw;
+          weight[static_cast<std::size_t>(best_part)] += vw;
+          bump_part(from, old_from, old_from - vw);
+          bump_part(best_part, old_to, old_to + vw);
+          moved_any = true;
+          boundary[static_cast<std::size_t>(v)] = is_boundary(v);
+          for (std::int64_t e = xadj[v]; e < xadj[v + 1]; ++e) {
+            const std::int32_t u = adjncy[e];
+            boundary[static_cast<std::size_t>(u)] = is_boundary(u);
           }
         }
       }
-      for (PeId p : touched) conn[static_cast<std::size_t>(p)] = 0;
     }
     if (!moved_any) break;
   }
 }
 
+// --- coarsening ladder cache ---------------------------------------------
+//
+// Coarsening is independent of the part count: the RNG consumes draws
+// only through the per-level shuffles, so for a fixed (graph, seed) the
+// sequence of coarse graphs is the same whether the caller wants 128 or
+// 512 parts — a larger part count merely stops higher up the ladder.
+// Campaigns partition each deck at several PE counts, so the ladder is
+// memoized per (graph identity, seed): later calls replay the shared
+// prefix and only refinement runs per part count. Each level snapshots
+// the RNG state it left behind so a replayed query resumes the draw
+// sequence exactly where a fresh run would be; a stalled attempt (the
+// 19/20 shrink test failing) is recorded too, because the attempt
+// consumes draws even though its graph is discarded.
+
+struct LadderLevel {
+  std::shared_ptr<const Graph> graph;
+  std::shared_ptr<const std::vector<std::int32_t>> map;
+  util::Rng::State rng_after;
+};
+
+struct CoarseningLadder {
+  std::vector<LadderLevel> levels;
+  bool stalled = false;  ///< one more step from the deepest level stalls
+  util::Rng::State rng_after_stall;
+};
+
+class LadderCache {
+ public:
+  static LadderCache& instance() {
+    static LadderCache cache;
+    return cache;
+  }
+
+  std::shared_ptr<const CoarseningLadder> find(std::uint64_t key) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == key) {
+        entries_.splice(entries_.begin(), entries_, it);
+        return entries_.front().second;
+      }
+    }
+    return nullptr;
+  }
+
+  // Entries are immutable: an extension stores a new ladder object under
+  // the same key. Concurrent extenders can race, but both compute
+  // bit-identical levels, so whichever store wins is correct.
+  void store(std::uint64_t key, std::shared_ptr<const CoarseningLadder> value) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == key) {
+        entries_.erase(it);
+        break;
+      }
+    }
+    entries_.emplace_front(key, std::move(value));
+    // Ladders hold full coarse graphs (roughly the fine graph's size
+    // across all levels), so keep only the few decks a campaign cycles
+    // through.
+    constexpr std::size_t kMaxEntries = 4;
+    while (entries_.size() > kMaxEntries) entries_.pop_back();
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::list<std::pair<std::uint64_t, std::shared_ptr<const CoarseningLadder>>>
+      entries_;
+};
+
+std::uint64_t fnv_mix(std::uint64_t hash, const void* data, std::size_t size) {
+  // Word-at-a-time FNV-1a: one multiply per 8 bytes instead of per
+  // byte, fast enough to fingerprint multi-megabyte CSR arrays.
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, bytes + i, 8);
+    hash ^= word;
+    hash *= 0x100000001b3ull;
+  }
+  for (; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::uint64_t ladder_cache_key(const Graph& graph, std::uint64_t seed,
+                               const std::optional<std::uint64_t>& provided) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  const std::uint64_t tag = provided.has_value() ? 1 : 0;
+  hash = fnv_mix(hash, &tag, sizeof(tag));
+  hash = fnv_mix(hash, &seed, sizeof(seed));
+  if (provided.has_value()) {
+    const std::uint64_t value = *provided;
+    return fnv_mix(hash, &value, sizeof(value));
+  }
+  const std::int64_t n = graph.num_vertices();
+  hash = fnv_mix(hash, &n, sizeof(n));
+  hash = fnv_mix(hash, graph.xadj.data(),
+                 graph.xadj.size() * sizeof(graph.xadj[0]));
+  hash = fnv_mix(hash, graph.adjncy.data(),
+                 graph.adjncy.size() * sizeof(graph.adjncy[0]));
+  hash = fnv_mix(hash, graph.vwgt.data(),
+                 graph.vwgt.size() * sizeof(graph.vwgt[0]));
+  hash = fnv_mix(hash, graph.ewgt.data(),
+                 graph.ewgt.size() * sizeof(graph.ewgt[0]));
+  return hash;
+}
+
 }  // namespace
+
+void clear_multilevel_ladder_cache() { LadderCache::instance().clear(); }
 
 Partition partition_multilevel(const Graph& graph, std::int32_t parts,
                                std::uint64_t seed) {
+  return partition_multilevel(graph, parts, seed, MultilevelOptions{});
+}
+
+Partition partition_multilevel(const Graph& graph, std::int32_t parts,
+                               std::uint64_t seed,
+                               const MultilevelOptions& options) {
   KRAK_REQUIRE(parts > 0, "partition_multilevel requires parts > 0");
   KRAK_REQUIRE(graph.num_vertices() >= parts, "more parts than vertices");
   util::Rng rng(seed);
@@ -341,35 +779,110 @@ Partition partition_multilevel(const Graph& graph, std::int32_t parts,
                             static_cast<std::size_t>(graph.num_vertices()), 0));
   }
 
-  // Coarsen until the graph is small relative to the part count or
-  // matching stops shrinking it.
-  std::vector<Graph> levels{graph};
-  std::vector<std::vector<std::int32_t>> maps;
-  const std::int32_t coarse_target = std::max(parts * 16, 256);
-  while (levels.back().num_vertices() > coarse_target) {
-    CoarseningStep step = coarsen_once(levels.back(), rng);
-    if (step.coarse.num_vertices() >=
-        levels.back().num_vertices() * 19 / 20) {
-      break;  // diminishing returns; stop coarsening
-    }
-    maps.push_back(std::move(step.fine_to_coarse));
-    levels.push_back(std::move(step.coarse));
+  std::optional<util::ThreadPool> local_pool;
+  util::ThreadPool* pool = nullptr;
+  if (options.threads > 1) {
+    local_pool.emplace(static_cast<std::size_t>(options.threads));
+    pool = &*local_pool;
   }
 
+  // Coarsen until the graph is small relative to the part count or
+  // matching stops shrinking it, replaying cached ladder levels where
+  // available.
+  const auto coarsen_start = Clock::now();
+  const std::uint64_t key = ladder_cache_key(graph, seed, options.ladder_key);
+  std::shared_ptr<const CoarseningLadder> cached =
+      LadderCache::instance().find(key);
+  if (obs::enabled()) {
+    obs::global_registry()
+        .counter(cached != nullptr ? "partition.ladder.hits"
+                                   : "partition.ladder.misses")
+        .add();
+  }
+  CoarseningLadder working;
+  if (cached != nullptr) working = *cached;  // shallow: levels are shared
+
+  std::vector<const Graph*> levels{&graph};
+  std::vector<const std::vector<std::int32_t>*> maps;
+  util::Rng::State rng_state = rng.state();
+  const std::int32_t coarse_target = std::max(parts * 16, 256);
+  bool extended = false;
+  std::size_t depth = 0;
+  while (levels.back()->num_vertices() > coarse_target) {
+    if (depth < working.levels.size()) {
+      const LadderLevel& level = working.levels[depth];
+      maps.push_back(level.map.get());
+      levels.push_back(level.graph.get());
+      rng_state = level.rng_after;
+      ++depth;
+      continue;
+    }
+    if (working.stalled) {
+      // The next attempt is known to stall; its only lasting effect is
+      // the RNG draws it consumed.
+      rng_state = working.rng_after_stall;
+      break;
+    }
+    rng.restore(rng_state);
+    CoarseningStep step = coarsen_once(*levels.back(), rng, pool);
+    extended = true;
+    if (step.coarse.num_vertices() >=
+        levels.back()->num_vertices() * 19 / 20) {
+      working.stalled = true;
+      working.rng_after_stall = rng.state();
+      rng_state = working.rng_after_stall;
+      break;  // diminishing returns; stop coarsening
+    }
+    LadderLevel level;
+    level.graph = std::make_shared<const Graph>(std::move(step.coarse));
+    level.map = std::make_shared<const std::vector<std::int32_t>>(
+        std::move(step.fine_to_coarse));
+    level.rng_after = rng.state();
+    maps.push_back(level.map.get());
+    levels.push_back(level.graph.get());
+    rng_state = level.rng_after;
+    working.levels.push_back(std::move(level));
+    ++depth;
+  }
+  // Pin the levels this call uses (the cache may evict concurrently),
+  // and publish any extension.
+  std::shared_ptr<const CoarseningLadder> pinned;
+  if (extended) {
+    pinned = std::make_shared<const CoarseningLadder>(std::move(working));
+    LadderCache::instance().store(key, pinned);
+  } else {
+    pinned = std::move(cached);
+  }
+  rng.restore(rng_state);
+  const double coarsen_seconds = seconds_since(coarsen_start);
+
   constexpr double kMaxImbalance = 1.02;
-  std::vector<PeId> part = initial_partition(levels.back(), parts, rng);
-  refine(levels.back(), parts, part, kMaxImbalance);
+  const auto init_start = Clock::now();
+  std::vector<PeId> part = initial_partition(*levels.back(), parts, rng);
+  const double init_seconds = seconds_since(init_start);
+
+  const auto refine_start = Clock::now();
+  refine(*levels.back(), parts, part, kMaxImbalance, pool);
 
   // Uncoarsen: project to each finer level and refine.
   for (std::size_t level = maps.size(); level-- > 0;) {
-    const Graph& fine = levels[level];
+    const Graph& fine = *levels[level];
+    const std::vector<std::int32_t>& map = *maps[level];
     std::vector<PeId> fine_part(static_cast<std::size_t>(fine.num_vertices()));
     for (std::int32_t v = 0; v < fine.num_vertices(); ++v) {
       fine_part[static_cast<std::size_t>(v)] =
-          part[static_cast<std::size_t>(maps[level][static_cast<std::size_t>(v)])];
+          part[static_cast<std::size_t>(map[static_cast<std::size_t>(v)])];
     }
     part = std::move(fine_part);
-    refine(fine, parts, part, kMaxImbalance);
+    refine(fine, parts, part, kMaxImbalance, pool);
+  }
+  const double refine_seconds = seconds_since(refine_start);
+
+  if (obs::enabled()) {
+    obs::Registry& registry = obs::global_registry();
+    registry.timer("partition.coarsen.seconds").record(coarsen_seconds);
+    registry.timer("partition.init.seconds").record(init_seconds);
+    registry.timer("partition.refine.seconds").record(refine_seconds);
   }
 
   // Guarantee no part is empty (tiny graphs with aggressive growing can

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
@@ -38,6 +41,37 @@ void record_partition_metrics(PartitionMethod method,
       .set(static_cast<double>(max_cells) / mean_cells);
   registry.gauge(prefix + ".empty_parts")
       .set(static_cast<double>(empty_parts));
+}
+
+/// The unweighted dual graph is fully determined by the grid
+/// dimensions, and a campaign partitions the same few decks at many PE
+/// counts — memoize the CSR arrays the same way (and under the same
+/// key) as the coarsening ladder. Entries are immutable; concurrent
+/// builders of the same key produce identical graphs, so whichever
+/// insert wins is correct.
+std::shared_ptr<const Graph> dual_graph_for(const mesh::Grid& grid) {
+  constexpr std::size_t kMaxEntries = 4;
+  static std::mutex mutex;
+  static std::vector<std::pair<std::uint64_t, std::shared_ptr<const Graph>>>
+      entries;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(grid.nx()))
+       << 32) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(grid.ny()));
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    for (auto& entry : entries) {
+      if (entry.first == key) {
+        std::swap(entry, entries.front());
+        return entries.front().second;
+      }
+    }
+  }
+  auto graph = std::make_shared<const Graph>(build_dual_graph(grid));
+  const std::lock_guard<std::mutex> lock(mutex);
+  entries.emplace(entries.begin(), key, graph);
+  if (entries.size() > kMaxEntries) entries.pop_back();
+  return graph;
 }
 
 }  // namespace
@@ -151,7 +185,8 @@ Partition partition_strips(std::int64_t num_cells, std::int32_t parts) {
 }
 
 Partition partition_deck(const mesh::InputDeck& deck, std::int32_t parts,
-                         PartitionMethod method, std::uint64_t seed) {
+                         PartitionMethod method, std::uint64_t seed,
+                         std::int32_t threads) {
   const mesh::Grid& grid = deck.grid();
   KRAK_REQUIRE(parts > 0, "partition_deck requires parts > 0");
   KRAK_REQUIRE(parts <= grid.num_cells(), "more parts than cells");
@@ -175,8 +210,17 @@ Partition partition_deck(const mesh::InputDeck& deck, std::int32_t parts,
       return finish(partition_rcb(centers, parts));
     }
     case PartitionMethod::kMultilevel: {
-      const Graph graph = build_dual_graph(grid);
-      return finish(partition_multilevel(graph, parts, seed));
+      const std::shared_ptr<const Graph> graph = dual_graph_for(grid);
+      MultilevelOptions options;
+      options.threads = threads;
+      // (nx, ny) is a sound ladder-cache identity for the same reason
+      // it keys the dual-graph cache, and saves hashing the CSR arrays
+      // on every call.
+      options.ladder_key =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(grid.nx()))
+           << 32) |
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(grid.ny()));
+      return finish(partition_multilevel(*graph, parts, seed, options));
     }
     case PartitionMethod::kMaterialAware:
       return finish(partition_material_aware(deck, parts));

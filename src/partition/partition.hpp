@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -80,11 +81,14 @@ enum class PartitionMethod {
 /// Partition a deck's cells into `parts` subgrids.
 ///
 /// `seed` controls tie-breaking in the multilevel method; strip and RCB
-/// are fully deterministic regardless of seed.
+/// are fully deterministic regardless of seed. `threads` > 1 runs the
+/// multilevel method's speculative parallel paths; the assignment is
+/// bit-identical at every thread count (see partition_multilevel).
 [[nodiscard]] Partition partition_deck(const mesh::InputDeck& deck,
                                        std::int32_t parts,
                                        PartitionMethod method,
-                                       std::uint64_t seed = 1);
+                                       std::uint64_t seed = 1,
+                                       std::int32_t threads = 1);
 
 /// Strip partition of n cells in index order.
 [[nodiscard]] Partition partition_strips(std::int64_t num_cells,
@@ -95,10 +99,40 @@ enum class PartitionMethod {
 [[nodiscard]] Partition partition_rcb(const std::vector<mesh::Point>& centers,
                                       std::int32_t parts);
 
+/// Tuning knobs of the multilevel partitioner. The options never change
+/// the resulting assignment — they only change how fast it is computed.
+struct MultilevelOptions {
+  /// Worker threads for the speculative parallel paths (heavy-edge
+  /// matching, coarse-graph aggregation, FM gain recomputation). 1 runs
+  /// the fully serial reference path. Any value produces the assignment
+  /// the serial path produces, bit for bit; tests/partition enforces
+  /// this at 1/2/8 threads against checked-in checksums.
+  std::int32_t threads = 1;
+  /// Identity token for the coarsening ladder cache (docs/
+  /// PERFORMANCE.md). Two calls passing the same key assert that their
+  /// input graphs are identical; partition_deck derives it from the
+  /// grid dimensions, which fully determine the unweighted dual graph.
+  /// Leave empty to fingerprint the graph content instead — always
+  /// correct, costs one O(V+E) hash per call.
+  std::optional<std::uint64_t> ladder_key;
+};
+
 /// Multilevel k-way partition of a CSR graph.
 [[nodiscard]] Partition partition_multilevel(const Graph& graph,
                                              std::int32_t parts,
                                              std::uint64_t seed = 1);
+
+/// As above with explicit options; the overloads return identical
+/// assignments for every option combination.
+[[nodiscard]] Partition partition_multilevel(const Graph& graph,
+                                             std::int32_t parts,
+                                             std::uint64_t seed,
+                                             const MultilevelOptions& options);
+
+/// Drop every cached coarsening ladder (test isolation; the determinism
+/// suite clears it between thread counts so parallel coarsening is
+/// genuinely re-executed rather than replayed from cache).
+void clear_multilevel_ladder_cache();
 
 /// Cost-aware multilevel partition: balances the model's per-cell
 /// material costs instead of raw cell counts (the "alteration to the

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <bit>
-#include <map>
-#include <unordered_map>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -19,11 +18,27 @@ std::uint64_t hash_node(std::int64_t node) {
   return z ^ (z >> 31);
 }
 
-struct BoundaryAccum {
-  std::array<std::int64_t, mesh::kExchangeGroupCount> faces_per_group{};
-  std::int64_t total_faces = 0;
-  /// node -> bitmask of local material groups met on this boundary
-  std::unordered_map<mesh::NodeId, std::uint8_t> node_groups;
+/// One side of one boundary face: the owning PE, the neighbor PE, the
+/// face's exchange group, and the face's two endpoint nodes.
+struct FaceIncidence {
+  PeId pe;
+  PeId npe;
+  std::uint8_t group;
+  mesh::NodeId nodes[2];
+};
+
+/// On a quad grid a node touches at most four cells, so at most four
+/// distinct PEs can share it.
+struct NodeSharers {
+  PeId pes[4];
+  std::uint8_t count = 0;
+
+  void insert(PeId pe) {
+    for (std::uint8_t k = 0; k < count; ++k) {
+      if (pes[k] == pe) return;
+    }
+    pes[count++] = pe;
+  }
 };
 
 }  // namespace
@@ -60,79 +75,119 @@ PartitionStats::PartitionStats(const mesh::InputDeck& deck,
         deck.material_of(static_cast<mesh::CellId>(cell)))];
   }
 
-  // Boundary accumulation per (pe, neighbor) pair, and the global set of
-  // PEs sharing each boundary node (for ownership).
-  std::vector<std::map<PeId, BoundaryAccum>> boundaries(
-      static_cast<std::size_t>(parts));
-  std::unordered_map<mesh::NodeId, std::vector<PeId>> node_sharers;
+  // Every quantity below is a per-(pe, neighbor) count over *sets* —
+  // faces, distinct boundary nodes, distinct sharer PEs — so any
+  // traversal producing the same sets produces the same statistics. The
+  // grid is structured, which admits flat arrays everywhere the
+  // original formulation used nested maps: one incidence record per
+  // boundary face side, grouped by sorting, and per-node sharer sets
+  // bounded by the quad-grid valence of four.
+  const std::int32_t nx = grid.nx();
+  const std::int32_t ny = grid.ny();
+  const std::vector<PeId>& owner_of = partition.assignment();
+  const std::int64_t num_nodes = grid.num_nodes();
+  std::vector<FaceIncidence> incidences;
+  std::vector<NodeSharers> sharers(static_cast<std::size_t>(num_nodes));
+  std::vector<mesh::NodeId> boundary_nodes;
 
-  for (std::int64_t cell = 0; cell < grid.num_cells(); ++cell) {
-    const auto cell_id = static_cast<mesh::CellId>(cell);
-    const PeId pe = partition.pe_of(cell);
-    for (mesh::CellId neighbor_cell : grid.neighbors_of_cell(cell_id)) {
-      const PeId npe = partition.pe_of(neighbor_cell);
-      if (npe == pe) continue;
-      // The face's exchange group is decided canonically by the cell on
-      // the lower-ranked processor's side, so both sides of a boundary
-      // agree on per-group face counts (the exchange protocol in
-      // SimKrak is symmetric and would otherwise mismatch).
-      const mesh::Material face_material = (pe < npe)
-                                               ? deck.material_of(cell_id)
-                                               : deck.material_of(neighbor_cell);
-      const std::uint8_t group_bit = static_cast<std::uint8_t>(
-          1u << mesh::exchange_group(face_material));
-      BoundaryAccum& accum =
-          boundaries[static_cast<std::size_t>(pe)][npe];
-      const mesh::FaceId face = grid.shared_face(cell_id, neighbor_cell);
-      ++accum.total_faces;
-      ++accum.faces_per_group[mesh::exchange_group(face_material)];
-      for (mesh::NodeId node : grid.nodes_of_face(face)) {
-        accum.node_groups[node] |= group_bit;
-        auto& sharers = node_sharers[node];
-        if (std::find(sharers.begin(), sharers.end(), pe) == sharers.end()) {
-          sharers.push_back(pe);
+  for (std::int32_t j = 0; j < ny; ++j) {
+    for (std::int32_t i = 0; i < nx; ++i) {
+      const auto cell = static_cast<mesh::CellId>(j * nx + i);
+      const PeId pe = owner_of[static_cast<std::size_t>(cell)];
+      // Nodes of the cell's corners; a face's endpoints are two of them.
+      const auto row = static_cast<mesh::NodeId>(j * (nx + 1) + i);
+      const mesh::NodeId sw = row;
+      const mesh::NodeId se = row + 1;
+      const auto nw = static_cast<mesh::NodeId>(row + nx + 1);
+      const mesh::NodeId ne = nw + 1;
+      const auto emit = [&](mesh::CellId neighbor_cell, mesh::NodeId n0,
+                            mesh::NodeId n1) {
+        const PeId npe = owner_of[static_cast<std::size_t>(neighbor_cell)];
+        if (npe == pe) return;
+        // The face's exchange group is decided canonically by the cell
+        // on the lower-ranked processor's side, so both sides of a
+        // boundary agree on per-group face counts (the exchange
+        // protocol in SimKrak is symmetric and would otherwise
+        // mismatch).
+        const mesh::Material face_material =
+            (pe < npe) ? deck.material_of(cell)
+                       : deck.material_of(neighbor_cell);
+        incidences.push_back(
+            {pe, npe,
+             static_cast<std::uint8_t>(mesh::exchange_group(face_material)),
+             {n0, n1}});
+        for (const mesh::NodeId node : {n0, n1}) {
+          NodeSharers& shared = sharers[static_cast<std::size_t>(node)];
+          if (shared.count == 0) boundary_nodes.push_back(node);
+          shared.insert(pe);
+          shared.insert(npe);
         }
-        if (std::find(sharers.begin(), sharers.end(), npe) == sharers.end()) {
-          sharers.push_back(npe);
-        }
-      }
+      };
+      if (i > 0) emit(cell - 1, sw, nw);             // west face
+      if (i + 1 < nx) emit(cell + 1, se, ne);        // east face
+      if (j > 0) emit(cell - nx, sw, se);            // south face
+      if (j + 1 < ny) emit(cell + nx, nw, ne);       // north face
     }
   }
 
   // Ghost-node ownership: hash over the sorted sharer list.
-  std::unordered_map<mesh::NodeId, PeId> node_owner;
-  node_owner.reserve(node_sharers.size());
-  for (auto& [node, sharers] : node_sharers) {
-    std::sort(sharers.begin(), sharers.end());
-    node_owner[node] = sharers[hash_node(node) % sharers.size()];
+  std::vector<PeId> node_owner(static_cast<std::size_t>(num_nodes), -1);
+  for (const mesh::NodeId node : boundary_nodes) {
+    NodeSharers& shared = sharers[static_cast<std::size_t>(node)];
+    std::sort(shared.pes, shared.pes + shared.count);
+    node_owner[static_cast<std::size_t>(node)] =
+        shared.pes[hash_node(node) % shared.count];
   }
 
-  for (PeId pe = 0; pe < parts; ++pe) {
-    SubdomainInfo& sub = subdomains_[static_cast<std::size_t>(pe)];
-    for (auto& [npe, accum] : boundaries[static_cast<std::size_t>(pe)]) {
-      NeighborBoundary boundary;
-      boundary.neighbor = npe;
-      boundary.faces_per_group = accum.faces_per_group;
-      boundary.total_faces = accum.total_faces;
-      for (const auto& [node, mask] : accum.node_groups) {
-        // Popcount of a byte-size mask.
-        const int groups = std::popcount(static_cast<unsigned>(mask));
-        if (groups > 1) {
-          ++boundary.multi_material_ghost_nodes;
-          for (std::size_t g = 0; g < mesh::kExchangeGroupCount; ++g) {
-            if ((mask >> g) & 1u) {
-              ++boundary.multi_material_nodes_per_group[g];
-            }
+  // Group incidences into (pe, neighbor) boundaries; ascending neighbor
+  // order per PE matches the ordered-map formulation exactly.
+  std::sort(incidences.begin(), incidences.end(),
+            [](const FaceIncidence& a, const FaceIncidence& b) {
+              return a.pe != b.pe ? a.pe < b.pe : a.npe < b.npe;
+            });
+  std::vector<std::pair<mesh::NodeId, std::uint8_t>> node_groups;
+  for (std::size_t begin = 0; begin < incidences.size();) {
+    const PeId pe = incidences[begin].pe;
+    const PeId npe = incidences[begin].npe;
+    std::size_t end = begin;
+    NeighborBoundary boundary;
+    boundary.neighbor = npe;
+    node_groups.clear();
+    while (end < incidences.size() && incidences[end].pe == pe &&
+           incidences[end].npe == npe) {
+      const FaceIncidence& face = incidences[end];
+      ++boundary.total_faces;
+      ++boundary.faces_per_group[face.group];
+      const auto bit = static_cast<std::uint8_t>(1u << face.group);
+      node_groups.emplace_back(face.nodes[0], bit);
+      node_groups.emplace_back(face.nodes[1], bit);
+      ++end;
+    }
+    std::sort(node_groups.begin(), node_groups.end());
+    for (std::size_t k = 0; k < node_groups.size();) {
+      const mesh::NodeId node = node_groups[k].first;
+      std::uint8_t mask = 0;
+      for (; k < node_groups.size() && node_groups[k].first == node; ++k) {
+        mask |= node_groups[k].second;
+      }
+      // Popcount of a byte-size mask.
+      const int groups = std::popcount(static_cast<unsigned>(mask));
+      if (groups > 1) {
+        ++boundary.multi_material_ghost_nodes;
+        for (std::size_t g = 0; g < mesh::kExchangeGroupCount; ++g) {
+          if ((mask >> g) & 1u) {
+            ++boundary.multi_material_nodes_per_group[g];
           }
         }
-        if (node_owner.at(node) == pe) {
-          ++boundary.ghost_nodes_local;
-        } else {
-          ++boundary.ghost_nodes_remote;
-        }
       }
-      sub.neighbors.push_back(boundary);
+      if (node_owner[static_cast<std::size_t>(node)] == pe) {
+        ++boundary.ghost_nodes_local;
+      } else {
+        ++boundary.ghost_nodes_remote;
+      }
     }
+    subdomains_[static_cast<std::size_t>(pe)].neighbors.push_back(boundary);
+    begin = end;
   }
 }
 

@@ -38,6 +38,27 @@ class Rng {
   /// Fork an independent stream; deterministic given this stream's state.
   [[nodiscard]] Rng split();
 
+  /// Complete engine state, including the Marsaglia normal cache, so a
+  /// draw sequence can be suspended and resumed bit-exactly. Used by the
+  /// partitioner's coarsening ladder cache to replay the RNG position a
+  /// cached coarsening level left off at.
+  struct State {
+    std::uint64_t words[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+
+  [[nodiscard]] State state() const {
+    return {{state_[0], state_[1], state_[2], state_[3]}, cached_normal_,
+            has_cached_normal_};
+  }
+
+  void restore(const State& state) {
+    for (int i = 0; i < 4; ++i) state_[i] = state.words[i];
+    cached_normal_ = state.cached_normal;
+    has_cached_normal_ = state.has_cached_normal;
+  }
+
   // UniformRandomBitGenerator interface for <algorithm> interop.
   using result_type = std::uint64_t;
   static constexpr result_type min() { return 0; }

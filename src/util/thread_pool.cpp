@@ -47,13 +47,25 @@ void ThreadPool::wait_idle() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   check(static_cast<bool>(fn), "ThreadPool::parallel_for requires a callable");
+  parallel_for_chunked(count, 1,
+                       [&fn](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) fn(i);
+                       });
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  check(static_cast<bool>(fn),
+        "ThreadPool::parallel_for_chunked requires a callable");
+  check(grain > 0, "ThreadPool::parallel_for_chunked requires grain > 0");
   if (count == 0) return;
-  // Chunk indices dynamically via a shared counter so uneven task costs
-  // (e.g. large vs. small processor counts in a sweep) stay balanced.
-  // A worker exception must reach the caller, not std::terminate: the
-  // first one (by completion order) is captured, later ones are dropped,
-  // and remaining indices are abandoned — a sweep with a broken point
-  // has no meaningful partial answer.
+  // Chunks are claimed dynamically via a shared counter so uneven task
+  // costs (e.g. large vs. small processor counts in a sweep) stay
+  // balanced. A worker exception must reach the caller, not
+  // std::terminate: the first one (by completion order) is captured,
+  // later ones are dropped, and remaining chunks are abandoned — a
+  // sweep with a broken point has no meaningful partial answer.
   struct SharedState {
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
@@ -61,15 +73,16 @@ void ThreadPool::parallel_for(std::size_t count,
     std::exception_ptr error;
   };
   auto state = std::make_shared<SharedState>();
-  const std::size_t workers = std::min(count, thread_count());
+  const std::size_t chunks = (count + grain - 1) / grain;
+  const std::size_t workers = std::min(chunks, thread_count());
   for (std::size_t w = 0; w < workers; ++w) {
-    submit([state, count, &fn] {
+    submit([state, count, grain, &fn] {
       for (;;) {
         if (state->failed.load(std::memory_order_acquire)) return;
-        const std::size_t i = state->next.fetch_add(1);
-        if (i >= count) return;
+        const std::size_t begin = state->next.fetch_add(grain);
+        if (begin >= count) return;
         try {
-          fn(i);
+          fn(begin, std::min(begin + grain, count));
         } catch (...) {
           std::lock_guard lock(state->error_mutex);
           if (!state->error) state->error = std::current_exception();

@@ -42,8 +42,21 @@ class ThreadPool {
   /// with distinct indices. If any invocation throws, the first
   /// exception (in completion order) is rethrown here after in-flight
   /// indices drain; indices not yet claimed when it was captured are
-  /// skipped.
+  /// skipped. Implemented over parallel_for_chunked with grain 1.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// Run fn(begin, end) over contiguous chunks of [0, count), at most
+  /// `grain` indices per chunk. Workers claim chunks dynamically, so
+  /// uneven per-index costs stay balanced while the dispatch cost — one
+  /// atomic claim plus one std::function call — is paid once per chunk
+  /// instead of once per index. The hot loop inside fn runs without any
+  /// type-erased indirection, which is what the partitioner's inner
+  /// loops and the campaign sweeps need. Exception semantics match
+  /// parallel_for: the first failure is rethrown here and unclaimed
+  /// chunks are abandoned.
+  void parallel_for_chunked(
+      std::size_t count, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
   void worker_loop();

@@ -1,0 +1,178 @@
+#include "core/partition_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/partition_cache.hpp"
+#include "mesh/deck.hpp"
+#include "partition/partition.hpp"
+
+namespace krak::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh store directory per test; removed on teardown so reruns always
+/// start cold.
+class PartitionStoreTest : public ::testing::Test {
+ protected:
+  PartitionStoreTest()
+      : directory_(fs::path(::testing::TempDir()) /
+                   ("krak_partition_store_" +
+                    std::string(::testing::UnitTest::GetInstance()
+                                    ->current_test_info()
+                                    ->name()))) {
+    fs::remove_all(directory_);
+  }
+
+  ~PartitionStoreTest() override {
+    std::error_code ec;
+    fs::remove_all(directory_, ec);
+  }
+
+  fs::path directory_;
+};
+
+PartitionStore::Key key_for(const mesh::InputDeck& deck, std::int32_t pes,
+                            std::uint64_t seed) {
+  PartitionStore::Key key;
+  key.fingerprint = deck_fingerprint(deck);
+  key.pes = pes;
+  key.method = partition::PartitionMethod::kMultilevel;
+  key.seed = seed;
+  return key;
+}
+
+TEST_F(PartitionStoreTest, SaveThenLoadRoundtripsExactly) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const partition::Partition part = partition::partition_deck(
+      deck, 16, partition::PartitionMethod::kMultilevel, 1);
+  const PartitionStore::Key key = key_for(deck, 16, 1);
+
+  PartitionStore store(directory_);
+  store.save(key, part);
+  ASSERT_TRUE(fs::exists(store.entry_path(key)));
+
+  const std::optional<partition::Partition> loaded = store.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->parts(), part.parts());
+  EXPECT_EQ(loaded->assignment(), part.assignment());
+  const PartitionStore::Counters counters = store.counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 0u);
+  EXPECT_EQ(counters.rejects, 0u);
+}
+
+TEST_F(PartitionStoreTest, AbsentEntryIsAMiss) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  PartitionStore store(directory_);
+  EXPECT_FALSE(store.load(key_for(deck, 64, 1)).has_value());
+  EXPECT_EQ(store.counters().misses, 1u);
+}
+
+TEST_F(PartitionStoreTest, EntryFilenameEncodesTheKey) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const PartitionStore::Key key = key_for(deck, 64, 7);
+  PartitionStore store(directory_);
+  const std::string name = store.entry_path(key).filename().string();
+  EXPECT_NE(name.find("-64-multilevel-7.krakpart"), std::string::npos) << name;
+  // 16 hex digits of the fingerprint lead the name.
+  EXPECT_EQ(name.find('-'), 16u) << name;
+}
+
+TEST_F(PartitionStoreTest, CorruptEntryIsRejectedAndEvicted) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const partition::Partition part = partition::partition_deck(
+      deck, 16, partition::PartitionMethod::kMultilevel, 1);
+  const PartitionStore::Key key = key_for(deck, 16, 1);
+
+  PartitionStore store(directory_);
+  store.save(key, part);
+  {
+    // Flip the checksum line: the file stays structurally valid, so
+    // only the integrity check can catch it.
+    std::ifstream in(store.entry_path(key));
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const std::size_t pos = text.find("checksum ");
+    ASSERT_NE(pos, std::string::npos);
+    text[pos + 9] = text[pos + 9] == '0' ? '1' : '0';
+    std::ofstream out(store.entry_path(key), std::ios::trunc);
+    out << text;
+  }
+
+  EXPECT_FALSE(store.load(key).has_value());
+  EXPECT_EQ(store.counters().rejects, 1u);
+  // The bad file is gone; the next load is a plain miss and a rerun
+  // recomputes the entry.
+  EXPECT_FALSE(fs::exists(store.entry_path(key)));
+  EXPECT_FALSE(store.load(key).has_value());
+  EXPECT_EQ(store.counters().misses, 1u);
+}
+
+TEST_F(PartitionStoreTest, MismatchedKeyRejectsEntry) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const partition::Partition part = partition::partition_deck(
+      deck, 16, partition::PartitionMethod::kMultilevel, 1);
+  const PartitionStore::Key key = key_for(deck, 16, 1);
+
+  PartitionStore store(directory_);
+  store.save(key, part);
+  // Same bytes renamed under a different seed: header/key disagreement
+  // must reject, not silently serve the wrong configuration.
+  PartitionStore::Key wrong = key;
+  wrong.seed = 2;
+  fs::copy_file(store.entry_path(key), store.entry_path(wrong));
+  EXPECT_FALSE(store.load(wrong).has_value());
+  EXPECT_EQ(store.counters().rejects, 1u);
+}
+
+TEST_F(PartitionStoreTest, CacheWarmRerunServesFromStore) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const auto store = std::make_shared<PartitionStore>(directory_);
+
+  PartitionCache cache;
+  cache.set_store(store);
+  const auto cold = cache.get(deck, 16,
+                              partition::PartitionMethod::kMultilevel, 1);
+  EXPECT_EQ(store->counters().misses, 1u);
+  EXPECT_TRUE(fs::exists(
+      store->entry_path(key_for(deck, 16, 1))));
+
+  // A new cache against the same directory models a rerun of the
+  // process: the store, not the partitioner, supplies the result.
+  PartitionCache rerun;
+  rerun.set_store(store);
+  const auto warm = rerun.get(deck, 16,
+                              partition::PartitionMethod::kMultilevel, 1);
+  EXPECT_EQ(store->counters().hits, 1u);
+  EXPECT_EQ(warm->partition.assignment(), cold->partition.assignment());
+  EXPECT_EQ(warm->stats->total_boundary_faces(),
+            cold->stats->total_boundary_faces());
+}
+
+TEST_F(PartitionStoreTest, ChecksumMatchesTheStoredDigest) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const partition::Partition part = partition::partition_deck(
+      deck, 16, partition::PartitionMethod::kMultilevel, 1);
+  const PartitionStore::Key key = key_for(deck, 16, 1);
+  PartitionStore store(directory_);
+  store.save(key, part);
+
+  std::ifstream in(store.entry_path(key));
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  char digest[17] = {};
+  std::snprintf(digest, sizeof(digest), "%016llx",
+                static_cast<unsigned long long>(
+                    partition_checksum(part.assignment())));
+  EXPECT_NE(text.find(std::string("checksum ") + digest), std::string::npos);
+}
+
+}  // namespace
+}  // namespace krak::core

@@ -23,6 +23,13 @@ std::int64_t allocation_count() {
 
 }  // namespace
 
+// gcc's -Wmismatched-new-delete pairs the malloc inside the replaced
+// operator new with the free inside the replaced operator delete and
+// flags the pair — but forwarding both to malloc/free is exactly the
+// point of the replacement, so the match is correct by construction.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
 void* operator new(std::size_t size) {
   g_allocations.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
@@ -39,6 +46,8 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
 
 namespace krak::obs {
 namespace {

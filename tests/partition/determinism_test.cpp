@@ -1,0 +1,140 @@
+// Determinism contract of the multilevel partitioner (docs/PERFORMANCE.md,
+// "Partitioner"): the assignment is a pure function of (graph, parts,
+// seed). The checksums below were produced by the fully serial
+// reference implementation; every speculative parallel path and the
+// coarsening ladder cache must reproduce them bit for bit at every
+// thread count. CI runs this suite under ThreadSanitizer as well, so a
+// data race in the parallel paths fails even when it happens to produce
+// the right answer.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "mesh/deck.hpp"
+#include "partition/dualgraph.hpp"
+#include "partition/partition.hpp"
+
+namespace {
+
+using namespace krak;
+
+struct ChecksumCase {
+  const char* deck;
+  std::int32_t parts;
+  std::uint64_t seed;
+  std::uint64_t checksum;
+};
+
+// FNV-1a over the assignment, the same digest the partition store embeds.
+std::uint64_t checksum_of(const partition::Partition& part) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const partition::PeId pe : part.assignment()) {
+    hash ^= static_cast<std::uint32_t>(pe);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+mesh::InputDeck make_deck(const std::string& name) {
+  if (name == "figure2") return mesh::make_figure2_deck();
+  if (name == "small") return mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  if (name == "medium") {
+    return mesh::make_standard_deck(mesh::DeckSize::kMedium);
+  }
+  return mesh::make_standard_deck(mesh::DeckSize::kLarge);
+}
+
+// Every standard deck at its campaign PE counts (seed 1 is
+// ValidationConfig::partition_seed) plus the calibration configurations
+// (seed 2006 is CalibrationConfig::seed, medium deck). Recorded from
+// the serial reference implementation; any change here is a silent
+// change to every measured campaign value and must be deliberate.
+const ChecksumCase kCases[] = {
+    {"small", 16, 1, 0x5f24542071c7e00cull},
+    {"small", 64, 1, 0xb845599a67dcda90ull},
+    {"small", 128, 1, 0xeca51fda95fe1790ull},
+    {"medium", 16, 1, 0x2eb0be63ac1b25edull},
+    {"medium", 64, 1, 0xa289f37a9fe48653ull},
+    {"medium", 96, 1, 0x16cda0fbb6fcf6c5ull},
+    {"medium", 128, 1, 0x71ce83163875d18full},
+    {"medium", 256, 1, 0x2f88c2de7d8d2f20ull},
+    {"medium", 512, 1, 0xe68081abd24015bbull},
+    {"figure2", 16, 1, 0x014f94e129515955ull},
+    {"figure2", 64, 1, 0x8a900109f0e0c22cull},
+    {"large", 128, 1, 0xeff45b2b0c7844f8ull},
+    {"large", 256, 1, 0xe3d46887b06451e2ull},
+    {"large", 257, 1, 0xff2b8cc6ce54ea32ull},
+    {"large", 512, 1, 0x58089e31eb230279ull},
+    {"medium", 8, 2006, 0x542b19cd811b8dbfull},
+    {"medium", 64, 2006, 0x0dc23472cbf16999ull},
+    {"medium", 512, 2006, 0x5ff37b31e4443d1aull},
+    {"medium", 4096, 2006, 0xec9f2b457fb8db95ull},
+};
+
+class MultilevelDeterminismTest : public ::testing::TestWithParam<std::int32_t> {
+};
+
+TEST_P(MultilevelDeterminismTest, MatchesSerialReferenceChecksums) {
+  const std::int32_t threads = GetParam();
+  // A cached ladder would replay coarsening instead of re-running it;
+  // clearing first makes each thread count genuinely exercise the
+  // parallel matching and aggregation paths.
+  partition::clear_multilevel_ladder_cache();
+  for (const ChecksumCase& c : kCases) {
+    const mesh::InputDeck deck = make_deck(c.deck);
+    const partition::Graph graph = partition::build_dual_graph(deck.grid());
+    partition::MultilevelOptions options;
+    options.threads = threads;
+    const partition::Partition part =
+        partition::partition_multilevel(graph, c.parts, c.seed, options);
+    EXPECT_EQ(checksum_of(part), c.checksum)
+        << c.deck << " parts=" << c.parts << " seed=" << c.seed
+        << " threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, MultilevelDeterminismTest,
+                         ::testing::Values(1, 2, 8));
+
+// The ladder cache must be output-invariant when part counts of the
+// same (deck, seed) interleave: a larger part count stops higher up the
+// shared ladder, a later smaller one extends it, and both must match a
+// cold computation exactly.
+TEST(MultilevelLadderCacheTest, InterleavedPartCountsReplayExactly) {
+  partition::clear_multilevel_ladder_cache();
+  const mesh::InputDeck deck = make_deck("medium");
+  const partition::Graph graph = partition::build_dual_graph(deck.grid());
+  // 512 coarsens shallowly, 16 then extends the cached ladder, 256 and
+  // 64 replay prefixes of it.
+  for (const std::int32_t parts : {512, 16, 256, 64}) {
+    const partition::Partition part =
+        partition::partition_multilevel(graph, parts, 1);
+    std::uint64_t want = 0;
+    for (const ChecksumCase& c : kCases) {
+      if (std::string(c.deck) == "medium" && c.parts == parts && c.seed == 1) {
+        want = c.checksum;
+      }
+    }
+    ASSERT_NE(want, 0u);
+    EXPECT_EQ(checksum_of(part), want) << "parts=" << parts;
+  }
+}
+
+// partition_deck's threads parameter feeds the same machinery; the
+// derived ladder key (grid dimensions) must not change the result
+// either.
+TEST(MultilevelLadderCacheTest, PartitionDeckThreadsAreOutputInvariant) {
+  const mesh::InputDeck deck = make_deck("small");
+  partition::clear_multilevel_ladder_cache();
+  const partition::Partition serial = partition::partition_deck(
+      deck, 64, partition::PartitionMethod::kMultilevel, 1, /*threads=*/1);
+  partition::clear_multilevel_ladder_cache();
+  const partition::Partition parallel = partition::partition_deck(
+      deck, 64, partition::PartitionMethod::kMultilevel, 1, /*threads=*/8);
+  EXPECT_EQ(serial.assignment(), parallel.assignment());
+  EXPECT_EQ(checksum_of(serial), 0xb845599a67dcda90ull);
+}
+
+}  // namespace

@@ -157,6 +157,98 @@ TEST(ThreadPool, PoolIsReusableAfterParallelForFailure) {
   EXPECT_EQ(counter.load(), 16);
 }
 
+TEST(ThreadPool, ChunkedCoversEveryIndexExactlyOnceAcrossGrains) {
+  ThreadPool pool(8);
+  constexpr std::size_t kCount = 10000;
+  for (const std::size_t grain : {1u, 7u, 64u, 4096u}) {
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallel_for_chunked(kCount, grain,
+                              [&hits](std::size_t begin, std::size_t end) {
+                                for (std::size_t i = begin; i < end; ++i) {
+                                  hits[i].fetch_add(1);
+                                }
+                              });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "grain " << grain << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkedRespectsGrainBound) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> max_chunk{0};
+  std::atomic<std::size_t> chunks{0};
+  pool.parallel_for_chunked(1000, 128,
+                            [&](std::size_t begin, std::size_t end) {
+                              chunks.fetch_add(1);
+                              std::size_t size = end - begin;
+                              std::size_t seen = max_chunk.load();
+                              while (size > seen &&
+                                     !max_chunk.compare_exchange_weak(seen,
+                                                                      size)) {
+                              }
+                            });
+  EXPECT_LE(max_chunk.load(), 128u);
+  // 1000 / 128 -> 7 full chunks plus one remainder of 104.
+  EXPECT_GE(chunks.load(), 8u);
+}
+
+TEST(ThreadPool, ChunkedGrainLargerThanCountIsOneChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> chunks{0};
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for_chunked(10, 1000,
+                            [&](std::size_t begin, std::size_t end) {
+                              chunks.fetch_add(1);
+                              covered.fetch_add(end - begin);
+                            });
+  EXPECT_EQ(chunks.load(), 1);
+  EXPECT_EQ(covered.load(), 10u);
+}
+
+TEST(ThreadPool, ChunkedZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for_chunked(0, 16, [&ran](std::size_t, std::size_t) {
+    ran = true;
+  });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ChunkedPropagatesFirstExceptionAndStopsClaiming) {
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  constexpr std::size_t kCount = 100000;
+  try {
+    pool.parallel_for_chunked(kCount, 16,
+                              [&executed](std::size_t begin, std::size_t) {
+                                executed.fetch_add(1);
+                                if (begin == 0) {
+                                  throw InvalidArgument("first chunk rejected");
+                                }
+                              });
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("first chunk rejected"),
+              std::string::npos);
+  }
+  EXPECT_LT(executed.load(), static_cast<int>(kCount / 16));
+}
+
+TEST(ThreadPool, ChunkedIsReusableAfterFailure) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for_chunked(
+                   8, 2,
+                   [](std::size_t, std::size_t) { throw KrakError("boom"); }),
+               KrakError);
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for_chunked(64, 8,
+                            [&covered](std::size_t begin, std::size_t end) {
+                              covered.fetch_add(end - begin);
+                            });
+  EXPECT_EQ(covered.load(), 64u);
+}
+
 TEST(ThreadPool, ParallelForAccumulatesCorrectSum) {
   ThreadPool pool(8);
   constexpr std::size_t kCount = 1000;
