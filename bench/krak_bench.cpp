@@ -80,6 +80,7 @@ struct Options {
                "                  [--threads N] [--compare BASELINE]\n"
                "                  [--partition-store DIR]\n"
                "       krak_bench --validate FILE\n";
+  // krak-lint: allow(no-abort usage exit before any work or RAII state exists)
   std::exit(exit_code);
 }
 

@@ -1,14 +1,16 @@
-# clang-tidy integration: a `tidy` build target that runs the checks of
-# the repo-root .clang-tidy over every library source file, using the
-# compile database exported by this build tree.
+# Static-analysis targets (see docs/STATIC_ANALYSIS.md):
+#
+#   krak_lint_check  runs the project's own analyzer over the checkout
+#   tidy             runs clang-tidy with the repo-root .clang-tidy
+#   lint             aggregate: both of the above
 #
 #   cmake -B build -S .
-#   cmake --build build --target tidy
+#   cmake --build build --target lint
 #
-# When clang-tidy is not installed the target still exists but reports
-# how to get it, so `--target tidy` never breaks a scripted pipeline by
-# being undefined. CI runs it with warnings promoted to errors (see
-# .github/workflows/ci.yml).
+# When clang-tidy is not installed the `tidy` target still exists but
+# reports how to get it, so `--target tidy` never breaks a scripted
+# pipeline by being undefined. CI runs the aggregate with warnings
+# promoted to errors (see .github/workflows/ci.yml).
 
 find_program(KRAK_CLANG_TIDY_EXE NAMES clang-tidy clang-tidy-18 clang-tidy-17
              clang-tidy-16 clang-tidy-15 DOC "clang-tidy executable")
@@ -33,3 +35,16 @@ else()
     COMMENT "clang-tidy unavailable"
     VERBATIM)
 endif()
+
+# The project's own analyzer (src/lint) over the whole checkout. Exits
+# non-zero on any finding, so `--target krak_lint_check` is a gate.
+add_custom_target(krak_lint_check
+  COMMAND $<TARGET_FILE:krak_lint_cli> --root ${PROJECT_SOURCE_DIR}
+  COMMENT "Running krak_lint over the source tree"
+  VERBATIM)
+add_dependencies(krak_lint_check krak_lint_cli)
+
+# Aggregate gate: everything a PR must pass before review. krak_lint
+# first (fast, no compile database needed), then clang-tidy.
+add_custom_target(lint)
+add_dependencies(lint krak_lint_check tidy)

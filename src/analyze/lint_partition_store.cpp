@@ -1,12 +1,12 @@
 #include "analyze/lint_partition_store.hpp"
 
-#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <set>
 #include <sstream>
 
 #include "analyze/rules.hpp"
+#include "util/error.hpp"
 
 namespace krak::analyze {
 
@@ -300,7 +300,7 @@ DiagnosticReport lint_partition_store_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     report.error(rules::kPartitionStoreFormat, "store",
-                 "cannot open " + path + ": " + std::strerror(errno));
+                 "cannot open " + path + ": " + util::errno_message());
     return report;
   }
   (void)lint_partition_store(in, report);

@@ -1,7 +1,5 @@
 #include "analyze/lint_trace.hpp"
 
-#include <cerrno>
-#include <cstring>
 #include <fstream>
 #include <map>
 #include <set>
@@ -9,6 +7,7 @@
 #include <tuple>
 
 #include "analyze/rules.hpp"
+#include "util/error.hpp"
 
 namespace krak::analyze {
 
@@ -216,7 +215,7 @@ DiagnosticReport lint_trace_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     report.error(rules::kTraceFormat, "trace",
-                 "cannot open " + path + ": " + std::strerror(errno));
+                 "cannot open " + path + ": " + util::errno_message());
     return report;
   }
   (void)lint_trace(in, report);

@@ -19,7 +19,9 @@ namespace krak::core {
 
 BenchEnvironment detect_bench_environment() {
   BenchEnvironment env;
-  const char* sha = std::getenv("KRAK_GIT_SHA");
+  // One-time startup read before any pool work; no setenv anywhere in
+  // the tree, so the getenv data race mt-unsafe guards against can't occur.
+  const char* sha = std::getenv("KRAK_GIT_SHA");  // NOLINT(concurrency-mt-unsafe)
   env.git_sha = (sha != nullptr && *sha != '\0') ? sha : KRAK_GIT_SHA_DEFAULT;
   env.build_type = KRAK_BUILD_TYPE;
 #if defined(__clang__)

@@ -1,6 +1,5 @@
 #include "core/calibration.hpp"
 
-#include <algorithm>
 
 #include "core/partition_cache.hpp"
 #include "linalg/solve.hpp"

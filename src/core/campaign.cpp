@@ -1,7 +1,6 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <mutex>
 #include <set>
@@ -9,6 +8,7 @@
 
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -65,10 +65,6 @@ CampaignSummary run_validation_campaign(
   summary.points.resize(runs.size());
   summary.run_wall_seconds.assign(runs.size(), 0.0);
 
-  using Clock = std::chrono::steady_clock;
-  const auto seconds_since = [](Clock::time_point start) {
-    return std::chrono::duration<double>(Clock::now() - start).count();
-  };
   obs::Timer& run_timer = obs::global_registry().timer("campaign.run");
   obs::Timer& campaign_timer = obs::global_registry().timer("campaign.total");
   obs::Counter& failure_counter =
@@ -76,7 +72,7 @@ CampaignSummary run_validation_campaign(
 
   std::mutex failures_mutex;
   const auto run_one = [&](std::size_t i) {
-    const auto run_start = Clock::now();
+    const util::Stopwatch run_watch;
     const CampaignRun& run = runs[i];
     // One scenario failing must not take down the sweep: record the
     // cause (structured when the simulator diagnosed it) and move on.
@@ -115,11 +111,11 @@ CampaignSummary run_validation_campaign(
       const std::lock_guard<std::mutex> lock(failures_mutex);
       summary.failures.push_back(std::move(failure));
     }
-    summary.run_wall_seconds[i] = seconds_since(run_start);
+    summary.run_wall_seconds[i] = run_watch.seconds();
     run_timer.record(summary.run_wall_seconds[i]);
   };
 
-  const auto campaign_start = Clock::now();
+  const util::Stopwatch campaign_watch;
   util::ThreadPool pool(threads);
   summary.threads_used = std::min(runs.size(), pool.thread_count());
   // Grain 1: each run is seconds of work, so one run is the unit of
@@ -128,7 +124,7 @@ CampaignSummary run_validation_campaign(
       runs.size(), 1, [&run_one](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) run_one(i);
       });
-  summary.wall_seconds = seconds_since(campaign_start);
+  summary.wall_seconds = campaign_watch.seconds();
   campaign_timer.record(summary.wall_seconds);
   std::sort(summary.failures.begin(), summary.failures.end(),
             [](const CampaignFailure& a, const CampaignFailure& b) {

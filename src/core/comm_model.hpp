@@ -1,6 +1,5 @@
 #pragma once
 
-#include <cstdint>
 #include <span>
 
 #include "network/collectives.hpp"

@@ -1,7 +1,5 @@
 #include "core/table_io.hpp"
 
-#include <cerrno>
-#include <cstring>
 #include <fstream>
 #include <iomanip>
 
@@ -41,7 +39,7 @@ void save_cost_table(const std::string& path, const CostTable& table) {
   std::ofstream out(path);
   if (!out) {
     throw util::KrakError("save_cost_table: cannot open " + path + ": " +
-                          std::strerror(errno));
+                          util::errno_message());
   }
   write_cost_table(out, table);
 }
@@ -91,7 +89,7 @@ CostTable load_cost_table(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     throw util::KrakError("load_cost_table: cannot open " + path + ": " +
-                          std::strerror(errno));
+                          util::errno_message());
   }
   // Name the file in parse errors so a truncated table on disk is a
   // one-line diagnosis, not a hunt.

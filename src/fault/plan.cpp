@@ -1,8 +1,6 @@
 #include "fault/plan.hpp"
 
-#include <cerrno>
 #include <cmath>
-#include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -154,7 +152,7 @@ void save_fault_plan(const std::string& path, const FaultPlan& plan) {
   std::ofstream out(path);
   if (!out) {
     throw util::KrakError("save_fault_plan: cannot open " + path + ": " +
-                          std::strerror(errno));
+                          util::errno_message());
   }
   write_fault_plan(out, plan);
 }
@@ -246,7 +244,7 @@ FaultPlan load_fault_plan(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     throw util::KrakError("load_fault_plan: cannot open " + path + ": " +
-                          std::strerror(errno));
+                          util::errno_message());
   }
   try {
     return parse_fault_plan(in);

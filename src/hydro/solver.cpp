@@ -1,11 +1,11 @@
 #include "hydro/solver.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <mutex>
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 namespace krak::hydro {
 
@@ -15,20 +15,15 @@ namespace {
 class ScopedTimer {
  public:
   ScopedTimer(PhaseTimers& timers, HydroPhase phase)
-      : timers_(timers), phase_(phase),
-        start_(std::chrono::steady_clock::now()) {}
-  ~ScopedTimer() {
-    const auto elapsed = std::chrono::steady_clock::now() - start_;
-    timers_.add(phase_,
-                std::chrono::duration<double>(elapsed).count());
-  }
+      : timers_(timers), phase_(phase) {}
+  ~ScopedTimer() { timers_.add(phase_, watch_.seconds()); }
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
  private:
   PhaseTimers& timers_;
   HydroPhase phase_;
-  std::chrono::steady_clock::time_point start_;
+  util::Stopwatch watch_;
 };
 
 }  // namespace

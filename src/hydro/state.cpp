@@ -1,6 +1,6 @@
 #include "hydro/state.hpp"
 
-#include <cmath>
+#include <algorithm>
 
 #include "util/error.hpp"
 

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lint/finding.hpp"
+#include "lint/policy.hpp"
+#include "lint/scanner.hpp"
+
+namespace krak::lint {
+
+/// Findings for one file plus the inputs the tree-level rules need.
+struct FileLintResult {
+  std::vector<Finding> findings;
+  /// Task-marker occurrences (well-formed or not) — summed across the
+  /// scan and checked against the root policy's todo-budget.
+  std::int64_t todo_count = 0;
+};
+
+/// Run every enabled per-file rule over a scanned file under `policy`.
+/// Suppressed findings are already filtered out; findings arrive in
+/// line order.
+[[nodiscard]] FileLintResult lint_source_file(const ScannedFile& file,
+                                              const Policy& policy);
+
+}  // namespace krak::lint

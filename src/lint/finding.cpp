@@ -1,0 +1,60 @@
+#include "lint/finding.hpp"
+
+#include <sstream>
+
+namespace krak::lint {
+
+std::map<std::string, std::size_t> LintReport::counts_by_rule() const {
+  std::map<std::string, std::size_t> counts;
+  for (const Finding& finding : findings) ++counts[finding.rule];
+  return counts;
+}
+
+std::string LintReport::to_text() const {
+  std::ostringstream out;
+  for (const Finding& finding : findings) {
+    out << finding.path;
+    if (finding.line > 0) out << ":" << finding.line;
+    out << ": [" << finding.rule << "] " << finding.message << "\n";
+  }
+  out << "krak_lint: " << files_scanned << " files, " << findings.size()
+      << (findings.size() == 1 ? " finding" : " findings");
+  if (!findings.empty()) {
+    out << " (";
+    bool first = true;
+    for (const auto& [rule, count] : counts_by_rule()) {
+      if (!first) out << ", ";
+      first = false;
+      out << rule << " x" << count;
+    }
+    out << ")";
+  }
+  out << "\n";
+  return out.str();
+}
+
+obs::Json LintReport::to_json() const {
+  obs::Json doc = obs::Json::object();
+  doc["schema"] = "krak-lint-v1";
+  doc["root"] = root;
+  doc["files_scanned"] = static_cast<std::int64_t>(files_scanned);
+  doc["clean"] = clean();
+  obs::Json counts = obs::Json::object();
+  for (const auto& [rule, count] : counts_by_rule()) {
+    counts[rule] = static_cast<std::int64_t>(count);
+  }
+  doc["counts"] = std::move(counts);
+  obs::Json list = obs::Json::array();
+  for (const Finding& finding : findings) {
+    obs::Json entry = obs::Json::object();
+    entry["rule"] = finding.rule;
+    entry["path"] = finding.path;
+    entry["line"] = static_cast<std::int64_t>(finding.line);
+    entry["message"] = finding.message;
+    list.push_back(std::move(entry));
+  }
+  doc["findings"] = std::move(list);
+  return doc;
+}
+
+}  // namespace krak::lint

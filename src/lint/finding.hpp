@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace krak::lint {
+
+/// One analyzer finding. Every finding is a gate failure — krak_lint
+/// has no warning tier, because a rule either encodes an invariant the
+/// project relies on or it should not exist.
+struct Finding {
+  std::string rule;
+  std::string path;
+  std::size_t line = 0;  ///< 1-based; 0 for tree-level findings.
+  std::string message;
+};
+
+/// The result of one analyzer run: findings in scan order (path, then
+/// line), plus enough context to render the report.
+struct LintReport {
+  std::string root;
+  std::size_t files_scanned = 0;
+  std::vector<Finding> findings;
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+
+  /// Findings per rule id, sorted by rule.
+  [[nodiscard]] std::map<std::string, std::size_t> counts_by_rule() const;
+
+  /// Human-readable report: one `path:line: [rule] message` line per
+  /// finding plus a trailing summary.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Machine-readable report (schema `krak-lint-v1`): schema, root,
+  /// files_scanned, clean, counts, findings[{rule,path,line,message}].
+  [[nodiscard]] obs::Json to_json() const;
+};
+
+}  // namespace krak::lint

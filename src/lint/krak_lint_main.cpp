@@ -1,0 +1,83 @@
+// krak_lint: project-invariant static analyzer (docs/STATIC_ANALYSIS.md).
+//
+// Scans src/, tests/, bench/, and examples/ under the repository root
+// and enforces the project rules no generic tool checks: banned
+// nondeterminism sources, contract-macro hygiene, ThreadPool task
+// exception safety, header hygiene, obs probes on hot paths, and the
+// task-marker budget. Policy comes from per-directory .kraklint files.
+//
+//   krak_lint                      # lint the current directory
+//   krak_lint --root /path/to/repo
+//   krak_lint --format json        # machine-readable report on stdout
+//   krak_lint --json FILE          # text on stdout, JSON to FILE
+//   krak_lint --list-rules
+//
+// Exit status: 0 when the tree is clean, 1 on findings, 2 on usage or
+// I/O errors.
+
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "lint/finding.hpp"
+#include "lint/repo.hpp"
+#include "lint/rules.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace krak;
+
+constexpr const char* kUsage =
+    "usage: krak_lint [--root DIR] [--format text|json] [--json FILE]\n"
+    "                 [--list-rules]\n";
+
+int run(const util::ArgParser& args) {
+  if (args.has("list-rules")) {
+    for (const lint::RuleInfo& info : lint::rule_catalog()) {
+      std::cout << info.id << ": " << info.summary << "\n";
+    }
+    return 0;
+  }
+
+  const std::string format = args.get_string("format", "text");
+  if (format != "text" && format != "json") {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  const std::string root = args.get_string("root", ".");
+  const lint::LintReport report = lint::lint_tree(root);
+
+  if (args.has("json")) {
+    const std::string path = args.get_string("json", "");
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "krak_lint: cannot write '" << path << "'\n";
+      return 2;
+    }
+    out << report.to_json().dump(2) << "\n";
+  }
+  if (format == "json") {
+    std::cout << report.to_json().dump(2) << "\n";
+  } else {
+    std::cout << report.to_text();
+  }
+  return report.clean() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(util::ArgParser(argc, argv));
+  } catch (const util::KrakError& error) {
+    std::cerr << "krak_lint: " << error.what() << "\n";
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "krak_lint: unexpected error: " << error.what() << "\n";
+    return 2;
+  }
+}

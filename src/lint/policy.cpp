@@ -1,0 +1,105 @@
+#include "lint/policy.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+#include "util/error.hpp"
+
+namespace krak::lint {
+
+namespace {
+
+std::vector<std::string> split_words(std::string_view line) {
+  std::vector<std::string> words;
+  std::string word;
+  for (const char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (!word.empty()) words.push_back(std::move(word));
+      word.clear();
+    } else {
+      word += c;
+    }
+  }
+  if (!word.empty()) words.push_back(std::move(word));
+  return words;
+}
+
+[[noreturn]] void bad_policy(std::string_view origin, std::size_t line,
+                             const std::string& what) {
+  throw util::InvalidArgument(std::string(origin) + ":" +
+                              std::to_string(line) + ": " + what);
+}
+
+bool parse_bool(std::string_view origin, std::size_t line,
+                const std::string& value) {
+  if (value == "true") return true;
+  if (value == "false") return false;
+  bad_policy(origin, line, "expected true or false, got '" + value + "'");
+}
+
+}  // namespace
+
+Policy apply_policy_text(const Policy& base, std::string_view text,
+                         std::string_view origin) {
+  Policy policy = base;
+  std::istringstream stream{std::string(text)};
+  std::string raw;
+  std::size_t line_number = 0;
+  while (std::getline(stream, raw)) {
+    ++line_number;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::vector<std::string> words = split_words(raw);
+    if (words.empty()) continue;
+    const std::string& key = words[0];
+    if (key == "deterministic" || key == "clock-exempt") {
+      if (words.size() != 2) bad_policy(origin, line_number, key + " wants one value");
+      const bool value = parse_bool(origin, line_number, words[1]);
+      (key == "deterministic" ? policy.deterministic : policy.clock_exempt) =
+          value;
+    } else if (key == "todo-budget") {
+      if (words.size() != 2) {
+        bad_policy(origin, line_number, "todo-budget wants one value");
+      }
+      try {
+        policy.todo_budget = std::stoll(words[1]);
+      } catch (const std::exception&) {
+        bad_policy(origin, line_number,
+                   "todo-budget value '" + words[1] + "' is not an integer");
+      }
+    } else if (key == "disable" || key == "enable") {
+      if (words.size() < 2) {
+        bad_policy(origin, line_number, key + " wants at least one rule id");
+      }
+      for (std::size_t i = 1; i < words.size(); ++i) {
+        if (!is_known_rule(words[i])) {
+          bad_policy(origin, line_number, "unknown rule '" + words[i] + "'");
+        }
+        if (key == "disable") {
+          policy.disabled.insert(words[i]);
+        } else {
+          policy.disabled.erase(words[i]);
+        }
+      }
+    } else {
+      bad_policy(origin, line_number, "unknown policy key '" + key + "'");
+    }
+  }
+  return policy;
+}
+
+Policy apply_policy_file(const Policy& base, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw util::KrakError("cannot read policy file '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return apply_policy_text(base, text.str(), path);
+}
+
+}  // namespace krak::lint

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace krak::lint {
+
+/// Effective lint policy for one directory subtree.
+///
+/// Policies come from `.kraklint` files: the file in a directory
+/// overlays the policy inherited from its parent, key by key, so a
+/// subtree can e.g. stay `deterministic` while adding `clock-exempt`.
+/// The format is line-based (see docs/STATIC_ANALYSIS.md):
+///
+///   # comment
+///   deterministic true
+///   clock-exempt true
+///   todo-budget 10
+///   disable rule-id [rule-id ...]
+///   enable rule-id [rule-id ...]
+struct Policy {
+  /// Tree must be bit-reproducible: unordered-iteration and
+  /// pointer-keyed-container rules apply.
+  bool deterministic = false;
+  /// Tree may read wall clocks (the obs/util probes own the clock).
+  bool clock_exempt = false;
+  /// Maximum task-marker count across the whole scan; < 0 = unlimited.
+  /// Only the root policy's budget is consulted.
+  std::int64_t todo_budget = -1;
+  /// Rule ids switched off for the tree.
+  std::set<std::string, std::less<>> disabled;
+
+  [[nodiscard]] bool rule_enabled(std::string_view rule) const {
+    return disabled.find(rule) == disabled.end();
+  }
+};
+
+/// Overlay the directives in `text` (one `.kraklint` file) onto `base`.
+/// Throws util::InvalidArgument naming `origin` and the line on unknown
+/// keys, unknown rule ids, or unparsable values — a broken policy file
+/// must never silently widen what the analyzer accepts.
+[[nodiscard]] Policy apply_policy_text(const Policy& base,
+                                       std::string_view text,
+                                       std::string_view origin);
+
+/// apply_policy_text over a file's contents. Throws util::KrakError
+/// when the file cannot be read.
+[[nodiscard]] Policy apply_policy_file(const Policy& base,
+                                       const std::string& path);
+
+}  // namespace krak::lint

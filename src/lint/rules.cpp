@@ -1,0 +1,58 @@
+#include "lint/rules.hpp"
+
+namespace krak::lint {
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {rules::kNoRandomDevice,
+       "std::random_device is banned; all randomness flows through seeded "
+       "util::Rng"},
+      {rules::kNoStdRand,
+       "std::rand/srand are banned; use seeded util::Rng"},
+      {rules::kNoWallClock,
+       "wall-clock reads (std::chrono clocks, time(), clock()) are banned "
+       "outside clock-exempt trees; use util::Stopwatch or obs timers"},
+      {rules::kNoUnorderedIteration,
+       "iterating an unordered container in a deterministic tree leaks "
+       "hash order into results"},
+      {rules::kNoPointerKeyedContainer,
+       "pointer-keyed associative containers order by address, which "
+       "varies run to run"},
+      {rules::kNoNakedAssert,
+       "naked assert() vanishes in release builds; use KRAK_ASSERT / "
+       "KRAK_REQUIRE"},
+      {rules::kNoAbort,
+       "abort/terminate/exit tear the process down past every destructor; "
+       "throw KrakError instead"},
+      {rules::kThreadpoolTaskThrow,
+       "tasks handed to ThreadPool::submit must not throw (an escaping "
+       "exception terminates the process); use parallel_for or catch "
+       "inside the task"},
+      {rules::kPragmaOnce, "headers must open with #pragma once"},
+      {rules::kNoUsingNamespaceHeader,
+       "using namespace in a header pollutes every includer"},
+      {rules::kNoSelfInclude, "a header must not include itself"},
+      {rules::kNoDuplicateInclude,
+       "the same header is included twice in one file"},
+      {rules::kHotPathProbe,
+       "a function annotated hot must register an obs probe so perf PRs "
+       "have baseline counters"},
+      {rules::kTodoOwner,
+       "TODO/FIXME comments need an owner: TODO(name): ..."},
+      {rules::kTodoBudget,
+       "the tree exceeds its todo-budget (set in the root policy file)"},
+      {rules::kBadSuppression,
+       "malformed suppression marker: unknown rule, missing reason, or "
+       "bad syntax"},
+  };
+  return kCatalog;
+}
+
+bool is_known_rule(std::string_view id) {
+  for (const RuleInfo& info : rule_catalog()) {
+    if (info.id == id) return true;
+  }
+  return false;
+}
+
+}  // namespace krak::lint

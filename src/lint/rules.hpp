@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace krak::lint {
+
+/// Stable machine-readable rule ids. The full catalog with rationale
+/// lives in docs/STATIC_ANALYSIS.md; ids never change once shipped
+/// because suppressions and CI greps key on them.
+namespace rules {
+inline constexpr std::string_view kNoRandomDevice = "no-random-device";
+inline constexpr std::string_view kNoStdRand = "no-std-rand";
+inline constexpr std::string_view kNoWallClock = "no-wall-clock";
+inline constexpr std::string_view kNoUnorderedIteration =
+    "no-unordered-iteration";
+inline constexpr std::string_view kNoPointerKeyedContainer =
+    "no-pointer-keyed-container";
+inline constexpr std::string_view kNoNakedAssert = "no-naked-assert";
+inline constexpr std::string_view kNoAbort = "no-abort";
+inline constexpr std::string_view kThreadpoolTaskThrow =
+    "threadpool-task-throw";
+inline constexpr std::string_view kPragmaOnce = "pragma-once";
+inline constexpr std::string_view kNoUsingNamespaceHeader =
+    "no-using-namespace-header";
+inline constexpr std::string_view kNoSelfInclude = "no-self-include";
+inline constexpr std::string_view kNoDuplicateInclude =
+    "no-duplicate-include";
+inline constexpr std::string_view kHotPathProbe = "hot-path-probe";
+inline constexpr std::string_view kTodoOwner = "todo-owner";
+inline constexpr std::string_view kTodoBudget = "todo-budget";
+inline constexpr std::string_view kBadSuppression = "bad-suppression";
+}  // namespace rules
+
+/// One catalog entry: the stable id plus the one-line summary the CLI
+/// prints under --list-rules.
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+/// Every rule the analyzer implements, in catalog order.
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
+
+/// True when `id` names a catalogued rule (suppressions and policy
+/// `disable` lines must reference real rules).
+[[nodiscard]] bool is_known_rule(std::string_view id);
+
+}  // namespace krak::lint

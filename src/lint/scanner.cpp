@@ -1,0 +1,232 @@
+#include "lint/scanner.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace krak::lint {
+
+namespace {
+
+/// The comment token that introduces a suppression. Built from pieces
+/// so the scanner's own sources never carry a parseable marker.
+const std::string kMarker = std::string("krak-lint") + ":";
+
+bool is_rule_char(char c) {
+  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '-' ||
+         c == '_';
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front())) != 0) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back())) != 0) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+/// Parse every suppression marker in one line's comment text.
+std::vector<Suppression> parse_suppressions(std::string_view comment) {
+  std::vector<Suppression> result;
+  std::size_t pos = 0;
+  while ((pos = comment.find(kMarker, pos)) != std::string_view::npos) {
+    pos += kMarker.size();
+    std::string_view rest = trim(comment.substr(pos));
+    Suppression sup;
+    const std::string_view kAllow = "allow";
+    if (rest.substr(0, kAllow.size()) != kAllow) {
+      sup.malformed = true;
+      result.push_back(std::move(sup));
+      continue;
+    }
+    rest = trim(rest.substr(kAllow.size()));
+    if (rest.empty() || rest.front() != '(') {
+      sup.malformed = true;
+      result.push_back(std::move(sup));
+      continue;
+    }
+    rest.remove_prefix(1);
+    std::size_t id_end = 0;
+    while (id_end < rest.size() && is_rule_char(rest[id_end])) ++id_end;
+    sup.rule = std::string(rest.substr(0, id_end));
+    const std::size_t close = rest.find(')');
+    if (sup.rule.empty() || close == std::string_view::npos) {
+      sup.malformed = true;
+      result.push_back(std::move(sup));
+      continue;
+    }
+    sup.reason = std::string(trim(rest.substr(id_end, close - id_end)));
+    // A suppression without a reason is a finding, not a suppression:
+    // the reason is what reviewers audit.
+    sup.malformed = sup.reason.empty();
+    result.push_back(std::move(sup));
+  }
+  return result;
+}
+
+bool header_extension(std::string_view path) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string_view::npos) return false;
+  const std::string_view ext = path.substr(dot);
+  return ext == ".hpp" || ext == ".h" || ext == ".hxx";
+}
+
+}  // namespace
+
+const SourceLine& ScannedFile::line(std::size_t number) const {
+  KRAK_REQUIRE(number >= 1 && number <= lines.size(),
+               "line number out of range");
+  return lines[number - 1];
+}
+
+bool ScannedFile::is_suppressed(std::string_view rule,
+                                std::size_t number) const {
+  const auto allows = [&](std::size_t line_number) {
+    if (line_number < 1 || line_number > suppressions.size()) return false;
+    for (const Suppression& sup : suppressions[line_number - 1]) {
+      if (!sup.malformed && sup.rule == rule) return true;
+    }
+    return false;
+  };
+  return allows(number) || allows(number - 1);
+}
+
+ScannedFile scan_source(std::string path, std::string_view content) {
+  ScannedFile file;
+  file.path = std::move(path);
+  file.is_header = header_extension(file.path);
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delimiter;  // the )delim" terminator of a raw string
+
+  SourceLine current;
+  std::size_t line_begin = 0;
+  const auto flush_line = [&](std::size_t line_end) {
+    current.raw = std::string(content.substr(line_begin, line_end - line_begin));
+    line_begin = line_end + 1;
+    file.suppressions.push_back(parse_suppressions(current.comment));
+    file.lines.push_back(std::move(current));
+    current = SourceLine{};
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      // Line comments end at the newline; every other state carries
+      // over (block comments, multi-line raw strings).
+      if (state == State::kLineComment) state = State::kCode;
+      flush_line(i);
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          current.code += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          current.code += "  ";
+          ++i;
+        } else if (c == '"') {
+          // R"delim( opens a raw string; plain " a regular one. The
+          // prefix R must itself not be part of a longer identifier.
+          const bool raw =
+              i >= 1 && content[i - 1] == 'R' &&
+              (i < 2 || !(std::isalnum(
+                              static_cast<unsigned char>(content[i - 2])) !=
+                              0 ||
+                          content[i - 2] == '_'));
+          if (raw) {
+            std::size_t j = i + 1;
+            std::string delim;
+            while (j < content.size() && content[j] != '(' &&
+                   content[j] != '\n') {
+              delim += content[j];
+              ++j;
+            }
+            if (j < content.size() && content[j] == '(') {
+              raw_delimiter = ")" + delim + "\"";
+              state = State::kRawString;
+              current.code += '"';
+              i = j;  // skip the delimiter and opening parenthesis
+              break;
+            }
+          }
+          state = State::kString;
+          current.code += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          current.code += '\'';
+        } else {
+          current.code += c;
+        }
+        break;
+      case State::kLineComment:
+        current.comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          current.comment += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          current.code += ' ';
+          if (next != '\0' && next != '\n') {
+            current.code += ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+          current.code += '"';
+        } else {
+          current.code += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          current.code += ' ';
+          if (next != '\0' && next != '\n') {
+            current.code += ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+          current.code += '\'';
+        } else {
+          current.code += ' ';
+        }
+        break;
+      case State::kRawString:
+        if (content.compare(i, raw_delimiter.size(), raw_delimiter) == 0) {
+          state = State::kCode;
+          current.code += '"';
+          i += raw_delimiter.size() - 1;
+        } else {
+          current.code += ' ';
+        }
+        break;
+    }
+  }
+  if (line_begin < content.size()) flush_line(content.size());
+  return file;
+}
+
+}  // namespace krak::lint

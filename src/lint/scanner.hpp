@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace krak::lint {
+
+/// One physical source line split into the channels the rules care
+/// about. `code` preserves column positions of every code token —
+/// comment bodies and string/character-literal interiors are blanked
+/// with spaces (the delimiting quotes survive, so tokens never fuse
+/// across a removed literal). `comment` holds the concatenated comment
+/// text of the line, which the annotation and task-marker rules scan.
+struct SourceLine {
+  std::string code;
+  std::string comment;
+  /// The untouched physical line — include directives re-read their
+  /// quoted target from here, since the code channel blanks it.
+  std::string raw;
+};
+
+/// One parsed suppression marker (see docs/STATIC_ANALYSIS.md for the
+/// syntax). A marker that does not parse — missing rule id, missing
+/// reason, unbalanced parenthesis — is kept with `malformed = true` so
+/// the bad-suppression rule can point at it.
+struct Suppression {
+  std::string rule;
+  std::string reason;
+  bool malformed = false;
+};
+
+/// A scanned translation unit: the line model plus the per-line
+/// suppressions extracted from its comments. Line numbers are 1-based
+/// everywhere; `lines[i]` is physical line `i + 1`.
+struct ScannedFile {
+  std::string path;
+  bool is_header = false;
+  std::vector<SourceLine> lines;
+  /// suppressions[i] are the markers written on physical line i + 1.
+  std::vector<std::vector<Suppression>> suppressions;
+
+  [[nodiscard]] const SourceLine& line(std::size_t number) const;
+
+  /// True when `rule` is allowed (well-formed marker) on `number` or on
+  /// the line directly above it — the two placements the syntax accepts.
+  [[nodiscard]] bool is_suppressed(std::string_view rule,
+                                   std::size_t number) const;
+};
+
+/// Tokenize `content` as C++: tracks line comments, block comments,
+/// string/character literals (including raw strings), splits each line
+/// into code and comment channels, and extracts suppression markers.
+/// `path` is carried through for diagnostics; headers are recognized by
+/// extension (.hpp/.h/.hxx).
+[[nodiscard]] ScannedFile scan_source(std::string path,
+                                      std::string_view content);
+
+}  // namespace krak::lint

@@ -1,6 +1,6 @@
 #include "mesh/grid.hpp"
 
-#include <cmath>
+#include <cstdint>
 
 #include "util/error.hpp"
 

@@ -1,7 +1,5 @@
 #include "mesh/io.hpp"
 
-#include <cerrno>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -51,7 +49,7 @@ void save_deck(const std::string& path, const InputDeck& deck) {
   std::ofstream out(path);
   if (!out) {
     throw util::KrakError("save_deck: cannot open " + path + ": " +
-                          std::strerror(errno));
+                          util::errno_message());
   }
   write_deck(out, deck);
 }
@@ -135,7 +133,7 @@ InputDeck load_deck(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     throw util::KrakError("load_deck: cannot open " + path + ": " +
-                          std::strerror(errno));
+                          util::errno_message());
   }
   // Parse errors from read_deck name only the violation; a truncated or
   // corrupted file on disk should name the file too.

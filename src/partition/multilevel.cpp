@@ -1,6 +1,5 @@
 #include <algorithm>
 #include <array>
-#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <deque>
@@ -17,6 +16,7 @@
 #include "partition/partition.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 // Multilevel k-way partitioner (the project's Metis stand-in).
@@ -32,12 +32,6 @@
 namespace krak::partition {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 /// One coarsening step: heavy-edge matching, as in Metis. Returns the
 /// coarse graph and the fine->coarse vertex map.
@@ -414,8 +408,18 @@ std::vector<PeId> initial_partition(const Graph& graph, std::int32_t parts,
 /// predicates a decision actually reads (the balance-ceiling filter,
 /// the overweight test, and the never-empty guard), which lets vertices
 /// ignore irrelevant weight drift in non-overweight parts.
+///
+/// FM refinement is the single largest cost of a cold run (1.22 s of
+/// 1.96 s in BENCH_PR5), so it carries the partition.fm.* probes:
+/// counters accumulate in locals and record once per call, keeping the
+/// move loop free of atomics and the move sequence bit-identical.
+// krak: hot
 void refine(const Graph& graph, std::int32_t parts, std::vector<PeId>& part,
             double max_imbalance, util::ThreadPool* pool) {
+  const util::Stopwatch fm_watch;
+  std::int64_t fm_passes = 0;
+  std::int64_t fm_moves = 0;
+  std::int64_t fm_proposals_reused = 0;
   const std::int32_t n = graph.num_vertices();
   const std::int64_t total = graph.total_vertex_weight();
   const auto ceiling = static_cast<std::int64_t>(
@@ -583,6 +587,7 @@ void refine(const Graph& graph, std::int32_t parts, std::vector<PeId>& part,
 
   constexpr int kMaxPasses = 32;
   for (int pass = 0; pass < kMaxPasses; ++pass) {
+    ++fm_passes;
     bool moved_any = false;
     const std::uint32_t pass_stamp = move_counter;
     if (pool != nullptr) {
@@ -612,6 +617,7 @@ void refine(const Graph& graph, std::int32_t parts, std::vector<PeId>& part,
       if (pool != nullptr && has_proposal[static_cast<std::size_t>(v)] != 0 &&
           !is_stale(v, pass_stamp)) {
         best_part = proposal[static_cast<std::size_t>(v)];
+        ++fm_proposals_reused;
       } else {
         best_part = evaluate_move(v, conn, touched);
       }
@@ -631,6 +637,7 @@ void refine(const Graph& graph, std::int32_t parts, std::vector<PeId>& part,
           bump_part(from, old_from, old_from - vw);
           bump_part(best_part, old_to, old_to + vw);
           moved_any = true;
+          ++fm_moves;
           boundary[static_cast<std::size_t>(v)] = is_boundary(v);
           for (std::int64_t e = xadj[v]; e < xadj[v + 1]; ++e) {
             const std::int32_t u = adjncy[e];
@@ -640,6 +647,13 @@ void refine(const Graph& graph, std::int32_t parts, std::vector<PeId>& part,
       }
     }
     if (!moved_any) break;
+  }
+  if (obs::enabled()) {
+    obs::Registry& registry = obs::global_registry();
+    registry.timer("partition.fm.seconds").record(fm_watch.seconds());
+    registry.counter("partition.fm.passes").add(fm_passes);
+    registry.counter("partition.fm.moves").add(fm_moves);
+    registry.counter("partition.fm.proposals_reused").add(fm_proposals_reused);
   }
 }
 
@@ -789,7 +803,7 @@ Partition partition_multilevel(const Graph& graph, std::int32_t parts,
   // Coarsen until the graph is small relative to the part count or
   // matching stops shrinking it, replaying cached ladder levels where
   // available.
-  const auto coarsen_start = Clock::now();
+  const util::Stopwatch coarsen_watch;
   const std::uint64_t key = ladder_cache_key(graph, seed, options.ladder_key);
   std::shared_ptr<const CoarseningLadder> cached =
       LadderCache::instance().find(key);
@@ -854,14 +868,14 @@ Partition partition_multilevel(const Graph& graph, std::int32_t parts,
     pinned = std::move(cached);
   }
   rng.restore(rng_state);
-  const double coarsen_seconds = seconds_since(coarsen_start);
+  const double coarsen_seconds = coarsen_watch.seconds();
 
   constexpr double kMaxImbalance = 1.02;
-  const auto init_start = Clock::now();
+  const util::Stopwatch init_watch;
   std::vector<PeId> part = initial_partition(*levels.back(), parts, rng);
-  const double init_seconds = seconds_since(init_start);
+  const double init_seconds = init_watch.seconds();
 
-  const auto refine_start = Clock::now();
+  const util::Stopwatch refine_watch;
   refine(*levels.back(), parts, part, kMaxImbalance, pool);
 
   // Uncoarsen: project to each finer level and refine.
@@ -876,7 +890,7 @@ Partition partition_multilevel(const Graph& graph, std::int32_t parts,
     part = std::move(fine_part);
     refine(fine, parts, part, kMaxImbalance, pool);
   }
-  const double refine_seconds = seconds_since(refine_start);
+  const double refine_seconds = refine_watch.seconds();
 
   if (obs::enabled()) {
     obs::Registry& registry = obs::global_registry();

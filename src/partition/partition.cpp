@@ -1,7 +1,6 @@
 #include "partition/partition.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -10,6 +9,7 @@
 
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 namespace krak::partition {
 
@@ -190,12 +190,9 @@ Partition partition_deck(const mesh::InputDeck& deck, std::int32_t parts,
   const mesh::Grid& grid = deck.grid();
   KRAK_REQUIRE(parts > 0, "partition_deck requires parts > 0");
   KRAK_REQUIRE(parts <= grid.num_cells(), "more parts than cells");
-  const auto start = std::chrono::steady_clock::now();
+  const util::Stopwatch watch;
   const auto finish = [&](Partition partition) {
-    record_partition_metrics(
-        method, partition,
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count());
+    record_partition_metrics(method, partition, watch.seconds());
     return partition;
   };
   switch (method) {

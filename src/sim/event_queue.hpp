@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <cstddef>
-#include <utility>
 #include <vector>
 
 namespace krak::sim {

@@ -1,6 +1,5 @@
 #include "simapp/simkrak.hpp"
 
-#include <algorithm>
 #include <memory>
 
 #include "fault/injector.hpp"

@@ -1,5 +1,7 @@
 #include "util/error.hpp"
 
+#include <cerrno>
+#include <cstring>
 #include <sstream>
 
 namespace krak::util {
@@ -7,6 +9,18 @@ namespace krak::util {
 std::string format_location(const std::source_location& loc) {
   std::ostringstream os;
   os << loc.file_name() << ":" << loc.line() << " (" << loc.function_name() << ")";
+  return os.str();
+}
+
+std::string errno_message() {
+  const int code = errno;
+  // Error paths that land here are cold and effectively serialized
+  // (file opens before any pool work starts); the GNU/XSI strerror_r
+  // split is not worth carrying for a message formatter.
+  const char* text = std::strerror(code);  // NOLINT(concurrency-mt-unsafe)
+  std::ostringstream os;
+  os << (text != nullptr ? text : "unknown error") << " (errno " << code
+     << ")";
   return os.str();
 }
 

@@ -46,6 +46,12 @@ void require_internal(bool condition, std::string_view message,
 /// Format a source location as "file:line (function)".
 [[nodiscard]] std::string format_location(const std::source_location& loc);
 
+/// The current errno rendered as "message (errno N)". The single
+/// sanctioned strerror call in the tree: every "cannot open <path>"
+/// error path formats through here instead of touching the static
+/// strerror buffer directly.
+[[nodiscard]] std::string errno_message();
+
 namespace detail {
 
 /// Out-of-line throw helpers keep the macro expansions below to a single

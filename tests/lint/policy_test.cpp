@@ -1,0 +1,74 @@
+#include "lint/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lint/rules.hpp"
+#include "util/error.hpp"
+
+namespace krak::lint {
+namespace {
+
+TEST(Policy, DefaultsAreConservative) {
+  const Policy policy;
+  EXPECT_FALSE(policy.deterministic);
+  EXPECT_FALSE(policy.clock_exempt);
+  EXPECT_EQ(policy.todo_budget, -1);
+  EXPECT_TRUE(policy.rule_enabled(rules::kNoStdRand));
+}
+
+TEST(Policy, ParsesAllKeys) {
+  const Policy policy = apply_policy_text(Policy{},
+                                          "# comment line\n"
+                                          "deterministic true\n"
+                                          "clock-exempt true\n"
+                                          "todo-budget 7\n"
+                                          "disable todo-owner\n",
+                                          "test");
+  EXPECT_TRUE(policy.deterministic);
+  EXPECT_TRUE(policy.clock_exempt);
+  EXPECT_EQ(policy.todo_budget, 7);
+  EXPECT_FALSE(policy.rule_enabled(rules::kTodoOwner));
+  EXPECT_TRUE(policy.rule_enabled(rules::kNoAbort));
+}
+
+TEST(Policy, ChildOverlaysParentKeyByKey) {
+  const Policy parent = apply_policy_text(
+      Policy{}, "deterministic true\ndisable no-abort\n", "parent");
+  const Policy child =
+      apply_policy_text(parent, "clock-exempt true\nenable no-abort\n",
+                        "child");
+  // Inherited from the parent:
+  EXPECT_TRUE(child.deterministic);
+  // Set by the child:
+  EXPECT_TRUE(child.clock_exempt);
+  EXPECT_TRUE(child.rule_enabled(rules::kNoAbort));
+}
+
+TEST(Policy, RejectsUnknownKey) {
+  EXPECT_THROW(apply_policy_text(Policy{}, "frobnicate yes\n", "test"),
+               util::InvalidArgument);
+}
+
+TEST(Policy, RejectsUnknownRuleName) {
+  EXPECT_THROW(apply_policy_text(Policy{}, "disable not-a-rule\n", "test"),
+               util::InvalidArgument);
+}
+
+TEST(Policy, RejectsBadBudget) {
+  EXPECT_THROW(apply_policy_text(Policy{}, "todo-budget many\n", "test"),
+               util::InvalidArgument);
+}
+
+TEST(Rules, CatalogHasAtLeastTwelveRulesWithSummaries) {
+  const auto& catalog = rule_catalog();
+  EXPECT_GE(catalog.size(), 12U);
+  for (const RuleInfo& info : catalog) {
+    EXPECT_FALSE(info.id.empty());
+    EXPECT_FALSE(info.summary.empty());
+    EXPECT_TRUE(is_known_rule(info.id)) << info.id;
+  }
+  EXPECT_FALSE(is_known_rule("not-a-rule"));
+}
+
+}  // namespace
+}  // namespace krak::lint

@@ -1,0 +1,79 @@
+#include "lint/finding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace krak::lint {
+namespace {
+
+LintReport sample_report() {
+  LintReport report;
+  report.root = "/repo";
+  report.files_scanned = 3;
+  report.findings = {
+      Finding{"no-abort", "src/a.cpp", 12, "teardown bypasses destructors"},
+      Finding{"no-abort", "src/b.cpp", 4, "teardown bypasses destructors"},
+      Finding{"todo-budget", "/repo", 0, "over budget"},
+  };
+  return report;
+}
+
+TEST(Report, TextFormatListsFindingsAndSummary) {
+  const std::string text = sample_report().to_text();
+  EXPECT_NE(text.find("src/a.cpp:12: [no-abort] teardown bypasses"),
+            std::string::npos);
+  // Tree-level findings (line 0) omit the line number.
+  EXPECT_NE(text.find("/repo: [todo-budget] over budget"), std::string::npos);
+  EXPECT_NE(text.find("3 files, 3 findings (no-abort x2, todo-budget x1)"),
+            std::string::npos);
+}
+
+TEST(Report, CleanTextSummary) {
+  LintReport report;
+  report.files_scanned = 5;
+  EXPECT_NE(report.to_text().find("5 files, 0 findings"), std::string::npos);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(Report, JsonMatchesSchemaV1) {
+  const obs::Json doc =
+      obs::Json::parse(sample_report().to_json().dump());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("schema")->as_string(), "krak-lint-v1");
+  EXPECT_EQ(doc.find("root")->as_string(), "/repo");
+  EXPECT_EQ(doc.find("files_scanned")->as_double(), 3.0);
+  EXPECT_FALSE(doc.find("clean")->as_bool());
+  const obs::Json* counts = doc.find("counts");
+  ASSERT_NE(counts, nullptr);
+  EXPECT_EQ(counts->find("no-abort")->as_double(), 2.0);
+  EXPECT_EQ(counts->find("todo-budget")->as_double(), 1.0);
+  const obs::Json* findings = doc.find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_EQ(findings->size(), 3U);
+  const obs::Json& first = findings->as_array()[0];
+  EXPECT_EQ(first.find("rule")->as_string(), "no-abort");
+  EXPECT_EQ(first.find("path")->as_string(), "src/a.cpp");
+  EXPECT_EQ(first.find("line")->as_double(), 12.0);
+  EXPECT_EQ(first.find("message")->as_string(),
+            "teardown bypasses destructors");
+}
+
+TEST(Report, CleanJson) {
+  LintReport report;
+  report.root = ".";
+  report.files_scanned = 7;
+  const obs::Json doc = obs::Json::parse(report.to_json().dump());
+  EXPECT_TRUE(doc.find("clean")->as_bool());
+  EXPECT_EQ(doc.find("findings")->size(), 0U);
+}
+
+TEST(Report, CountsByRuleAggregates) {
+  const auto counts = sample_report().counts_by_rule();
+  ASSERT_EQ(counts.size(), 2U);
+  EXPECT_EQ(counts.at("no-abort"), 2U);
+  EXPECT_EQ(counts.at("todo-budget"), 1U);
+}
+
+}  // namespace
+}  // namespace krak::lint

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/checks.hpp"
+#include "lint/rules.hpp"
+#include "lint/scanner.hpp"
+
+namespace krak::lint {
+namespace {
+
+// Every fixture below lives in a string literal on purpose: the scanner
+// blanks literal interiors, so these snippets are invisible when
+// krak_lint scans this test file itself (see self_clean_test.cpp).
+
+FileLintResult lint_snippet(const std::string& path,
+                            const std::string& content,
+                            const Policy& policy = Policy{}) {
+  return lint_source_file(scan_source(path, content), policy);
+}
+
+std::vector<std::string> fired_rules(const FileLintResult& result) {
+  std::vector<std::string> ids;
+  ids.reserve(result.findings.size());
+  for (const Finding& finding : result.findings) ids.push_back(finding.rule);
+  return ids;
+}
+
+Policy deterministic_policy() {
+  Policy policy;
+  policy.deterministic = true;
+  return policy;
+}
+
+TEST(RuleFixtures, NoRandomDevice) {
+  const auto result = lint_snippet(
+      "a.cpp", "void seed() { std::random_device entropy; (void)entropy; }\n");
+  EXPECT_EQ(fired_rules(result),
+            std::vector<std::string>{std::string(rules::kNoRandomDevice)});
+}
+
+TEST(RuleFixtures, NoStdRand) {
+  const auto result = lint_snippet(
+      "a.cpp", "int draw() { srand(7u); return rand(); }\n");
+  EXPECT_EQ(fired_rules(result),
+            (std::vector<std::string>{std::string(rules::kNoStdRand),
+                                      std::string(rules::kNoStdRand)}));
+}
+
+TEST(RuleFixtures, NoWallClock) {
+  const std::string snippet =
+      "double stamp() {\n"
+      "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+      "}\n";
+  const auto result = lint_snippet("a.cpp", snippet);
+  EXPECT_EQ(fired_rules(result),
+            std::vector<std::string>{std::string(rules::kNoWallClock)});
+
+  Policy exempt;
+  exempt.clock_exempt = true;
+  EXPECT_TRUE(lint_snippet("a.cpp", snippet, exempt).findings.empty());
+}
+
+TEST(RuleFixtures, NoWallClockIgnoresProjectMethodsNamedLikeClocks) {
+  // Member accesses such as summary.time() name project methods.
+  const auto result =
+      lint_snippet("a.cpp", "double f(const Row& row) { return row.time(); }\n");
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(RuleFixtures, NoUnorderedIteration) {
+  const std::string snippet =
+      "std::unordered_map<int, int> cells;\n"
+      "int sum() {\n"
+      "  int total = 0;\n"
+      "  for (const auto& item : cells) { total += item.second; }\n"
+      "  return total;\n"
+      "}\n";
+  const auto result = lint_snippet("a.cpp", snippet, deterministic_policy());
+  ASSERT_EQ(fired_rules(result),
+            std::vector<std::string>{
+                std::string(rules::kNoUnorderedIteration)});
+  EXPECT_EQ(result.findings[0].line, 4U);
+  // Outside a deterministic tree the rule stays off.
+  EXPECT_TRUE(lint_snippet("a.cpp", snippet).findings.empty());
+}
+
+TEST(RuleFixtures, NoUnorderedIterationCatchesExplicitIterators) {
+  const std::string snippet =
+      "std::unordered_set<int> seen;\n"
+      "auto first() { return seen.begin(); }\n";
+  const auto result = lint_snippet("a.cpp", snippet, deterministic_policy());
+  EXPECT_EQ(fired_rules(result),
+            std::vector<std::string>{
+                std::string(rules::kNoUnorderedIteration)});
+}
+
+TEST(RuleFixtures, NoPointerKeyedContainer) {
+  const std::string snippet =
+      "struct Node;\n"
+      "std::map<const Node*, int> owners;\n";
+  const auto result = lint_snippet("a.cpp", snippet, deterministic_policy());
+  ASSERT_EQ(fired_rules(result),
+            std::vector<std::string>{
+                std::string(rules::kNoPointerKeyedContainer)});
+  EXPECT_EQ(result.findings[0].line, 2U);
+  // Value-keyed containers are fine.
+  EXPECT_TRUE(lint_snippet("a.cpp", "std::map<int, int> by_id;\n",
+                           deterministic_policy())
+                  .findings.empty());
+}
+
+TEST(RuleFixtures, NoNakedAssert) {
+  const std::string snippet =
+      "static_assert(2 + 2 == 4);\n"
+      "void f(int x) { assert(x > 0); }\n";
+  const auto result = lint_snippet("a.cpp", snippet);
+  ASSERT_EQ(fired_rules(result),
+            std::vector<std::string>{std::string(rules::kNoNakedAssert)});
+  EXPECT_EQ(result.findings[0].line, 2U);
+}
+
+TEST(RuleFixtures, NoAbort) {
+  const auto result =
+      lint_snippet("a.cpp", "void die() { std::abort(); }\n");
+  EXPECT_EQ(fired_rules(result),
+            std::vector<std::string>{std::string(rules::kNoAbort)});
+}
+
+TEST(RuleFixtures, ThreadpoolTaskThrow) {
+  const auto result = lint_snippet(
+      "a.cpp",
+      "void f(Pool& pool) {\n"
+      "  pool.submit([] { throw 1; });\n"
+      "}\n");
+  ASSERT_EQ(fired_rules(result),
+            std::vector<std::string>{
+                std::string(rules::kThreadpoolTaskThrow)});
+  EXPECT_EQ(result.findings[0].line, 2U);
+  // A task that guards its body with try/catch passes.
+  EXPECT_TRUE(
+      lint_snippet("a.cpp",
+                   "void g(Pool& pool) {\n"
+                   "  pool.submit([] { try { work(); } catch (...) {} });\n"
+                   "}\n")
+          .findings.empty());
+}
+
+TEST(RuleFixtures, PragmaOnce) {
+  const auto result = lint_snippet("x.hpp", "int f();\n");
+  EXPECT_EQ(fired_rules(result),
+            std::vector<std::string>{std::string(rules::kPragmaOnce)});
+  // Sources are exempt; guarded headers pass.
+  EXPECT_TRUE(lint_snippet("x.cpp", "int f();\n").findings.empty());
+  EXPECT_TRUE(
+      lint_snippet("x.hpp", "#pragma once\nint f();\n").findings.empty());
+}
+
+TEST(RuleFixtures, NoUsingNamespaceHeader) {
+  const auto result = lint_snippet(
+      "x.hpp", "#pragma once\nusing namespace std;\n");
+  ASSERT_EQ(fired_rules(result),
+            std::vector<std::string>{
+                std::string(rules::kNoUsingNamespaceHeader)});
+  // Aliases are fine.
+  EXPECT_TRUE(lint_snippet("x.hpp", "#pragma once\nusing std::string;\n")
+                  .findings.empty());
+}
+
+TEST(RuleFixtures, NoSelfInclude) {
+  const auto result = lint_snippet(
+      "dir/foo.hpp", "#pragma once\n#include \"dir/foo.hpp\"\n");
+  ASSERT_EQ(fired_rules(result),
+            std::vector<std::string>{std::string(rules::kNoSelfInclude)});
+  EXPECT_EQ(result.findings[0].line, 2U);
+}
+
+TEST(RuleFixtures, NoDuplicateInclude) {
+  const auto result = lint_snippet(
+      "a.cpp", "#include <vector>\n#include <string>\n#include <vector>\n");
+  ASSERT_EQ(fired_rules(result),
+            std::vector<std::string>{
+                std::string(rules::kNoDuplicateInclude)});
+  EXPECT_EQ(result.findings[0].line, 3U);
+  // A commented-out include is not a live include.
+  EXPECT_TRUE(
+      lint_snippet("a.cpp", "#include <vector>\n// #include <vector>\n")
+          .findings.empty());
+}
+
+TEST(RuleFixtures, HotPathProbe) {
+  const auto result = lint_snippet(
+      "a.cpp",
+      "// krak: hot -- inner loop of the solve\n"
+      "int f() { return 42; }\n");
+  EXPECT_EQ(fired_rules(result),
+            std::vector<std::string>{std::string(rules::kHotPathProbe)});
+  // An annotated function whose body records a probe passes.
+  EXPECT_TRUE(lint_snippet("a.cpp",
+                           "// krak: hot -- inner loop of the solve\n"
+                           "void g() {\n"
+                           "  obs::global_registry().counter(\"f\").add(1);\n"
+                           "}\n")
+                  .findings.empty());
+}
+
+TEST(RuleFixtures, TodoOwner) {
+  const auto result = lint_snippet("a.cpp",
+                                   "// TODO: someday\n"
+                                   "// TODO(alice): tracked\n"
+                                   "int x = 0;\n");
+  ASSERT_EQ(fired_rules(result),
+            std::vector<std::string>{std::string(rules::kTodoOwner)});
+  EXPECT_EQ(result.findings[0].line, 1U);
+  // Both markers count toward the tree budget, owned or not.
+  EXPECT_EQ(result.todo_count, 2);
+}
+
+TEST(RuleFixtures, BadSuppressionUnknownRule) {
+  const std::string marker = std::string("// krak-lint") + ": ";
+  const auto result = lint_snippet(
+      "a.cpp", "int x = 1;  " + marker + "allow(not-a-rule stale note)\n");
+  EXPECT_EQ(fired_rules(result),
+            std::vector<std::string>{std::string(rules::kBadSuppression)});
+}
+
+TEST(RuleFixtures, BadSuppressionMissingReason) {
+  const std::string marker = std::string("// krak-lint") + ": ";
+  const auto result =
+      lint_snippet("a.cpp", "int x = 1;  " + marker + "allow(no-abort)\n");
+  EXPECT_EQ(fired_rules(result),
+            std::vector<std::string>{std::string(rules::kBadSuppression)});
+}
+
+TEST(RuleFixtures, SuppressionSilencesSameLine) {
+  const std::string marker = std::string("// krak-lint") + ": ";
+  const auto result = lint_snippet(
+      "a.cpp",
+      "void die() { std::abort(); }  " + marker + "allow(no-abort fixture)\n");
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(RuleFixtures, SuppressionSilencesNextLine) {
+  const std::string marker = std::string("// krak-lint") + ": ";
+  const auto result = lint_snippet(
+      "a.cpp",
+      marker + "allow(no-abort fixture)\nvoid die() { std::abort(); }\n");
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(RuleFixtures, SuppressionOnlyCoversItsRule) {
+  const std::string marker = std::string("// krak-lint") + ": ";
+  const auto result = lint_snippet(
+      "a.cpp",
+      "int f() { std::abort(); return rand(); }  " + marker +
+          "allow(no-abort fixture)\n");
+  EXPECT_EQ(fired_rules(result),
+            std::vector<std::string>{std::string(rules::kNoStdRand)});
+}
+
+TEST(RuleFixtures, DisabledRuleDoesNotFire) {
+  Policy policy;
+  policy.disabled.insert(std::string(rules::kNoAbort));
+  const auto result =
+      lint_snippet("a.cpp", "void die() { std::abort(); }\n", policy);
+  EXPECT_TRUE(result.findings.empty());
+}
+
+}  // namespace
+}  // namespace krak::lint

@@ -1,0 +1,100 @@
+#include "lint/scanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace krak::lint {
+namespace {
+
+TEST(Scanner, SplitsCodeAndCommentChannels) {
+  const ScannedFile file =
+      scan_source("a.cpp", "int x = 1;  // trailing note\nint y = 2;\n");
+  ASSERT_EQ(file.lines.size(), 2U);
+  EXPECT_EQ(file.lines[0].code.substr(0, 10), "int x = 1;");
+  EXPECT_EQ(file.lines[0].comment, " trailing note");
+  EXPECT_EQ(file.lines[1].code, "int y = 2;");
+  EXPECT_TRUE(file.lines[1].comment.empty());
+}
+
+TEST(Scanner, BlanksStringLiteralInteriors) {
+  const ScannedFile file =
+      scan_source("a.cpp", "auto s = \"assert(rand());\";\n");
+  ASSERT_EQ(file.lines.size(), 1U);
+  EXPECT_EQ(file.lines[0].code.find("assert"), std::string::npos);
+  EXPECT_EQ(file.lines[0].code.find("rand"), std::string::npos);
+  // The delimiting quotes survive so tokens cannot fuse.
+  EXPECT_NE(file.lines[0].code.find('"'), std::string::npos);
+  // The raw channel keeps the original text.
+  EXPECT_NE(file.lines[0].raw.find("assert"), std::string::npos);
+}
+
+TEST(Scanner, BlanksCharLiteralsAndEscapes) {
+  const ScannedFile file =
+      scan_source("a.cpp", "char c = ')'; auto s = \"a\\\"b\"; int z = 0;\n");
+  ASSERT_EQ(file.lines.size(), 1U);
+  // The escaped quote does not terminate the literal early: z survives
+  // as code, the literal body does not.
+  EXPECT_NE(file.lines[0].code.find("int z = 0;"), std::string::npos);
+  EXPECT_EQ(file.lines[0].code.find("a\\\"b"), std::string::npos);
+}
+
+TEST(Scanner, BlockCommentsSpanLines) {
+  const ScannedFile file =
+      scan_source("a.cpp", "int a; /* begin\nstill comment\nend */ int b;\n");
+  ASSERT_EQ(file.lines.size(), 3U);
+  EXPECT_NE(file.lines[0].code.find("int a;"), std::string::npos);
+  EXPECT_TRUE(file.lines[1].code.empty());
+  EXPECT_EQ(file.lines[1].comment, "still comment");
+  EXPECT_NE(file.lines[2].code.find("int b;"), std::string::npos);
+}
+
+TEST(Scanner, RawStringsAreBlanked) {
+  const std::string content =
+      std::string("auto s = R\"(assert(1); // not a comment)\"; int k;\n");
+  const ScannedFile file = scan_source("a.cpp", content);
+  ASSERT_EQ(file.lines.size(), 1U);
+  EXPECT_EQ(file.lines[0].code.find("assert"), std::string::npos);
+  EXPECT_TRUE(file.lines[0].comment.empty());
+  EXPECT_NE(file.lines[0].code.find("int k;"), std::string::npos);
+}
+
+TEST(Scanner, HeaderRecognizedByExtension) {
+  EXPECT_TRUE(scan_source("dir/x.hpp", "").is_header);
+  EXPECT_FALSE(scan_source("dir/x.cpp", "").is_header);
+}
+
+TEST(Scanner, ParsesSuppressionWithReason) {
+  const std::string marker = std::string("krak-lint") + ": ";
+  const ScannedFile file = scan_source(
+      "a.cpp", "int x;  // " + marker + "allow(no-abort cli usage exit)\n");
+  ASSERT_EQ(file.suppressions.size(), 1U);
+  ASSERT_EQ(file.suppressions[0].size(), 1U);
+  EXPECT_FALSE(file.suppressions[0][0].malformed);
+  EXPECT_EQ(file.suppressions[0][0].rule, "no-abort");
+  EXPECT_EQ(file.suppressions[0][0].reason, "cli usage exit");
+  EXPECT_TRUE(file.is_suppressed("no-abort", 1));
+  EXPECT_FALSE(file.is_suppressed("no-std-rand", 1));
+  // The line after an annotated line is also covered.
+  EXPECT_TRUE(file.is_suppressed("no-abort", 2));
+}
+
+TEST(Scanner, SuppressionWithoutReasonIsMalformed) {
+  const std::string marker = std::string("krak-lint") + ": ";
+  const ScannedFile file =
+      scan_source("a.cpp", "int x;  // " + marker + "allow(no-abort)\n");
+  ASSERT_EQ(file.suppressions[0].size(), 1U);
+  EXPECT_TRUE(file.suppressions[0][0].malformed);
+  EXPECT_FALSE(file.is_suppressed("no-abort", 1));
+}
+
+TEST(Scanner, SuppressionWithBadSyntaxIsMalformed) {
+  const std::string marker = std::string("krak-lint") + ": ";
+  const ScannedFile file =
+      scan_source("a.cpp", "int x;  // " + marker + "forbid(no-abort x)\n");
+  ASSERT_EQ(file.suppressions[0].size(), 1U);
+  EXPECT_TRUE(file.suppressions[0][0].malformed);
+}
+
+}  // namespace
+}  // namespace krak::lint

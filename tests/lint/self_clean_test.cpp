@@ -1,0 +1,21 @@
+#include <gtest/gtest.h>
+
+#include "lint/repo.hpp"
+
+namespace krak::lint {
+namespace {
+
+// The repo enforces its own rules: this test runs the real analyzer
+// over the real source tree (KRAK_LINT_SOURCE_DIR is injected by CMake
+// as the project root) and fails on any finding. A rule change that
+// fires on existing code, or new code that breaks an invariant, fails
+// here before it ever reaches CI's dedicated lint job.
+TEST(SelfClean, RepositoryLintsClean) {
+  const LintReport report = lint_tree(KRAK_LINT_SOURCE_DIR);
+  // Sanity: the walk actually visited the tree.
+  EXPECT_GT(report.files_scanned, 200U);
+  EXPECT_TRUE(report.clean()) << report.to_text();
+}
+
+}  // namespace
+}  // namespace krak::lint

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 namespace krak::util {
 namespace {
@@ -70,14 +71,11 @@ TEST(ThreadPool, ParallelForActuallyRunsConcurrently) {
   // With 4 workers and 4 tasks of ~30ms each, the wall time should be
   // well under the 120ms serial time.
   ThreadPool pool(4);
-  const auto start = std::chrono::steady_clock::now();
+  const Stopwatch watch;
   pool.parallel_for(4, [](std::size_t) {
     std::this_thread::sleep_for(std::chrono::milliseconds(30));
   });
-  const auto elapsed = std::chrono::steady_clock::now() - start;
-  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
-                .count(),
-            110);
+  EXPECT_LT(watch.seconds(), 0.110);
 }
 
 TEST(ThreadPool, TasksCanSubmitMoreTasks) {
