@@ -129,6 +129,55 @@ void BM_SimHotLoop(benchmark::State& state) {
 BENCHMARK(BM_SimHotLoop)->Arg(16)->Arg(64)->Arg(128)
     ->Unit(benchmark::kMillisecond);
 
+// The hierarchical-network hot loop: every isend costs through the
+// devirtualized HierarchicalNetwork installed on the simulator instead
+// of the machine-level model. This is the datapoint guarding the
+// PairCost devirtualization — before it, each send paid two
+// std::function dispatches on the hot path.
+void BM_SimHotLoopHierarchical(benchmark::State& state) {
+  const HotLoopEnv& env = hot_loop_env();
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const auto pes = static_cast<std::int32_t>(state.range(0));
+  const partition::Partition part = partition::partition_deck(
+      deck, pes, partition::PartitionMethod::kMultilevel, 1);
+  simapp::SimKrakOptions options = hot_loop_options(true);
+  options.hierarchical_network = true;
+  const simapp::SimKrak app(deck, part, env.machine, env.engine, options);
+  std::size_t events = 0;
+  for (auto _ : state) {
+    const simapp::SimKrakResult result = app.run();
+    events += result.events_processed;
+    benchmark::DoNotOptimize(result.total_time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SimHotLoopHierarchical)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+// The conservative parallel engine against the single-thread oracle on
+// the same deck: range(0) is SimConfig::threads. Results are
+// bit-identical across the sweep (the determinism suite asserts it);
+// this measures the epoch-barrier overhead and the win once shards
+// carry enough events per window.
+void BM_SimHotLoopParallel(benchmark::State& state) {
+  const HotLoopEnv& env = hot_loop_env();
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const partition::Partition part = partition::partition_deck(
+      deck, 128, partition::PartitionMethod::kMultilevel, 1);
+  simapp::SimKrakOptions options = hot_loop_options(true);
+  options.sim_threads = static_cast<std::int32_t>(state.range(0));
+  const simapp::SimKrak app(deck, part, env.machine, env.engine, options);
+  std::size_t events = 0;
+  for (auto _ : state) {
+    const simapp::SimKrakResult result = app.run();
+    events += result.events_processed;
+    benchmark::DoNotOptimize(result.total_time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SimHotLoopParallel)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <map>
 #include <set>
+#include <sstream>
 #include <thread>
 
 #include "obs/report.hpp"
@@ -147,6 +149,58 @@ obs::Json replay_to_json(const std::string& name,
   }
   out["iteration_phases"] = std::move(per_phase);
   return out;
+}
+
+void attach_parallel_scaling(obs::Json& replay, std::int32_t threads,
+                             double serial_wall_s, double parallel_wall_s) {
+  util::check(threads >= 1, "attach_parallel_scaling: threads must be >= 1");
+  obs::Json parallel = obs::Json::object();
+  parallel["threads"] = threads;
+  parallel["serial_wall_s"] = serial_wall_s;
+  parallel["parallel_wall_s"] = parallel_wall_s;
+  parallel["speedup"] =
+      parallel_wall_s > 0.0 ? serial_wall_s / parallel_wall_s : 0.0;
+  replay["parallel"] = std::move(parallel);
+}
+
+std::vector<std::string> compare_campaign_walls(const obs::Json& report,
+                                                const obs::Json& baseline,
+                                                double factor) {
+  std::vector<std::string> failures;
+  std::map<std::string, double> baseline_walls;
+  for (const obs::Json& campaign : baseline.find("campaigns")->as_array()) {
+    baseline_walls.emplace(campaign.find("name")->as_string(),
+                           campaign.find("wall_seconds")->as_double());
+  }
+  std::set<std::string> compared;
+  for (const obs::Json& campaign : report.find("campaigns")->as_array()) {
+    const std::string& name = campaign.find("name")->as_string();
+    compared.insert(name);
+    const auto base = baseline_walls.find(name);
+    if (base == baseline_walls.end()) {
+      failures.push_back("campaign '" + name +
+                         "' has no like-named campaign in the baseline"
+                         " report; the gate cannot vouch for it");
+      continue;
+    }
+    const double wall = campaign.find("wall_seconds")->as_double();
+    if (wall > base->second * factor) {
+      std::ostringstream message;
+      message << "campaign '" << name << "' regressed: " << wall
+              << " s vs baseline " << base->second << " s (limit " << factor
+              << "x)";
+      failures.push_back(message.str());
+    }
+  }
+  for (const auto& [name, wall] : baseline_walls) {
+    (void)wall;
+    if (compared.count(name) == 0) {
+      failures.push_back("baseline campaign '" + name +
+                         "' is missing from the generated report; a dropped"
+                         " or renamed campaign disables its gate");
+    }
+  }
+  return failures;
 }
 
 obs::Json make_bench_report(const std::string& name, bool quick,

@@ -34,6 +34,24 @@ struct BenchEnvironment {
 [[nodiscard]] obs::Json replay_to_json(const std::string& name,
                                        const simapp::SimKrakResult& result);
 
+/// Attach the optional krak-bench-v1 "parallel" object to a replay
+/// entry: the parallel-simulation scaling datapoint of the scenario —
+/// wall clock of the single-thread oracle vs. the conservative parallel
+/// engine at `threads` workers over the same (bit-identical) run.
+void attach_parallel_scaling(obs::Json& replay, std::int32_t threads,
+                             double serial_wall_s, double parallel_wall_s);
+
+/// The perf-smoke regression gate behind krak_bench --compare: check
+/// every campaign of `report` against the like-named campaign of
+/// `baseline`. Returns human-readable failure messages; empty means
+/// every campaign name matched in BOTH directions and no wall time
+/// exceeded `factor` x its baseline. A campaign present on only one
+/// side is a failure, not a silent pass: a renamed or dropped campaign
+/// would otherwise disable the gate without anyone noticing. Both
+/// documents must already be schema-valid (validate_bench_report).
+[[nodiscard]] std::vector<std::string> compare_campaign_walls(
+    const obs::Json& report, const obs::Json& baseline, double factor);
+
 /// Assemble the full report document (see docs/OBSERVABILITY.md for the
 /// schema). The caller validates with obs::validate_bench_report before
 /// publishing.

@@ -35,6 +35,7 @@ Measurement measure(const mesh::InputDeck& deck, std::int32_t pes,
   options.iterations = config.iterations;
   options.noise_seed = config.noise_seed;
   options.faults = config.faults;
+  options.sim_threads = config.sim_threads;
   const simapp::SimKrak app(deck, partitioned->partition, machine, engine,
                             partitioned->stats, options);
   simapp::SimKrakResult result = app.run();

@@ -36,6 +36,11 @@ struct ValidationConfig {
   /// measured or predicted value: the partition is bit-identical at
   /// every thread count.
   std::int32_t partition_threads = 1;
+  /// Worker threads for the simulator's conservative parallel engine
+  /// (sim::SimConfig::threads); <= 1 keeps the single-thread oracle.
+  /// Like partition_threads this never changes a measured value: the
+  /// parallel engine is bit-identical to the oracle.
+  std::int32_t sim_threads = 1;
   /// Optional fault-injection plan applied to the SimKrak measurement.
   /// If the injected faults make the measurement fail (watchdog fires),
   /// the validate_* functions throw sim::SimFailureError carrying the

@@ -1,5 +1,7 @@
 #include "network/msgmodel.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -38,6 +40,24 @@ double MessageCostModel::message_time(double bytes) const {
 double MessageCostModel::effective_bandwidth(double bytes) const {
   check(bytes > 0.0, "effective bandwidth needs a positive size");
   return bytes / message_time(bytes);
+}
+
+double MessageCostModel::min_message_time() const {
+  if (zero_) return 0.0;
+  // Tmsg(S) = L(S) + S * TB(S) with S >= 0 and TB >= 0, so the infimum
+  // over sizes is bounded below by the infimum of L alone. L is
+  // piecewise linear over the evaluated domain [1, inf): its infimum is
+  // attained at a breakpoint (or at the clamped left edge) unless the
+  // table extrapolates past its last breakpoint with a negative slope,
+  // in which case no positive bound exists and the horizon degenerates.
+  const std::span<const double> ys = latency_.ys();
+  double bound = latency_(1.0);
+  for (const double y : ys) bound = std::min(bound, y);
+  if (latency_.extrapolation() == util::Extrapolation::kLinear &&
+      ys.size() >= 2 && ys[ys.size() - 1] < ys[ys.size() - 2]) {
+    return 0.0;
+  }
+  return bound > 0.0 ? bound : 0.0;
 }
 
 MessageCostModel MessageCostModel::scaled(double latency_factor,

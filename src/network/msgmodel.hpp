@@ -32,6 +32,13 @@ class MessageCostModel {
   /// Effective bandwidth S / Tmsg(S) in bytes per second.
   [[nodiscard]] double effective_bandwidth(double bytes) const;
 
+  /// A guaranteed lower bound on message_time over every message size —
+  /// the lookahead horizon of the conservative parallel simulator: no
+  /// payload sent at time t can arrive before t + min_message_time().
+  /// Returns 0 (a degenerate horizon) for the zero-cost model or when
+  /// the latency table's extrapolation could dip below its breakpoints.
+  [[nodiscard]] double min_message_time() const;
+
   /// Scale latencies by `latency_factor` and per-byte costs by
   /// `byte_cost_factor` (procurement what-if knob; factors < 1 mean a
   /// faster network).

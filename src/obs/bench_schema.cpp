@@ -212,6 +212,21 @@ void check_replay(SchemaChecker& ck, const Json& replay,
     ck.require_number(*traffic, sub, "broadcasts", 0.0, kHuge);
     ck.require_number(*traffic, sub, "gathers", 0.0, kHuge);
   }
+  // Optional parallel-simulation scaling datapoint: wall clock of the
+  // single-thread oracle vs. the conservative parallel engine over the
+  // same scenario (absent from serial-only reports, so pre-existing
+  // reports stay valid).
+  if (const Json* parallel = replay.find("parallel")) {
+    if (!parallel->is_object()) {
+      ck.fail(path + ".parallel", "must be an object");
+      return;
+    }
+    const std::string sub = path + ".parallel";
+    ck.require_number(*parallel, sub, "threads", 1.0, kHuge);
+    ck.require_number(*parallel, sub, "serial_wall_s", 0.0, kHuge);
+    ck.require_number(*parallel, sub, "parallel_wall_s", 0.0, kHuge);
+    ck.require_number(*parallel, sub, "speedup", 0.0, kHuge);
+  }
   // Optional fault-injection accounting, emitted only when a fault plan
   // was active (keeps pre-existing reports valid).
   if (const Json* fault = replay.find("fault")) {

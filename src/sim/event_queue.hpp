@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace krak::sim {
@@ -28,7 +29,13 @@ struct SimEvent {
   std::int32_t rank = -1;  ///< target rank
   std::int32_t peer = -1;  ///< sending rank (kMessageArrival)
   std::int32_t tag = 0;    ///< message tag (kMessageArrival)
-  double value = 0.0;      ///< collective cost (kCollectiveRelease)
+  /// kCollectiveRelease: the tree cost every rank pays.
+  /// kMessageArrival: the payload's true arrival timestamp. Usually
+  /// equal to the event's fire time; the parallel engine may fire the
+  /// event later when a cross-shard payload is injected after the
+  /// destination queue's clock already passed the arrival (the receiving
+  /// rank's timing math always uses this value, never the fire time).
+  double value = 0.0;
 
   [[nodiscard]] static SimEvent step(std::int32_t rank) {
     SimEvent event;
@@ -37,12 +44,14 @@ struct SimEvent {
     return event;
   }
   [[nodiscard]] static SimEvent arrival(std::int32_t rank, std::int32_t peer,
-                                        std::int32_t tag) {
+                                        std::int32_t tag,
+                                        double arrival_time) {
     SimEvent event;
     event.kind = EventKind::kMessageArrival;
     event.rank = rank;
     event.peer = peer;
     event.tag = tag;
+    event.value = arrival_time;
     return event;
   }
   [[nodiscard]] static SimEvent release(std::int32_t rank, double cost) {
@@ -90,6 +99,14 @@ class EventQueue {
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
+  /// Timestamp of the earliest pending event; +infinity when empty.
+  /// The parallel engine's epoch coordinator uses this to pick the next
+  /// global time window without popping anything.
+  [[nodiscard]] double next_time() const {
+    return heap_.empty() ? std::numeric_limits<double>::infinity()
+                         : heap_.front().time;
+  }
+
   /// High-water mark of pending events since construction — a proxy for
   /// how much simulated concurrency was in flight (exported to the
   /// observability layer as `sim.max_queue_depth`).
@@ -108,6 +125,31 @@ class EventQueue {
                     std::size_t max_events = kDefaultMaxEvents) {
     EventRunStats stats;
     while (!heap_.empty()) {
+      if (stats.fired >= max_events) {
+        stats.budget_exhausted = true;
+        break;
+      }
+      const Entry top = pop_min();
+      now_ = top.time;
+      handler(top.event);
+      ++stats.fired;
+    }
+    return stats;
+  }
+
+  /// Fire events whose timestamp is strictly below `limit` (at or below
+  /// when `inclusive`), in time order, stopping early once `max_events`
+  /// have fired. Events at or past the horizon stay queued — this is the
+  /// conservative-parallel epoch primitive: a shard may safely execute
+  /// everything below the global lookahead horizon because no other
+  /// shard can inject an event earlier than it.
+  template <typename Handler>
+  EventRunStats run_window(double limit, bool inclusive,
+                           std::size_t max_events, Handler&& handler) {
+    EventRunStats stats;
+    while (!heap_.empty()) {
+      const double time = heap_.front().time;
+      if (inclusive ? time > limit : time >= limit) break;
       if (stats.fired >= max_events) {
         stats.budget_exhausted = true;
         break;

@@ -16,9 +16,13 @@ namespace krak::sim {
 /// records — no per-message heap allocation and no tree walk per
 /// delivery, unlike the map-of-deques it replaced (docs/PERFORMANCE.md).
 ///
-/// Slots are never erased: a drained FIFO keeps its key so the common
-/// steady-state of the Krak exchange pattern (the same (peer, tag) pairs
-/// every iteration) probes straight to an existing slot. Pool records
+/// Slots are never erased between grows: a drained FIFO keeps its key so
+/// the common steady-state of the Krak exchange pattern (the same
+/// (peer, tag) pairs every iteration) probes straight to an existing
+/// slot. A grow rehashes live FIFOs only, dropping drained keys — so
+/// workloads that churn through ever-new (peer, tag) pairs cannot
+/// accumulate dead slots that push the load factor up and degrade every
+/// probe chain (they used to count as occupied forever). Pool records
 /// are recycled through a free list. Probe counts are surfaced through
 /// `probes()` and exported as `sim.mailbox.probes`.
 class Mailbox {
@@ -55,6 +59,17 @@ class Mailbox {
   /// Slot inspections performed by all lookups so far (the hash table's
   /// work metric; == lookups when every probe hits its home slot).
   [[nodiscard]] std::uint64_t probes() const { return probes_; }
+
+  /// Current slot-array capacity (a power of two; 0 before any push).
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Keyed slots whose FIFO is currently non-empty (O(capacity); a
+  /// test/diagnostic accessor, not a hot-path one).
+  [[nodiscard]] std::size_t live_slots() const {
+    std::size_t live = 0;
+    for (const Slot& slot : slots_) live += slot.head != -1 ? 1U : 0U;
+    return live;
+  }
 
  private:
   struct Slot {
@@ -126,16 +141,26 @@ class Mailbox {
   }
 
   void grow() {
-    const std::size_t capacity = slots_.empty() ? 16 : slots_.size() * 2;
+    // Rehash live FIFOs only: a drained slot's key is dropped here, so
+    // dead keys never count against the load factor across grows. The
+    // capacity doubles only when the live keys alone would keep the new
+    // table at or above the 3/4 trigger — a churn-only mailbox (every
+    // key drained before the next appears) stays at its current size
+    // forever instead of doubling on schedule.
     std::vector<Slot> old = std::move(slots_);
+    std::size_t live = 0;
+    for (const Slot& slot : old) live += slot.head != -1 ? 1U : 0U;
+    std::size_t capacity = old.empty() ? 16 : old.size();
+    while (live * 4 >= capacity * 3) capacity *= 2;
     slots_.assign(capacity, Slot{});
     const std::size_t mask = capacity - 1;
     for (const Slot& slot : old) {
-      if (slot.key == kEmptyKey) continue;
+      if (slot.key == kEmptyKey || slot.head == -1) continue;
       std::size_t i = mix(slot.key) & mask;
       while (slots_[i].key != kEmptyKey) i = (i + 1) & mask;
       slots_[i] = slot;
     }
+    used_ = live;
   }
 
   std::vector<Slot> slots_;

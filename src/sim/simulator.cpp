@@ -106,6 +106,18 @@ void Simulator::set_pair_network(PairCost message_time, PairCost latency) {
         "pair message_time and latency must be set or cleared together");
   pair_message_time_ = std::move(message_time);
   pair_latency_ = std::move(latency);
+  hierarchy_ = nullptr;
+}
+
+void Simulator::set_pair_network(
+    std::shared_ptr<const network::HierarchicalNetwork> network) {
+  if (network != nullptr) {
+    check(network->placement().pes() >= ranks(),
+          "hierarchical placement must cover every rank");
+  }
+  hierarchy_ = std::move(network);
+  pair_message_time_ = nullptr;
+  pair_latency_ = nullptr;
 }
 
 void Simulator::set_fault_injector(FaultInjector* injector) {
@@ -114,47 +126,108 @@ void Simulator::set_fault_injector(FaultInjector* injector) {
 
 void Simulator::set_watchdog(WatchdogConfig watchdog) { watchdog_ = watchdog; }
 
+std::int32_t Simulator::plan_shards() const {
+  if (config_.threads <= 1) return 1;
+  // NIC injection serializes ranks through per-node adapter state in
+  // global event order; no rank sharding reproduces that coupling, so
+  // the oracle runs (see SimConfig::threads).
+  if (nic_.enabled) return 1;
+  // Shard boundaries align to SMP-node boundaries when a hierarchical
+  // network is installed: cross-shard messages are then exactly the
+  // inter-node ones, making the inter-node minimum a valid lookahead.
+  const std::int32_t unit =
+      hierarchy_ != nullptr ? hierarchy_->placement().pes_per_node() : 1;
+  const std::int32_t units = (ranks() + unit - 1) / unit;
+  return std::max(1, std::min(config_.threads, units));
+}
+
 SimResult Simulator::run() {
+  const std::int32_t shard_count = plan_shards();
+  if (shard_count > 1) return run_parallel(shard_count);
+  return run_serial();
+}
+
+void Simulator::begin_run(SimResult& result) {
   const std::int32_t n = ranks();
   states_.assign(static_cast<std::size_t>(n), RankState{});
   collective_states_.clear();
   lost_.clear();
-  queue_ = EventQueue{};
-  // Pre-size the slab: one kick-off event per rank plus in-flight
-  // headroom; growth beyond this is counted against sim.events.pooled.
-  queue_.reserve(static_cast<std::size_t>(n) * 2 + 64);
   if (fault_ != nullptr) fault_->on_run_start(n);
 
-  SimResult result;
   result.finish_times.assign(static_cast<std::size_t>(n), 0.0);
   result.breakdown.assign(static_cast<std::size_t>(n), RankTimeBreakdown{});
   result.records.assign(static_cast<std::size_t>(n), {});
 
   if (nic_.enabled) {
-    const std::int32_t nodes =
-        (n + nic_.pes_per_node - 1) / nic_.pes_per_node;
+    const std::int32_t nodes = (n + nic_.pes_per_node - 1) / nic_.pes_per_node;
     nic_free_.assign(static_cast<std::size_t>(nodes), 0.0);
   } else {
     nic_free_.clear();
   }
+}
+
+SimResult Simulator::run_serial() {
+  const std::int32_t n = ranks();
+  SimResult result;
+  begin_run(result);
+
+  std::vector<Shard> shards(1);
+  Shard& shard = shards.front();
+  shard.begin = 0;
+  shard.end = n;
+  // Pre-size the slab: one kick-off event per rank plus in-flight
+  // headroom; growth beyond this is counted against sim.events.pooled.
+  shard.queue.reserve(static_cast<std::size_t>(n) * 2 + 64);
   for (RankId r = 0; r < n; ++r) {
-    queue_.schedule(0.0, SimEvent::step(r));
+    shard.queue.schedule(0.0, SimEvent::step(r));
   }
-  const EventRunStats run_stats = queue_.run(
-      [this, &result](const SimEvent& event) { dispatch(event, result); },
+  const EventRunStats run_stats = shard.queue.run(
+      [this, &shard, &result](const SimEvent& event) {
+        dispatch(shard, event, result);
+      },
       config_.max_events);
-  result.events_processed = run_stats.fired;
-  result.max_queue_depth = queue_.max_size();
-  result.pooled_events = queue_.pooled_events();
-  for (const RankState& state : states_) {
-    result.mailbox_probes += state.mailbox.probes();
+  finalize_run(result, shards, run_stats.budget_exhausted, run_stats.fired);
+  return result;
+}
+
+void Simulator::finalize_run(SimResult& result, std::vector<Shard>& shards,
+                             bool budget_exhausted, std::size_t events_fired) {
+  const std::int32_t n = ranks();
+  result.events_processed = events_fired;
+  for (Shard& shard : shards) {
+    result.max_queue_depth =
+        std::max(result.max_queue_depth, shard.queue.max_size());
+    result.pooled_events += shard.queue.pooled_events();
+    result.traffic.point_to_point_messages +=
+        shard.traffic.point_to_point_messages;
+    result.traffic.allreduces += shard.traffic.allreduces;
+    result.traffic.broadcasts += shard.traffic.broadcasts;
+    result.traffic.gathers += shard.traffic.gathers;
+    result.faults.injections += shard.faults.injections;
+    result.faults.retransmits += shard.faults.retransmits;
+    result.faults.messages_lost += shard.faults.messages_lost;
+    for (const auto& [key, count] : shard.lost) lost_[key] += count;
+    for (SimFailure& failure : shard.failures) {
+      result.failures.push_back(std::move(failure));
+    }
+    shard.failures.clear();
+  }
+  // The order-sensitive float accumulations reduce in rank order in BOTH
+  // engines, so the totals are bit-identical regardless of how events
+  // interleaved across shards during the run.
+  for (RankId r = 0; r < n; ++r) {
+    const auto index = static_cast<std::size_t>(r);
+    result.mailbox_probes += states_[index].mailbox.probes();
+    result.traffic.point_to_point_bytes += states_[index].sent_bytes;
+    result.faults.fault_delay_seconds += result.breakdown[index].fault_delay;
+    result.faults.recovery_seconds += result.breakdown[index].recovery;
   }
 
-  if (run_stats.budget_exhausted) {
+  if (budget_exhausted) {
     SimFailure failure;
     failure.kind = SimFailure::Kind::kEventLimit;
     std::ostringstream os;
-    os << "(fired " << run_stats.fired << " event(s), budget "
+    os << "(fired " << events_fired << " event(s), budget "
        << config_.max_events << ")";
     failure.detail = os.str();
     if (!watchdog_.structured_failures) {
@@ -167,7 +240,7 @@ SimResult Simulator::run() {
     const RankState& state = states_[static_cast<std::size_t>(r)];
     // When the event budget tripped, unfinished ranks were stopped by
     // the guard, not by a hang — skip the per-rank deadlock diagnosis.
-    if (!state.finished && !state.timed_out && !run_stats.budget_exhausted) {
+    if (!state.finished && !state.timed_out && !budget_exhausted) {
       const SimFailure failure = diagnose_stuck_rank(r);
       if (!watchdog_.structured_failures) {
         throw util::KrakError(failure.to_string());
@@ -179,6 +252,18 @@ SimResult Simulator::run() {
     result.finish_times[static_cast<std::size_t>(r)] = state.clock;
     result.makespan = std::max(result.makespan, state.clock);
   }
+
+  // Canonical failure order — run-level diagnoses (rank -1) first, then
+  // by (rank, op index, kind) — so the list is identical whichever
+  // engine, thread count, or event interleave produced it.
+  std::stable_sort(result.failures.begin(), result.failures.end(),
+                   [](const SimFailure& a, const SimFailure& b) {
+                     if (a.rank != b.rank) return a.rank < b.rank;
+                     if (a.op_index != b.op_index) {
+                       return a.op_index < b.op_index;
+                     }
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
 
   // Run-level probes only — nothing per-op or per-event, so the
   // simulator's hot loop stays instrumentation-free.
@@ -211,7 +296,6 @@ SimResult Simulator::run() {
       recovery.set(result.faults.recovery_seconds);
     }
   }
-  return result;
 }
 
 SimFailure Simulator::diagnose_stuck_rank(RankId rank) const {
@@ -247,25 +331,34 @@ SimFailure Simulator::diagnose_stuck_rank(RankId rank) const {
   return failure;
 }
 
-void Simulator::dispatch(const SimEvent& event, SimResult& result) {
+void Simulator::dispatch(Shard& shard, const SimEvent& event,
+                         SimResult& result) {
   switch (event.kind) {
     case EventKind::kStepRank: {
-      step_rank(event.rank, result);
+      step_rank(shard, event.rank, result);
       break;
     }
     case EventKind::kMessageArrival: {
       RankState& receiver = states_[static_cast<std::size_t>(event.rank)];
-      receiver.mailbox.push(event.peer, event.tag, queue_.now());
+      // The payload's true arrival rides in the event (equal to the fire
+      // time except for cross-shard payloads injected after the
+      // destination queue's clock passed it — the receiver's timing math
+      // must always see the true arrival).
+      receiver.mailbox.push(event.peer, event.tag, event.value);
       // Only a recv-blocked rank can make progress on delivery; a rank
       // waiting inside a collective must stay parked until the
       // collective completes.
       if (receiver.blocked && receiver.reason == BlockReason::kRecvWait) {
-        step_rank(event.rank, result);
+        step_rank(shard, event.rank, result);
       }
       break;
     }
     case EventKind::kCollectiveRelease: {
-      const double completion = queue_.now();
+      // The parallel engine releases collectives at epoch barriers, so
+      // this event exists only in the serial oracle's queue.
+      require_internal(!shard.parallel,
+                       "collective release event in a parallel shard");
+      const double completion = shard.queue.now();
       const double cost = event.value;
       RankState& released = states_[static_cast<std::size_t>(event.rank)];
       // The rank's clock froze at its entry time, so the gap to the
@@ -276,13 +369,13 @@ void Simulator::dispatch(const SimEvent& event, SimResult& result) {
       breakdown.collective_wait += completion - cost - released.clock;
       breakdown.collective_cost += cost;
       released.clock = std::max(released.clock, completion);
-      step_rank(event.rank, result);
+      step_rank(shard, event.rank, result);
       break;
     }
   }
 }
 
-void Simulator::step_rank(RankId rank, SimResult& result) {
+void Simulator::step_rank(Shard& shard, RankId rank, SimResult& result) {
   RankState& state = states_[static_cast<std::size_t>(rank)];
   if (state.finished || state.timed_out) return;
   state.blocked = false;
@@ -291,28 +384,32 @@ void Simulator::step_rank(RankId rank, SimResult& result) {
   RankTimeBreakdown& breakdown =
       result.breakdown[static_cast<std::size_t>(rank)];
 
+  const auto trip_time_limit = [&]() {
+    SimFailure failure;
+    failure.kind = SimFailure::Kind::kTimeLimit;
+    failure.rank = rank;
+    failure.op_index = state.pc;
+    if (state.pc < schedule.size()) {
+      failure.has_op = true;
+      failure.op = schedule[state.pc].kind;
+      failure.peer = schedule[state.pc].peer;
+      failure.tag = schedule[state.pc].tag;
+    }
+    std::ostringstream os;
+    os << "(clock " << state.clock << " s > bound " << watchdog_.max_sim_seconds
+       << " s)";
+    failure.detail = os.str();
+    shard.failures.push_back(std::move(failure));
+    state.timed_out = true;
+  };
+
   while (state.pc < schedule.size() && !state.blocked) {
     if (watchdog_.max_sim_seconds > 0.0 &&
         state.clock > watchdog_.max_sim_seconds) {
       // The rank ran past the simulated-time bound: stop executing its
       // ops and report structurally. The run keeps draining so the
       // other ranks' timings stay meaningful.
-      SimFailure failure;
-      failure.kind = SimFailure::Kind::kTimeLimit;
-      failure.rank = rank;
-      failure.op_index = state.pc;
-      if (state.pc < schedule.size()) {
-        failure.has_op = true;
-        failure.op = schedule[state.pc].kind;
-        failure.peer = schedule[state.pc].peer;
-        failure.tag = schedule[state.pc].tag;
-      }
-      std::ostringstream os;
-      os << "(clock " << state.clock << " s > bound "
-         << watchdog_.max_sim_seconds << " s)";
-      failure.detail = os.str();
-      result.failures.push_back(std::move(failure));
-      state.timed_out = true;
+      trip_time_limit();
       return;
     }
     const Op& op = schedule[state.pc];
@@ -324,16 +421,14 @@ void Simulator::step_rank(RankId rank, SimResult& result) {
           if (recovery > 0.0) {
             state.clock += recovery;
             breakdown.recovery += recovery;
-            result.faults.recovery_seconds += recovery;
-            ++result.faults.injections;
+            ++shard.faults.injections;
           }
           const double extra =
               fault_->compute_delay(rank, state.compute_index, op.duration);
           if (extra > 0.0) {
             state.clock += extra;
             breakdown.fault_delay += extra;
-            result.faults.fault_delay_seconds += extra;
-            ++result.faults.injections;
+            ++shard.faults.injections;
           }
           ++state.compute_index;
         }
@@ -357,19 +452,25 @@ void Simulator::step_rank(RankId rank, SimResult& result) {
           injected_by = inject_at + op.bytes / nic_.injection_bandwidth;
           nic_free_[node] = injected_by;
         }
+        // Concrete hierarchical dispatch first: the common production
+        // pair network costs two predictable branches per message here
+        // instead of a std::function call (bench/sim_hot_loop).
         double wire_time =
-            pair_message_time_ ? pair_message_time_(rank, op.peer, op.bytes)
-                               : network_.message_time(op.bytes);
+            hierarchy_ != nullptr
+                ? hierarchy_->message_time(rank, op.peer, op.bytes)
+                : (pair_message_time_
+                       ? pair_message_time_(rank, op.peer, op.bytes)
+                       : network_.message_time(op.bytes));
+        const std::int64_t send_ordinal = state.send_index++;
         FaultInjector::MessageFate fate;
         if (fault_ != nullptr) {
-          fate = fault_->message_fate(rank, op.peer, op.bytes,
-                                      state.send_index++);
+          fate = fault_->message_fate(rank, op.peer, op.bytes, send_ordinal);
           wire_time *= fate.bandwidth_factor;
           if (fate.extra_delay > 0.0 || fate.lost ||
               fate.bandwidth_factor != 1.0) {
-            ++result.faults.injections;
+            ++shard.faults.injections;
           }
-          result.faults.retransmits += fate.retransmits;
+          shard.faults.retransmits += fate.retransmits;
         }
         // The payload cannot finish arriving before it finished leaving
         // the adapter.
@@ -377,24 +478,37 @@ void Simulator::step_rank(RankId rank, SimResult& result) {
             std::max(inject_at + wire_time, injected_by) + fate.extra_delay;
         // The send completes locally once the payload is handed to the
         // NIC (one start-up latency), not when it arrives remotely.
-        const double handoff = pair_latency_
-                                   ? pair_latency_(rank, op.peer, op.bytes)
-                                   : network_.latency(op.bytes);
+        const double handoff =
+            hierarchy_ != nullptr
+                ? hierarchy_->latency(rank, op.peer, op.bytes)
+                : (pair_latency_ ? pair_latency_(rank, op.peer, op.bytes)
+                                 : network_.latency(op.bytes));
         state.send_completions.push_back(inject_at + handoff);
-        ++result.traffic.point_to_point_messages;
-        result.traffic.point_to_point_bytes += op.bytes;
+        ++shard.traffic.point_to_point_messages;
+        state.sent_bytes += op.bytes;
         const RankId to = op.peer;
         const std::int32_t tag = op.tag;
         if (fate.lost) {
           // Retries exhausted: the payload never arrives. The sender's
           // local completion is unaffected (asynchronous send); the
           // starved receiver is diagnosed at drain time.
-          ++result.faults.messages_lost;
-          ++lost_[{rank, to, tag}];
+          ++shard.faults.messages_lost;
+          ++shard.lost[{rank, to, tag}];
           ++state.pc;
           break;
         }
-        queue_.schedule(arrival, SimEvent::arrival(to, rank, tag));
+        if (shard.parallel && !shard.owns(to)) {
+          shard.outbox.push_back({arrival, rank, to, tag, send_ordinal});
+        } else {
+          // A late wake can leave this rank's clock behind the shard
+          // queue's clock, so the event time clamps forward; the true
+          // arrival rides in the event and per-key FIFO order is
+          // preserved (docs/PERFORMANCE.md, "Parallel simulation").
+          const double fire_at =
+              shard.parallel ? std::max(arrival, shard.queue.now()) : arrival;
+          shard.queue.schedule(fire_at,
+                               SimEvent::arrival(to, rank, tag, arrival));
+        }
         ++state.pc;
         break;
       }
@@ -427,7 +541,7 @@ void Simulator::step_rank(RankId rank, SimResult& result) {
       case OpKind::kAllreduce:
       case OpKind::kBroadcast:
       case OpKind::kGather: {
-        enter_collective(rank, op, result);
+        enter_collective(shard, rank, op);
         break;
       }
       case OpKind::kRecord: {
@@ -438,17 +552,40 @@ void Simulator::step_rank(RankId rank, SimResult& result) {
     }
   }
   if (state.pc >= schedule.size() && !state.blocked) {
+    if (watchdog_.max_sim_seconds > 0.0 &&
+        state.clock > watchdog_.max_sim_seconds) {
+      // The loop-head check only sees the clock before each op, so a
+      // rank whose final ops pushed it past the bound used to finish
+      // silently and the run drained "successfully" beyond the watchdog
+      // bound. Re-check before declaring the rank done (PR 7 bugfix).
+      trip_time_limit();
+      return;
+    }
     state.finished = true;
   }
 }
 
-void Simulator::enter_collective(RankId rank, const Op& op, SimResult& result) {
+void Simulator::enter_collective(Shard& shard, RankId rank, const Op& op) {
   RankState& state = states_[static_cast<std::size_t>(rank)];
   const std::size_t index = state.next_collective++;
+  // pc moves past the collective now so the release resumes at the next
+  // op; blocked_op keeps naming the collective for diagnostics.
+  state.blocked_op = state.pc;
+  ++state.pc;
+  state.blocked = true;
+  state.reason = BlockReason::kCollectiveWait;
+
+  if (shard.parallel) {
+    // Park the rank and ledger the entry; the epoch barrier merges
+    // entries from every shard in canonical (index, rank) order and
+    // releases completed collectives from the coordinator.
+    shard.collective_entries.push_back(
+        {index, rank, op.kind, op.bytes, state.clock});
+    return;
+  }
+
   if (index >= collective_states_.size()) {
     collective_states_.resize(index + 1);
-    collective_states_[index].kind = op.kind;
-    collective_states_[index].bytes = op.bytes;
   }
   CollectiveState& coll = collective_states_[index];
   if (coll.entered == 0) {
@@ -460,12 +597,6 @@ void Simulator::enter_collective(RankId rank, const Op& op, SimResult& result) {
   }
   ++coll.entered;
   coll.max_entry = std::max(coll.max_entry, state.clock);
-  // pc moves past the collective now so the release event resumes at the
-  // next op; blocked_op keeps naming the collective for diagnostics.
-  state.blocked_op = state.pc;
-  ++state.pc;
-  state.blocked = true;
-  state.reason = BlockReason::kCollectiveWait;
 
   if (coll.entered < ranks()) return;
 
@@ -474,22 +605,22 @@ void Simulator::enter_collective(RankId rank, const Op& op, SimResult& result) {
   switch (coll.kind) {
     case OpKind::kAllreduce:
       cost = collectives_.fan_in_fan_out(ranks(), coll.bytes);
-      ++result.traffic.allreduces;
+      ++shard.traffic.allreduces;
       break;
     case OpKind::kBroadcast:
       cost = collectives_.fan_out(ranks(), coll.bytes);
-      ++result.traffic.broadcasts;
+      ++shard.traffic.broadcasts;
       break;
     case OpKind::kGather:
       cost = collectives_.fan_in(ranks(), coll.bytes);
-      ++result.traffic.gathers;
+      ++shard.traffic.gathers;
       break;
     default:
       require_internal(false, "non-collective op in collective state");
   }
   const double completion = coll.max_entry + cost;
   for (RankId r = 0; r < ranks(); ++r) {
-    queue_.schedule(completion, SimEvent::release(r, cost));
+    shard.queue.schedule(completion, SimEvent::release(r, cost));
   }
 }
 

@@ -3,12 +3,14 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "network/collectives.hpp"
 #include "network/msgmodel.hpp"
+#include "network/topology.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/ops.hpp"
@@ -26,8 +28,23 @@ struct SimConfig {
   /// fired with events still pending. With the watchdog's
   /// structured_failures the trip becomes a SimFailure::Kind::kEventLimit
   /// in SimResult::failures; otherwise Simulator::run throws
-  /// InternalError (the historical behavior).
+  /// InternalError (the historical behavior). The parallel engine checks
+  /// the budget at epoch barriers, so a tripped run may overshoot the
+  /// budget by up to one epoch before stopping.
   std::size_t max_events = EventQueue::kDefaultMaxEvents;
+  /// Worker threads of the conservative parallel engine; <= 1 keeps the
+  /// single-thread oracle (docs/PERFORMANCE.md, "Parallel simulation").
+  /// Results are bit-identical across thread counts. Ignored — the
+  /// oracle runs — when the shared-NIC model is enabled, because NIC
+  /// injection serializes ranks through adapter state in global event
+  /// order, which no rank sharding can reproduce.
+  std::int32_t threads = 1;
+  /// Epoch lookahead override (seconds) for the parallel engine;
+  /// negative means derive it from the network's minimum cross-shard
+  /// message time (MessageCostModel::min_message_time). Zero forces the
+  /// degenerate null-message-style progression — one timestamp per
+  /// epoch — which is always correct, just slower.
+  double lookahead = -1.0;
 };
 
 /// Optional shared-NIC injection model: the ranks of one SMP node share
@@ -49,6 +66,11 @@ struct NicConfig {
 /// perturb the wire only, so their effect shows up downstream as extra
 /// recv_wait / collective_wait (propagated delay), never as a broken
 /// identity. `fault::InjectionEngine` is the production implementation.
+///
+/// Thread-safety contract: the parallel engine (SimConfig::threads) calls
+/// these hooks concurrently from worker shards, but always for disjoint
+/// rank sets — per-rank mutable state needs no locking; anything shared
+/// across ranks does. InjectionEngine keeps all mutable state per rank.
 class FaultInjector {
  public:
   virtual ~FaultInjector() = default;
@@ -242,8 +264,15 @@ struct SimResult {
   /// For a failed rank, finish_times[r] holds the clock where it stuck,
   /// and its breakdown still sums to that clock exactly.
   std::vector<SimFailure> failures;
+  /// Engine-mechanics fields below (events, depths, probe counts) are
+  /// NOT part of the cross-engine bit-identity contract: the parallel
+  /// engine splits the queue per shard, so high-water marks, pooling
+  /// and mailbox probe-chain shapes legitimately differ from the
+  /// serial oracle even though every simulated outcome above is
+  /// bit-identical.
   std::size_t events_processed = 0;
-  /// High-water mark of the event queue during the run.
+  /// High-water mark of the event queue during the run (parallel: the
+  /// largest per-shard high-water mark).
   std::size_t max_queue_depth = 0;
   /// Events scheduled into already-allocated queue capacity (exported
   /// as `sim.events.pooled`; see EventQueue::pooled_events).
@@ -283,8 +312,20 @@ class Simulator {
   /// intra/inter-node network). When set, point-to-point sends use
   /// them instead of the flat machine model; collectives continue to
   /// use the flat model's tree costs. Pass empty functions to revert.
+  /// Opaque callables leave the parallel engine without a usable
+  /// lookahead (degenerate epochs) — prefer the HierarchicalNetwork
+  /// overload for production pair costs.
   using PairCost = std::function<double(RankId from, RankId to, double bytes)>;
   void set_pair_network(PairCost message_time, PairCost latency);
+
+  /// Devirtualized pair network: sends call the concrete
+  /// HierarchicalNetwork directly instead of paying a std::function
+  /// dispatch per message on the hot send path, and the parallel engine
+  /// derives its lookahead from the inter-node model and aligns shard
+  /// boundaries to node boundaries. Overrides (and is overridden by)
+  /// the callable form; pass nullptr to revert to the flat model.
+  void set_pair_network(
+      std::shared_ptr<const network::HierarchicalNetwork> network);
 
   /// Install (or clear, with nullptr) a fault injector consulted on
   /// every compute op and point-to-point send. Not owned; must outlive
@@ -299,6 +340,10 @@ class Simulator {
   /// mismatched collective sequences — unless the watchdog runs with
   /// structured_failures, in which case hangs are returned as
   /// SimResult::failures and the surviving ranks' timings are kept.
+  /// With SimConfig::threads > 1 the conservative parallel engine runs
+  /// instead of the serial oracle; every simulated outcome (times,
+  /// breakdowns, records, traffic, fault stats, failures) is
+  /// bit-identical to the oracle across thread counts.
   [[nodiscard]] SimResult run();
 
  private:
@@ -319,9 +364,13 @@ class Simulator {
     std::vector<double> send_completions;
     Mailbox mailbox;
     std::size_t next_collective = 0;
-    /// Ordinal of the next kCompute / kIsend op (fault-injection keys).
+    /// Ordinal of the next kCompute / kIsend op (fault-injection keys;
+    /// the send ordinal also canonically orders cross-shard messages).
     std::int64_t compute_index = 0;
     std::int64_t send_index = 0;
+    /// Point-to-point payload bytes sent by this rank; reduced in rank
+    /// order into TrafficStats so the sum is engine-independent.
+    double sent_bytes = 0.0;
   };
   struct CollectiveState {
     OpKind kind = OpKind::kAllreduce;
@@ -330,31 +379,99 @@ class Simulator {
     double max_entry = 0.0;
   };
 
-  void step_rank(RankId rank, SimResult& result);
-  void dispatch(const SimEvent& event, SimResult& result);
-  void enter_collective(RankId rank, const Op& op, SimResult& result);
+  /// One execution shard: a contiguous rank range with its own event
+  /// queue and tallies. The serial oracle runs a single shard spanning
+  /// every rank; the parallel engine gives each worker thread its own,
+  /// plus an outbox of cross-shard sends and a ledger of collective
+  /// entries, both drained by the coordinator at epoch barriers.
+  struct Shard {
+    std::int32_t id = 0;
+    RankId begin = 0;
+    RankId end = 0;  ///< exclusive
+    /// Parallel mode: cross-shard sends buffer in `outbox`, collective
+    /// entries park in `collective_entries`, and locally scheduled
+    /// event times clamp to the shard clock (payload timing always uses
+    /// the true arrival value carried in the event).
+    bool parallel = false;
+    EventQueue queue;
+    TrafficStats traffic;
+    /// Integer fault tallies only; the seconds fields reduce from the
+    /// rank breakdowns at finalize so their sum order is engine-free.
+    FaultStats faults;
+    std::vector<SimFailure> failures;
+    std::map<std::tuple<RankId, RankId, std::int32_t>, std::int64_t> lost;
+    /// One cross-shard payload buffered during an epoch.
+    struct OutboundMessage {
+      double arrival = 0.0;
+      RankId from = -1;
+      RankId to = -1;
+      std::int32_t tag = 0;
+      /// The sender's kIsend ordinal — with (arrival, from) this gives
+      /// the canonical total order barriers inject messages in.
+      std::int64_t seq = 0;
+    };
+    std::vector<OutboundMessage> outbox;
+    /// One collective entry recorded during an epoch.
+    struct CollectiveEntry {
+      std::size_t index = 0;
+      RankId rank = -1;
+      OpKind kind = OpKind::kCompute;
+      double bytes = 0.0;
+      double entered_at = 0.0;
+    };
+    std::vector<CollectiveEntry> collective_entries;
+    std::size_t fired = 0;
+    /// Wall seconds this shard spent executing its last epoch window
+    /// (observability only — never feeds back into simulated time).
+    double busy_seconds = 0.0;
+
+    [[nodiscard]] bool owns(RankId rank) const {
+      return rank >= begin && rank < end;
+    }
+  };
+
+  void step_rank(Shard& shard, RankId rank, SimResult& result);
+  void dispatch(Shard& shard, const SimEvent& event, SimResult& result);
+  void enter_collective(Shard& shard, RankId rank, const Op& op);
   /// Diagnose the unfinished rank `rank` at drain time (deadlock or
   /// lost-message starvation).
   [[nodiscard]] SimFailure diagnose_stuck_rank(RankId rank) const;
+
+  /// Shared prologue/epilogue of both engines: reset run state, then
+  /// merge per-shard tallies, diagnose stuck ranks, reduce the
+  /// order-sensitive float sums in rank order, sort failures
+  /// canonically, and emit the run-level observability probes.
+  void begin_run(SimResult& result);
+  void finalize_run(SimResult& result, std::vector<Shard>& shards,
+                    bool budget_exhausted, std::size_t events_fired);
+
+  /// How many shards this run uses: 1 (the serial oracle) unless
+  /// threads > 1, at least two ranks exist, and the NIC model is off.
+  [[nodiscard]] std::int32_t plan_shards() const;
+  /// The epoch lookahead horizon (seconds; 0 means degenerate).
+  [[nodiscard]] double plan_lookahead() const;
+  [[nodiscard]] SimResult run_serial();
+  [[nodiscard]] SimResult run_parallel(std::int32_t shard_count);
 
   network::MessageCostModel network_;
   network::CollectiveModel collectives_;
   PairCost pair_message_time_;
   PairCost pair_latency_;
+  std::shared_ptr<const network::HierarchicalNetwork> hierarchy_;
   NicConfig nic_;
   FaultInjector* fault_ = nullptr;
   WatchdogConfig watchdog_;
   /// (from, to, tag) -> count of messages the fault plan lost for good;
-  /// consulted when diagnosing a starved receiver.
+  /// consulted when diagnosing a starved receiver. Merged from the
+  /// per-shard ledgers before drain diagnosis.
   std::map<std::tuple<RankId, RankId, std::int32_t>, std::int64_t> lost_;
   /// nic_free_[node]: the earliest time the node's adapter can accept
-  /// another payload.
+  /// another payload (serial oracle only; see SimConfig::threads).
   std::vector<double> nic_free_;
   SimConfig config_;
   std::vector<Schedule> schedules_;
   std::vector<RankState> states_;
   std::vector<CollectiveState> collective_states_;
-  EventQueue queue_;
 };
 
 }  // namespace krak::sim

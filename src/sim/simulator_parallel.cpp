@@ -1,0 +1,246 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace krak::sim {
+
+using util::check;
+using util::require_internal;
+
+double Simulator::plan_lookahead() const {
+  if (config_.lookahead >= 0.0) return config_.lookahead;
+  if (hierarchy_ != nullptr) {
+    // Shards align to node boundaries (plan_shards), so every
+    // cross-shard payload pays at least the inter-node minimum.
+    return hierarchy_->inter_node().min_message_time();
+  }
+  // Opaque pair callables admit no bound; fall back to the degenerate
+  // one-timestamp-per-epoch (null-message-style) progression.
+  if (pair_message_time_) return 0.0;
+  return network_.min_message_time();
+}
+
+/// Conservative parallel engine: ranks shard into contiguous blocks,
+/// each with its own event queue, stepped in bounded time windows
+/// (epochs). The window's horizon is the global minimum next-event time
+/// plus the lookahead — the least time any cross-shard payload spends on
+/// the wire — so every shard can safely fire everything below it without
+/// hearing from its peers; with a degenerate lookahead each epoch fires
+/// exactly the minimum timestamp (null-message-style progression). At
+/// the barrier the coordinator injects cross-shard payloads in canonical
+/// (arrival, sender, send-ordinal) order and releases completed
+/// collectives in index order, which makes every simulated outcome
+/// bit-identical to the serial oracle regardless of the thread count
+/// (docs/PERFORMANCE.md, "Parallel simulation").
+// krak: hot
+SimResult Simulator::run_parallel(std::int32_t shard_count) {
+  const std::int32_t n = ranks();
+  require_internal(shard_count > 1 && shard_count <= n,
+                   "parallel run needs 2..ranks shards");
+  SimResult result;
+  begin_run(result);
+
+  // Contiguous block sharding over node-aligned units (plan_shards):
+  // the first (units % shards) shards take one extra unit.
+  const std::int32_t unit =
+      hierarchy_ != nullptr ? hierarchy_->placement().pes_per_node() : 1;
+  const std::int32_t units = (n + unit - 1) / unit;
+  std::vector<Shard> shards(static_cast<std::size_t>(shard_count));
+  std::vector<std::int32_t> shard_of(static_cast<std::size_t>(n), 0);
+  std::int32_t next_unit = 0;
+  for (std::int32_t s = 0; s < shard_count; ++s) {
+    Shard& shard = shards[static_cast<std::size_t>(s)];
+    shard.id = s;
+    shard.parallel = true;
+    shard.begin = std::min(n, next_unit * unit);
+    next_unit += units / shard_count + (s < units % shard_count ? 1 : 0);
+    shard.end = std::min(n, next_unit * unit);
+    shard.queue.reserve(
+        static_cast<std::size_t>(shard.end - shard.begin) * 2 + 64);
+    for (RankId r = shard.begin; r < shard.end; ++r) {
+      shard_of[static_cast<std::size_t>(r)] = s;
+      shard.queue.schedule(0.0, SimEvent::step(r));
+    }
+  }
+  require_internal(next_unit == units && shards.back().end == n,
+                   "shard layout must cover every rank");
+
+  const double lookahead = plan_lookahead();
+  util::ThreadPool pool(static_cast<std::size_t>(shard_count));
+
+  std::uint64_t epochs = 0;
+  std::uint64_t cross_messages = 0;
+  double barrier_wait_seconds = 0.0;
+  std::size_t total_fired = 0;
+  std::size_t release_frontier = 0;
+  bool budget_exhausted = false;
+  std::vector<Shard::OutboundMessage> inbound;
+  std::vector<Shard::CollectiveEntry> entries;
+
+  while (!budget_exhausted) {
+    double window_start = std::numeric_limits<double>::infinity();
+    for (const Shard& shard : shards) {
+      window_start = std::min(window_start, shard.queue.next_time());
+    }
+    if (!std::isfinite(window_start)) break;  // every queue drained
+    const bool degenerate = lookahead <= 0.0;
+    const double horizon = degenerate ? window_start : window_start + lookahead;
+    const std::size_t budget_left =
+        config_.max_events > total_fired ? config_.max_events - total_fired : 0;
+    ++epochs;
+
+    const util::Stopwatch epoch_watch;
+    pool.parallel_for_chunked(
+        shards.size(), 1, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            Shard& shard = shards[i];
+            const util::Stopwatch shard_watch;
+            shard.fired = shard.queue
+                              .run_window(horizon, degenerate, budget_left,
+                                          [this, &shard, &result](
+                                              const SimEvent& event) {
+                                            dispatch(shard, event, result);
+                                          })
+                              .fired;
+            shard.busy_seconds = shard_watch.seconds();
+          }
+        });
+    const double epoch_seconds = epoch_watch.seconds();
+    for (const Shard& shard : shards) {
+      total_fired += shard.fired;
+      barrier_wait_seconds += std::max(0.0, epoch_seconds - shard.busy_seconds);
+    }
+
+    // Barrier, phase 1: inject cross-shard payloads in the canonical
+    // (arrival, sender, send-ordinal) total order. Event times clamp
+    // forward to each destination queue's clock; the true arrival rides
+    // in the event, so per-(peer, tag) FIFO order — the only message
+    // order the rank semantics observe — matches the serial oracle's.
+    inbound.clear();
+    for (Shard& shard : shards) {
+      inbound.insert(inbound.end(), shard.outbox.begin(), shard.outbox.end());
+      shard.outbox.clear();
+    }
+    std::sort(inbound.begin(), inbound.end(),
+              [](const Shard::OutboundMessage& a,
+                 const Shard::OutboundMessage& b) {
+                if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                if (a.from != b.from) return a.from < b.from;
+                return a.seq < b.seq;
+              });
+    cross_messages += inbound.size();
+    for (const Shard::OutboundMessage& message : inbound) {
+      Shard& dest = shards[static_cast<std::size_t>(
+          shard_of[static_cast<std::size_t>(message.to)])];
+      dest.queue.schedule(
+          std::max(message.arrival, dest.queue.now()),
+          SimEvent::arrival(message.to, message.from, message.tag,
+                            message.arrival));
+    }
+
+    // Barrier, phase 2: merge collective entries in canonical
+    // (index, rank) order, then release completed collectives. Ranks
+    // release in index order because no rank can enter collective k+1
+    // before k released it.
+    entries.clear();
+    for (Shard& shard : shards) {
+      entries.insert(entries.end(), shard.collective_entries.begin(),
+                     shard.collective_entries.end());
+      shard.collective_entries.clear();
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Shard::CollectiveEntry& a,
+                 const Shard::CollectiveEntry& b) {
+                if (a.index != b.index) return a.index < b.index;
+                return a.rank < b.rank;
+              });
+    for (const Shard::CollectiveEntry& entry : entries) {
+      if (entry.index >= collective_states_.size()) {
+        collective_states_.resize(entry.index + 1);
+      }
+      CollectiveState& coll = collective_states_[entry.index];
+      if (coll.entered == 0) {
+        coll.kind = entry.kind;
+        coll.bytes = entry.bytes;
+      } else {
+        check(coll.kind == entry.kind && coll.bytes == entry.bytes,
+              "mismatched collective sequence across ranks");
+      }
+      ++coll.entered;
+      coll.max_entry = std::max(coll.max_entry, entry.entered_at);
+    }
+    while (release_frontier < collective_states_.size() &&
+           collective_states_[release_frontier].entered >= n) {
+      const CollectiveState& coll = collective_states_[release_frontier];
+      ++release_frontier;
+      double cost = 0.0;
+      switch (coll.kind) {
+        case OpKind::kAllreduce:
+          cost = collectives_.fan_in_fan_out(n, coll.bytes);
+          ++result.traffic.allreduces;
+          break;
+        case OpKind::kBroadcast:
+          cost = collectives_.fan_out(n, coll.bytes);
+          ++result.traffic.broadcasts;
+          break;
+        case OpKind::kGather:
+          cost = collectives_.fan_in(n, coll.bytes);
+          ++result.traffic.gathers;
+          break;
+        default:
+          require_internal(false, "non-collective op in collective state");
+      }
+      const double completion = coll.max_entry + cost;
+      for (RankId r = 0; r < n; ++r) {
+        RankState& state = states_[static_cast<std::size_t>(r)];
+        RankTimeBreakdown& breakdown =
+            result.breakdown[static_cast<std::size_t>(r)];
+        // Same split as the oracle's release event: skew wait until the
+        // last entry, plus the tree cost every rank pays.
+        breakdown.collective_wait += completion - cost - state.clock;
+        breakdown.collective_cost += cost;
+        state.clock = std::max(state.clock, completion);
+        Shard& dest = shards[static_cast<std::size_t>(
+            shard_of[static_cast<std::size_t>(r)])];
+        dest.queue.schedule(std::max(completion, dest.queue.now()),
+                            SimEvent::step(r));
+      }
+    }
+
+    // The event budget is enforced at barriers, so a tripped run can
+    // overshoot SimConfig::max_events by at most one epoch per shard.
+    if (total_fired >= config_.max_events) {
+      for (const Shard& shard : shards) {
+        if (!shard.queue.empty()) budget_exhausted = true;
+      }
+    }
+  }
+
+  if (obs::enabled()) {
+    obs::Registry& registry = obs::global_registry();
+    static obs::Counter& runs = registry.counter("sim.parallel.runs");
+    static obs::Counter& epoch_count = registry.counter("sim.parallel.epochs");
+    static obs::Counter& crossings =
+        registry.counter("sim.parallel.cross_shard_messages");
+    static obs::Gauge& shard_gauge = registry.gauge("sim.parallel.shards");
+    static obs::Gauge& barrier_wait =
+        registry.gauge("sim.parallel.barrier_wait_s");
+    runs.add(1);
+    epoch_count.add(static_cast<std::int64_t>(epochs));
+    crossings.add(static_cast<std::int64_t>(cross_messages));
+    shard_gauge.set(static_cast<double>(shard_count));
+    barrier_wait.set(barrier_wait_seconds);
+  }
+  finalize_run(result, shards, budget_exhausted, total_fired);
+  return result;
+}
+
+}  // namespace krak::sim

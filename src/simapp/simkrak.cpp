@@ -306,7 +306,9 @@ sim::Schedule SimKrak::build_schedule(partition::PeId pe) const {
 
 SimKrakResult SimKrak::run() const {
   const std::int32_t ranks = partition_.parts();
-  sim::Simulator simulator(ranks, machine_.network);
+  sim::SimConfig sim_config;
+  sim_config.threads = options_.sim_threads;
+  sim::Simulator simulator(ranks, machine_.network, sim_config);
   if (options_.nic_contention && machine_.pes_per_node > 1) {
     sim::NicConfig nic;
     nic.enabled = true;
@@ -316,16 +318,13 @@ SimKrakResult SimKrak::run() const {
     simulator.set_nic(nic);
   }
   if (options_.hierarchical_network && machine_.pes_per_node > 1) {
-    auto hierarchy = std::make_shared<network::HierarchicalNetwork>(
-        network::make_es45_shared_memory_model(), machine_.network,
-        network::Placement(ranks, machine_.pes_per_node));
+    // The concrete overload: sends dispatch into the hierarchy directly
+    // (no std::function per message), and the parallel engine derives
+    // its lookahead and node-aligned shard boundaries from it.
     simulator.set_pair_network(
-        [hierarchy](sim::RankId from, sim::RankId to, double bytes) {
-          return hierarchy->message_time(from, to, bytes);
-        },
-        [hierarchy](sim::RankId from, sim::RankId to, double bytes) {
-          return hierarchy->latency(from, to, bytes);
-        });
+        std::make_shared<const network::HierarchicalNetwork>(
+            network::make_es45_shared_memory_model(), machine_.network,
+            network::Placement(ranks, machine_.pes_per_node)));
   }
   // A non-empty fault plan installs the injection engine and arms the
   // watchdog; an empty plan leaves the simulator untouched so the run

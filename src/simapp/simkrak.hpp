@@ -47,6 +47,11 @@ struct SimKrakOptions {
   /// the simulator's watchdog, so hangs the plan induces surface as
   /// structured SimKrakResult::failures instead of thrown deadlocks.
   fault::FaultPlan faults;
+  /// Worker threads of the simulator's conservative parallel engine;
+  /// <= 1 keeps the single-thread oracle. Results are bit-identical
+  /// across thread counts (sim::SimConfig::threads); the engine falls
+  /// back to the oracle when nic_contention is on.
+  std::int32_t sim_threads = 1;
 };
 
 /// Result of a SimKrak run.

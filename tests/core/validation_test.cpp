@@ -66,6 +66,25 @@ TEST_F(ValidationFixture, ConfigSeedChangesMeasurement) {
   EXPECT_DOUBLE_EQ(a.predicted, b.predicted);
 }
 
+TEST_F(ValidationFixture, SimThreadsNeverChangeMeasurement) {
+  // ValidationConfig::sim_threads switches the measurement onto the
+  // sharded parallel simulator, whose contract is bit-identity with
+  // the single-thread oracle (docs/PERFORMANCE.md) — measurement noise
+  // included, since noise resampling is the subtlest part of that
+  // contract.
+  const ValidationConfig serial;
+  const ValidationPoint oracle =
+      validate_mesh_specific(deck, 16, model, engine, serial);
+  for (std::int32_t threads : {2, 8}) {
+    ValidationConfig parallel = serial;
+    parallel.sim_threads = threads;
+    const ValidationPoint point =
+        validate_mesh_specific(deck, 16, model, engine, parallel);
+    EXPECT_EQ(oracle.measured, point.measured) << "threads=" << threads;
+    EXPECT_EQ(oracle.predicted, point.predicted) << "threads=" << threads;
+  }
+}
+
 TEST_F(ValidationFixture, ModeratePEsGiveReasonableAccuracy) {
   // Not a paper-shape test (those live in integration/) — just a sanity
   // band: the model should be within 50% on a mid-size configuration.

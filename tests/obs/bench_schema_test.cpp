@@ -230,6 +230,38 @@ TEST(BenchSchema, ReplayFaultSectionValidates) {
       << (violations.empty() ? "" : violations.front());
 }
 
+TEST(BenchSchema, ParallelScalingSectionValidates) {
+  Json report = minimal_valid_report();
+  Json& parallel = first_element(report["replays"])["parallel"];
+  parallel["threads"] = 8;
+  parallel["serial_wall_s"] = 2.0;
+  parallel["parallel_wall_s"] = 0.5;
+  parallel["speedup"] = 4.0;
+  const std::vector<std::string> violations =
+      validate_bench_report(report);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front());
+}
+
+TEST(BenchSchema, ParallelScalingZeroThreadsIsOutOfRange) {
+  Json report = minimal_valid_report();
+  Json& parallel = first_element(report["replays"])["parallel"];
+  parallel["threads"] = 0;  // the oracle is threads = 1, never 0
+  parallel["serial_wall_s"] = 2.0;
+  parallel["parallel_wall_s"] = 0.5;
+  parallel["speedup"] = 4.0;
+  EXPECT_TRUE(mentions(validate_bench_report(report), "threads"));
+}
+
+TEST(BenchSchema, ParallelScalingMissingWallIsReported) {
+  Json report = minimal_valid_report();
+  Json& parallel = first_element(report["replays"])["parallel"];
+  parallel["threads"] = 2;
+  parallel["serial_wall_s"] = 2.0;
+  parallel["speedup"] = 1.0;  // parallel_wall_s omitted
+  EXPECT_TRUE(mentions(validate_bench_report(report), "parallel_wall_s"));
+}
+
 TEST(BenchSchema, NegativeFaultDelayIsOutOfRange) {
   Json report = minimal_valid_report();
   Json& fault = first_element(report["replays"])["fault"];

@@ -1,0 +1,115 @@
+// Mailbox behavior, including the load-factor accounting regression:
+// dead keyed slots (drained FIFOs of keys never reused) used to count
+// as occupied forever, so a workload that churns through ever-new
+// (peer, tag) pairs grew the table on schedule and degraded every
+// probe chain. A grow now rehashes live FIFOs only.
+
+#include "sim/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace krak::sim {
+namespace {
+
+TEST(Mailbox, PushPopFifoPerKey) {
+  Mailbox mailbox;
+  mailbox.push(1, 7, 0.5);
+  mailbox.push(1, 7, 1.5);
+  mailbox.push(2, 7, 0.25);
+  double arrival = 0.0;
+  ASSERT_TRUE(mailbox.try_pop(1, 7, &arrival));
+  EXPECT_DOUBLE_EQ(arrival, 0.5);
+  ASSERT_TRUE(mailbox.try_pop(1, 7, &arrival));
+  EXPECT_DOUBLE_EQ(arrival, 1.5);
+  EXPECT_FALSE(mailbox.try_pop(1, 7, &arrival));
+  ASSERT_TRUE(mailbox.try_pop(2, 7, &arrival));
+  EXPECT_DOUBLE_EQ(arrival, 0.25);
+}
+
+TEST(Mailbox, PopOnEmptyAndUnknownKeysFails) {
+  Mailbox mailbox;
+  double arrival = 0.0;
+  EXPECT_FALSE(mailbox.try_pop(0, 0, &arrival));  // before any push
+  mailbox.push(3, 3, 1.0);
+  EXPECT_FALSE(mailbox.try_pop(3, 4, &arrival));  // different tag
+  EXPECT_FALSE(mailbox.try_pop(4, 3, &arrival));  // different peer
+}
+
+// The churn stress of the PR 7 regression: every key is drained before
+// the next appears, over far more distinct keys than any reasonable
+// table size. With dead slots counted as occupied, the table doubled
+// every ~capacity*3/4 keys (to ~128k slots here) and the load factor
+// pinned at the grow trigger kept linear-probe chains long. With
+// live-only rehash the table must stay at its minimum size and the
+// mean probe length must stay at ~1 slot per operation.
+TEST(Mailbox, ChurnedKeysDoNotGrowTableOrDegradeProbes) {
+  Mailbox mailbox;
+  const std::int32_t keys = 100000;
+  double arrival = 0.0;
+  for (std::int32_t i = 0; i < keys; ++i) {
+    const RankId peer = i;  // a never-repeating (peer, tag) stream
+    mailbox.push(peer, /*tag=*/17, static_cast<double>(i));
+    ASSERT_TRUE(mailbox.try_pop(peer, 17, &arrival));
+    EXPECT_DOUBLE_EQ(arrival, static_cast<double>(i));
+  }
+  // At most one key is ever live, so one grow cycle's worth of dead
+  // keys (< 3/4 * 16) is the most the table ever holds.
+  EXPECT_EQ(mailbox.capacity(), 16u);
+  EXPECT_EQ(mailbox.live_slots(), 0u);
+  // push + successful pop probe at least one slot each; with the table
+  // cycling between empty and the 3/4 grow trigger the healthy mean
+  // stays under 2 probes per operation. The broken accounting kept
+  // every dead key occupied, doubling capacity every ~12 keys (to
+  // ~128k slots here) with probe chains pinned at the trigger load.
+  const double operations = 2.0 * static_cast<double>(keys);
+  const double mean_probes = static_cast<double>(mailbox.probes()) / operations;
+  EXPECT_GE(mean_probes, 1.0);
+  EXPECT_LT(mean_probes, 2.0);
+}
+
+// Mixed steady-state + churn: a fixed working set that stays live across
+// the whole run (the Krak exchange pattern) plus a churning stream of
+// one-shot keys. The table must converge to the working set's size, not
+// the churn volume's.
+TEST(Mailbox, LiveWorkingSetSurvivesChurnGrows) {
+  Mailbox mailbox;
+  const std::int32_t working_set = 24;
+  for (std::int32_t k = 0; k < working_set; ++k) {
+    mailbox.push(/*peer=*/1000 + k, /*tag=*/1, static_cast<double>(k));
+  }
+  double arrival = 0.0;
+  for (std::int32_t i = 0; i < 20000; ++i) {
+    mailbox.push(/*peer=*/i, /*tag=*/2, 0.5);
+    ASSERT_TRUE(mailbox.try_pop(i, 2, &arrival));
+  }
+  // Every grow dropped the drained churn keys but kept the pending
+  // working set, in FIFO order.
+  EXPECT_EQ(mailbox.live_slots(), static_cast<std::size_t>(working_set));
+  EXPECT_LE(mailbox.capacity(), 64u);
+  for (std::int32_t k = 0; k < working_set; ++k) {
+    ASSERT_TRUE(mailbox.try_pop(1000 + k, 1, &arrival));
+    EXPECT_DOUBLE_EQ(arrival, static_cast<double>(k));
+  }
+}
+
+// Capacity still doubles when the live population genuinely needs it.
+TEST(Mailbox, GrowsForGenuinelyLiveKeys) {
+  Mailbox mailbox;
+  const std::int32_t keys = 1000;
+  for (std::int32_t i = 0; i < keys; ++i) {
+    mailbox.push(i, /*tag=*/5, static_cast<double>(i) + 0.25);
+  }
+  EXPECT_EQ(mailbox.live_slots(), static_cast<std::size_t>(keys));
+  EXPECT_GE(mailbox.capacity(), static_cast<std::size_t>(keys));
+  double arrival = 0.0;
+  for (std::int32_t i = 0; i < keys; ++i) {
+    ASSERT_TRUE(mailbox.try_pop(i, 5, &arrival));
+    EXPECT_DOUBLE_EQ(arrival, static_cast<double>(i) + 0.25);
+  }
+}
+
+}  // namespace
+}  // namespace krak::sim

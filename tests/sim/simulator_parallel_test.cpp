@@ -1,0 +1,410 @@
+// The conservative parallel engine's bit-identity contract
+// (docs/PERFORMANCE.md, "Parallel simulation"): every simulated outcome
+// of SimConfig::threads > 1 — times, per-rank breakdowns, records,
+// traffic, fault accounting, structured failures — must equal the
+// single-thread oracle's exactly, across thread counts {1, 2, 8}. Also
+// the PR 7 watchdog regression: a run that drains its event queue while
+// its final ops push a rank past max_sim_seconds must still trip the
+// bound instead of reporting success.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "network/msgmodel.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace krak::sim {
+namespace {
+
+/// 1 us latency, 1 ns/byte, zero host overheads: hand-checkable times.
+Simulator make_simulator(std::int32_t ranks, std::int32_t threads) {
+  SimConfig config;
+  config.send_overhead = 0.0;
+  config.recv_overhead = 0.0;
+  config.threads = threads;
+  return Simulator(ranks, network::make_hockney_model(1e-6, 1e9), config);
+}
+
+/// Tiny deterministic generator (SplitMix64) for schedule shapes; the
+/// schedules must be identical across engines, nothing more.
+struct Mix {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+};
+
+/// A messy but deadlock-free workload: per-rank compute jitter, a ring
+/// exchange with per-round tags (posted send-first), periodic
+/// collectives, and record markers. Exercises cross-shard sends in both
+/// directions, collective coordination, and the record slots.
+void install_ring_workload(Simulator& sim, std::int32_t ranks,
+                           std::int32_t rounds) {
+  for (std::int32_t r = 0; r < ranks; ++r) {
+    Mix mix{0xC0FFEEull + static_cast<std::uint64_t>(r)};
+    std::vector<Op> ops;
+    const RankId right = (r + 1) % ranks;
+    const RankId left = (r + ranks - 1) % ranks;
+    for (std::int32_t round = 0; round < rounds; ++round) {
+      ops.push_back(Op::compute(1e-6 * static_cast<double>(mix.below(50))));
+      const double bytes = static_cast<double>(64 + mix.below(4096));
+      ops.push_back(Op::isend(right, bytes, /*tag=*/round));
+      // The matching size must be what the left neighbor sent: derive it
+      // from the neighbor's stream the same way it does.
+      Mix left_mix{0xC0FFEEull + static_cast<std::uint64_t>(left)};
+      for (std::int32_t skip = 0; skip < round; ++skip) {
+        left_mix.next();  // its compute draw
+        left_mix.next();  // its bytes draw
+        left_mix.next();  // its trailing compute draw
+      }
+      left_mix.next();
+      const double left_bytes = static_cast<double>(64 + left_mix.below(4096));
+      ops.push_back(Op::recv(left, left_bytes, /*tag=*/round));
+      ops.push_back(Op::compute(1e-6 * static_cast<double>(mix.below(20))));
+      if (round % 3 == 1) ops.push_back(Op::allreduce(8.0));
+      if (round % 4 == 2) ops.push_back(Op::broadcast(256.0));
+      ops.push_back(Op::record(round));
+    }
+    ops.push_back(Op::wait_all_sends());
+    sim.set_schedule(r, ops);
+  }
+}
+
+void expect_identical(const SimResult& oracle, const SimResult& parallel) {
+  EXPECT_EQ(oracle.makespan, parallel.makespan);
+  ASSERT_EQ(oracle.finish_times.size(), parallel.finish_times.size());
+  for (std::size_t r = 0; r < oracle.finish_times.size(); ++r) {
+    EXPECT_EQ(oracle.finish_times[r], parallel.finish_times[r]) << "rank " << r;
+  }
+  ASSERT_EQ(oracle.breakdown.size(), parallel.breakdown.size());
+  for (std::size_t r = 0; r < oracle.breakdown.size(); ++r) {
+    const RankTimeBreakdown& a = oracle.breakdown[r];
+    const RankTimeBreakdown& b = parallel.breakdown[r];
+    EXPECT_EQ(a.compute, b.compute) << "rank " << r;
+    EXPECT_EQ(a.send_overhead, b.send_overhead) << "rank " << r;
+    EXPECT_EQ(a.recv_overhead, b.recv_overhead) << "rank " << r;
+    EXPECT_EQ(a.send_wait, b.send_wait) << "rank " << r;
+    EXPECT_EQ(a.recv_wait, b.recv_wait) << "rank " << r;
+    EXPECT_EQ(a.collective_wait, b.collective_wait) << "rank " << r;
+    EXPECT_EQ(a.collective_cost, b.collective_cost) << "rank " << r;
+    EXPECT_EQ(a.fault_delay, b.fault_delay) << "rank " << r;
+    EXPECT_EQ(a.recovery, b.recovery) << "rank " << r;
+  }
+  EXPECT_EQ(oracle.records, parallel.records);
+  EXPECT_EQ(oracle.traffic.point_to_point_messages,
+            parallel.traffic.point_to_point_messages);
+  EXPECT_EQ(oracle.traffic.point_to_point_bytes,
+            parallel.traffic.point_to_point_bytes);
+  EXPECT_EQ(oracle.traffic.allreduces, parallel.traffic.allreduces);
+  EXPECT_EQ(oracle.traffic.broadcasts, parallel.traffic.broadcasts);
+  EXPECT_EQ(oracle.traffic.gathers, parallel.traffic.gathers);
+  EXPECT_EQ(oracle.faults.injections, parallel.faults.injections);
+  EXPECT_EQ(oracle.faults.retransmits, parallel.faults.retransmits);
+  EXPECT_EQ(oracle.faults.messages_lost,
+            parallel.faults.messages_lost);
+  EXPECT_EQ(oracle.faults.fault_delay_seconds,
+            parallel.faults.fault_delay_seconds);
+  EXPECT_EQ(oracle.faults.recovery_seconds,
+            parallel.faults.recovery_seconds);
+  ASSERT_EQ(oracle.failures.size(), parallel.failures.size());
+  for (std::size_t i = 0; i < oracle.failures.size(); ++i) {
+    EXPECT_EQ(oracle.failures[i].kind, parallel.failures[i].kind);
+    EXPECT_EQ(oracle.failures[i].rank, parallel.failures[i].rank);
+    EXPECT_EQ(oracle.failures[i].op_index, parallel.failures[i].op_index);
+    EXPECT_EQ(oracle.failures[i].to_string(), parallel.failures[i].to_string());
+  }
+}
+
+TEST(SimulatorParallel, RingWorkloadIdenticalAcrossThreadCounts) {
+  const std::int32_t ranks = 24;
+  Simulator oracle = make_simulator(ranks, 1);
+  install_ring_workload(oracle, ranks, /*rounds=*/12);
+  const SimResult reference = oracle.run();
+  EXPECT_GT(reference.makespan, 0.0);
+  for (std::int32_t threads : {2, 8}) {
+    Simulator sim = make_simulator(ranks, threads);
+    install_ring_workload(sim, ranks, /*rounds=*/12);
+    expect_identical(reference, sim.run());
+  }
+}
+
+TEST(SimulatorParallel, MoreThreadsThanRanksStillIdentical) {
+  const std::int32_t ranks = 3;
+  Simulator oracle = make_simulator(ranks, 1);
+  install_ring_workload(oracle, ranks, /*rounds=*/6);
+  const SimResult reference = oracle.run();
+  Simulator sim = make_simulator(ranks, 8);  // clamps to one rank per shard
+  install_ring_workload(sim, ranks, /*rounds=*/6);
+  expect_identical(reference, sim.run());
+}
+
+TEST(SimulatorParallel, CollectiveOnlyScheduleIdentical) {
+  // All coordination flows through the epoch-barrier collective path.
+  const std::int32_t ranks = 16;
+  auto install = [&](Simulator& sim) {
+    for (std::int32_t r = 0; r < ranks; ++r) {
+      sim.set_schedule(
+          r, {Op::compute(1e-6 * static_cast<double>(r + 1)), Op::allreduce(8.0),
+              Op::compute(2e-6), Op::gather(128.0), Op::broadcast(64.0),
+              Op::record(0)});
+    }
+  };
+  Simulator oracle = make_simulator(ranks, 1);
+  install(oracle);
+  const SimResult reference = oracle.run();
+  for (std::int32_t threads : {2, 8}) {
+    Simulator sim = make_simulator(ranks, threads);
+    install(sim);
+    expect_identical(reference, sim.run());
+  }
+}
+
+TEST(SimulatorParallel, ZeroLatencyNetworkDegeneratesToLockstepAndMatches) {
+  // Zero lookahead: the engine must fall back to one-timestamp-per-epoch
+  // (null-message-style progression) and still match the oracle.
+  const std::int32_t ranks = 8;
+  auto make = [&](std::int32_t threads) {
+    SimConfig config;
+    config.send_overhead = 0.0;
+    config.recv_overhead = 0.0;
+    config.threads = threads;
+    return Simulator(ranks, network::make_hockney_model(0.0, 1e9), config);
+  };
+  auto install = [&](Simulator& sim) { install_ring_workload(sim, ranks, 8); };
+  Simulator oracle = make(1);
+  install(oracle);
+  const SimResult reference = oracle.run();
+  Simulator sim = make(4);
+  install(sim);
+  expect_identical(reference, sim.run());
+}
+
+TEST(SimulatorParallel, FaultPlanFailuresPropagateFromWorkerShards) {
+  // A plan that drops every message past its retransmit budget: the
+  // receiving ranks hang, the watchdog (armed by the plan) diagnoses
+  // them, and the structured failures must come back in the same
+  // canonical order from every engine.
+  const std::int32_t ranks = 12;
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  fault::MessageFaultModel model;
+  model.rank = fault::kAllRanks;
+  model.drop_probability = 0.999999;  // effectively always dropped
+  model.max_retries = 0;
+  plan.message_faults.push_back(model);
+  plan.max_sim_seconds = 1.0;
+
+  auto run_with = [&](std::int32_t threads) {
+    Simulator sim = make_simulator(ranks, threads);
+    install_ring_workload(sim, ranks, /*rounds=*/4);
+    fault::InjectionEngine engine(plan, ranks, /*phases_per_iteration=*/1);
+    sim.set_fault_injector(&engine);
+    sim.set_watchdog(engine.watchdog());
+    return sim.run();
+  };
+  const SimResult reference = run_with(1);
+  EXPECT_FALSE(reference.failures.empty());
+  for (std::int32_t threads : {2, 8}) {
+    expect_identical(reference, run_with(threads));
+  }
+}
+
+TEST(SimulatorParallel, InjectedDelaysIdenticalAcrossThreadCounts) {
+  const std::int32_t ranks = 12;
+  fault::FaultPlan plan;
+  plan.seed = 21;
+  plan.slowdowns.push_back({fault::kAllRanks, 1.1});
+  fault::OneOffDelay delay;
+  delay.rank = 5;
+  delay.phase = 1;
+  delay.iteration = 2;
+  delay.seconds = 3e-4;
+  plan.delays.push_back(delay);
+
+  auto run_with = [&](std::int32_t threads) {
+    Simulator sim = make_simulator(ranks, threads);
+    install_ring_workload(sim, ranks, /*rounds=*/10);
+    fault::InjectionEngine engine(plan, ranks, /*phases_per_iteration=*/1);
+    sim.set_fault_injector(&engine);
+    sim.set_watchdog(engine.watchdog());
+    return sim.run();
+  };
+  const SimResult reference = run_with(1);
+  EXPECT_GT(reference.faults.fault_delay_seconds, 0.0);
+  for (std::int32_t threads : {2, 8}) {
+    expect_identical(reference, run_with(threads));
+  }
+}
+
+TEST(SimulatorParallel, CrossShardDeadlockDiagnosedNotHung) {
+  // Ranks in different shards blocked on receives nobody will send;
+  // every shard's queue drains, the barrier loop exits, and the drain
+  // diagnosis must report each stuck rank exactly like the oracle.
+  const std::int32_t ranks = 8;
+  auto run_with = [&](std::int32_t threads) {
+    Simulator sim = make_simulator(ranks, threads);
+    for (std::int32_t r = 0; r < ranks; ++r) {
+      sim.set_schedule(r, {Op::compute(1e-6),
+                           Op::recv((r + 1) % ranks, 8.0, /*tag=*/99)});
+    }
+    WatchdogConfig watchdog;
+    watchdog.structured_failures = true;
+    sim.set_watchdog(watchdog);
+    return sim.run();
+  };
+  const SimResult reference = run_with(1);
+  ASSERT_EQ(reference.failures.size(), static_cast<std::size_t>(ranks));
+  for (const SimFailure& failure : reference.failures) {
+    EXPECT_EQ(failure.kind, SimFailure::Kind::kDeadlock);
+  }
+  for (std::int32_t threads : {2, 8}) {
+    expect_identical(reference, run_with(threads));
+  }
+}
+
+TEST(SimulatorParallel, EventBudgetTripsAsStructuredEventLimit) {
+  const std::int32_t ranks = 8;
+  auto run_with = [&](std::int32_t threads) {
+    SimConfig config;
+    config.send_overhead = 0.0;
+    config.recv_overhead = 0.0;
+    config.threads = threads;
+    config.max_events = 40;  // far fewer than the workload needs
+    Simulator sim(ranks, network::make_hockney_model(1e-6, 1e9), config);
+    install_ring_workload(sim, ranks, /*rounds=*/8);
+    WatchdogConfig watchdog;
+    watchdog.structured_failures = true;
+    sim.set_watchdog(watchdog);
+    return sim.run();
+  };
+  // The parallel engine checks the budget at epoch barriers, so fired
+  // event counts may overshoot; the structured run-level diagnosis is
+  // the contract, not the mechanics.
+  for (std::int32_t threads : {1, 2, 8}) {
+    const SimResult result = run_with(threads);
+    ASSERT_FALSE(result.failures.empty()) << threads << " threads";
+    EXPECT_EQ(result.failures.front().kind, SimFailure::Kind::kEventLimit);
+    EXPECT_EQ(result.failures.front().rank, -1);
+  }
+}
+
+TEST(SimulatorParallel, NicContentionFallsBackToOracle) {
+  const std::int32_t ranks = 8;
+  auto run_with = [&](std::int32_t threads, bool nic) {
+    SimConfig config;
+    config.send_overhead = 0.0;
+    config.recv_overhead = 0.0;
+    config.threads = threads;
+    Simulator sim(ranks, network::make_hockney_model(1e-6, 1e9), config);
+    if (nic) {
+      NicConfig nic_config;
+      nic_config.enabled = true;
+      nic_config.pes_per_node = 4;
+      nic_config.injection_bandwidth = 1e9;
+      sim.set_nic(nic_config);
+    }
+    install_ring_workload(sim, ranks, /*rounds=*/6);
+    return sim.run();
+  };
+  // NIC serialization couples ranks through global event order, which
+  // sharding cannot honor; threads > 1 must silently run the oracle and
+  // produce the identical result.
+  expect_identical(run_with(1, true), run_with(8, true));
+}
+
+// --- The watchdog max_sim_seconds regression (PR 7 bugfix) ---
+
+TEST(SimulatorWatchdog, FinalOpOvershootTripsTimeLimit) {
+  // One rank, one compute op that blows through the bound: the queue
+  // drains (no further events), so the old in-loop-only check never
+  // re-examined the clock and the run reported success at t = 10.
+  Simulator sim = make_simulator(1, 1);
+  sim.set_schedule(0, {Op::compute(10.0)});
+  WatchdogConfig watchdog;
+  watchdog.structured_failures = true;
+  watchdog.max_sim_seconds = 5.0;
+  sim.set_watchdog(watchdog);
+  const SimResult result = sim.run();
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].kind, SimFailure::Kind::kTimeLimit);
+  EXPECT_EQ(result.failures[0].rank, 0);
+}
+
+TEST(SimulatorWatchdog, FinalOpOvershootRecordedEvenWithoutStructuredMode) {
+  // max_sim_seconds trips have always been recorded structurally (the
+  // run keeps draining so the other ranks' timings stay meaningful);
+  // structured_failures only governs hang/deadlock diagnoses. The
+  // final-op overshoot must follow the same contract.
+  Simulator sim = make_simulator(1, 1);
+  sim.set_schedule(0, {Op::compute(10.0)});
+  WatchdogConfig watchdog;
+  watchdog.max_sim_seconds = 5.0;
+  sim.set_watchdog(watchdog);
+  const SimResult result = sim.run();
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].kind, SimFailure::Kind::kTimeLimit);
+}
+
+TEST(SimulatorWatchdog, TrailingOpsAfterMidScheduleTripAreNotExecuted) {
+  // The bound fires mid-schedule: the recording op behind the oversized
+  // compute must never run.
+  Simulator sim = make_simulator(1, 1);
+  sim.set_schedule(0, {Op::compute(1.0), Op::compute(10.0), Op::record(0)});
+  WatchdogConfig watchdog;
+  watchdog.structured_failures = true;
+  watchdog.max_sim_seconds = 5.0;
+  sim.set_watchdog(watchdog);
+  const SimResult result = sim.run();
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].kind, SimFailure::Kind::kTimeLimit);
+  EXPECT_TRUE(result.records[0].empty());
+}
+
+TEST(SimulatorWatchdog, RunWithinBoundStillSucceeds) {
+  Simulator sim = make_simulator(1, 1);
+  sim.set_schedule(0, {Op::compute(4.0)});
+  WatchdogConfig watchdog;
+  watchdog.structured_failures = true;
+  watchdog.max_sim_seconds = 5.0;
+  sim.set_watchdog(watchdog);
+  const SimResult result = sim.run();
+  EXPECT_TRUE(result.failures.empty());
+  EXPECT_DOUBLE_EQ(result.makespan, 4.0);
+}
+
+TEST(SimulatorWatchdog, OvershootIdenticalAcrossThreadCounts) {
+  const std::int32_t ranks = 6;
+  auto run_with = [&](std::int32_t threads) {
+    Simulator sim = make_simulator(ranks, threads);
+    for (std::int32_t r = 0; r < ranks; ++r) {
+      // Ranks 0 and 3 blow the bound with their final op; the rest stay
+      // inside it.
+      const double tail = (r % 3 == 0) ? 9.0 : 0.5;
+      sim.set_schedule(r, {Op::compute(0.25), Op::compute(tail)});
+    }
+    WatchdogConfig watchdog;
+    watchdog.structured_failures = true;
+    watchdog.max_sim_seconds = 5.0;
+    sim.set_watchdog(watchdog);
+    return sim.run();
+  };
+  const SimResult reference = run_with(1);
+  ASSERT_EQ(reference.failures.size(), 2u);
+  EXPECT_EQ(reference.failures[0].rank, 0);
+  EXPECT_EQ(reference.failures[1].rank, 3);
+  for (std::int32_t threads : {2, 8}) {
+    expect_identical(reference, run_with(threads));
+  }
+}
+
+}  // namespace
+}  // namespace krak::sim

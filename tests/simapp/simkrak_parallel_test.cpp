@@ -1,0 +1,174 @@
+// SimKrak-level bit-identity of the conservative parallel simulation
+// engine (SimKrakOptions::sim_threads): the full validation workload —
+// the 15-phase iteration with noise, the hierarchical network, and
+// fault plans — must produce exactly the same SimKrakResult at every
+// thread count. This mirrors the partitioner's determinism suite and
+// runs under TSan in CI (tsan-determinism job).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "fault/plan.hpp"
+#include "mesh/deck.hpp"
+#include "network/machine.hpp"
+#include "partition/partition.hpp"
+#include "simapp/simkrak.hpp"
+
+namespace krak::simapp {
+namespace {
+
+struct Fixture {
+  mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  network::MachineConfig machine = network::make_es45_qsnet();
+  ComputationCostEngine engine;
+
+  [[nodiscard]] partition::Partition partition(std::int32_t pes) const {
+    return partition::partition_deck(
+        deck, pes, partition::PartitionMethod::kMultilevel, 1);
+  }
+
+  [[nodiscard]] SimKrakResult run(std::int32_t pes,
+                                  const SimKrakOptions& options) const {
+    const SimKrak app(deck, partition(pes), machine, engine, options);
+    return app.run();
+  }
+};
+
+void expect_identical(const SimKrakResult& oracle,
+                      const SimKrakResult& parallel) {
+  EXPECT_EQ(oracle.total_time, parallel.total_time);
+  EXPECT_EQ(oracle.time_per_iteration, parallel.time_per_iteration);
+  for (std::size_t p = 0; p < oracle.phase_times.size(); ++p) {
+    EXPECT_EQ(oracle.phase_times[p], parallel.phase_times[p]) << "phase " << p;
+  }
+  EXPECT_EQ(oracle.totals.compute, parallel.totals.compute);
+  EXPECT_EQ(oracle.totals.p2p_seconds(), parallel.totals.p2p_seconds());
+  EXPECT_EQ(oracle.totals.collective_seconds(),
+            parallel.totals.collective_seconds());
+  EXPECT_EQ(oracle.totals.fault_seconds(), parallel.totals.fault_seconds());
+  ASSERT_EQ(oracle.rank_breakdown.size(), parallel.rank_breakdown.size());
+  for (std::size_t r = 0; r < oracle.rank_breakdown.size(); ++r) {
+    EXPECT_EQ(oracle.rank_breakdown[r].total_seconds(),
+              parallel.rank_breakdown[r].total_seconds())
+        << "rank " << r;
+    EXPECT_EQ(oracle.rank_breakdown[r].compute,
+              parallel.rank_breakdown[r].compute)
+        << "rank " << r;
+  }
+  EXPECT_EQ(oracle.traffic.point_to_point_messages,
+            parallel.traffic.point_to_point_messages);
+  EXPECT_EQ(oracle.traffic.point_to_point_bytes,
+            parallel.traffic.point_to_point_bytes);
+  EXPECT_EQ(oracle.traffic.allreduces, parallel.traffic.allreduces);
+  EXPECT_EQ(oracle.traffic.broadcasts, parallel.traffic.broadcasts);
+  EXPECT_EQ(oracle.traffic.gathers, parallel.traffic.gathers);
+  EXPECT_EQ(oracle.fault_stats.injections, parallel.fault_stats.injections);
+  EXPECT_EQ(oracle.fault_stats.retransmits, parallel.fault_stats.retransmits);
+  EXPECT_EQ(oracle.fault_stats.messages_lost,
+            parallel.fault_stats.messages_lost);
+  EXPECT_EQ(oracle.fault_stats.fault_delay_seconds,
+            parallel.fault_stats.fault_delay_seconds);
+  EXPECT_EQ(oracle.fault_stats.recovery_seconds,
+            parallel.fault_stats.recovery_seconds);
+  ASSERT_EQ(oracle.failures.size(), parallel.failures.size());
+  for (std::size_t i = 0; i < oracle.failures.size(); ++i) {
+    EXPECT_EQ(oracle.failures[i].to_string(), parallel.failures[i].to_string());
+  }
+}
+
+TEST(SimKrakParallel, NoisyIterationIdenticalAcrossThreadCounts) {
+  const Fixture f;
+  SimKrakOptions options;
+  options.iterations = 2;  // noise on: the production configuration
+  const SimKrakResult reference = f.run(16, options);
+  for (std::int32_t threads : {2, 8}) {
+    SimKrakOptions parallel = options;
+    parallel.sim_threads = threads;
+    expect_identical(reference, f.run(16, parallel));
+  }
+}
+
+TEST(SimKrakParallel, HierarchicalNetworkIdenticalAcrossThreadCounts) {
+  // The devirtualized hierarchical network plus node-aligned sharding:
+  // cross-shard messages are exactly the inter-node ones.
+  const Fixture f;
+  SimKrakOptions options;
+  options.iterations = 2;
+  options.hierarchical_network = true;
+  const SimKrakResult reference = f.run(16, options);
+  for (std::int32_t threads : {2, 8}) {
+    SimKrakOptions parallel = options;
+    parallel.sim_threads = threads;
+    expect_identical(reference, f.run(16, parallel));
+  }
+}
+
+TEST(SimKrakParallel, FaultPlanIdenticalAcrossThreadCounts) {
+  const Fixture f;
+  SimKrakOptions options;
+  options.iterations = 2;
+  options.enable_noise = false;
+  options.faults.seed = 99;
+  options.faults.slowdowns.push_back({fault::kAllRanks, 1.05});
+  fault::OneOffDelay delay;
+  delay.rank = 3;
+  delay.phase = 4;
+  delay.iteration = 1;
+  delay.seconds = 2e-3;
+  options.faults.delays.push_back(delay);
+  fault::MessageFaultModel flaky;
+  flaky.rank = 2;
+  flaky.drop_probability = 0.4;
+  flaky.retransmit_timeout_s = 5e-5;
+  flaky.max_retries = 3;
+  options.faults.message_faults.push_back(flaky);
+
+  const SimKrakResult reference = f.run(16, options);
+  EXPECT_GT(reference.fault_stats.injections, 0);
+  for (std::int32_t threads : {2, 8}) {
+    SimKrakOptions parallel = options;
+    parallel.sim_threads = threads;
+    expect_identical(reference, f.run(16, parallel));
+  }
+}
+
+TEST(SimKrakParallel, HangingFaultPlanFailuresIdenticalAcrossThreadCounts) {
+  // A plan that drops every message from one rank with no retries: the
+  // peers waiting on it hang, the plan-armed watchdog converts them to
+  // structured failures, and those must propagate out of worker shards
+  // in the same canonical order as the oracle's.
+  const Fixture f;
+  SimKrakOptions options;
+  options.iterations = 1;
+  options.enable_noise = false;
+  fault::MessageFaultModel mute;
+  mute.rank = 1;
+  mute.drop_probability = 0.999999;  // effectively always dropped
+  mute.max_retries = 0;
+  options.faults.message_faults.push_back(mute);
+  options.faults.max_sim_seconds = 5.0;
+
+  const SimKrakResult reference = f.run(8, options);
+  ASSERT_TRUE(reference.failed());
+  for (std::int32_t threads : {2, 8}) {
+    SimKrakOptions parallel = options;
+    parallel.sim_threads = threads;
+    expect_identical(reference, f.run(8, parallel));
+  }
+}
+
+TEST(SimKrakParallel, NicContentionFallsBackToOracle) {
+  const Fixture f;
+  SimKrakOptions options;
+  options.iterations = 1;
+  options.enable_noise = false;
+  options.nic_contention = true;
+  const SimKrakResult reference = f.run(16, options);
+  SimKrakOptions parallel = options;
+  parallel.sim_threads = 8;  // NIC coupling forces the oracle; identical
+  expect_identical(reference, f.run(16, parallel));
+}
+
+}  // namespace
+}  // namespace krak::simapp
