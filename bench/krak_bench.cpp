@@ -9,7 +9,7 @@
 //
 // Usage:
 //   krak_bench [--quick] [--out FILE]   generate a report (default
-//                                       BENCH_PR7.json)
+//                                       BENCH_PR8.json)
 //   krak_bench --threads N              thread-pool width for the
 //                                       campaigns and the partitioner's
 //                                       speculative paths (0 =
@@ -29,6 +29,31 @@
 //                                       partition computation
 //   krak_bench --faults FILE            inject a krakfaults plan into
 //                                       every campaign measurement
+//   krak_bench --journal FILE           write-ahead campaign journal
+//                                       (krakjournal 1): every scenario
+//                                       state change is appended and
+//                                       synced before the campaign acts
+//                                       on it
+//   krak_bench --resume                 with --journal: replay scenarios
+//                                       the journal records as done
+//                                       (bit-identical measurements),
+//                                       skip quarantined ones, re-run
+//                                       only the remainder. Without
+//                                       --resume an existing non-empty
+//                                       journal is refused rather than
+//                                       silently reused
+//   krak_bench --max-attempts N         attempts per scenario before its
+//                                       failure is recorded (default 1)
+//   krak_bench --quarantine-after N     deterministic failures before a
+//                                       scenario is quarantined as
+//                                       poison (default 2)
+//   krak_bench --retry-backoff S        first retry delay in seconds,
+//                                       doubling per retry with
+//                                       deterministic jitter (default 0)
+//   krak_bench --scenario-deadline S    wall budget per attempt; expiry
+//                                       is a structured "deadline"
+//                                       failure, never a hang
+//   krak_bench --campaign-deadline S    wall budget per campaign
 //   krak_bench --validate FILE          schema-check an existing report
 //
 // --quick calibrates on the small deck only and shrinks the campaigns;
@@ -44,8 +69,6 @@
 // the exit status is non-zero so CI notices.
 
 #include <algorithm>
-#include <cerrno>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -58,12 +81,14 @@
 #include "core/bench_report.hpp"
 #include "core/calibration.hpp"
 #include "core/campaign.hpp"
+#include "core/campaign_journal.hpp"
 #include "core/partition_cache.hpp"
 #include "fault/plan.hpp"
 #include "obs/bench_schema.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "partition/partition.hpp"
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
 
@@ -73,21 +98,68 @@ using namespace krak;
 
 struct Options {
   bool quick = false;
-  std::string out = "BENCH_PR7.json";
+  std::string out = "BENCH_PR8.json";
   std::string validate;  // non-empty: validate this file and exit
   std::string faults;    // non-empty: krakfaults plan for the campaigns
   std::string compare;   // non-empty: baseline report for the perf gate
   std::string partition_store;  // non-empty: persistent partition store dir
   std::size_t threads = 0;  // campaign pool width; 0 = hardware
+  std::string journal;      // non-empty: write-ahead campaign journal
+  bool resume = false;      // replay an existing journal's state
+  std::uint32_t max_attempts = 1;
+  std::uint32_t quarantine_after = 2;
+  double retry_backoff = 0.0;      // seconds; 0 retries immediately
+  double scenario_deadline = 0.0;  // seconds; <= 0 unlimited
+  double campaign_deadline = 0.0;  // seconds; <= 0 unlimited
 };
 
 [[noreturn]] void usage(int exit_code) {
   std::cout << "usage: krak_bench [--quick] [--out FILE] [--faults FILE]\n"
                "                  [--threads N] [--compare BASELINE]\n"
                "                  [--partition-store DIR]\n"
+               "                  [--journal FILE] [--resume]\n"
+               "                  [--max-attempts N] [--quarantine-after N]\n"
+               "                  [--retry-backoff S]\n"
+               "                  [--scenario-deadline S]\n"
+               "                  [--campaign-deadline S]\n"
                "       krak_bench --validate FILE\n";
   // krak-lint: allow(no-abort usage exit before any work or RAII state exists)
   std::exit(exit_code);
+}
+
+/// Parse a non-negative count argument or die with usage.
+std::uint64_t parse_count(const std::string& flag, const std::string& value) {
+  std::size_t consumed = 0;
+  unsigned long parsed = 0;
+  try {
+    parsed = std::stoul(value, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != value.size()) {
+    std::cerr << "krak_bench: " << flag
+              << " expects a non-negative integer, got '" << value << "'\n";
+    usage(2);
+  }
+  return parsed;
+}
+
+/// Parse a non-negative seconds argument or die with usage.
+double parse_seconds(const std::string& flag, const std::string& value) {
+  std::size_t consumed = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != value.size() || parsed < 0.0) {
+    std::cerr << "krak_bench: " << flag
+              << " expects a non-negative number of seconds, got '" << value
+              << "'\n";
+    usage(2);
+  }
+  return parsed;
 }
 
 Options parse_args(int argc, char** argv) {
@@ -106,22 +178,33 @@ Options parse_args(int argc, char** argv) {
       options.compare = argv[++i];
     } else if (arg == "--partition-store" && i + 1 < argc) {
       options.partition_store = argv[++i];
-    } else if (arg == "--threads" && i + 1 < argc) {
-      const std::string value = argv[++i];
-      std::size_t consumed = 0;
-      unsigned long parsed = 0;
-      try {
-        parsed = std::stoul(value, &consumed);
-      } catch (const std::exception&) {
-        consumed = 0;
-      }
-      if (consumed != value.size()) {
-        std::cerr << "krak_bench: --threads expects a non-negative"
-                     " integer, got '"
-                  << value << "'\n";
+    } else if (arg == "--journal" && i + 1 < argc) {
+      options.journal = argv[++i];
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg == "--max-attempts" && i + 1 < argc) {
+      options.max_attempts = static_cast<std::uint32_t>(
+          parse_count(arg, argv[++i]));
+      if (options.max_attempts == 0) {
+        std::cerr << "krak_bench: --max-attempts must be >= 1\n";
         usage(2);
       }
-      options.threads = static_cast<std::size_t>(parsed);
+    } else if (arg == "--quarantine-after" && i + 1 < argc) {
+      options.quarantine_after = static_cast<std::uint32_t>(
+          parse_count(arg, argv[++i]));
+      if (options.quarantine_after == 0) {
+        std::cerr << "krak_bench: --quarantine-after must be >= 1\n";
+        usage(2);
+      }
+    } else if (arg == "--retry-backoff" && i + 1 < argc) {
+      options.retry_backoff = parse_seconds(arg, argv[++i]);
+    } else if (arg == "--scenario-deadline" && i + 1 < argc) {
+      options.scenario_deadline = parse_seconds(arg, argv[++i]);
+    } else if (arg == "--campaign-deadline" && i + 1 < argc) {
+      options.campaign_deadline = parse_seconds(arg, argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.threads = static_cast<std::size_t>(
+          parse_count(arg, argv[++i]));
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else {
@@ -272,6 +355,45 @@ obs::Json build_report(const Options& options) {
   std::vector<obs::Json> campaigns;
   std::vector<obs::Json> replays;
 
+  // Resilience policy shared by every campaign (docs/RESILIENCE.md);
+  // the journal label is set per campaign so one journal file serves
+  // both tables without aliasing scenarios that share a configuration.
+  core::CampaignPolicy policy;
+  policy.max_attempts = options.max_attempts;
+  policy.quarantine_after = options.quarantine_after;
+  policy.backoff_initial_seconds = options.retry_backoff;
+  policy.scenario_deadline_seconds = options.scenario_deadline;
+  policy.campaign_deadline_seconds = options.campaign_deadline;
+  std::unique_ptr<core::CampaignJournal> journal;
+  if (!options.journal.empty()) {
+    journal = std::make_unique<core::CampaignJournal>(options.journal);
+    const core::CampaignJournal::Recovery& recovery = journal->recovery();
+    if (!options.resume && recovery.records > 0) {
+      throw util::KrakError(
+          "journal '" + options.journal + "' already holds " +
+          std::to_string(recovery.records) +
+          " record(s); pass --resume to replay it, or point --journal at a"
+          " fresh path");
+    }
+    if (options.resume) {
+      std::cout << "journal: recovered " << recovery.records
+                << " record(s), " << recovery.completed
+                << " scenario(s) done, " << recovery.quarantined
+                << " quarantined";
+      if (recovery.torn_tail) {
+        std::cout << "; torn tail truncated (" << recovery.dropped_bytes
+                  << " bytes)";
+      }
+      std::cout << "\n";
+    }
+    policy.journal = journal.get();
+  }
+  const auto policy_for = [&policy](std::string label) {
+    core::CampaignPolicy labeled = policy;
+    labeled.label = std::move(label);
+    return labeled;
+  };
+
   core::ValidationConfig config;
   if (!options.faults.empty()) {
     config.faults = fault::load_fault_plan(options.faults);
@@ -312,13 +434,15 @@ obs::Json build_report(const Options& options) {
                          core::CampaignRun::Flavor::kGeneralHomogeneous});
     }
     campaigns.push_back(core::campaign_to_json(
-        "table5_quick", core::run_validation_campaign(model, engine,
-                                                      mesh_specific, config,
-                                                      options.threads)));
+        "table5_quick",
+        core::run_validation_campaign(model, engine, mesh_specific, config,
+                                      options.threads,
+                                      policy_for("table5_quick"))));
     campaigns.push_back(core::campaign_to_json(
-        "table6_quick", core::run_validation_campaign(model, engine, general,
-                                                      config,
-                                                      options.threads)));
+        "table6_quick",
+        core::run_validation_campaign(model, engine, general, config,
+                                      options.threads,
+                                      policy_for("table6_quick"))));
     replays.push_back(core::replay_to_json(
         "small_8pe", run_replay(small, 8, machine, engine,
                                 /*iterations=*/2)));
@@ -332,12 +456,14 @@ obs::Json build_report(const Options& options) {
         "table5_meshspecific",
         core::run_validation_campaign(env.model, env.engine,
                                       core::table5_runs(), config,
-                                      options.threads)));
+                                      options.threads,
+                                      policy_for("table5_meshspecific"))));
     campaigns.push_back(core::campaign_to_json(
         "table6_general",
         core::run_validation_campaign(env.model, env.engine,
                                       core::table6_runs(), config,
-                                      options.threads)));
+                                      options.threads,
+                                      policy_for("table6_general"))));
     replays.push_back(core::replay_to_json(
         "medium_64pe",
         run_replay(mesh::make_standard_deck(mesh::DeckSize::kMedium), 64,
@@ -427,17 +553,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::ofstream out(options.out);
-  if (!out) {
+  // Atomic publish (temp + flush + rename): a crash — or a SIGKILL from
+  // the crash-recovery CI job — can never leave a truncated report
+  // under the real name for a downstream gate to parse.
+  try {
+    util::atomic_write_file(options.out, report.dump(2) + "\n");
+  } catch (const std::exception& error) {
     std::cerr << "krak_bench: cannot write " << options.out << ": "
-              << std::strerror(errno) << "\n";
-    return 1;
-  }
-  out << report.dump(2) << "\n";
-  out.close();
-  if (!out) {
-    std::cerr << "krak_bench: error writing " << options.out << ": "
-              << std::strerror(errno) << "\n";
+              << error.what() << "\n";
     return 1;
   }
 

@@ -7,8 +7,8 @@
 //   krak_analyze --deck corrupted            # built-in broken fixture
 //   krak_analyze --deck small --format csv
 //
-// File linting (event traces, fault-injection specs, and persistent
-// partition-store entries):
+// File linting (event traces, fault-injection specs, persistent
+// partition-store entries, and campaign journals):
 //
 //   krak_analyze --trace run.kraktrace
 //   krak_analyze --trace corrupted           # built-in broken trace
@@ -16,6 +16,8 @@
 //   krak_analyze --faults corrupted
 //   krak_analyze --partition-store store/abc-64-multilevel-1.krakpart
 //   krak_analyze --partition-store corrupted # built-in broken entry
+//   krak_analyze --journal campaign.krakjournal
+//   krak_analyze --journal corrupted         # built-in broken journal
 //
 // Exit status: 0 when no errors were found, 1 when the inputs are
 // inconsistent, 2 on usage errors.
@@ -27,6 +29,7 @@
 
 #include "analyze/fixtures.hpp"
 #include "analyze/lint_faults.hpp"
+#include "analyze/lint_journal.hpp"
 #include "analyze/lint_partition_store.hpp"
 #include "analyze/lint_trace.hpp"
 #include "analyze/linter.hpp"
@@ -49,7 +52,8 @@ constexpr const char* kUsage =
     "                    [--no-partition] [--no-costs]\n"
     "       krak_analyze --trace FILE|corrupted [--format text|csv]\n"
     "       krak_analyze --faults FILE|corrupted [--pes N] [--format text|csv]\n"
-    "       krak_analyze --partition-store FILE|corrupted [--format text|csv]\n";
+    "       krak_analyze --partition-store FILE|corrupted [--format text|csv]\n"
+    "       krak_analyze --journal FILE|corrupted [--format text|csv]\n";
 
 mesh::InputDeck make_deck(const std::string& name) {
   if (name == "small") return mesh::make_standard_deck(mesh::DeckSize::kSmall);
@@ -113,6 +117,14 @@ int run(const util::ArgParser& args) {
       (void)analyze::lint_partition_store(in, report);
     } else {
       report = analyze::lint_partition_store_file(store);
+    }
+  } else if (args.has("journal")) {
+    const std::string journal = args.get_string("journal", "");
+    if (journal == "corrupted") {
+      std::istringstream in(analyze::corrupted_journal_text());
+      (void)analyze::lint_journal(in, report);
+    } else {
+      report = analyze::lint_journal_file(journal);
     }
   } else if (args.has("faults")) {
     const std::string faults = args.get_string("faults", "");

@@ -102,6 +102,25 @@ inline constexpr const char* kPartitionStoreBounds = "partition-store-bounds";
 inline constexpr const char* kPartitionStoreChecksum =
     "partition-store-checksum";
 
+// --- campaign-journal files (krakjournal 1, core/campaign_journal.hpp) ----
+
+/// Structural validity of a journal record: magic/version header, known
+/// record kind, token counts, 16-hex fingerprints, positive attempt
+/// numbers, positive pes, well-formed percent-escaping.
+inline constexpr const char* kJournalFormat = "journal-format";
+/// Every record's trailing checksum must equal FNV-1a over the line
+/// body before it — the per-record seal recovery verifies before
+/// replaying a scenario's state.
+inline constexpr const char* kJournalChecksum = "journal-checksum";
+/// Per-scenario record order must follow the writer's state machine:
+/// attempt numbers strictly increase, `done`/`failed` close the attempt
+/// the latest `running` record opened, and no record may follow a
+/// terminal `done` or `quarantined` state.
+inline constexpr const char* kJournalStateMachine = "journal-state-machine";
+/// A trailing partial line with no newline is a torn append (crash
+/// mid-write); recovery truncates it, losing exactly that record.
+inline constexpr const char* kJournalTornTail = "journal-torn-tail";
+
 // --- fault-spec files (krakfaults 1, fault/plan.hpp) ----------------------
 
 /// Structural validity of a fault-spec file (parse failures).

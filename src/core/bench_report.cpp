@@ -47,6 +47,25 @@ obs::Json campaign_to_json(const std::string& name,
   out["thread_utilization"] = summary.thread_utilization;
   out["worst_abs_error"] = summary.worst_abs_error;
   out["mean_abs_error"] = summary.mean_abs_error;
+  // Resilience accounting (docs/RESILIENCE.md): what the campaign
+  // policy did — attempts, retries, journal replays, quarantines. The
+  // crash-recovery CI gate reads `resilience.replayed` to prove a
+  // resumed campaign actually reused journaled measurements.
+  {
+    obs::Json resilience = obs::Json::object();
+    resilience["attempts"] =
+        static_cast<std::int64_t>(summary.resilience.attempts);
+    resilience["retries"] =
+        static_cast<std::int64_t>(summary.resilience.retries);
+    resilience["replayed"] =
+        static_cast<std::int64_t>(summary.resilience.replayed);
+    resilience["quarantined"] =
+        static_cast<std::int64_t>(summary.resilience.quarantined);
+    resilience["deadline_failures"] =
+        static_cast<std::int64_t>(summary.resilience.deadline_failures);
+    resilience["backoff_s"] = summary.resilience.backoff_seconds;
+    out["resilience"] = std::move(resilience);
+  }
   std::set<std::size_t> failed;
   for (const CampaignFailure& failure : summary.failures) {
     failed.insert(failure.run_index);
@@ -72,6 +91,10 @@ obs::Json campaign_to_json(const std::string& name,
       entry["run_index"] = static_cast<std::int64_t>(failure.run_index);
       entry["scenario"] = failure.scenario;
       entry["error"] = failure.error;
+      entry["attempts"] = static_cast<std::int64_t>(failure.attempts);
+      entry["class"] =
+          std::string(failure.transient ? "transient" : "deterministic");
+      entry["quarantined"] = failure.quarantined;
       if (failure.has_sim_failure) {
         obs::Json cause = obs::Json::object();
         cause["kind"] =

@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "core/campaign_journal.hpp"
 #include "core/validation.hpp"
 #include "sim/simulator.hpp"
 
@@ -30,6 +32,57 @@ struct CampaignRun {
 /// and failure records.
 [[nodiscard]] std::string campaign_run_name(const CampaignRun& run);
 
+/// FNV-1a fingerprint identifying one scenario of one campaign across
+/// process restarts: the campaign label, the run configuration (deck
+/// size, PE count, flavor), every value-affecting ValidationConfig
+/// field (seeds, iterations), and the effective fault plan. Thread
+/// counts are excluded — they never change a measured value. This is
+/// the key under which the campaign journal records scenario state.
+[[nodiscard]] std::uint64_t scenario_fingerprint(std::string_view label,
+                                                 const CampaignRun& run,
+                                                 const ValidationConfig& config);
+
+/// Resilience policy of a campaign (docs/RESILIENCE.md, "Resumable
+/// campaigns"). The default policy is inert: one attempt, no journal,
+/// no deadlines — a campaign run with it is bit-identical to one run
+/// before the resilience layer existed.
+struct CampaignPolicy {
+  /// Attempts per scenario before its last failure is recorded;
+  /// values < 1 behave as 1. Failed attempts recovered from the
+  /// journal count against this budget; interrupted ones (a `running`
+  /// record with no outcome — the process died mid-attempt) do not.
+  std::uint32_t max_attempts = 1;
+  /// Deterministic failures before a scenario is quarantined: recorded
+  /// as poison in the journal and never re-run by resumed campaigns.
+  std::uint32_t quarantine_after = 2;
+  /// First retry delay; 0 retries immediately. Subsequent delays grow
+  /// by `backoff_multiplier` up to `backoff_max_seconds`, each scaled
+  /// by a jitter factor in [0.5, 1) drawn from a util::Rng stream
+  /// seeded with `backoff_seed ^ fingerprint` — deterministic per
+  /// scenario, decorrelated across scenarios.
+  double backoff_initial_seconds = 0.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_seconds = 5.0;
+  std::uint64_t backoff_seed = 0x6b72616bu;
+  /// Wall budget of one attempt; <= 0 is unlimited. Expiry surfaces as
+  /// a structured kDeadline / CancelledError failure (classified
+  /// transient), never a hang.
+  double scenario_deadline_seconds = 0.0;
+  /// Wall budget of the whole campaign; <= 0 is unlimited. Once blown,
+  /// in-flight attempts fail at their next checkpoint and nothing is
+  /// retried; unstarted scenarios fail fast.
+  double campaign_deadline_seconds = 0.0;
+  /// Write-ahead journal (not owned; null disables journaling). With a
+  /// journal, scenarios it records as done are replayed bit-identically
+  /// instead of re-run, quarantined ones are skipped, and every state
+  /// change is written ahead of the action it describes.
+  CampaignJournal* journal = nullptr;
+  /// Campaign label mixed into scenario fingerprints so one journal
+  /// can serve several campaigns (e.g. "table5" and "table6") without
+  /// aliasing scenarios that share a configuration.
+  std::string label;
+};
+
 /// One scenario of a campaign that did not produce a measurement. The
 /// campaign keeps sweeping the remaining scenarios (graceful
 /// degradation); the failure is recorded here instead of aborting.
@@ -42,6 +95,17 @@ struct CampaignFailure {
   /// time-limit breach) rather than a generic error.
   bool has_sim_failure = false;
   sim::SimFailure sim_failure;
+  /// Attempts charged against CampaignPolicy::max_attempts, journal
+  /// history included (0 only for never-run quarantine skips).
+  std::uint32_t attempts = 0;
+  /// Classification of the last failure: transient causes (deadline,
+  /// cancellation, allocation pressure) are retried; deterministic
+  /// ones (watchdog diagnoses, invalid input) count toward quarantine.
+  bool transient = false;
+  /// The scenario was quarantined as poison — either this campaign
+  /// crossed CampaignPolicy::quarantine_after, or the journal already
+  /// had it quarantined and it was skipped without running.
+  bool quarantined = false;
 };
 
 /// Aggregate outcome of a campaign.
@@ -65,6 +129,18 @@ struct CampaignSummary {
   std::size_t threads_used = 0;
   double thread_utilization = 0.0;
 
+  /// What the resilience policy did (docs/RESILIENCE.md); all zero
+  /// under the default inert CampaignPolicy.
+  struct ResilienceStats {
+    std::uint64_t attempts = 0;   ///< attempts executed by this process
+    std::uint64_t retries = 0;    ///< attempts beyond a scenario's first
+    std::uint64_t replayed = 0;   ///< scenarios restored from the journal
+    std::uint64_t quarantined = 0;  ///< scenarios poisoned (skips included)
+    std::uint64_t deadline_failures = 0;  ///< deadline/cancel expiries seen
+    double backoff_seconds = 0.0;         ///< total retry sleep
+  };
+  ResilienceStats resilience;
+
   /// Render as the paper's validation-table layout.
   [[nodiscard]] std::string to_string() const;
 };
@@ -73,10 +149,15 @@ struct CampaignSummary {
 /// a thread pool (each run is independent) and summarize. This is the
 /// engine behind the Table 5/6 reproduction benches, exposed as API so
 /// downstream users can validate their own recalibrations the same way.
+/// `policy` adds the resilience layer — journaled resume, bounded
+/// retry with backoff, poison-scenario quarantine, and wall deadlines;
+/// its default is inert, leaving results bit-identical to the
+/// policy-free engine.
 [[nodiscard]] CampaignSummary run_validation_campaign(
     const KrakModel& model, const simapp::ComputationCostEngine& engine,
     const std::vector<CampaignRun>& runs, const ValidationConfig& config = {},
-    std::size_t threads = 0 /* 0 = hardware concurrency */);
+    std::size_t threads = 0 /* 0 = hardware concurrency */,
+    const CampaignPolicy& policy = {});
 
 /// The paper's Table 5 configuration set (small/medium x 16/64/128,
 /// mesh-specific).

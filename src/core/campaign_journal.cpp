@@ -1,0 +1,454 @@
+#include "core/campaign_journal.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+#include <fstream>
+#include <optional>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace krak::core {
+
+namespace {
+
+constexpr std::string_view kMagic = "krakjournal 1";
+
+void bump_journal_counter(const char* name, std::int64_t count = 1) {
+  if (!obs::enabled() || count == 0) return;
+  obs::global_registry().counter(name).add(count);
+}
+
+std::string hex16(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+template <typename T>
+bool parse_value(std::string_view token, T& value, int base = 10) {
+  const auto result =
+      std::from_chars(token.data(), token.data() + token.size(), value, base);
+  return result.ec == std::errc{} && result.ptr == token.data() + token.size();
+}
+
+/// Split `line` into whitespace-free tokens (single spaces separate
+/// journal fields; empty fields cannot occur — journal_escape never
+/// produces an empty token).
+std::vector<std::string_view> split_tokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    const std::size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ') ++pos;
+    if (pos > start) tokens.push_back(line.substr(start, pos - start));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::uint64_t journal_checksum(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string journal_escape(std::string_view text) {
+  if (text.empty()) return "%";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const auto byte = static_cast<unsigned char>(c);
+    if (c == '%' || c == ' ' || byte < 0x20 || byte == 0x7f) {
+      out += '%';
+      out += kDigits[byte >> 4];
+      out += kDigits[byte & 0xf];
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> journal_unescape(std::string_view token) {
+  if (token == "%") return std::string();
+  std::string out;
+  out.reserve(token.size());
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (token[i] != '%') {
+      out += token[i];
+      continue;
+    }
+    if (i + 2 >= token.size()) return std::nullopt;
+    std::uint32_t byte = 0;
+    if (!parse_value(token.substr(i + 1, 2), byte, 16)) return std::nullopt;
+    out += static_cast<char>(byte);
+    i += 2;
+  }
+  return out;
+}
+
+struct CampaignJournal::Record {
+  enum class Kind { kRunning, kDone, kFailed, kQuarantined };
+
+  Kind kind = Kind::kRunning;
+  std::uint64_t fingerprint = 0;
+  std::uint32_t attempt = 0;
+  bool transient = false;  ///< failed records: the failure class
+  std::string error;       ///< failed / quarantined records
+  ValidationPoint point;   ///< done records
+
+  /// The line body (checksum excluded) exactly as serialized.
+  [[nodiscard]] std::string body() const {
+    std::string out;
+    switch (kind) {
+      case Kind::kRunning:
+        out = "running";
+        break;
+      case Kind::kDone:
+        out = "done";
+        break;
+      case Kind::kFailed:
+        out = "failed";
+        break;
+      case Kind::kQuarantined:
+        out = "quarantined";
+        break;
+    }
+    out += ' ';
+    out += hex16(fingerprint);
+    out += ' ';
+    out += std::to_string(attempt);
+    switch (kind) {
+      case Kind::kRunning:
+        break;
+      case Kind::kDone:
+        out += ' ';
+        out += journal_escape(point.problem);
+        out += ' ';
+        out += std::to_string(point.pes);
+        out += ' ';
+        out += hex16(std::bit_cast<std::uint64_t>(point.measured));
+        out += ' ';
+        out += hex16(std::bit_cast<std::uint64_t>(point.predicted));
+        break;
+      case Kind::kFailed:
+        out += transient ? " transient " : " deterministic ";
+        out += journal_escape(error);
+        break;
+      case Kind::kQuarantined:
+        out += ' ';
+        out += journal_escape(error);
+        break;
+    }
+    return out;
+  }
+
+  /// Parse one full line (checksum included); nullopt on any violation.
+  static std::optional<Record> parse(std::string_view line) {
+    const std::vector<std::string_view> tokens = split_tokens(line);
+    if (tokens.size() < 4) return std::nullopt;
+    std::uint64_t checksum = 0;
+    if (!parse_value(tokens.back(), checksum, 16) ||
+        tokens.back().size() != 16) {
+      return std::nullopt;
+    }
+    const std::size_t body_end = line.rfind(' ');
+    if (body_end == std::string_view::npos) return std::nullopt;
+    if (journal_checksum(line.substr(0, body_end)) != checksum) {
+      return std::nullopt;
+    }
+
+    Record record;
+    std::size_t expected = 0;
+    if (tokens[0] == "running") {
+      record.kind = Kind::kRunning;
+      expected = 4;
+    } else if (tokens[0] == "done") {
+      record.kind = Kind::kDone;
+      expected = 8;
+    } else if (tokens[0] == "failed") {
+      record.kind = Kind::kFailed;
+      expected = 6;
+    } else if (tokens[0] == "quarantined") {
+      record.kind = Kind::kQuarantined;
+      expected = 5;
+    } else {
+      return std::nullopt;
+    }
+    if (tokens.size() != expected) return std::nullopt;
+    if (!parse_value(tokens[1], record.fingerprint, 16) ||
+        tokens[1].size() != 16) {
+      return std::nullopt;
+    }
+    if (!parse_value(tokens[2], record.attempt) || record.attempt == 0) {
+      return std::nullopt;
+    }
+    switch (record.kind) {
+      case Kind::kRunning:
+        break;
+      case Kind::kDone: {
+        const std::optional<std::string> problem = journal_unescape(tokens[3]);
+        if (!problem.has_value()) return std::nullopt;
+        record.point.problem = *problem;
+        if (!parse_value(tokens[4], record.point.pes) ||
+            record.point.pes <= 0) {
+          return std::nullopt;
+        }
+        std::uint64_t bits = 0;
+        if (!parse_value(tokens[5], bits, 16)) return std::nullopt;
+        record.point.measured = std::bit_cast<double>(bits);
+        if (!parse_value(tokens[6], bits, 16)) return std::nullopt;
+        record.point.predicted = std::bit_cast<double>(bits);
+        break;
+      }
+      case Kind::kFailed: {
+        if (tokens[3] == "transient") {
+          record.transient = true;
+        } else if (tokens[3] == "deterministic") {
+          record.transient = false;
+        } else {
+          return std::nullopt;
+        }
+        const std::optional<std::string> error = journal_unescape(tokens[4]);
+        if (!error.has_value()) return std::nullopt;
+        record.error = *error;
+        break;
+      }
+      case Kind::kQuarantined: {
+        const std::optional<std::string> error = journal_unescape(tokens[3]);
+        if (!error.has_value()) return std::nullopt;
+        record.error = *error;
+        break;
+      }
+    }
+    return record;
+  }
+};
+
+CampaignJournal::CampaignJournal(std::filesystem::path path)
+    : path_(std::move(path)) {
+  const std::filesystem::path parent = path_.parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+
+  std::string text;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      in.seekg(0, std::ios::end);
+      text.resize(static_cast<std::size_t>(in.tellg()));
+      in.seekg(0);
+      in.read(text.data(), static_cast<std::streamsize>(text.size()));
+    }
+  }
+
+  const bool fresh = text.empty();
+  if (!fresh) {
+    // An existing file must lead with the magic line: truncating an
+    // arbitrary file the user mistyped into a journal would destroy it.
+    const std::size_t eol = text.find('\n');
+    if (eol == std::string::npos || text.substr(0, eol) != kMagic) {
+      throw util::KrakError("not a krakjournal 1 file: " + path_.string());
+    }
+    // Replay records until the first invalid line, then truncate there:
+    // a torn append (crash mid-write) costs exactly the torn record.
+    std::size_t pos = eol + 1;
+    while (pos < text.size()) {
+      const std::size_t line_end = text.find('\n', pos);
+      if (line_end == std::string::npos) break;  // partial line: torn
+      const std::optional<Record> record =
+          Record::parse(std::string_view(text).substr(pos, line_end - pos));
+      if (!record.has_value()) break;
+      apply(*record);
+      ++recovery_.records;
+      pos = line_end + 1;
+    }
+    if (pos < text.size()) {
+      recovery_.torn_tail = true;
+      recovery_.dropped_bytes = text.size() - pos;
+      std::error_code ec;
+      std::filesystem::resize_file(path_, pos, ec);
+      if (ec) {
+        throw util::KrakError("cannot truncate torn journal tail of " +
+                              path_.string() + ": " + ec.message());
+      }
+    }
+    recovery_.scenarios = histories_.size();
+    for (const auto& [fingerprint, history] : histories_) {
+      (void)fingerprint;
+      if (history.done) ++recovery_.completed;
+      if (history.quarantined) ++recovery_.quarantined;
+    }
+  }
+
+  bump_journal_counter("journal.recovered_records",
+                       static_cast<std::int64_t>(recovery_.records));
+  if (recovery_.torn_tail) bump_journal_counter("journal.recovered_torn_tail");
+
+#if !defined(_WIN32)
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw util::KrakError("cannot open journal " + path_.string() +
+                          " for appending: " + util::errno_message());
+  }
+#endif
+  if (fresh) {
+    std::string header(kMagic);
+    header += '\n';
+    write_raw(header);
+  }
+}
+
+CampaignJournal::~CampaignJournal() {
+#if !defined(_WIN32)
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+void CampaignJournal::write_raw(std::string_view data) {
+#if defined(_WIN32)
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  if (!out) {
+    throw util::KrakError("cannot append to journal " + path_.string());
+  }
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) {
+    throw util::KrakError("short journal append to " + path_.string());
+  }
+#else
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ::ssize_t n =
+        ::write(fd_, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw util::KrakError("short journal append to " + path_.string() +
+                            ": " + util::errno_message());
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // The "write-ahead" half of the contract: the record must be durable
+  // before the campaign acts on the state it describes, or a crash
+  // could replay work the journal claims is done.
+  if (::fsync(fd_) != 0) {
+    throw util::KrakError("cannot sync journal " + path_.string() + ": " +
+                          util::errno_message());
+  }
+#endif
+}
+
+void CampaignJournal::append(const Record& record) {
+  std::string line = record.body();
+  line += ' ';
+  line += hex16(journal_checksum(line.substr(0, line.size() - 1)));
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(mutex_);
+  write_raw(line);
+  apply(record);
+  bump_journal_counter("journal.appends");
+}
+
+void CampaignJournal::apply(const Record& record) {
+  History& history = histories_[record.fingerprint];
+  history.attempts = std::max(history.attempts, record.attempt);
+  switch (record.kind) {
+    case Record::Kind::kRunning:
+      history.interrupted = true;  // cleared by the attempt's outcome
+      break;
+    case Record::Kind::kDone:
+      history.interrupted = false;
+      history.done = true;
+      history.point = record.point;
+      break;
+    case Record::Kind::kFailed:
+      history.interrupted = false;
+      if (record.transient) {
+        ++history.transient_failures;
+      } else {
+        ++history.deterministic_failures;
+      }
+      history.last_error = record.error;
+      history.last_transient = record.transient;
+      break;
+    case Record::Kind::kQuarantined:
+      history.interrupted = false;
+      history.quarantined = true;
+      if (!record.error.empty()) history.last_error = record.error;
+      break;
+  }
+}
+
+void CampaignJournal::record_running(std::uint64_t fingerprint,
+                                     std::uint32_t attempt) {
+  Record record;
+  record.kind = Record::Kind::kRunning;
+  record.fingerprint = fingerprint;
+  record.attempt = attempt;
+  append(record);
+}
+
+void CampaignJournal::record_done(std::uint64_t fingerprint,
+                                  std::uint32_t attempt,
+                                  const ValidationPoint& point) {
+  Record record;
+  record.kind = Record::Kind::kDone;
+  record.fingerprint = fingerprint;
+  record.attempt = attempt;
+  record.point = point;
+  append(record);
+}
+
+void CampaignJournal::record_failed(std::uint64_t fingerprint,
+                                    std::uint32_t attempt, bool transient,
+                                    std::string_view error) {
+  Record record;
+  record.kind = Record::Kind::kFailed;
+  record.fingerprint = fingerprint;
+  record.attempt = attempt;
+  record.transient = transient;
+  record.error = std::string(error);
+  append(record);
+}
+
+void CampaignJournal::record_quarantined(std::uint64_t fingerprint,
+                                         std::uint32_t attempt,
+                                         std::string_view error) {
+  Record record;
+  record.kind = Record::Kind::kQuarantined;
+  record.fingerprint = fingerprint;
+  record.attempt = attempt;
+  record.error = std::string(error);
+  append(record);
+}
+
+CampaignJournal::History CampaignJournal::history(
+    std::uint64_t fingerprint) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histories_.find(fingerprint);
+  if (it == histories_.end()) return History{};
+  return it->second;
+}
+
+}  // namespace krak::core

@@ -9,7 +9,7 @@ namespace krak::core {
 std::shared_ptr<const PartitionedDeck> PartitionCache::get(
     const mesh::InputDeck& deck, std::int32_t pes,
     partition::PartitionMethod method, std::uint64_t seed,
-    std::int32_t threads) {
+    std::int32_t threads, const util::CancellationToken* cancel) {
   const std::uint64_t fingerprint = deck_fingerprint(deck);
   const Key key{fingerprint, pes, static_cast<std::int32_t>(method), seed};
   obs::Registry& registry = obs::global_registry();
@@ -34,6 +34,11 @@ std::shared_ptr<const PartitionedDeck> PartitionCache::get(
   if (owner) {
     registry.counter("campaign.partition_cache.misses").add();
     try {
+      // Last checkpoint before the dominant cost: partitioning a large
+      // deck runs for seconds, so an already blown budget must not
+      // start it. The catch below propagates the CancelledError to
+      // every waiter and evicts the entry, so a retry recomputes.
+      util::CancellationToken::check(cancel, "partition cache miss");
       const std::shared_ptr<PartitionStore> disk = store();
       const PartitionStore::Key store_key{fingerprint, pes, method, seed};
       std::optional<partition::Partition> loaded;

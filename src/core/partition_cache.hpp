@@ -11,6 +11,7 @@
 #include "mesh/deck.hpp"
 #include "partition/partition.hpp"
 #include "partition/stats.hpp"
+#include "util/cancellation.hpp"
 
 namespace krak::core {
 
@@ -41,11 +42,15 @@ class PartitionCache {
   /// computing and inserting it on first use. Never returns null.
   /// `threads` only affects how fast a miss is computed — the result is
   /// bit-identical at every value (see partition_multilevel) and is
-  /// deliberately not part of the cache key.
+  /// deliberately not part of the cache key. An expired `cancel` token
+  /// makes a miss throw util::CancelledError before partitioning (the
+  /// entry is then evicted so a later request retries); hits are always
+  /// served — a finished partition costs nothing to hand out.
   [[nodiscard]] std::shared_ptr<const PartitionedDeck> get(
       const mesh::InputDeck& deck, std::int32_t pes,
       partition::PartitionMethod method, std::uint64_t seed,
-      std::int32_t threads = 1);
+      std::int32_t threads = 1,
+      const util::CancellationToken* cancel = nullptr);
 
   /// Attach a persistent on-disk store (nullptr detaches). Misses then
   /// consult the store before partitioning, and freshly computed

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/atomic_file.hpp"
 #include "util/error.hpp"
 
 namespace krak::core {
@@ -179,6 +180,15 @@ std::uint64_t partition_checksum(
 PartitionStore::PartitionStore(std::filesystem::path directory)
     : directory_(std::move(directory)) {
   std::filesystem::create_directories(directory_);
+  // A crash between temp-file write and rename leaves an orphan `.tmp`
+  // that no load ever consults; sweep them on open so an interrupted
+  // run cannot accumulate dead files in the store directory.
+  const std::size_t orphans = util::remove_orphan_temp_files(directory_);
+  if (orphans > 0 && obs::enabled()) {
+    obs::global_registry()
+        .counter("partition_store.orphans_removed")
+        .add(static_cast<std::int64_t>(orphans));
+  }
 }
 
 std::filesystem::path PartitionStore::entry_path(const Key& key) const {
@@ -284,21 +294,13 @@ void PartitionStore::save(const Key& key, const partition::Partition& part) {
   }
   text += "\nend\n";
 
-  // Temp-file-plus-rename keeps a crash from leaving a truncated file
-  // under a valid entry name. The temp name is per-entry, so concurrent
+  // Temp-file-plus-flush-plus-rename (util::atomic_write_file) keeps a
+  // crash from leaving a truncated file under a valid entry name, and
+  // syncs the bytes before publishing the name so the rename can never
+  // expose unsynced content. The temp name is per-entry, so concurrent
   // saves of different keys never collide; concurrent saves of the same
   // key write identical bytes.
-  const std::filesystem::path path = entry_path(key);
-  const std::filesystem::path temp = path.string() + ".tmp";
-  {
-    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    KRAK_REQUIRE(static_cast<bool>(out), "PartitionStore: cannot open " +
-                                             temp.string() + " for writing");
-    out.write(text.data(), static_cast<std::streamsize>(text.size()));
-    KRAK_REQUIRE(static_cast<bool>(out),
-                 "PartitionStore: short write to " + temp.string());
-  }
-  std::filesystem::rename(temp, path);
+  util::atomic_write_file(entry_path(key), text);
 }
 
 PartitionStore::Counters PartitionStore::counters() const {

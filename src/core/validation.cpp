@@ -23,6 +23,7 @@ Measurement measure(const mesh::InputDeck& deck, std::int32_t pes,
                     const network::MachineConfig& machine,
                     const simapp::ComputationCostEngine& engine,
                     const ValidationConfig& config) {
+  util::CancellationToken::check(config.cancel, "validation measurement");
   // The partition and its statistics come from the campaign-level cache
   // (docs/PERFORMANCE.md): runs sharing (deck, pes, seed) reuse one
   // deterministic computation instead of repeating the dominant cost.
@@ -30,12 +31,13 @@ Measurement measure(const mesh::InputDeck& deck, std::int32_t pes,
       PartitionCache::global().get(deck, pes,
                                    partition::PartitionMethod::kMultilevel,
                                    config.partition_seed,
-                                   config.partition_threads);
+                                   config.partition_threads, config.cancel);
   simapp::SimKrakOptions options;
   options.iterations = config.iterations;
   options.noise_seed = config.noise_seed;
   options.faults = config.faults;
   options.sim_threads = config.sim_threads;
+  options.cancel = config.cancel;
   const simapp::SimKrak app(deck, partitioned->partition, machine, engine,
                             partitioned->stats, options);
   simapp::SimKrakResult result = app.run();

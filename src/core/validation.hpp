@@ -9,6 +9,7 @@
 #include "mesh/deck.hpp"
 #include "network/machine.hpp"
 #include "simapp/costmodel.hpp"
+#include "util/cancellation.hpp"
 
 namespace krak::core {
 
@@ -46,6 +47,12 @@ struct ValidationConfig {
   /// the validate_* functions throw sim::SimFailureError carrying the
   /// first structured failure.
   fault::FaultPlan faults;
+  /// Cooperative cancellation token (not owned; must outlive the run).
+  /// Checked before partitioning, inside the partition cache, and at
+  /// the simulator's event-loop checkpoints; an expired token surfaces
+  /// as util::CancelledError or a kDeadline sim::SimFailureError
+  /// instead of a hang. Null disables every checkpoint.
+  const util::CancellationToken* cancel = nullptr;
 };
 
 /// Measure `deck` on `pes` processors with SimKrak (multilevel

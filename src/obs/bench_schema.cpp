@@ -124,6 +124,23 @@ void check_campaign_failure(SchemaChecker& ck, const Json& failure,
   ck.require_number(failure, path, "run_index", 0.0, kHuge);
   ck.require_string(failure, path, "scenario");
   ck.require_string(failure, path, "error");
+  // Optional resilience fields (absent from pre-resilience reports):
+  // the retry budget charged, the failure class, and whether the
+  // scenario was quarantined as poison.
+  if (failure.find("attempts") != nullptr) {
+    // attempts 0: a quarantine skip recorded without re-running.
+    ck.require_number(failure, path, "attempts", 0.0, kHuge);
+  }
+  if (const Json* klass = failure.find("class")) {
+    if (!klass->is_string() || (klass->as_string() != "transient" &&
+                                klass->as_string() != "deterministic")) {
+      ck.fail(path + ".class",
+              "must be \"transient\" or \"deterministic\"");
+    }
+  }
+  if (failure.find("quarantined") != nullptr) {
+    ck.require_bool(failure, path, "quarantined");
+  }
   // Optional structured simulator diagnosis.
   if (const Json* cause = failure.find("sim_failure")) {
     if (!cause->is_object()) {
@@ -154,6 +171,21 @@ void check_campaign(SchemaChecker& ck, const Json& campaign,
   ck.require_number(campaign, path, "thread_utilization", 0.0, 1.01);
   ck.require_number(campaign, path, "worst_abs_error", 0.0, kHuge);
   ck.require_number(campaign, path, "mean_abs_error", 0.0, kHuge);
+  // Optional resilience accounting (absent from pre-resilience
+  // reports): attempts, retries, journal replays, quarantines.
+  if (const Json* resilience = campaign.find("resilience")) {
+    if (!resilience->is_object()) {
+      ck.fail(path + ".resilience", "must be an object");
+    } else {
+      const std::string sub = path + ".resilience";
+      ck.require_number(*resilience, sub, "attempts", 0.0, kHuge);
+      ck.require_number(*resilience, sub, "retries", 0.0, kHuge);
+      ck.require_number(*resilience, sub, "replayed", 0.0, kHuge);
+      ck.require_number(*resilience, sub, "quarantined", 0.0, kHuge);
+      ck.require_number(*resilience, sub, "deadline_failures", 0.0, kHuge);
+      ck.require_number(*resilience, sub, "backoff_s", 0.0, kHuge);
+    }
+  }
   // "failures" is optional (absent from clean reports, so pre-existing
   // reports stay valid); when present it must be well-formed, and a
   // campaign where every scenario failed may legitimately have zero

@@ -14,6 +14,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/ops.hpp"
+#include "util/cancellation.hpp"
 #include "util/error.hpp"
 
 namespace krak::sim {
@@ -138,6 +139,12 @@ struct SimFailure {
     /// The runaway guard fired: SimConfig::max_events events fired with
     /// events still pending. A run-level diagnosis (rank is -1).
     kEventLimit,
+    /// A cooperative cancellation token expired mid-run — a wall-clock
+    /// deadline (scenario or campaign budget) or an explicit cancel,
+    /// not a simulated-time bound. A run-level diagnosis (rank is -1);
+    /// the simulator throws SimFailureError carrying it so the caller
+    /// never mistakes a cut-short run for a measurement.
+    kDeadline,
   };
   Kind kind = Kind::kDeadlock;
   RankId rank = -1;
@@ -335,6 +342,14 @@ class Simulator {
   /// Configure the watchdog (structured failures, simulated-time bound).
   void set_watchdog(WatchdogConfig watchdog);
 
+  /// Install (or clear, with nullptr) a cooperative cancellation token
+  /// (docs/RESILIENCE.md, "Resumable campaigns"). Not owned; must
+  /// outlive run(). The engines poll it — the serial oracle every few
+  /// thousand events, the parallel engine at every epoch barrier — and
+  /// an expired token aborts the run by throwing SimFailureError with
+  /// Kind::kDeadline, so a blown wall budget can never wedge a sweep.
+  void set_cancellation(const util::CancellationToken* token);
+
   /// Run all schedules to completion and return the timing result.
   /// Throws KrakError on deadlock (a rank blocks forever) or on
   /// mismatched collective sequences — unless the watchdog runs with
@@ -445,6 +460,10 @@ class Simulator {
   void finalize_run(SimResult& result, std::vector<Shard>& shards,
                     bool budget_exhausted, std::size_t events_fired);
 
+  /// Cancellation checkpoint of both engines: throws SimFailureError
+  /// (Kind::kDeadline, rank -1) once the installed token has expired.
+  void check_cancellation() const;
+
   /// How many shards this run uses: 1 (the serial oracle) unless
   /// threads > 1, at least two ranks exist, and the NIC model is off.
   [[nodiscard]] std::int32_t plan_shards() const;
@@ -461,6 +480,7 @@ class Simulator {
   NicConfig nic_;
   FaultInjector* fault_ = nullptr;
   WatchdogConfig watchdog_;
+  const util::CancellationToken* cancel_ = nullptr;
   /// (from, to, tag) -> count of messages the fault plan lost for good;
   /// consulted when diagnosing a starved receiver. Merged from the
   /// per-shard ledgers before drain diagnosis.

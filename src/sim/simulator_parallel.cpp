@@ -86,6 +86,10 @@ SimResult Simulator::run_parallel(std::int32_t shard_count) {
   std::vector<Shard::CollectiveEntry> entries;
 
   while (!budget_exhausted) {
+    // Cancellation checkpoint once per epoch: the coordinator is the
+    // only thread between barriers, so throwing here unwinds cleanly
+    // with no worker in flight.
+    check_cancellation();
     double window_start = std::numeric_limits<double>::infinity();
     for (const Shard& shard : shards) {
       window_start = std::min(window_start, shard.queue.next_time());

@@ -336,6 +336,7 @@ SimKrakResult SimKrak::run() const {
     simulator.set_fault_injector(injector.get());
     simulator.set_watchdog(injector->watchdog());
   }
+  if (options_.cancel != nullptr) simulator.set_cancellation(options_.cancel);
   for (partition::PeId pe = 0; pe < ranks; ++pe) {
     simulator.set_schedule(pe, build_schedule(pe));
   }

@@ -52,6 +52,12 @@ struct SimKrakOptions {
   /// across thread counts (sim::SimConfig::threads); the engine falls
   /// back to the oracle when nic_contention is on.
   std::int32_t sim_threads = 1;
+  /// Cooperative cancellation token (not owned; must outlive the run).
+  /// When it expires mid-run the simulator throws a structured
+  /// sim::SimFailureError of kind kDeadline instead of finishing; null
+  /// disables the checkpoints entirely, keeping the run bit-identical
+  /// to a build without the cancellation subsystem.
+  const util::CancellationToken* cancel = nullptr;
 };
 
 /// Result of a SimKrak run.

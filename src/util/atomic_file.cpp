@@ -1,0 +1,102 @@
+#include "util/atomic_file.hpp"
+
+#include <system_error>
+
+#include "util/error.hpp"
+
+#if defined(_WIN32)
+#include <fstream>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace krak::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::filesystem::path& temp,
+                       const std::string& what) {
+  // Capture the cause before the cleanup below can clobber errno.
+  const std::string cause = errno_message();
+  std::error_code ec;
+  std::filesystem::remove(temp, ec);
+  throw KrakError(what + ": " + cause);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::filesystem::path& path,
+                       std::string_view content) {
+  const std::filesystem::path temp = path.string() + ".tmp";
+#if defined(_WIN32)
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) fail(temp, "cannot open " + temp.string() + " for writing");
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) fail(temp, "short write to " + temp.string());
+  }
+#else
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail(temp, "cannot open " + temp.string() + " for writing");
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ::ssize_t n = ::write(fd, content.data() + written,
+                                content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail(temp, "short write to " + temp.string());
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // The flush half of the durability contract: the rename below must
+  // never publish a name whose bytes are still in flight, or a crash
+  // after the rename could expose a valid name over truncated content.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail(temp, "cannot flush " + temp.string());
+  }
+  if (::close(fd) != 0) fail(temp, "cannot close " + temp.string());
+#endif
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::error_code cleanup;
+    std::filesystem::remove(temp, cleanup);
+    throw KrakError("cannot rename " + temp.string() + " to " + path.string() +
+                    ": " + ec.message());
+  }
+#if !defined(_WIN32)
+  // Best-effort directory sync so the rename itself survives a crash;
+  // some filesystems refuse to fsync a directory, which is not an error
+  // worth failing a run over.
+  const std::filesystem::path dir = path.parent_path();
+  const int dir_fd =
+      ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    (void)::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+#endif
+}
+
+std::size_t remove_orphan_temp_files(const std::filesystem::path& directory) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(directory, ec);
+  if (ec) return 0;
+  std::size_t removed = 0;
+  for (const std::filesystem::directory_entry& entry :
+       std::filesystem::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (entry.path().extension() != ".tmp") continue;
+    std::error_code remove_ec;
+    if (std::filesystem::remove(entry.path(), remove_ec)) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace krak::util

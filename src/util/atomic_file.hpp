@@ -1,0 +1,29 @@
+#pragma once
+
+#include <filesystem>
+#include <string_view>
+
+namespace krak::util {
+
+/// Crash-safe whole-file write: the content lands in `<path>.tmp`, is
+/// flushed (and fsync'ed where the platform supports it), and only then
+/// renamed over `path`. A reader therefore sees either the previous
+/// complete file or the new complete file — never a truncated hybrid.
+///
+/// This is the temp-plus-rename pattern the partition store pioneered,
+/// factored out so every artifact writer (krak_bench --out, krakpart
+/// entries, campaign journals' recovery rewrites) shares one audited
+/// implementation. Throws KrakError naming the path and the OS cause on
+/// any failure; the temp file is removed before the throw so repeated
+/// failed writes cannot litter the directory.
+void atomic_write_file(const std::filesystem::path& path,
+                       std::string_view content);
+
+/// Remove every sibling `*.tmp` file a crashed atomic_write_file (or an
+/// interrupted pre-helper writer) left in `directory`; returns how many
+/// were removed. Missing or unreadable directories count zero — the
+/// sweep is a best-effort hygiene pass, not a contract.
+[[nodiscard]] std::size_t remove_orphan_temp_files(
+    const std::filesystem::path& directory);
+
+}  // namespace krak::util

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace krak::util {
+
+/// Thrown by cooperative cancellation checkpoints when their token has
+/// expired; carries the token's reason ("campaign deadline of 30 s
+/// exceeded"). Campaign runners classify it as a transient failure —
+/// wall budgets depend on machine load, not on the scenario.
+class CancelledError : public KrakError {
+ public:
+  explicit CancelledError(const std::string& what) : KrakError(what) {}
+};
+
+/// Cooperative cancellation token with an optional wall-clock deadline.
+///
+/// The resilience layer (docs/RESILIENCE.md, "Resumable campaigns")
+/// threads a token through core::Campaign, core::PartitionCache, and
+/// the simulator so a scenario that blows its wall budget surfaces as a
+/// structured failure instead of wedging the sweep. Cancellation is
+/// cooperative: nothing is interrupted, long-running loops poll
+/// `expired()` at checkpoints (the simulator checks every few thousand
+/// events and at every epoch barrier).
+///
+/// A token may chain to a parent: a per-scenario token expires when its
+/// own deadline passes, when it is cancelled explicitly, or when the
+/// campaign-wide parent expires. Thread-safe; `expired()` is a couple
+/// of relaxed atomic loads plus (when a deadline is armed) one
+/// monotonic-clock read through util::Stopwatch.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Arm a wall deadline `seconds` from now; <= 0 disarms. Restarts the
+  /// budget clock on every call.
+  void arm_deadline(double seconds) {
+    watch_.restart();
+    deadline_seconds_.store(seconds, std::memory_order_relaxed);
+  }
+
+  /// Chain to `parent`: this token also expires when `parent` does.
+  /// The parent must outlive this token; pass nullptr to unchain.
+  void set_parent(const CancellationToken* parent) { parent_ = parent; }
+
+  /// Trip the token explicitly, recording `reason` (first cancel wins).
+  void cancel(const std::string& reason) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (reason_.empty()) reason_ = reason;
+    }
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  /// True once the token is cancelled, its deadline has passed, or the
+  /// parent (if any) has expired.
+  [[nodiscard]] bool expired() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    const double deadline = deadline_seconds_.load(std::memory_order_relaxed);
+    if (deadline > 0.0 && watch_.seconds() > deadline) return true;
+    return parent_ != nullptr && parent_->expired();
+  }
+
+  /// Why the token expired ("" while it has not): the explicit cancel
+  /// reason, a deadline description, or the parent's reason.
+  [[nodiscard]] std::string reason() const {
+    if (cancelled_.load(std::memory_order_acquire)) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      return reason_;
+    }
+    const double deadline = deadline_seconds_.load(std::memory_order_relaxed);
+    if (deadline > 0.0 && watch_.seconds() > deadline) {
+      return "wall deadline of " + std::to_string(deadline) + " s exceeded";
+    }
+    if (parent_ != nullptr) return parent_->reason();
+    return "";
+  }
+
+  /// Checkpoint: throw CancelledError carrying `where` and the reason
+  /// once the token has expired; no-op otherwise. Safe on a null
+  /// `token`, so call sites need no guard.
+  static void check(const CancellationToken* token, std::string_view where) {
+    if (token == nullptr || !token->expired()) return;
+    throw CancelledError(std::string(where) + " cancelled: " +
+                         token->reason());
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<double> deadline_seconds_{0.0};
+  Stopwatch watch_;
+  const CancellationToken* parent_ = nullptr;
+  mutable std::mutex mutex_;
+  std::string reason_;
+};
+
+}  // namespace krak::util

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "mesh/deck.hpp"
+#include "util/cancellation.hpp"
 #include "util/thread_pool.hpp"
 
 namespace krak::core {
@@ -110,6 +111,66 @@ TEST(PartitionCache, ConcurrentRequestsShareOneComputation) {
   const PartitionCache::Counters counters = cache.counters();
   EXPECT_EQ(counters.misses, 2u);
   EXPECT_EQ(counters.hits, kRequests - 2u);
+}
+
+TEST(PartitionCache, CancelledMissSurfacesAndEvicts) {
+  PartitionCache cache;
+  util::CancellationToken token;
+  token.cancel("deadline blown");
+  EXPECT_THROW((void)cache.get(small_deck(), 16,
+                               partition::PartitionMethod::kMultilevel, 1,
+                               /*threads=*/1, &token),
+               util::CancelledError);
+  // The failed entry was evicted, not poisoned: a later request without
+  // the token recomputes and succeeds.
+  const auto entry = cache.get(small_deck(), 16,
+                               partition::PartitionMethod::kMultilevel, 1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->partition.parts(), 16);
+  EXPECT_EQ(cache.counters().misses, 2u);
+}
+
+// Failure eviction under concurrency: one owner fails (cancelled token)
+// while many waiters are parked on its future. Every waiter must see
+// the owner's exception, the entry must be evicted, and a subsequent
+// wave must recompute successfully — a failure may cost a retry but can
+// never poison the configuration. TSan coverage of the erase/retry race.
+TEST(PartitionCache, ConcurrentWaitersSeeOwnerFailureThenRetrySucceeds) {
+  PartitionCache cache;
+  constexpr std::size_t kRequests = 32;
+  util::CancellationToken cancelled;
+  cancelled.cancel("scenario budget exceeded");
+  std::atomic<std::size_t> failures{0};
+  std::atomic<std::size_t> successes{0};
+  util::ThreadPool pool(8);
+  pool.parallel_for(kRequests, [&](std::size_t i) {
+    (void)i;
+    try {
+      // Every request carries the tripped token, so whichever thread
+      // wins ownership fails and the rest inherit that exception (or
+      // become owners themselves after the eviction and fail too).
+      const auto entry =
+          cache.get(small_deck(), 16, partition::PartitionMethod::kMultilevel,
+                    7, /*threads=*/1, &cancelled);
+      if (entry != nullptr) successes.fetch_add(1);
+    } catch (const util::CancelledError&) {
+      failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), kRequests);
+  EXPECT_EQ(successes.load(), 0u);
+
+  // The configuration is not poisoned: a clean wave converges on one
+  // shared recomputation.
+  std::vector<std::shared_ptr<const PartitionedDeck>> results(kRequests);
+  pool.parallel_for(kRequests, [&](std::size_t i) {
+    results[i] = cache.get(small_deck(), 16,
+                           partition::PartitionMethod::kMultilevel, 7);
+  });
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    ASSERT_NE(results[i], nullptr);
+    EXPECT_EQ(results[i].get(), results[0].get());
+  }
 }
 
 }  // namespace

@@ -156,6 +156,40 @@ TEST_F(PartitionStoreTest, CacheWarmRerunServesFromStore) {
             cold->stats->total_boundary_faces());
 }
 
+TEST_F(PartitionStoreTest, OpeningSweepsOrphanTempFiles) {
+  // A crash between the temp write and the rename leaves `*.tmp` files
+  // behind; opening the store must sweep them without touching entries.
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const partition::Partition part = partition::partition_deck(
+      deck, 16, partition::PartitionMethod::kMultilevel, 1);
+  const PartitionStore::Key key = key_for(deck, 16, 1);
+  {
+    PartitionStore store(directory_);
+    store.save(key, part);
+  }
+  const fs::path orphan =
+      directory_ / "deadbeefdeadbeef-64-multilevel-1.krakpart.tmp";
+  std::ofstream(orphan) << "half-written entry";
+  ASSERT_TRUE(fs::exists(orphan));
+
+  PartitionStore store(directory_);
+  EXPECT_FALSE(fs::exists(orphan));
+  // The real entry survived the sweep and still loads.
+  EXPECT_TRUE(store.load(key).has_value());
+}
+
+TEST_F(PartitionStoreTest, SaveLeavesNoTempFileBehind) {
+  const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
+  const partition::Partition part = partition::partition_deck(
+      deck, 16, partition::PartitionMethod::kMultilevel, 1);
+  const PartitionStore::Key key = key_for(deck, 16, 1);
+  PartitionStore store(directory_);
+  store.save(key, part);
+  for (const fs::directory_entry& entry : fs::directory_iterator(directory_)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+}
+
 TEST_F(PartitionStoreTest, ChecksumMatchesTheStoredDigest) {
   const mesh::InputDeck deck = mesh::make_standard_deck(mesh::DeckSize::kSmall);
   const partition::Partition part = partition::partition_deck(

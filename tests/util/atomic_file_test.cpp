@@ -1,0 +1,91 @@
+#include "util/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace krak::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  AtomicFileTest()
+      : directory_(fs::path(::testing::TempDir()) /
+                   ("krak_atomic_file_" +
+                    std::string(::testing::UnitTest::GetInstance()
+                                    ->current_test_info()
+                                    ->name()))) {
+    fs::remove_all(directory_);
+    fs::create_directories(directory_);
+  }
+
+  ~AtomicFileTest() override {
+    std::error_code ec;
+    fs::remove_all(directory_, ec);
+  }
+
+  static std::string slurp(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  fs::path directory_;
+};
+
+TEST_F(AtomicFileTest, WritesContentAndLeavesNoTempFile) {
+  const fs::path target = directory_ / "report.json";
+  atomic_write_file(target, "{\"ok\": true}\n");
+  EXPECT_EQ(slurp(target), "{\"ok\": true}\n");
+  EXPECT_FALSE(fs::exists(directory_ / "report.json.tmp"));
+}
+
+TEST_F(AtomicFileTest, ReplacesAnExistingFileWholly) {
+  const fs::path target = directory_ / "report.json";
+  atomic_write_file(target, "first version, deliberately longer than the next");
+  atomic_write_file(target, "v2");
+  // Rename semantics: the new content fully replaces the old, no
+  // truncated hybrid of the two.
+  EXPECT_EQ(slurp(target), "v2");
+}
+
+TEST_F(AtomicFileTest, EmptyContentYieldsAnEmptyFile) {
+  const fs::path target = directory_ / "empty.txt";
+  atomic_write_file(target, "");
+  EXPECT_TRUE(fs::exists(target));
+  EXPECT_EQ(fs::file_size(target), 0u);
+}
+
+TEST_F(AtomicFileTest, UnwritableTargetThrowsAndCleansUp) {
+  const fs::path target = directory_ / "no_such_dir" / "report.json";
+  EXPECT_THROW(atomic_write_file(target, "x"), KrakError);
+  EXPECT_FALSE(fs::exists(directory_ / "no_such_dir"));
+}
+
+TEST_F(AtomicFileTest, OrphanSweepRemovesOnlyTempFiles) {
+  std::ofstream(directory_ / "entry.krakpart") << "keep";
+  std::ofstream(directory_ / "entry.krakpart.tmp") << "orphan";
+  std::ofstream(directory_ / "other.tmp") << "orphan";
+  fs::create_directories(directory_ / "subdir.tmp");  // not a regular file
+
+  EXPECT_EQ(remove_orphan_temp_files(directory_), 2u);
+  EXPECT_TRUE(fs::exists(directory_ / "entry.krakpart"));
+  EXPECT_TRUE(fs::exists(directory_ / "subdir.tmp"));
+  EXPECT_FALSE(fs::exists(directory_ / "entry.krakpart.tmp"));
+  EXPECT_FALSE(fs::exists(directory_ / "other.tmp"));
+  // Idempotent: a second sweep finds nothing.
+  EXPECT_EQ(remove_orphan_temp_files(directory_), 0u);
+}
+
+TEST_F(AtomicFileTest, OrphanSweepToleratesAMissingDirectory) {
+  EXPECT_EQ(remove_orphan_temp_files(directory_ / "never_created"), 0u);
+}
+
+}  // namespace
+}  // namespace krak::util

@@ -1,0 +1,87 @@
+#include "util/cancellation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace krak::util {
+namespace {
+
+TEST(CancellationToken, FreshTokenIsNotExpired) {
+  CancellationToken token;
+  EXPECT_FALSE(token.expired());
+  EXPECT_EQ(token.reason(), "");
+  EXPECT_NO_THROW(CancellationToken::check(&token, "checkpoint"));
+}
+
+TEST(CancellationToken, NullTokenCheckIsANoOp) {
+  EXPECT_NO_THROW(CancellationToken::check(nullptr, "checkpoint"));
+}
+
+TEST(CancellationToken, ExplicitCancelTripsAndFirstReasonWins) {
+  CancellationToken token;
+  token.cancel("operator abort");
+  token.cancel("second reason");
+  EXPECT_TRUE(token.expired());
+  EXPECT_EQ(token.reason(), "operator abort");
+  try {
+    CancellationToken::check(&token, "scenario");
+    FAIL() << "check must throw once the token is cancelled";
+  } catch (const CancelledError& error) {
+    EXPECT_NE(std::string(error.what()).find("scenario"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("operator abort"),
+              std::string::npos);
+  }
+}
+
+TEST(CancellationToken, DeadlineExpiresAndNamesTheBudget) {
+  CancellationToken token;
+  token.arm_deadline(1e-4);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(token.expired());
+  EXPECT_NE(token.reason().find("wall deadline"), std::string::npos);
+  EXPECT_THROW(CancellationToken::check(&token, "attempt"), CancelledError);
+}
+
+TEST(CancellationToken, ArmDeadlineRestartsTheBudgetClock) {
+  CancellationToken token;
+  token.arm_deadline(1e-4);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(token.expired());
+  // Re-arming grants a fresh budget; disarming (<= 0) clears it.
+  token.arm_deadline(60.0);
+  EXPECT_FALSE(token.expired());
+  token.arm_deadline(0.0);
+  EXPECT_FALSE(token.expired());
+}
+
+TEST(CancellationToken, ChildExpiresWithItsParent) {
+  CancellationToken parent;
+  CancellationToken child;
+  child.set_parent(&parent);
+  EXPECT_FALSE(child.expired());
+  parent.cancel("campaign deadline");
+  EXPECT_TRUE(child.expired());
+  EXPECT_EQ(child.reason(), "campaign deadline");
+  child.set_parent(nullptr);
+  EXPECT_FALSE(child.expired());
+}
+
+TEST(CancellationToken, ChildExpiryDoesNotTripTheParent) {
+  CancellationToken parent;
+  CancellationToken child;
+  child.set_parent(&parent);
+  child.cancel("scenario budget");
+  EXPECT_TRUE(child.expired());
+  EXPECT_FALSE(parent.expired());
+}
+
+TEST(CancelledError, IsAKrakError) {
+  // Campaign catch sites classify through the KrakError hierarchy.
+  const CancelledError error("cancelled");
+  EXPECT_NE(dynamic_cast<const KrakError*>(&error), nullptr);
+}
+
+}  // namespace
+}  // namespace krak::util
