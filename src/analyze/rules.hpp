@@ -121,6 +121,20 @@ inline constexpr const char* kJournalStateMachine = "journal-state-machine";
 /// mid-write); recovery truncates it, losing exactly that record.
 inline constexpr const char* kJournalTornTail = "journal-torn-tail";
 
+// --- synthetic-deck specs (kraksynth 1, mesh/synthetic.hpp) ----------------
+
+/// Structural validity of a synthetic-deck spec: magic/version header,
+/// known keys, well-formed values, no duplicate grid/detonator lines,
+/// terminating `end`.
+inline constexpr const char* kSyntheticFormat = "synthetic-format";
+/// The material mix must be generatable: known material indices, layer
+/// fractions in (0, 1] summing to 1, and at least one grid column per
+/// layer.
+inline constexpr const char* kSyntheticMix = "synthetic-mix";
+/// Grid dimensions must be positive and an explicit detonator must lie
+/// inside the grid domain.
+inline constexpr const char* kSyntheticShape = "synthetic-shape";
+
 // --- fault-spec files (krakfaults 1, fault/plan.hpp) ----------------------
 
 /// Structural validity of a fault-spec file (parse failures).

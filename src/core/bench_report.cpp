@@ -226,6 +226,50 @@ std::vector<std::string> compare_campaign_walls(const obs::Json& report,
   return failures;
 }
 
+std::vector<std::string> compare_replay_walls(const obs::Json& report,
+                                              const obs::Json& baseline,
+                                              double factor) {
+  std::vector<std::string> failures;
+  std::map<std::string, double> baseline_walls;
+  for (const obs::Json& replay : baseline.find("replays")->as_array()) {
+    if (const obs::Json* parallel = replay.find("parallel")) {
+      baseline_walls.emplace(replay.find("name")->as_string(),
+                             parallel->find("parallel_wall_s")->as_double());
+    }
+  }
+  std::set<std::string> compared;
+  for (const obs::Json& replay : report.find("replays")->as_array()) {
+    const obs::Json* parallel = replay.find("parallel");
+    if (parallel == nullptr) continue;
+    const std::string& name = replay.find("name")->as_string();
+    compared.insert(name);
+    const auto base = baseline_walls.find(name);
+    if (base == baseline_walls.end()) {
+      failures.push_back("replay '" + name +
+                         "' has no like-named parallel replay in the baseline"
+                         " report; the gate cannot vouch for it");
+      continue;
+    }
+    const double wall = parallel->find("parallel_wall_s")->as_double();
+    if (wall > base->second * factor) {
+      std::ostringstream message;
+      message << "replay '" << name << "' regressed: parallel wall " << wall
+              << " s vs baseline " << base->second << " s (limit " << factor
+              << "x)";
+      failures.push_back(message.str());
+    }
+  }
+  for (const auto& [name, wall] : baseline_walls) {
+    (void)wall;
+    if (compared.count(name) == 0) {
+      failures.push_back("baseline parallel replay '" + name +
+                         "' is missing from the generated report; a dropped"
+                         " or renamed replay disables its gate");
+    }
+  }
+  return failures;
+}
+
 obs::Json make_bench_report(const std::string& name, bool quick,
                             const BenchEnvironment& environment,
                             std::vector<obs::Json> campaigns,

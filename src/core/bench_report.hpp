@@ -52,6 +52,16 @@ void attach_parallel_scaling(obs::Json& replay, std::int32_t threads,
 [[nodiscard]] std::vector<std::string> compare_campaign_walls(
     const obs::Json& report, const obs::Json& baseline, double factor);
 
+/// The replay half of the perf-smoke gate: check every replay of
+/// `report` that carries a "parallel" scaling object against the
+/// like-named replay of `baseline`, comparing parallel_wall_s (the
+/// engine wall the scenario exists to bound). Matching is bidirectional
+/// over the parallel-scaling replays only — serial replays carry no
+/// gated wall — with the same no-silent-pass rule as the campaign
+/// gate: a parallel replay present on only one side is a failure.
+[[nodiscard]] std::vector<std::string> compare_replay_walls(
+    const obs::Json& report, const obs::Json& baseline, double factor);
+
 /// Assemble the full report document (see docs/OBSERVABILITY.md for the
 /// schema). The caller validates with obs::validate_bench_report before
 /// publishing.

@@ -1,0 +1,201 @@
+#include "mesh/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace krak::mesh {
+
+using util::check;
+
+namespace {
+
+constexpr std::string_view kMagic = "kraksynth";
+constexpr int kVersion = 1;
+/// Slack allowed on the layer-fraction sum: generous enough for decimal
+/// round-trips, far tighter than any real mix error.
+constexpr double kMixTolerance = 1e-6;
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw util::KrakError("malformed synthetic spec: " + what);
+}
+
+void check_spec(const SyntheticSpec& spec) {
+  check(spec.nx > 0 && spec.ny > 0, "synthetic grid must be positive");
+  check(!spec.layers.empty(), "synthetic spec needs at least one layer");
+  check(static_cast<std::size_t>(spec.nx) >= spec.layers.size(),
+        "synthetic deck needs at least one column per layer");
+  double sum = 0.0;
+  for (const SyntheticSpec::Layer& layer : spec.layers) {
+    check(layer.fraction > 0.0, "layer fractions must be positive");
+    sum += layer.fraction;
+  }
+  check(std::abs(sum - 1.0) <= kMixTolerance,
+        "layer fractions must sum to 1");
+}
+
+}  // namespace
+
+SyntheticSpec paper_synthetic_spec(std::int32_t nx, std::int32_t ny,
+                                   std::string name) {
+  SyntheticSpec spec;
+  spec.nx = nx;
+  spec.ny = ny;
+  spec.name = name.empty() ? "synthetic-" + std::to_string(nx) + "x" +
+                                 std::to_string(ny)
+                           : std::move(name);
+  for (Material m : all_materials()) {
+    spec.layers.push_back({m, kPaperMaterialRatios[material_index(m)]});
+  }
+  return spec;
+}
+
+InputDeck make_synthetic_deck(const SyntheticSpec& spec) {
+  check_spec(spec);
+  Grid grid(spec.nx, spec.ny);
+  const auto layer_count = static_cast<std::int32_t>(spec.layers.size());
+
+  // Column breaks from the cumulative fractions, clamped so every layer
+  // keeps at least one column even on tiny grids (the same scheme as
+  // make_cylindrical_deck, generalized to any mix).
+  std::vector<std::int32_t> breaks(spec.layers.size());
+  double cumulative = 0.0;
+  for (std::int32_t l = 0; l < layer_count; ++l) {
+    cumulative += spec.layers[static_cast<std::size_t>(l)].fraction;
+    const auto target = static_cast<std::int32_t>(
+        std::lround(cumulative * static_cast<double>(spec.nx)));
+    const std::int32_t lowest = l + 1;
+    const std::int32_t highest = spec.nx - (layer_count - 1 - l);
+    std::int32_t at = std::clamp(target, lowest, highest);
+    if (l > 0) at = std::max(at, breaks[static_cast<std::size_t>(l - 1)] + 1);
+    breaks[static_cast<std::size_t>(l)] = at;
+  }
+  breaks.back() = spec.nx;
+
+  std::vector<Material> materials(static_cast<std::size_t>(grid.num_cells()));
+  for (std::int32_t j = 0; j < spec.ny; ++j) {
+    std::int32_t layer = 0;
+    for (std::int32_t i = 0; i < spec.nx; ++i) {
+      while (i >= breaks[static_cast<std::size_t>(layer)]) ++layer;
+      materials[static_cast<std::size_t>(grid.cell_at(i, j))] =
+          spec.layers[static_cast<std::size_t>(layer)].material;
+    }
+  }
+
+  const Point detonator =
+      spec.detonator.y < 0.0
+          ? Point{0.0, 0.4 * static_cast<double>(spec.ny)}
+          : spec.detonator;
+  return InputDeck(spec.name, grid, std::move(materials), detonator);
+}
+
+void write_synthetic(std::ostream& out, const SyntheticSpec& spec) {
+  out << kMagic << " " << kVersion << "\n";
+  // Names are single tokens, like the krakdeck format's.
+  std::string name = spec.name;
+  for (char& c : name) {
+    if (c == ' ' || c == '\t' || c == '\n') c = '_';
+  }
+  out << "name " << name << "\n";
+  out << "grid " << spec.nx << " " << spec.ny << "\n";
+  for (const SyntheticSpec::Layer& layer : spec.layers) {
+    out << "layer " << material_index(layer.material) << " " << layer.fraction
+        << "\n";
+  }
+  if (spec.detonator.y >= 0.0) {
+    out << "detonator " << spec.detonator.x << " " << spec.detonator.y << "\n";
+  }
+  out << "end\n";
+  if (!out) throw util::KrakError("write_synthetic: stream failure");
+}
+
+void save_synthetic(const std::string& path, const SyntheticSpec& spec) {
+  std::ofstream out(path);
+  if (!out) {
+    throw util::KrakError("save_synthetic: cannot open " + path + ": " +
+                          util::errno_message());
+  }
+  write_synthetic(out, spec);
+}
+
+SyntheticSpec read_synthetic(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version)) malformed("missing header");
+  if (magic != kMagic) malformed("bad magic '" + magic + "'");
+  if (version != kVersion) {
+    malformed("unsupported version " + std::to_string(version));
+  }
+
+  SyntheticSpec spec;
+  spec.name.clear();
+  bool saw_grid = false;
+  bool saw_end = false;
+
+  std::string key;
+  while (in >> key) {
+    if (key == "name") {
+      if (!(in >> spec.name)) malformed("missing name value");
+    } else if (key == "grid") {
+      if (!(in >> spec.nx >> spec.ny)) malformed("missing grid dimensions");
+      if (spec.nx <= 0 || spec.ny <= 0) {
+        malformed("non-positive grid dimensions");
+      }
+      saw_grid = true;
+    } else if (key == "layer") {
+      std::size_t index = kMaterialCount;
+      double fraction = 0.0;
+      if (!(in >> index >> fraction)) malformed("missing layer fields");
+      if (index >= kMaterialCount) {
+        malformed("unknown material index " + std::to_string(index));
+      }
+      if (fraction <= 0.0 || fraction > 1.0) {
+        malformed("layer fraction out of (0, 1]");
+      }
+      spec.layers.push_back({material_from_index(index), fraction});
+    } else if (key == "detonator") {
+      if (!(in >> spec.detonator.x >> spec.detonator.y)) {
+        malformed("missing detonator coordinates");
+      }
+      if (spec.detonator.y < 0.0) malformed("detonator outside the grid");
+    } else if (key == "end") {
+      saw_end = true;
+      break;
+    } else {
+      malformed("unknown key '" + key + "'");
+    }
+  }
+  if (!saw_end) malformed("missing 'end'");
+  if (!saw_grid) malformed("missing 'grid'");
+  if (spec.layers.empty()) malformed("missing 'layer' lines");
+  double sum = 0.0;
+  for (const SyntheticSpec::Layer& layer : spec.layers) {
+    sum += layer.fraction;
+  }
+  if (std::abs(sum - 1.0) > kMixTolerance) {
+    malformed("layer fractions sum to " + std::to_string(sum) + ", expected 1");
+  }
+  if (static_cast<std::size_t>(spec.nx) < spec.layers.size()) {
+    malformed("fewer columns than layers");
+  }
+  if (spec.name.empty()) spec.name = "unnamed";
+  return spec;
+}
+
+SyntheticSpec load_synthetic(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw util::KrakError("load_synthetic: cannot open " + path + ": " +
+                          util::errno_message());
+  }
+  try {
+    return read_synthetic(in);
+  } catch (const util::KrakError& error) {
+    throw util::KrakError("load_synthetic: " + path + ": " + error.what());
+  }
+}
+
+}  // namespace krak::mesh

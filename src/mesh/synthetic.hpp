@@ -1,0 +1,74 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mesh/deck.hpp"
+
+namespace krak::mesh {
+
+/// Specification of a deterministic synthetic deck: a layered cylinder
+/// like the paper's (Figure 1), but with a free grid size and material
+/// mix so benches can emit meshes far past the three standard decks —
+/// the 100k-rank regime needs ≥100k useful cells to partition
+/// (docs/PERFORMANCE.md, "The 100k-rank regime").
+///
+/// Versioned plain-text format, `kraksynth 1`:
+///
+///   kraksynth 1
+///   name synth-1024x256
+///   grid 1024 256
+///   layer 0 0.391
+///   layer 1 0.172
+///   layer 2 0.203
+///   layer 3 0.234
+///   detonator 0 102.4
+///   end
+///
+/// Each `layer <material-index> <fraction>` is one radial layer, inner
+/// to outer; fractions must be positive and sum to 1. Material indices
+/// match the krakdeck format's. `detonator` is optional — omitted, the
+/// generator uses the paper's placement (on the axis, 0.4 * ny).
+struct SyntheticSpec {
+  /// One radial layer: a material and its fraction of the columns.
+  struct Layer {
+    Material material = Material::kHEGas;
+    double fraction = 0.0;
+  };
+
+  std::string name = "synthetic";
+  std::int32_t nx = 0;
+  std::int32_t ny = 0;
+  /// Inner-to-outer radial layers; see paper_synthetic_spec for the
+  /// paper-shaped default mix.
+  std::vector<Layer> layers;
+  /// Detonator location; a negative y means "use the paper's placement"
+  /// (the axis of rotation, slightly below center).
+  Point detonator{0.0, -1.0};
+};
+
+/// A spec with the paper's four-layer material mix (kPaperMaterialRatios)
+/// on an nx x ny grid; `name` defaults to "synthetic-NXxNY".
+[[nodiscard]] SyntheticSpec paper_synthetic_spec(std::int32_t nx,
+                                                 std::int32_t ny,
+                                                 std::string name = "");
+
+/// Materialize the spec into a deck: layer column breaks come from the
+/// cumulative fractions (every layer keeps at least one column), and the
+/// result is a pure function of the spec — bit-identical across runs,
+/// platforms, and thread counts. Throws KrakError on an invalid spec
+/// (no layers, non-positive fractions, fractions not summing to 1,
+/// fewer columns than layers).
+[[nodiscard]] InputDeck make_synthetic_deck(const SyntheticSpec& spec);
+
+/// Serialize a spec. Throws KrakError on stream failure.
+void write_synthetic(std::ostream& out, const SyntheticSpec& spec);
+void save_synthetic(const std::string& path, const SyntheticSpec& spec);
+
+/// Parse a spec; throws KrakError on malformed input (wrong magic,
+/// unknown key, bad layer index, fractions that cannot form a deck).
+[[nodiscard]] SyntheticSpec read_synthetic(std::istream& in);
+[[nodiscard]] SyntheticSpec load_synthetic(const std::string& path);
+
+}  // namespace krak::mesh

@@ -8,12 +8,31 @@ namespace krak::sim {
 
 void EventQueue::schedule(double time, SimEvent event) {
   KRAK_REQUIRE(time >= now_, "cannot schedule an event in the past");
+  push_entry(time, event);
+}
+
+void EventQueue::inject(double time, SimEvent event) { push_entry(time, event); }
+
+void EventQueue::push_entry(double time, SimEvent event) {
+  // The kind occupies the sequence word's low 2 bits, capping sequence
+  // numbers at 2^30 — comfortably past kDefaultMaxEvents, but guard it:
+  // a silent wrap would corrupt the tie-break order.
+  KRAK_REQUIRE(next_seq_ < (std::uint64_t{1} << 30),
+               "event sequence numbers exhausted");
   if (heap_.size() < heap_.capacity()) ++pooled_;
-  heap_.push_back(Entry{time, next_seq_++, event});
+  Entry entry;
+  entry.time = time;
+  entry.value = event.value;
+  entry.seq_kind = static_cast<std::uint32_t>(next_seq_++ << 2) |
+                   static_cast<std::uint32_t>(event.kind);
+  entry.rank = event.rank;
+  entry.peer = event.peer;
+  entry.tag = event.tag;
+  heap_.push_back(entry);
   // Sift up: restore the heap property along the root path.
   std::size_t child = heap_.size() - 1;
   while (child > 0) {
-    const std::size_t parent = (child - 1) / 2;
+    const std::size_t parent = (child - 1) / kArity;
     if (!heap_[child].before(heap_[parent])) break;
     std::swap(heap_[child], heap_[parent]);
     child = parent;
@@ -25,15 +44,21 @@ EventQueue::Entry EventQueue::pop_min() {
   const Entry top = heap_.front();
   heap_.front() = heap_.back();
   heap_.pop_back();
-  // Sift down: push the displaced tail entry to its place.
+  // Sift down: push the displaced tail entry to its place. The heap is
+  // kArity-ary: a node's children are contiguous, so the min-of-children
+  // scan walks adjacent cache lines while the tree depth (the number of
+  // random jumps per pop, the cache-miss driver at the 843k-entry depths
+  // the 100k-rank replays reach) is half a binary heap's.
   const std::size_t n = heap_.size();
   std::size_t parent = 0;
   while (true) {
-    const std::size_t left = 2 * parent + 1;
-    if (left >= n) break;
-    const std::size_t right = left + 1;
-    std::size_t least = left;
-    if (right < n && heap_[right].before(heap_[left])) least = right;
+    const std::size_t first = kArity * parent + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kArity, n);
+    std::size_t least = first;
+    for (std::size_t child = first + 1; child < last; ++child) {
+      if (heap_[child].before(heap_[least])) least = child;
+    }
     if (!heap_[least].before(heap_[parent])) break;
     std::swap(heap_[parent], heap_[least]);
     parent = least;

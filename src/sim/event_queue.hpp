@@ -30,11 +30,9 @@ struct SimEvent {
   std::int32_t peer = -1;  ///< sending rank (kMessageArrival)
   std::int32_t tag = 0;    ///< message tag (kMessageArrival)
   /// kCollectiveRelease: the tree cost every rank pays.
-  /// kMessageArrival: the payload's true arrival timestamp. Usually
-  /// equal to the event's fire time; the parallel engine may fire the
-  /// event later when a cross-shard payload is injected after the
-  /// destination queue's clock already passed the arrival (the receiving
-  /// rank's timing math always uses this value, never the fire time).
+  /// kMessageArrival: the payload's true arrival timestamp, always
+  /// equal to the event's fire time (the receiving rank's timing math
+  /// uses this value, keeping it independent of queue mechanics).
   double value = 0.0;
 
   [[nodiscard]] static SimEvent step(std::int32_t rank) {
@@ -76,12 +74,15 @@ struct EventRunStats {
 /// Time-ordered event queue for the discrete-event simulator.
 ///
 /// Events at equal timestamps fire in insertion order (a monotone
-/// sequence number breaks ties), which keeps simulations deterministic.
-/// Entries are 40-byte PODs in a single contiguous slab (a binary heap
-/// over a reserved vector): scheduling is a bounds check plus a sift-up,
-/// and the slab's capacity is reused across the whole run. The number of
-/// events scheduled without growing the slab is exported to the
-/// observability layer as `sim.events.pooled`.
+/// sequence number breaks ties), which keeps simulations deterministic:
+/// the (time, seq) comparator is a strict total order, so the pop
+/// sequence is independent of the heap's internal layout. Entries are
+/// 32-byte PODs in a single contiguous slab (a 4-ary implicit heap over
+/// a reserved vector — half the sift depth of a binary heap, and a
+/// node's children share cache lines): scheduling is a bounds check plus
+/// a sift-up, and the slab's capacity is reused across the whole run.
+/// The number of events scheduled without growing the slab is exported
+/// to the observability layer as `sim.events.pooled`.
 class EventQueue {
  public:
   /// Pre-size the slab so a run of `expected_events` pending events
@@ -91,6 +92,17 @@ class EventQueue {
   /// Schedule `event` at absolute time `time` (seconds); `time` must
   /// not precede the current time.
   void schedule(double time, SimEvent event);
+
+  /// Schedule `event` at absolute time `time` even when `time` precedes
+  /// the current time. Reserved for the parallel engine's epoch
+  /// coordinator: a collective completing near the window's start must
+  /// release ranks in shards whose queues already fired events later in
+  /// the window, so the release step legitimately lands below now().
+  /// Popping such an entry regresses now() to its time; from there the
+  /// heap keeps firing in nondecreasing time order, so every event
+  /// scheduled by subsequent handlers still satisfies schedule()'s
+  /// monotonicity contract.
+  void inject(double time, SimEvent event);
 
   /// Current simulation time: the timestamp of the most recently fired
   /// event (0 before any event fires).
@@ -131,7 +143,7 @@ class EventQueue {
       }
       const Entry top = pop_min();
       now_ = top.time;
-      handler(top.event);
+      handler(top.to_event());
       ++stats.fired;
     }
     return stats;
@@ -156,7 +168,7 @@ class EventQueue {
       }
       const Entry top = pop_min();
       now_ = top.time;
-      handler(top.event);
+      handler(top.to_event());
       ++stats.fired;
     }
     return stats;
@@ -166,19 +178,42 @@ class EventQueue {
   static constexpr std::size_t kDefaultMaxEvents = 1'000'000'000;
 
  private:
+  /// Children per heap node (a node's children are contiguous).
+  static constexpr std::size_t kArity = 4;
+
+  /// 32-byte flattened (time, seq, event) record. The event kind rides
+  /// in the sequence word's low 2 bits: the shift preserves insertion
+  /// order exactly, so comparing `seq_kind` compares `seq` — and the
+  /// slab stays a clean two entries per cache line, which matters when
+  /// the 100k-rank replays push the heap past a million entries.
   struct Entry {
     double time;
-    std::uint64_t seq;
-    SimEvent event;
+    double value;
+    std::uint32_t seq_kind;
+    std::int32_t rank;
+    std::int32_t peer;
+    std::int32_t tag;
 
     /// Strict total order: earlier time first, insertion order on ties.
     [[nodiscard]] bool before(const Entry& other) const {
       if (time != other.time) return time < other.time;
-      return seq < other.seq;
+      return seq_kind < other.seq_kind;
+    }
+
+    [[nodiscard]] SimEvent to_event() const {
+      SimEvent event;
+      event.kind = static_cast<EventKind>(seq_kind & 3u);
+      event.rank = rank;
+      event.peer = peer;
+      event.tag = tag;
+      event.value = value;
+      return event;
     }
   };
+  static_assert(sizeof(Entry) == 32, "heap entries must stay 32 bytes");
 
   Entry pop_min();
+  void push_entry(double time, SimEvent event);
 
   std::vector<Entry> heap_;
   double now_ = 0.0;

@@ -11,27 +11,39 @@ namespace krak::sim {
 ///
 /// Conceptually a map from (sending rank, tag) to a FIFO of arrival
 /// times. The representation is an open-addressing hash table (linear
-/// probing, power-of-two capacity) keyed by the pair packed into one
-/// uint64, whose slots head index-linked FIFO chains of pooled message
+/// probing, power-of-two capacity) keyed by the *sending rank only*,
+/// whose slots head index-linked FIFO chains of pooled (tag, arrival)
 /// records — no per-message heap allocation and no tree walk per
-/// delivery, unlike the map-of-deques it replaced (docs/PERFORMANCE.md).
+/// delivery. A pop for (peer, tag) takes the first tag match in the
+/// peer's chain; records are appended in event-fire order, so that
+/// match is exactly the oldest pending arrival of the pair and the
+/// per-(peer, tag) FIFO contract holds unchanged.
 ///
-/// Slots are never erased between grows: a drained FIFO keeps its key so
-/// the common steady-state of the Krak exchange pattern (the same
-/// (peer, tag) pairs every iteration) probes straight to an existing
-/// slot. A grow rehashes live FIFOs only, dropping drained keys — so
-/// workloads that churn through ever-new (peer, tag) pairs cannot
-/// accumulate dead slots that push the load factor up and degrade every
-/// probe chain (they used to count as occupied forever). Pool records
-/// are recycled through a free list. Probe counts are surfaced through
-/// `probes()` and exported as `sim.mailbox.probes`.
+/// Keying by peer instead of (peer, tag) is a working-set decision: a
+/// Krak rank exchanges with a handful of neighbors but uses a distinct
+/// tag per (phase, step, message), so pair keying filled ~256-slot
+/// tables (~4 KB per rank — hundreds of MB across a 100k-rank machine,
+/// the dominant cache load of the big replays) where peer keying needs
+/// the minimum 16 slots (256 B per rank) and a chain scan bounded by
+/// the messages actually in flight from that neighbor
+/// (docs/PERFORMANCE.md, "The 100k-rank regime").
+///
+/// Slots are never erased between grows: a drained chain keeps its key
+/// so the steady-state of the Krak exchange pattern (the same neighbors
+/// every iteration) probes straight to an existing slot. A grow
+/// rehashes live chains only, dropping drained keys — so workloads that
+/// churn through ever-new peers cannot accumulate dead slots that push
+/// the load factor up and degrade every probe chain (they used to count
+/// as occupied forever). Pool records are recycled through a free list.
+/// Probe counts are surfaced through `probes()` and exported as
+/// `sim.mailbox.probes`.
 class Mailbox {
  public:
   /// Append one arrival to the (peer, tag) FIFO.
   void push(RankId peer, std::int32_t tag, double arrival) {
     if (used_ * 4 >= slots_.size() * 3) grow();
-    Slot& slot = locate(pack(peer, tag));
-    const std::int32_t record = allocate_record(arrival);
+    Slot& slot = locate(key_of(peer));
+    const std::int32_t record = allocate_record(tag, arrival);
     if (slot.head == -1) {
       slot.head = record;
     } else {
@@ -44,16 +56,27 @@ class Mailbox {
   /// returns false when none is pending.
   [[nodiscard]] bool try_pop(RankId peer, std::int32_t tag, double* arrival) {
     if (slots_.empty()) return false;
-    Slot* slot = find(pack(peer, tag));
-    if (slot == nullptr || slot->head == -1) return false;
-    const std::int32_t record = slot->head;
-    Record& r = pool_[static_cast<std::size_t>(record)];
-    *arrival = r.arrival;
-    slot->head = r.next;
-    if (slot->head == -1) slot->tail = -1;
-    r.next = free_head_;
-    free_head_ = record;
-    return true;
+    Slot* slot = find(key_of(peer));
+    if (slot == nullptr) return false;
+    std::int32_t prev = -1;
+    for (std::int32_t cur = slot->head; cur != -1;) {
+      Record& r = pool_[static_cast<std::size_t>(cur)];
+      if (r.tag == tag) {
+        *arrival = r.arrival;
+        if (prev == -1) {
+          slot->head = r.next;
+        } else {
+          pool_[static_cast<std::size_t>(prev)].next = r.next;
+        }
+        if (slot->tail == cur) slot->tail = prev;
+        r.next = free_head_;
+        free_head_ = cur;
+        return true;
+      }
+      prev = cur;
+      cur = r.next;
+    }
+    return false;
   }
 
   /// Slot inspections performed by all lookups so far (the hash table's
@@ -63,8 +86,8 @@ class Mailbox {
   /// Current slot-array capacity (a power of two; 0 before any push).
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
 
-  /// Keyed slots whose FIFO is currently non-empty (O(capacity); a
-  /// test/diagnostic accessor, not a hot-path one).
+  /// Keyed slots (peers) whose FIFO chain is currently non-empty
+  /// (O(capacity); a test/diagnostic accessor, not a hot-path one).
   [[nodiscard]] std::size_t live_slots() const {
     std::size_t live = 0;
     for (const Slot& slot : slots_) live += slot.head != -1 ? 1U : 0U;
@@ -79,19 +102,19 @@ class Mailbox {
   };
   struct Record {
     double arrival = 0.0;
+    std::int32_t tag = 0;
     std::int32_t next = -1;
   };
-  /// peer is a non-negative rank, so the high word ~0u never collides.
+  /// peer is a non-negative rank, so the key's high bits are zero and
+  /// the all-ones empty sentinel never collides.
   static constexpr std::uint64_t kEmptyKey = ~0ull;
 
-  static std::uint64_t pack(RankId peer, std::int32_t tag) {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer))
-            << 32) |
-           static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+  static std::uint64_t key_of(RankId peer) {
+    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer));
   }
 
-  /// SplitMix64 finalizer: avalanches the packed key so linear probing
-  /// sees a uniform distribution even for dense rank/tag ranges.
+  /// SplitMix64 finalizer: avalanches the key so linear probing sees a
+  /// uniform distribution even for dense rank ranges.
   static std::uint64_t mix(std::uint64_t key) {
     key ^= key >> 30;
     key *= 0xbf58476d1ce4e5b9ull;
@@ -127,21 +150,23 @@ class Mailbox {
     }
   }
 
-  [[nodiscard]] std::int32_t allocate_record(double arrival) {
+  [[nodiscard]] std::int32_t allocate_record(std::int32_t tag,
+                                             double arrival) {
     if (free_head_ != -1) {
       const std::int32_t record = free_head_;
       Record& r = pool_[static_cast<std::size_t>(record)];
       free_head_ = r.next;
       r.arrival = arrival;
+      r.tag = tag;
       r.next = -1;
       return record;
     }
-    pool_.push_back(Record{arrival, -1});
+    pool_.push_back(Record{arrival, tag, -1});
     return static_cast<std::int32_t>(pool_.size() - 1);
   }
 
   void grow() {
-    // Rehash live FIFOs only: a drained slot's key is dropped here, so
+    // Rehash live chains only: a drained slot's key is dropped here, so
     // dead keys never count against the load factor across grows. The
     // capacity doubles only when the live keys alone would keep the new
     // table at or above the 3/4 trigger — a churn-only mailbox (every

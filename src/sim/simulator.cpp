@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <sstream>
 
 #include "obs/metrics.hpp"
@@ -35,8 +36,17 @@ std::string_view sim_failure_kind_name(SimFailure::Kind kind) {
     case SimFailure::Kind::kTimeLimit: return "time-limit";
     case SimFailure::Kind::kEventLimit: return "event-limit";
     case SimFailure::Kind::kDeadline: return "deadline";
+    case SimFailure::Kind::kShardMisalignment: return "shard-misalignment";
   }
   return "unknown";
+}
+
+double RecordLog::at(std::int32_t slot) const {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->first == slot) return it->second;
+  }
+  throw util::KrakError("record slot " + std::to_string(slot) +
+                        " was never captured");
 }
 
 std::string SimFailure::to_string() const {
@@ -60,6 +70,11 @@ std::string SimFailure::to_string() const {
       break;
     case Kind::kDeadline:
       os << "simulation cancelled";
+      break;
+    case Kind::kShardMisalignment:
+      // Run-level: the engine refuses to race NIC adapter state rather
+      // than return a wrong answer.
+      os << "parallel shard layout splits a NIC node across shards";
       break;
   }
   if (has_op) {
@@ -145,17 +160,23 @@ void Simulator::check_cancellation() const {
   throw SimFailureError(std::move(failure));
 }
 
+std::int32_t Simulator::shard_unit() const {
+  // Shard boundaries align to SMP-node boundaries: with a hierarchical
+  // network cross-shard messages are then exactly the inter-node ones
+  // (making the inter-node minimum a valid lookahead), and with the
+  // shared-NIC model every node's adapter-availability slot is owned by
+  // exactly one shard, so the oracle's injection serialization replays
+  // without any cross-shard coordination. Installed together, the unit
+  // is the least common multiple of both node sizes.
+  std::int32_t unit =
+      hierarchy_ != nullptr ? hierarchy_->placement().pes_per_node() : 1;
+  if (nic_.enabled) unit = std::lcm(unit, nic_.pes_per_node);
+  return unit;
+}
+
 std::int32_t Simulator::plan_shards() const {
   if (config_.threads <= 1) return 1;
-  // NIC injection serializes ranks through per-node adapter state in
-  // global event order; no rank sharding reproduces that coupling, so
-  // the oracle runs (see SimConfig::threads).
-  if (nic_.enabled) return 1;
-  // Shard boundaries align to SMP-node boundaries when a hierarchical
-  // network is installed: cross-shard messages are then exactly the
-  // inter-node ones, making the inter-node minimum a valid lookahead.
-  const std::int32_t unit =
-      hierarchy_ != nullptr ? hierarchy_->placement().pes_per_node() : 1;
+  const std::int32_t unit = shard_unit();
   const std::int32_t units = (ranks() + unit - 1) / unit;
   return std::max(1, std::min(config_.threads, units));
 }
@@ -484,9 +505,16 @@ void Simulator::step_rank(Shard& shard, RankId rank, SimResult& result) {
         double inject_at = state.clock;
         double injected_by = state.clock;
         if (nic_.enabled) {
+          // Shard-local under the parallel engine: shard boundaries
+          // align to NIC-node boundaries (shard_unit), so this node's
+          // slot is touched by no other worker, and events fire in true
+          // time order per shard, so the updates replay the oracle's.
           const auto node =
               static_cast<std::size_t>(rank / nic_.pes_per_node);
-          inject_at = std::max(inject_at, nic_free_[node]);
+          if (nic_free_[node] > inject_at) {
+            inject_at = nic_free_[node];
+            ++shard.nic_conflicts;
+          }
           injected_by = inject_at + op.bytes / nic_.injection_bandwidth;
           nic_free_[node] = injected_by;
         }
@@ -538,13 +566,14 @@ void Simulator::step_rank(Shard& shard, RankId rank, SimResult& result) {
         if (shard.parallel && !shard.owns(to)) {
           shard.outbox.push_back({arrival, rank, to, tag, send_ordinal});
         } else {
-          // A late wake can leave this rank's clock behind the shard
-          // queue's clock, so the event time clamps forward; the true
-          // arrival rides in the event and per-key FIFO order is
-          // preserved (docs/PERFORMANCE.md, "Parallel simulation").
-          const double fire_at =
-              shard.parallel ? std::max(arrival, shard.queue.now()) : arrival;
-          shard.queue.schedule(fire_at,
+          // The arrival never precedes the shard queue's clock: this
+          // rank's clock is at or past the event time that woke it
+          // (collective releases regress the queue's clock to their own
+          // time before the rank steps; see EventQueue::inject), and
+          // the arrival is at or past the clock. Firing every event at
+          // its true time is what keeps per-shard send order — and so
+          // the shard-local NIC state — identical to the oracle's.
+          shard.queue.schedule(arrival,
                                SimEvent::arrival(to, rank, tag, arrival));
         }
         ++state.pc;
@@ -583,7 +612,8 @@ void Simulator::step_rank(Shard& shard, RankId rank, SimResult& result) {
         break;
       }
       case OpKind::kRecord: {
-        result.records[static_cast<std::size_t>(rank)][op.slot] = state.clock;
+        result.records[static_cast<std::size_t>(rank)].append(op.slot,
+                                                              state.clock);
         ++state.pc;
         break;
       }

@@ -35,10 +35,11 @@ struct SimConfig {
   std::size_t max_events = EventQueue::kDefaultMaxEvents;
   /// Worker threads of the conservative parallel engine; <= 1 keeps the
   /// single-thread oracle (docs/PERFORMANCE.md, "Parallel simulation").
-  /// Results are bit-identical across thread counts. Ignored — the
-  /// oracle runs — when the shared-NIC model is enabled, because NIC
-  /// injection serializes ranks through adapter state in global event
-  /// order, which no rank sharding can reproduce.
+  /// Results are bit-identical across thread counts. The shared-NIC
+  /// model runs parallel too: shard boundaries align to NIC-node
+  /// boundaries, so each shard owns its nodes' adapter-availability
+  /// state outright and the oracle's injection serialization replays
+  /// exactly (docs/PERFORMANCE.md, "The 100k-rank regime").
   std::int32_t threads = 1;
   /// Epoch lookahead override (seconds) for the parallel engine;
   /// negative means derive it from the network's minimum cross-shard
@@ -145,6 +146,14 @@ struct SimFailure {
     /// the simulator throws SimFailureError carrying it so the caller
     /// never mistakes a cut-short run for a measurement.
     kDeadline,
+    /// The parallel engine's shard layout split a NIC node across two
+    /// shards, which would race the node's adapter-availability state.
+    /// plan_shards aligns shard boundaries to NIC-node boundaries, so
+    /// this is unreachable through the public API; the engine verifies
+    /// the precondition anyway and aborts with this run-level diagnosis
+    /// (rank is -1, thrown as SimFailureError) rather than ever
+    /// returning a wrong answer.
+    kShardMisalignment,
   };
   Kind kind = Kind::kDeadlock;
   RankId rank = -1;
@@ -199,6 +208,37 @@ struct TrafficStats {
   std::int64_t allreduces = 0;
   std::int64_t broadcasts = 0;
   std::int64_t gathers = 0;
+};
+
+/// Flat per-rank log of kRecord captures: (slot, clock) pairs appended
+/// in execution order. SimKrak's phase markers record strictly
+/// increasing slots, so the log doubles as a sorted array its reader
+/// walks with a cursor. Flat storage is what lets 100k-rank results fit:
+/// the node-based map this replaced cost ~3 heap allocations and ~100
+/// bytes of overhead per capture (docs/PERFORMANCE.md, "The 100k-rank
+/// regime").
+class RecordLog {
+ public:
+  void append(std::int32_t slot, double clock) {
+    entries_.push_back({slot, clock});
+  }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  /// Clock of the most recent capture of `slot` (last write wins,
+  /// matching the map semantics this replaced); throws KrakError when
+  /// the slot was never recorded. A linear scan — lookup convenience
+  /// for tests and tools, not a hot path.
+  [[nodiscard]] double at(std::int32_t slot) const;
+  [[nodiscard]] const std::vector<std::pair<std::int32_t, double>>& entries()
+      const {
+    return entries_;
+  }
+  friend bool operator==(const RecordLog& a, const RecordLog& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::int32_t, double>> entries_;
 };
 
 /// Where one rank's simulated time went, split so the components sum
@@ -262,8 +302,9 @@ struct SimResult {
   /// Per-rank time decomposition; breakdown[r].total_seconds() ==
   /// finish_times[r] exactly.
   std::vector<RankTimeBreakdown> breakdown;
-  /// records[rank][slot] = clock value captured by kRecord ops.
-  std::vector<std::map<std::int32_t, double>> records;
+  /// records[rank]: the clock values captured by the rank's kRecord
+  /// ops, in execution order (see RecordLog).
+  std::vector<RecordLog> records;
   TrafficStats traffic;
   FaultStats faults;
   /// Structured hang/abort diagnoses; only populated when the watchdog
@@ -403,10 +444,12 @@ class Simulator {
     std::int32_t id = 0;
     RankId begin = 0;
     RankId end = 0;  ///< exclusive
-    /// Parallel mode: cross-shard sends buffer in `outbox`, collective
-    /// entries park in `collective_entries`, and locally scheduled
-    /// event times clamp to the shard clock (payload timing always uses
-    /// the true arrival value carried in the event).
+    /// Parallel mode: cross-shard sends buffer in `outbox` and
+    /// collective entries park in `collective_entries`, both drained by
+    /// the coordinator at the epoch barrier. Every event — local or
+    /// injected — fires at its true simulated time; only collective
+    /// release steps may land below the shard queue's clock (see
+    /// EventQueue::inject).
     bool parallel = false;
     EventQueue queue;
     TrafficStats traffic;
@@ -435,6 +478,10 @@ class Simulator {
       double entered_at = 0.0;
     };
     std::vector<CollectiveEntry> collective_entries;
+    /// Sends that found this node's adapter busy (NIC model only):
+    /// inject_at was pushed past the sender's clock by nic_free_.
+    /// Exported as `sim.parallel.nic_shard_conflicts`.
+    std::int64_t nic_conflicts = 0;
     std::size_t fired = 0;
     /// Wall seconds this shard spent executing its last epoch window
     /// (observability only — never feeds back into simulated time).
@@ -465,8 +512,13 @@ class Simulator {
   void check_cancellation() const;
 
   /// How many shards this run uses: 1 (the serial oracle) unless
-  /// threads > 1, at least two ranks exist, and the NIC model is off.
+  /// threads > 1 and at least two shard units exist.
   [[nodiscard]] std::int32_t plan_shards() const;
+  /// Rank-count granularity of shard boundaries: the least common
+  /// multiple of the hierarchical placement's and the NIC model's
+  /// ranks-per-node, so cross-shard messages are exactly the inter-node
+  /// ones and every NIC node's adapter state is owned by one shard.
+  [[nodiscard]] std::int32_t shard_unit() const;
   /// The epoch lookahead horizon (seconds; 0 means degenerate).
   [[nodiscard]] double plan_lookahead() const;
   [[nodiscard]] SimResult run_serial();
@@ -486,7 +538,9 @@ class Simulator {
   /// per-shard ledgers before drain diagnosis.
   std::map<std::tuple<RankId, RankId, std::int32_t>, std::int64_t> lost_;
   /// nic_free_[node]: the earliest time the node's adapter can accept
-  /// another payload (serial oracle only; see SimConfig::threads).
+  /// another payload. Safe under the parallel engine without locks:
+  /// shard boundaries align to NIC-node boundaries (shard_unit), so
+  /// each node's slot is read and written by exactly one worker.
   std::vector<double> nic_free_;
   SimConfig config_;
   std::vector<Schedule> schedules_;

@@ -2,6 +2,9 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <optional>
+#include <sstream>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -39,7 +42,11 @@ double Simulator::plan_lookahead() const {
 /// (arrival, sender, send-ordinal) order and releases completed
 /// collectives in index order, which makes every simulated outcome
 /// bit-identical to the serial oracle regardless of the thread count
-/// (docs/PERFORMANCE.md, "Parallel simulation").
+/// (docs/PERFORMANCE.md, "Parallel simulation"). Every event fires at
+/// its true simulated time, so each shard replays the oracle's event
+/// order over its own ranks — which is what lets per-node
+/// order-sensitive state (the shared-NIC adapter availability) live
+/// unsynchronized inside the shard that owns the node.
 // krak: hot
 SimResult Simulator::run_parallel(std::int32_t shard_count) {
   const std::int32_t n = ranks();
@@ -48,10 +55,9 @@ SimResult Simulator::run_parallel(std::int32_t shard_count) {
   SimResult result;
   begin_run(result);
 
-  // Contiguous block sharding over node-aligned units (plan_shards):
+  // Contiguous block sharding over node-aligned units (shard_unit):
   // the first (units % shards) shards take one extra unit.
-  const std::int32_t unit =
-      hierarchy_ != nullptr ? hierarchy_->placement().pes_per_node() : 1;
+  const std::int32_t unit = shard_unit();
   const std::int32_t units = (n + unit - 1) / unit;
   std::vector<Shard> shards(static_cast<std::size_t>(shard_count));
   std::vector<std::int32_t> shard_of(static_cast<std::size_t>(n), 0);
@@ -65,6 +71,11 @@ SimResult Simulator::run_parallel(std::int32_t shard_count) {
     shard.end = std::min(n, next_unit * unit);
     shard.queue.reserve(
         static_cast<std::size_t>(shard.end - shard.begin) * 2 + 64);
+    // Pooled across every epoch of the run: clear() keeps capacity, so
+    // steady-state barriers allocate nothing.
+    shard.outbox.reserve(64);
+    shard.collective_entries.reserve(
+        static_cast<std::size_t>(shard.end - shard.begin));
     for (RankId r = shard.begin; r < shard.end; ++r) {
       shard_of[static_cast<std::size_t>(r)] = s;
       shard.queue.schedule(0.0, SimEvent::step(r));
@@ -72,11 +83,41 @@ SimResult Simulator::run_parallel(std::int32_t shard_count) {
   }
   require_internal(next_unit == units && shards.back().end == n,
                    "shard layout must cover every rank");
+  if (nic_.enabled) {
+    // Defensive: shard_unit makes every boundary a NIC-node multiple,
+    // so this cannot fire through the public API. Should the layout
+    // logic ever diverge, refuse to race adapter state — a structured
+    // abort, never a wrong answer.
+    for (const Shard& shard : shards) {
+      if (shard.begin % nic_.pes_per_node != 0) {
+        SimFailure failure;
+        failure.kind = SimFailure::Kind::kShardMisalignment;
+        std::ostringstream os;
+        os << "(shard " << shard.id << " begins at rank " << shard.begin
+           << ", NIC node size " << nic_.pes_per_node << ")";
+        failure.detail = os.str();
+        throw SimFailureError(std::move(failure));
+      }
+    }
+  }
 
   const double lookahead = plan_lookahead();
-  util::ThreadPool pool(static_cast<std::size_t>(shard_count));
+  // The shard count fixes the simulation's structure — and, through the
+  // determinism contract, its results. OS workers are only the
+  // execution resource, so they are capped at the hardware's
+  // concurrency: oversubscribing a smaller machine buys nothing but
+  // scheduler churn at every epoch barrier. With a single worker the
+  // epoch loop runs the shard windows inline on the calling thread —
+  // the engine's whole advantage at scale (per-shard heaps, per-shard
+  // working-set slices) is independent of which thread executes them.
+  const std::size_t workers = std::min(
+      static_cast<std::size_t>(shard_count),
+      std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  std::optional<util::ThreadPool> pool;
+  if (workers > 1) pool.emplace(workers);
 
   std::uint64_t epochs = 0;
+  std::uint64_t empty_epochs = 0;
   std::uint64_t cross_messages = 0;
   double barrier_wait_seconds = 0.0;
   std::size_t total_fired = 0;
@@ -101,33 +142,64 @@ SimResult Simulator::run_parallel(std::int32_t shard_count) {
         config_.max_events > total_fired ? config_.max_events - total_fired : 0;
     ++epochs;
 
-    const util::Stopwatch epoch_watch;
-    pool.parallel_for_chunked(
-        shards.size(), 1, [&](std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) {
-            Shard& shard = shards[i];
-            const util::Stopwatch shard_watch;
-            shard.fired = shard.queue
-                              .run_window(horizon, degenerate, budget_left,
-                                          [this, &shard, &result](
-                                              const SimEvent& event) {
-                                            dispatch(shard, event, result);
-                                          })
-                              .fired;
-            shard.busy_seconds = shard_watch.seconds();
-          }
-        });
-    const double epoch_seconds = epoch_watch.seconds();
+    const auto run_shard_window = [&](std::size_t i) {
+      Shard& shard = shards[i];
+      const util::Stopwatch shard_watch;
+      shard.fired =
+          shard.queue
+              .run_window(horizon, degenerate, budget_left,
+                          [this, &shard, &result](const SimEvent& event) {
+                            dispatch(shard, event, result);
+                          })
+              .fired;
+      shard.busy_seconds = shard_watch.seconds();
+    };
+    if (pool) {
+      const util::Stopwatch epoch_watch;
+      pool->parallel_for_chunked(
+          shards.size(), 1, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) run_shard_window(i);
+          });
+      const double epoch_seconds = epoch_watch.seconds();
+      for (const Shard& shard : shards) {
+        barrier_wait_seconds +=
+            std::max(0.0, epoch_seconds - shard.busy_seconds);
+      }
+    } else {
+      // Single worker: no barrier exists, so no wait is recorded.
+      for (std::size_t i = 0; i < shards.size(); ++i) run_shard_window(i);
+    }
+    for (const Shard& shard : shards) total_fired += shard.fired;
+
+    // Fast path: an epoch that produced no cross-shard traffic and no
+    // collective entries has nothing for the coordinator to do — skip
+    // the gather/sort/inject machinery entirely. At 100k ranks most
+    // epochs are pure intra-shard progress, so this keeps the barrier
+    // cost proportional to actual coupling, not to the shard count's
+    // bookkeeping.
+    bool coupled = false;
     for (const Shard& shard : shards) {
-      total_fired += shard.fired;
-      barrier_wait_seconds += std::max(0.0, epoch_seconds - shard.busy_seconds);
+      if (!shard.outbox.empty() || !shard.collective_entries.empty()) {
+        coupled = true;
+        break;
+      }
+    }
+    if (!coupled) {
+      ++empty_epochs;
+      if (total_fired >= config_.max_events) {
+        for (const Shard& shard : shards) {
+          if (!shard.queue.empty()) budget_exhausted = true;
+        }
+      }
+      continue;
     }
 
     // Barrier, phase 1: inject cross-shard payloads in the canonical
-    // (arrival, sender, send-ordinal) total order. Event times clamp
-    // forward to each destination queue's clock; the true arrival rides
-    // in the event, so per-(peer, tag) FIFO order — the only message
-    // order the rank semantics observe — matches the serial oracle's.
+    // (arrival, sender, send-ordinal) total order. Every payload fires
+    // at its true arrival time — conservatism guarantees the arrival is
+    // at or past the horizon, hence past anything the destination shard
+    // fired this epoch — so per-shard event order, and with it the
+    // shard-local NIC adapter state, replays the serial oracle's.
     inbound.clear();
     for (Shard& shard : shards) {
       inbound.insert(inbound.end(), shard.outbox.begin(), shard.outbox.end());
@@ -144,10 +216,9 @@ SimResult Simulator::run_parallel(std::int32_t shard_count) {
     for (const Shard::OutboundMessage& message : inbound) {
       Shard& dest = shards[static_cast<std::size_t>(
           shard_of[static_cast<std::size_t>(message.to)])];
-      dest.queue.schedule(
-          std::max(message.arrival, dest.queue.now()),
-          SimEvent::arrival(message.to, message.from, message.tag,
-                            message.arrival));
+      dest.queue.schedule(message.arrival,
+                          SimEvent::arrival(message.to, message.from,
+                                            message.tag, message.arrival));
     }
 
     // Barrier, phase 2: merge collective entries in canonical
@@ -214,8 +285,12 @@ SimResult Simulator::run_parallel(std::int32_t shard_count) {
         state.clock = std::max(state.clock, completion);
         Shard& dest = shards[static_cast<std::size_t>(
             shard_of[static_cast<std::size_t>(r)])];
-        dest.queue.schedule(std::max(completion, dest.queue.now()),
-                            SimEvent::step(r));
+        // The completion can precede the destination queue's clock when
+        // that shard ran ahead inside the epoch window; the step must
+        // still fire at the true completion time so the released rank's
+        // subsequent sends interleave with its shard's other events —
+        // and touch its node's NIC state — in oracle order.
+        dest.queue.inject(completion, SimEvent::step(r));
       }
     }
 
@@ -237,11 +312,19 @@ SimResult Simulator::run_parallel(std::int32_t shard_count) {
     static obs::Gauge& shard_gauge = registry.gauge("sim.parallel.shards");
     static obs::Gauge& barrier_wait =
         registry.gauge("sim.parallel.barrier_wait_s");
+    static obs::Counter& empty_epoch_count =
+        registry.counter("sim.parallel.empty_epochs");
+    static obs::Counter& nic_conflict_count =
+        registry.counter("sim.parallel.nic_shard_conflicts");
     runs.add(1);
     epoch_count.add(static_cast<std::int64_t>(epochs));
     crossings.add(static_cast<std::int64_t>(cross_messages));
     shard_gauge.set(static_cast<double>(shard_count));
     barrier_wait.set(barrier_wait_seconds);
+    empty_epoch_count.add(static_cast<std::int64_t>(empty_epochs));
+    std::int64_t nic_conflicts = 0;
+    for (const Shard& shard : shards) nic_conflicts += shard.nic_conflicts;
+    nic_conflict_count.add(nic_conflicts);
   }
   finalize_run(result, shards, budget_exhausted, total_fired);
   return result;

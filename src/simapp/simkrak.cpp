@@ -340,7 +340,7 @@ SimKrakResult SimKrak::run() const {
   for (partition::PeId pe = 0; pe < ranks; ++pe) {
     simulator.set_schedule(pe, build_schedule(pe));
   }
-  const sim::SimResult sim_result = simulator.run();
+  sim::SimResult sim_result = simulator.run();
 
   SimKrakResult result;
   result.ranks = ranks;
@@ -350,9 +350,11 @@ SimKrakResult SimKrak::run() const {
   result.traffic = sim_result.traffic;
   result.events_processed = sim_result.events_processed;
   result.max_queue_depth = sim_result.max_queue_depth;
-  result.rank_breakdown = sim_result.breakdown;
+  // Moved, not copied: at 100k ranks the per-rank breakdown is the
+  // result's dominant allocation, and the simulator no longer needs it.
+  result.rank_breakdown = std::move(sim_result.breakdown);
   result.fault_stats = sim_result.faults;
-  result.failures = sim_result.failures;
+  result.failures = std::move(sim_result.failures);
   for (const sim::RankTimeBreakdown& rank : result.rank_breakdown) {
     result.totals.compute += rank.compute;
     result.totals.send_overhead += rank.send_overhead;
@@ -369,22 +371,26 @@ SimKrakResult SimKrak::run() const {
   // construction). A failed run may have stopped mid-iteration; average
   // phase times over the iterations that completed, and only insist on
   // a full record set when the run was clean.
-  const auto& records = sim_result.records.front();
+  // The schedules record slots in strictly increasing order, so the
+  // flat log reads with a single cursor — no per-phase lookup.
+  const auto& records = sim_result.records.front().entries();
+  std::size_t cursor = 0;
   double previous = 0.0;
   std::array<double, kPhaseCount> sums{};
   std::int32_t recorded_iterations = 0;
   for (std::int32_t iter = 0; iter < options_.iterations; ++iter) {
     bool complete = true;
     for (std::int32_t p = 0; p < kPhaseCount; ++p) {
-      const auto it = records.find(iter * kPhaseCount + p);
-      if (it == records.end()) {
+      const std::int32_t slot = iter * kPhaseCount + p;
+      if (cursor >= records.size() || records[cursor].first != slot) {
         util::require_internal(result.failed(),
                                "missing phase boundary record");
         complete = false;
         break;
       }
-      sums[static_cast<std::size_t>(p)] += it->second - previous;
-      previous = it->second;
+      sums[static_cast<std::size_t>(p)] += records[cursor].second - previous;
+      previous = records[cursor].second;
+      ++cursor;
     }
     if (!complete) break;
     ++recorded_iterations;

@@ -49,8 +49,9 @@ struct SimKrakOptions {
   fault::FaultPlan faults;
   /// Worker threads of the simulator's conservative parallel engine;
   /// <= 1 keeps the single-thread oracle. Results are bit-identical
-  /// across thread counts (sim::SimConfig::threads); the engine falls
-  /// back to the oracle when nic_contention is on.
+  /// across thread counts (sim::SimConfig::threads), nic_contention
+  /// included — shards align to NIC-node boundaries, so the adapter
+  /// model is shard-local and runs parallel with no oracle fallback.
   std::int32_t sim_threads = 1;
   /// Cooperative cancellation token (not owned; must outlive the run).
   /// When it expires mid-run the simulator throws a structured

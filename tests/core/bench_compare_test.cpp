@@ -91,6 +91,59 @@ TEST(CompareCampaignWalls, MultipleFailuresAllReported) {
   EXPECT_EQ(compare_campaign_walls(report, baseline, 1.5).size(), 4u);
 }
 
+/// A report whose "replays" array holds (name, parallel_wall_s) pairs;
+/// a negative wall means a serial replay with no "parallel" object.
+obs::Json report_with_replays(
+    const std::vector<std::pair<std::string, double>>& replays) {
+  obs::Json out = obs::Json::object();
+  obs::Json array = obs::Json::array();
+  for (const auto& [name, wall] : replays) {
+    obs::Json replay = obs::Json::object();
+    replay["name"] = name;
+    if (wall >= 0.0) {
+      attach_parallel_scaling(replay, /*threads=*/8, /*serial_wall_s=*/wall,
+                              wall);
+    }
+    array.push_back(std::move(replay));
+  }
+  out["replays"] = std::move(array);
+  return out;
+}
+
+TEST(CompareReplayWalls, MatchedWithinFactorPasses) {
+  const obs::Json report =
+      report_with_replays({{"small_parallel", 1.2}, {"serial_only", -1.0}});
+  const obs::Json baseline =
+      report_with_replays({{"small_parallel", 1.0}, {"serial_only", -1.0}});
+  EXPECT_TRUE(compare_replay_walls(report, baseline, 1.5).empty());
+}
+
+TEST(CompareReplayWalls, RegressionBeyondFactorFails) {
+  const obs::Json report = report_with_replays({{"small_parallel", 1.6}});
+  const obs::Json baseline = report_with_replays({{"small_parallel", 1.0}});
+  const std::vector<std::string> failures =
+      compare_replay_walls(report, baseline, 1.5);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].find("small_parallel"), std::string::npos);
+  EXPECT_NE(failures[0].find("regressed"), std::string::npos);
+}
+
+TEST(CompareReplayWalls, SerialReplaysAreNotGated) {
+  // A serial replay has no engine wall to bound; its presence on either
+  // side must not trip the bidirectional matching.
+  const obs::Json report =
+      report_with_replays({{"parallel", 1.0}, {"report_serial", -1.0}});
+  const obs::Json baseline =
+      report_with_replays({{"parallel", 1.0}, {"baseline_serial", -1.0}});
+  EXPECT_TRUE(compare_replay_walls(report, baseline, 1.5).empty());
+}
+
+TEST(CompareReplayWalls, UnmatchedParallelReplayFailsBothDirections) {
+  const obs::Json report = report_with_replays({{"renamed_parallel", 1.0}});
+  const obs::Json baseline = report_with_replays({{"old_parallel", 1.0}});
+  EXPECT_EQ(compare_replay_walls(report, baseline, 1.5).size(), 2u);
+}
+
 TEST(AttachParallelScaling, EmitsSchemaValidObject) {
   obs::Json replay = obs::Json::object();
   replay["name"] = std::string("scaling");

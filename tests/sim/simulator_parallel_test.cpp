@@ -10,11 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "network/msgmodel.hpp"
+#include "network/topology.hpp"
 #include "sim/simulator.hpp"
 #include "util/error.hpp"
 
@@ -297,28 +299,160 @@ TEST(SimulatorParallel, EventBudgetTripsAsStructuredEventLimit) {
   }
 }
 
-TEST(SimulatorParallel, NicContentionFallsBackToOracle) {
-  const std::int32_t ranks = 8;
-  auto run_with = [&](std::int32_t threads, bool nic) {
+// --- Shared-NIC contention: shard-local, unsynchronized, bit-identical ---
+
+/// NIC-enabled simulator; a deliberately slow injection bandwidth makes
+/// adapter contention the dominant effect so any ordering divergence in
+/// the shard-local nic_free_ updates would show up in the times.
+Simulator make_nic_simulator(std::int32_t ranks, std::int32_t threads,
+                             std::int32_t pes_per_node,
+                             double latency = 1e-6) {
+  SimConfig config;
+  config.send_overhead = 0.0;
+  config.recv_overhead = 0.0;
+  config.threads = threads;
+  Simulator sim(ranks, network::make_hockney_model(latency, 1e9), config);
+  NicConfig nic;
+  nic.enabled = true;
+  nic.pes_per_node = pes_per_node;
+  nic.injection_bandwidth = 2e8;  // 4 KiB serializes for ~20 us
+  sim.set_nic(nic);
+  return sim;
+}
+
+TEST(SimulatorParallel, NicContentionIdenticalAcrossThreadCounts) {
+  // Shard boundaries align to NIC node boundaries (shard_unit), so each
+  // shard owns its nodes' adapter-availability state outright: the
+  // engine runs genuinely parallel — no oracle fallback — and must stay
+  // bit-identical to the serial oracle.
+  const std::int32_t ranks = 32;
+  auto run_with = [&](std::int32_t threads) {
+    Simulator sim = make_nic_simulator(ranks, threads, /*pes_per_node=*/4);
+    install_ring_workload(sim, ranks, /*rounds=*/10);
+    return sim.run();
+  };
+  const SimResult reference = run_with(1);
+  for (std::int32_t threads : {2, 8}) {
+    expect_identical(reference, run_with(threads));
+  }
+}
+
+TEST(SimulatorParallel, NicOnPartialLastNodeIdentical) {
+  // 10 ranks on 4-wide NIC nodes: the last node is half-occupied, the
+  // unit count does not divide the shard count, and shards must still
+  // align to whole nodes.
+  const std::int32_t ranks = 10;
+  auto run_with = [&](std::int32_t threads) {
+    Simulator sim = make_nic_simulator(ranks, threads, /*pes_per_node=*/4);
+    install_ring_workload(sim, ranks, /*rounds=*/8);
+    return sim.run();
+  };
+  const SimResult reference = run_with(1);
+  for (std::int32_t threads : {2, 3, 8}) {
+    expect_identical(reference, run_with(threads));
+  }
+}
+
+TEST(SimulatorParallel, NicUnderHierarchicalNetworkIdentical) {
+  // NIC serialization and two-level message costs together: the shard
+  // unit is the lcm of the placement's and the NIC's node widths, and
+  // the parallel lookahead comes from the inter-node model's
+  // min_message_time.
+  const std::int32_t ranks = 24;
+  auto run_with = [&](std::int32_t threads) {
     SimConfig config;
     config.send_overhead = 0.0;
     config.recv_overhead = 0.0;
     config.threads = threads;
-    Simulator sim(ranks, network::make_hockney_model(1e-6, 1e9), config);
-    if (nic) {
-      NicConfig nic_config;
-      nic_config.enabled = true;
-      nic_config.pes_per_node = 4;
-      nic_config.injection_bandwidth = 1e9;
-      sim.set_nic(nic_config);
-    }
+    Simulator sim(ranks, network::make_qsnet1_model(), config);
+    sim.set_pair_network(std::make_shared<network::HierarchicalNetwork>(
+        network::make_es45_shared_memory_model(), network::make_qsnet1_model(),
+        network::Placement(ranks, 4)));
+    NicConfig nic;
+    nic.enabled = true;
+    nic.pes_per_node = 2;  // lcm(4, 2) = 4: placement wins
+    nic.injection_bandwidth = 2e8;
+    sim.set_nic(nic);
+    install_ring_workload(sim, ranks, /*rounds=*/8);
+    return sim.run();
+  };
+  const SimResult reference = run_with(1);
+  for (std::int32_t threads : {2, 8}) {
+    expect_identical(reference, run_with(threads));
+  }
+}
+
+TEST(SimulatorParallel, ZeroLatencyWithNicDegeneratesAndMatches) {
+  // Zero lookahead and NIC contention at once: the degenerate
+  // one-timestamp-per-epoch progression must preserve shard-local NIC
+  // identity too.
+  const std::int32_t ranks = 8;
+  auto run_with = [&](std::int32_t threads) {
+    Simulator sim =
+        make_nic_simulator(ranks, threads, /*pes_per_node=*/4, /*latency=*/0.0);
+    install_ring_workload(sim, ranks, /*rounds=*/8);
+    return sim.run();
+  };
+  expect_identical(run_with(1), run_with(4));
+}
+
+TEST(SimulatorParallel, ZeroLatencyInterNodeHierarchyWithNicMatches) {
+  // The hierarchical lookahead is the inter-node model's
+  // min_message_time; a zero-latency interconnect collapses it to zero
+  // and the engine must degenerate to lockstep — not deadlock, not
+  // drift — with NIC contention still active.
+  const std::int32_t ranks = 16;
+  auto run_with = [&](std::int32_t threads) {
+    SimConfig config;
+    config.send_overhead = 0.0;
+    config.recv_overhead = 0.0;
+    config.threads = threads;
+    Simulator sim(ranks, network::make_hockney_model(0.0, 1e9), config);
+    sim.set_pair_network(std::make_shared<network::HierarchicalNetwork>(
+        network::make_es45_shared_memory_model(),
+        network::make_hockney_model(0.0, 1e9), network::Placement(ranks, 4)));
+    NicConfig nic;
+    nic.enabled = true;
+    nic.pes_per_node = 4;
+    nic.injection_bandwidth = 2e8;
+    sim.set_nic(nic);
     install_ring_workload(sim, ranks, /*rounds=*/6);
     return sim.run();
   };
-  // NIC serialization couples ranks through global event order, which
-  // sharding cannot honor; threads > 1 must silently run the oracle and
-  // produce the identical result.
-  expect_identical(run_with(1, true), run_with(8, true));
+  const SimResult reference = run_with(1);
+  for (std::int32_t threads : {2, 4}) {
+    expect_identical(reference, run_with(threads));
+  }
+}
+
+TEST(SimulatorParallel, NicWithFaultPlanIdenticalAcrossThreadCounts) {
+  // Contended adapters plus injected delays: fate draws and NIC
+  // serialization interact on the send path, and the combination must
+  // still replay the oracle exactly.
+  const std::int32_t ranks = 16;
+  fault::FaultPlan plan;
+  plan.seed = 33;
+  plan.slowdowns.push_back({fault::kAllRanks, 1.07});
+  fault::OneOffDelay delay;
+  delay.rank = 9;
+  delay.phase = 1;
+  delay.iteration = 3;
+  delay.seconds = 4e-4;
+  plan.delays.push_back(delay);
+
+  auto run_with = [&](std::int32_t threads) {
+    Simulator sim = make_nic_simulator(ranks, threads, /*pes_per_node=*/4);
+    install_ring_workload(sim, ranks, /*rounds=*/8);
+    fault::InjectionEngine engine(plan, ranks, /*phases_per_iteration=*/1);
+    sim.set_fault_injector(&engine);
+    sim.set_watchdog(engine.watchdog());
+    return sim.run();
+  };
+  const SimResult reference = run_with(1);
+  EXPECT_GT(reference.faults.fault_delay_seconds, 0.0);
+  for (std::int32_t threads : {2, 8}) {
+    expect_identical(reference, run_with(threads));
+  }
 }
 
 // --- The watchdog max_sim_seconds regression (PR 7 bugfix) ---

@@ -158,16 +158,37 @@ TEST(SimKrakParallel, HangingFaultPlanFailuresIdenticalAcrossThreadCounts) {
   }
 }
 
-TEST(SimKrakParallel, NicContentionFallsBackToOracle) {
+TEST(SimKrakParallel, NicContentionIdenticalAcrossThreadCounts) {
+  // Shards align to NIC node boundaries, so adapter-availability state
+  // is shard-local and the engine runs genuinely parallel — no oracle
+  // fallback — while replaying the oracle bit-exactly.
   const Fixture f;
   SimKrakOptions options;
-  options.iterations = 1;
-  options.enable_noise = false;
+  options.iterations = 2;
   options.nic_contention = true;
   const SimKrakResult reference = f.run(16, options);
-  SimKrakOptions parallel = options;
-  parallel.sim_threads = 8;  // NIC coupling forces the oracle; identical
-  expect_identical(reference, f.run(16, parallel));
+  for (std::int32_t threads : {2, 8}) {
+    SimKrakOptions parallel = options;
+    parallel.sim_threads = threads;
+    expect_identical(reference, f.run(16, parallel));
+  }
+}
+
+TEST(SimKrakParallel, NicWithHierarchicalNetworkIdenticalAcrossThreadCounts) {
+  // The full production stack at once: two-level message costs,
+  // shared-NIC injection serialization, and noise. The shard unit is
+  // the lcm of the placement's and the NIC's node widths.
+  const Fixture f;
+  SimKrakOptions options;
+  options.iterations = 2;
+  options.hierarchical_network = true;
+  options.nic_contention = true;
+  const SimKrakResult reference = f.run(16, options);
+  for (std::int32_t threads : {2, 8}) {
+    SimKrakOptions parallel = options;
+    parallel.sim_threads = threads;
+    expect_identical(reference, f.run(16, parallel));
+  }
 }
 
 }  // namespace
