@@ -175,14 +175,26 @@ obs::Json replay_to_json(const std::string& name,
 }
 
 void attach_parallel_scaling(obs::Json& replay, std::int32_t threads,
-                             double serial_wall_s, double parallel_wall_s) {
+                             double serial_wall_s, double parallel_wall_s,
+                             double coordinator_s) {
   util::check(threads >= 1, "attach_parallel_scaling: threads must be >= 1");
+  util::check(coordinator_s >= 0.0,
+              "attach_parallel_scaling: coordinator_s must be >= 0");
   obs::Json parallel = obs::Json::object();
   parallel["threads"] = threads;
   parallel["serial_wall_s"] = serial_wall_s;
   parallel["parallel_wall_s"] = parallel_wall_s;
-  parallel["speedup"] =
+  const double speedup =
       parallel_wall_s > 0.0 ? serial_wall_s / parallel_wall_s : 0.0;
+  parallel["speedup"] = speedup;
+  parallel["speedup_vs_oracle"] = speedup;
+  // Clamped to 1: the coordinator wall is measured inside the run, the
+  // replay wall outside it, so scheduler noise on a loaded host could
+  // otherwise nudge the ratio past the [0,1] range the schema pins.
+  parallel["coordinator_serial_fraction"] =
+      parallel_wall_s > 0.0
+          ? std::min(1.0, coordinator_s / parallel_wall_s)
+          : 0.0;
   replay["parallel"] = std::move(parallel);
 }
 

@@ -38,8 +38,14 @@ struct BenchEnvironment {
 /// entry: the parallel-simulation scaling datapoint of the scenario —
 /// wall clock of the single-thread oracle vs. the conservative parallel
 /// engine at `threads` workers over the same (bit-identical) run.
+/// `coordinator_s` is the parallel run's serial coordinator wall
+/// (sim.parallel.coordinator_s); it yields coordinator_serial_fraction
+/// = coordinator_s / parallel_wall_s, the replay's Amdahl serial
+/// fraction. speedup_vs_oracle duplicates the legacy speedup field
+/// under the name the schema documents going forward.
 void attach_parallel_scaling(obs::Json& replay, std::int32_t threads,
-                             double serial_wall_s, double parallel_wall_s);
+                             double serial_wall_s, double parallel_wall_s,
+                             double coordinator_s = 0.0);
 
 /// The perf-smoke regression gate behind krak_bench --compare: check
 /// every campaign of `report` against the like-named campaign of

@@ -258,6 +258,17 @@ void check_replay(SchemaChecker& ck, const Json& replay,
     ck.require_number(*parallel, sub, "serial_wall_s", 0.0, kHuge);
     ck.require_number(*parallel, sub, "parallel_wall_s", 0.0, kHuge);
     ck.require_number(*parallel, sub, "speedup", 0.0, kHuge);
+    // Optional-if-present (PR 10; older reports predate them):
+    // speedup_vs_oracle is the documented name of the oracle-vs-engine
+    // wall ratio, coordinator_serial_fraction the replay's Amdahl
+    // serial fraction — a proper fraction by construction.
+    if (parallel->find("speedup_vs_oracle") != nullptr) {
+      ck.require_number(*parallel, sub, "speedup_vs_oracle", 0.0, kHuge);
+    }
+    if (parallel->find("coordinator_serial_fraction") != nullptr) {
+      ck.require_number(*parallel, sub, "coordinator_serial_fraction", 0.0,
+                        1.0);
+    }
   }
   // Optional fault-injection accounting, emitted only when a fault plan
   // was active (keeps pre-existing reports valid).

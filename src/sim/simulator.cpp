@@ -191,6 +191,8 @@ void Simulator::begin_run(SimResult& result) {
   const std::int32_t n = ranks();
   states_.assign(static_cast<std::size_t>(n), RankState{});
   collective_states_.clear();
+  collective_base_ = 0;
+  collective_high_water_ = 0;
   lost_.clear();
   if (fault_ != nullptr) fault_->on_run_start(n);
 
@@ -334,12 +336,15 @@ void Simulator::finalize_run(SimResult& result, std::vector<Shard>& shards,
     static obs::Counter& probes = registry.counter("sim.mailbox.probes");
     static obs::Counter& messages = registry.counter("sim.p2p_messages");
     static obs::Gauge& depth = registry.gauge("sim.max_queue_depth");
+    static obs::Gauge& collective_high_water =
+        registry.gauge("sim.collective_states_high_water");
     runs.add(1);
     events.add(static_cast<std::int64_t>(result.events_processed));
     pooled.add(static_cast<std::int64_t>(result.pooled_events));
     probes.add(static_cast<std::int64_t>(result.mailbox_probes));
     messages.add(result.traffic.point_to_point_messages);
     depth.set(static_cast<double>(result.max_queue_depth));
+    collective_high_water.set(static_cast<double>(collective_high_water_));
     if (fault_ != nullptr) {
       static obs::Counter& injections = registry.counter("fault.injections");
       static obs::Counter& retransmits = registry.counter("fault.retransmits");
@@ -564,7 +569,12 @@ void Simulator::step_rank(Shard& shard, RankId rank, SimResult& result) {
           break;
         }
         if (shard.parallel && !shard.owns(to)) {
-          shard.outbox.push_back({arrival, rank, to, tag, send_ordinal});
+          // Bucketed by destination shard so the barrier's merge work
+          // parallelizes per destination queue.
+          shard.outboxes[static_cast<std::size_t>(
+                             shard.shard_of[static_cast<std::size_t>(to)])]
+              .push_back({arrival, rank, to, tag, send_ordinal});
+          ++shard.outbound_count;
         } else {
           // The arrival never precedes the shard queue's clock: this
           // rank's clock is at or past the event time that woke it
@@ -652,10 +662,15 @@ void Simulator::enter_collective(Shard& shard, RankId rank, const Op& op) {
     return;
   }
 
-  if (index >= collective_states_.size()) {
-    collective_states_.resize(index + 1);
+  require_internal(index >= collective_base_,
+                   "rank entered an already-released collective");
+  const std::size_t rel = index - collective_base_;
+  if (rel >= collective_states_.size()) {
+    collective_states_.resize(rel + 1);
+    collective_high_water_ =
+        std::max(collective_high_water_, collective_states_.size());
   }
-  CollectiveState& coll = collective_states_[index];
+  CollectiveState& coll = collective_states_[rel];
   if (coll.entered == 0) {
     coll.kind = op.kind;
     coll.bytes = op.bytes;
@@ -690,6 +705,14 @@ void Simulator::enter_collective(Shard& shard, RankId rank, const Op& op) {
   for (RankId r = 0; r < ranks(); ++r) {
     shard.queue.schedule(completion, SimEvent::release(r, cost));
   }
+  // Reclaim the released prefix: every rank is parked on this index, so
+  // no earlier (or later) window can be live. Erasing here instead of
+  // letting the vector grow O(total collectives) is what bounds long
+  // replays' memory (the high-water probe pins the steady-state size).
+  collective_states_.erase(collective_states_.begin(),
+                           collective_states_.begin() +
+                               static_cast<std::ptrdiff_t>(rel + 1));
+  collective_base_ = index + 1;
 }
 
 }  // namespace krak::sim

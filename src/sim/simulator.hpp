@@ -328,6 +328,21 @@ struct SimResult {
   /// Mailbox hash-table slot inspections, summed over ranks (exported
   /// as `sim.mailbox.probes`; see Mailbox::probes).
   std::uint64_t mailbox_probes = 0;
+  /// Host wall seconds the parallel engine's coordinator spent in its
+  /// serial sections (epoch scalar reductions, collective merge and
+  /// release decision, budget checks) — the Amdahl numerator of the
+  /// epoch barrier, exported as `sim.parallel.coordinator_s`. Zero
+  /// under the serial oracle.
+  double coordinator_seconds = 0.0;
+  /// Host wall seconds shards spent sorting their outbound runs and
+  /// folding collective entries inside the worker phase, summed over
+  /// shards (exported as `sim.parallel.sort_s`).
+  double sort_seconds = 0.0;
+  /// Host wall seconds shards spent k-way-merging inbound runs into
+  /// their queues and applying collective releases to their own ranks
+  /// at barriers, summed over shards (exported as
+  /// `sim.parallel.inject_s`).
+  double inject_seconds = 0.0;
 
   [[nodiscard]] bool failed() const { return !failures.empty(); }
 };
@@ -468,7 +483,20 @@ class Simulator {
       /// the canonical total order barriers inject messages in.
       std::int64_t seq = 0;
     };
-    std::vector<OutboundMessage> outbox;
+    /// Cross-shard payloads bucketed by destination shard
+    /// (outboxes[d] holds this shard's sends into shard d). The worker
+    /// sorts each run into canonical (arrival, from, seq) order before
+    /// the barrier; the destination shard then k-way-merges its inbound
+    /// runs in parallel with every other destination, since canonical
+    /// order only matters per destination queue (docs/PERFORMANCE.md,
+    /// "The epoch coordinator").
+    std::vector<std::vector<OutboundMessage>> outboxes;
+    /// Payloads pushed into `outboxes` since the last barrier — the
+    /// coupled-epoch test without scanning the buckets.
+    std::size_t outbound_count = 0;
+    /// Rank -> owning shard lookup for outbox bucketing (points into
+    /// run_parallel's layout vector; valid for the run's duration).
+    const std::int32_t* shard_of = nullptr;
     /// One collective entry recorded during an epoch.
     struct CollectiveEntry {
       std::size_t index = 0;
@@ -478,6 +506,25 @@ class Simulator {
       double entered_at = 0.0;
     };
     std::vector<CollectiveEntry> collective_entries;
+    /// Order-independent fold of one epoch's collective entries for one
+    /// index: an integer entry count plus a max over entry times, so
+    /// the coordinator merges O(shards) aggregates instead of O(ranks)
+    /// entries.
+    struct CollectiveAggregate {
+      std::size_t index = 0;
+      std::int32_t entered = 0;
+      double max_entry = 0.0;
+      OpKind kind = OpKind::kCompute;
+      double bytes = 0.0;
+    };
+    /// Folded from `collective_entries` by the worker at window end
+    /// (ascending index order), consumed serially by the coordinator.
+    std::vector<CollectiveAggregate> collective_aggregates;
+    /// Barrier scratch: (cursor, end) over the sorted inbound runs this
+    /// shard is k-way-merging (pooled across epochs — clear() keeps the
+    /// capacity).
+    std::vector<std::pair<const OutboundMessage*, const OutboundMessage*>>
+        merge_runs;
     /// Sends that found this node's adapter busy (NIC model only):
     /// inject_at was pushed past the sender's clock by nic_free_.
     /// Exported as `sim.parallel.nic_shard_conflicts`.
@@ -486,6 +533,24 @@ class Simulator {
     /// Wall seconds this shard spent executing its last epoch window
     /// (observability only — never feeds back into simulated time).
     double busy_seconds = 0.0;
+    /// Published at window end by the worker (and refreshed by the
+    /// barrier's apply phase after injections): the shard queue's
+    /// next_time(), +infinity when drained. The coordinator reduces
+    /// these O(shards) scalars instead of re-scanning queues.
+    double next_time = 0.0;
+    /// Published with `next_time`: this window produced cross-shard
+    /// payloads or collective entries, so the barrier must run.
+    bool coupled = false;
+    /// Messages the barrier's apply phase merged into this shard's
+    /// queue (summed into sim.parallel.cross_shard_messages).
+    std::size_t injected = 0;
+    /// Wall seconds this shard's worker spent sorting outbound runs and
+    /// folding collective entries (observability only).
+    double sort_seconds = 0.0;
+    /// Wall seconds this shard spent in the barrier's apply phase —
+    /// k-way-merging inbound runs and applying collective releases to
+    /// its own ranks (observability only).
+    double inject_seconds = 0.0;
 
     [[nodiscard]] bool owns(RankId rank) const {
       return rank >= begin && rank < end;
@@ -545,7 +610,19 @@ class Simulator {
   SimConfig config_;
   std::vector<Schedule> schedules_;
   std::vector<RankState> states_;
+  /// In-flight collective windows, indexed by `collective index -
+  /// collective_base_`. Released collectives are reclaimed eagerly:
+  /// once index k releases, no rank can ever enter an index <= k again,
+  /// so the prefix is erased and `collective_base_` advances. Only the
+  /// frontier index can be partially entered at any instant, which
+  /// keeps the live window O(1) regardless of how many collectives a
+  /// replay executes (the `sim.collective_states_high_water` probe
+  /// pins this).
   std::vector<CollectiveState> collective_states_;
+  /// Absolute collective index of collective_states_[0].
+  std::size_t collective_base_ = 0;
+  /// Largest live collective_states_ size seen this run.
+  std::size_t collective_high_water_ = 0;
 };
 
 }  // namespace krak::sim

@@ -18,6 +18,22 @@ namespace krak::sim {
 using util::check;
 using util::require_internal;
 
+namespace {
+
+/// The canonical cross-shard delivery order: (arrival, sender,
+/// send-ordinal). Workers sort their per-destination runs by it and the
+/// barrier's k-way merge picks heads by it, so each destination queue
+/// sees exactly the order a global sort used to produce. A template
+/// because the message type is private to Simulator.
+template <typename Message>
+[[nodiscard]] bool canonical_before(const Message& a, const Message& b) {
+  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+  if (a.from != b.from) return a.from < b.from;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
 double Simulator::plan_lookahead() const {
   if (config_.lookahead >= 0.0) return config_.lookahead;
   if (hierarchy_ != nullptr) {
@@ -37,16 +53,24 @@ double Simulator::plan_lookahead() const {
 /// plus the lookahead — the least time any cross-shard payload spends on
 /// the wire — so every shard can safely fire everything below it without
 /// hearing from its peers; with a degenerate lookahead each epoch fires
-/// exactly the minimum timestamp (null-message-style progression). At
-/// the barrier the coordinator injects cross-shard payloads in canonical
-/// (arrival, sender, send-ordinal) order and releases completed
-/// collectives in index order, which makes every simulated outcome
-/// bit-identical to the serial oracle regardless of the thread count
-/// (docs/PERFORMANCE.md, "Parallel simulation"). Every event fires at
-/// its true simulated time, so each shard replays the oracle's event
-/// order over its own ranks — which is what lets per-node
-/// order-sensitive state (the shared-NIC adapter availability) live
-/// unsynchronized inside the shard that owns the node.
+/// exactly the minimum timestamp (null-message-style progression).
+///
+/// The barrier itself is sharded so coordinator work scales with shard
+/// coupling, not with rank count (docs/PERFORMANCE.md, "The epoch
+/// coordinator"): workers sort their per-destination outbound runs and
+/// fold collective entries inside the window phase; the coordinator's
+/// serial section only reduces O(shards) scalars and walks the
+/// collective release frontier; then every destination shard in
+/// parallel k-way-merges its inbound runs in canonical (arrival,
+/// sender, send-ordinal) order and applies the decided releases to its
+/// own ranks. Canonical order only matters per destination queue, which
+/// is what makes the per-destination merges independent — and every
+/// simulated outcome bit-identical to the serial oracle regardless of
+/// the thread count (docs/PERFORMANCE.md, "Parallel simulation").
+/// Every event fires at its true simulated time, so each shard replays
+/// the oracle's event order over its own ranks — which is what lets
+/// per-node order-sensitive state (the shared-NIC adapter availability)
+/// live unsynchronized inside the shard that owns the node.
 // krak: hot
 SimResult Simulator::run_parallel(std::int32_t shard_count) {
   const std::int32_t n = ranks();
@@ -66,6 +90,7 @@ SimResult Simulator::run_parallel(std::int32_t shard_count) {
     Shard& shard = shards[static_cast<std::size_t>(s)];
     shard.id = s;
     shard.parallel = true;
+    shard.shard_of = shard_of.data();
     shard.begin = std::min(n, next_unit * unit);
     next_unit += units / shard_count + (s < units % shard_count ? 1 : 0);
     shard.end = std::min(n, next_unit * unit);
@@ -73,13 +98,17 @@ SimResult Simulator::run_parallel(std::int32_t shard_count) {
         static_cast<std::size_t>(shard.end - shard.begin) * 2 + 64);
     // Pooled across every epoch of the run: clear() keeps capacity, so
     // steady-state barriers allocate nothing.
-    shard.outbox.reserve(64);
+    shard.outboxes.resize(static_cast<std::size_t>(shard_count));
     shard.collective_entries.reserve(
         static_cast<std::size_t>(shard.end - shard.begin));
     for (RankId r = shard.begin; r < shard.end; ++r) {
       shard_of[static_cast<std::size_t>(r)] = s;
       shard.queue.schedule(0.0, SimEvent::step(r));
     }
+    // Published scalars the coordinator reduces instead of re-scanning
+    // queues (fused epoch scan); refreshed at every window end and by
+    // the barrier's apply phase.
+    shard.next_time = shard.queue.next_time();
   }
   require_internal(next_unit == units && shards.back().end == n,
                    "shard layout must cover every rank");
@@ -120,21 +149,166 @@ SimResult Simulator::run_parallel(std::int32_t shard_count) {
   std::uint64_t empty_epochs = 0;
   std::uint64_t cross_messages = 0;
   double barrier_wait_seconds = 0.0;
+  // The Amdahl numerator: wall seconds of the sections only the
+  // coordinator thread executes (exported as sim.parallel.coordinator_s
+  // and BENCH's coordinator_serial_fraction).
+  double coordinator_seconds = 0.0;
   std::size_t total_fired = 0;
-  std::size_t release_frontier = 0;
   bool budget_exhausted = false;
-  std::vector<Shard::OutboundMessage> inbound;
-  std::vector<Shard::CollectiveEntry> entries;
+  /// One completed collective awaiting application, in release order.
+  struct PendingRelease {
+    double completion = 0.0;
+    double cost = 0.0;
+  };
+  std::vector<PendingRelease> releases;
+
+  // The event budget is enforced at barriers, so a tripped run can
+  // overshoot SimConfig::max_events by at most one epoch per shard —
+  // this helper is the single place that overshoot contract lives.
+  // A finite published next_time means the shard still holds events.
+  const auto enforce_event_budget = [&] {
+    if (total_fired < config_.max_events) return;
+    for (const Shard& shard : shards) {
+      if (std::isfinite(shard.next_time)) budget_exhausted = true;
+    }
+  };
+
+  const auto run_shard_window = [&](std::size_t i, double horizon,
+                                    bool degenerate,
+                                    std::size_t budget_left) {
+    Shard& shard = shards[i];
+    const util::Stopwatch shard_watch;
+    shard.outbound_count = 0;
+    shard.fired =
+        shard.queue
+            .run_window(horizon, degenerate, budget_left,
+                        [this, &shard, &result](const SimEvent& event) {
+                          dispatch(shard, event, result);
+                        })
+            .fired;
+    // Barrier prep belongs to the worker phase, not the coordinator:
+    // sort this shard's outbound runs into canonical order and fold its
+    // collective entries into order-independent per-index aggregates,
+    // then publish the scalars the coordinator reduces.
+    const util::Stopwatch sort_watch;
+    for (std::vector<Shard::OutboundMessage>& run : shard.outboxes) {
+      if (run.size() > 1) {
+        std::sort(run.begin(), run.end(),
+                  [](const Shard::OutboundMessage& a,
+                     const Shard::OutboundMessage& b) {
+                    return canonical_before(a, b);
+                  });
+      }
+    }
+    if (!shard.collective_entries.empty()) {
+      std::sort(shard.collective_entries.begin(),
+                shard.collective_entries.end(),
+                [](const Shard::CollectiveEntry& a,
+                   const Shard::CollectiveEntry& b) {
+                  if (a.index != b.index) return a.index < b.index;
+                  return a.rank < b.rank;
+                });
+      for (const Shard::CollectiveEntry& entry : shard.collective_entries) {
+        if (shard.collective_aggregates.empty() ||
+            shard.collective_aggregates.back().index != entry.index) {
+          shard.collective_aggregates.push_back(
+              {entry.index, 0, 0.0, entry.kind, entry.bytes});
+        }
+        Shard::CollectiveAggregate& agg = shard.collective_aggregates.back();
+        check(agg.kind == entry.kind && agg.bytes == entry.bytes,
+              "mismatched collective sequence across ranks");
+        ++agg.entered;
+        agg.max_entry = std::max(agg.max_entry, entry.entered_at);
+      }
+      shard.collective_entries.clear();
+    }
+    shard.coupled =
+        shard.outbound_count > 0 || !shard.collective_aggregates.empty();
+    shard.next_time = shard.queue.next_time();
+    shard.sort_seconds += sort_watch.seconds();
+    shard.busy_seconds = shard_watch.seconds();
+  };
+
+  // Barrier apply phase, one task per destination shard: k-way-merge
+  // the inbound runs every source sorted during the window, then apply
+  // the coordinator's release decisions to this shard's own ranks. Both
+  // touch only this shard's queue and rank slice (sources' buckets for
+  // this destination have exactly one consumer — this task), so every
+  // destination proceeds concurrently. Per queue the injection order is
+  // exactly the serial coordinator's — canonical messages first, then
+  // release steps in (release, rank) order — so event sequence numbers,
+  // and with them every tie-break, replay the oracle's.
+  const auto apply_barrier = [&](std::size_t d) {
+    Shard& dest = shards[d];
+    const util::Stopwatch apply_watch;
+    dest.merge_runs.clear();
+    for (Shard& source : shards) {
+      const std::vector<Shard::OutboundMessage>& run =
+          source.outboxes[d];
+      if (!run.empty()) {
+        dest.merge_runs.emplace_back(run.data(), run.data() + run.size());
+      }
+    }
+    std::size_t injected = 0;
+    while (!dest.merge_runs.empty()) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < dest.merge_runs.size(); ++i) {
+        if (canonical_before(*dest.merge_runs[i].first,
+                             *dest.merge_runs[best].first)) {
+          best = i;
+        }
+      }
+      // Every payload fires at its true arrival time — conservatism
+      // guarantees the arrival is at or past the horizon, hence past
+      // anything this shard fired during the window — so per-shard
+      // event order, and with it the shard-local NIC adapter state,
+      // replays the serial oracle's.
+      const Shard::OutboundMessage& message = *dest.merge_runs[best].first;
+      dest.queue.schedule(message.arrival,
+                          SimEvent::arrival(message.to, message.from,
+                                            message.tag, message.arrival));
+      ++injected;
+      if (++dest.merge_runs[best].first == dest.merge_runs[best].second) {
+        dest.merge_runs.erase(dest.merge_runs.begin() +
+                              static_cast<std::ptrdiff_t>(best));
+      }
+    }
+    for (Shard& source : shards) source.outboxes[d].clear();
+    dest.injected = injected;
+    for (const PendingRelease& release : releases) {
+      for (RankId r = dest.begin; r < dest.end; ++r) {
+        RankState& state = states_[static_cast<std::size_t>(r)];
+        RankTimeBreakdown& breakdown =
+            result.breakdown[static_cast<std::size_t>(r)];
+        // Same split as the oracle's release event: skew wait until the
+        // last entry, plus the tree cost every rank pays.
+        breakdown.collective_wait +=
+            release.completion - release.cost - state.clock;
+        breakdown.collective_cost += release.cost;
+        state.clock = std::max(state.clock, release.completion);
+        // The completion can precede this queue's clock when the shard
+        // ran ahead inside the epoch window; the step must still fire
+        // at the true completion time so the released rank's subsequent
+        // sends interleave with its shard's other events — and touch
+        // its node's NIC state — in oracle order.
+        dest.queue.inject(release.completion, SimEvent::step(r));
+      }
+    }
+    dest.next_time = dest.queue.next_time();
+    dest.inject_seconds += apply_watch.seconds();
+  };
 
   while (!budget_exhausted) {
     // Cancellation checkpoint once per epoch: the coordinator is the
     // only thread between barriers, so throwing here unwinds cleanly
     // with no worker in flight.
     check_cancellation();
+    const util::Stopwatch scan_watch;
     double window_start = std::numeric_limits<double>::infinity();
     for (const Shard& shard : shards) {
-      window_start = std::min(window_start, shard.queue.next_time());
+      window_start = std::min(window_start, shard.next_time);
     }
+    coordinator_seconds += scan_watch.seconds();
     if (!std::isfinite(window_start)) break;  // every queue drained
     const bool degenerate = lookahead <= 0.0;
     const double horizon = degenerate ? window_start : window_start + lookahead;
@@ -142,23 +316,13 @@ SimResult Simulator::run_parallel(std::int32_t shard_count) {
         config_.max_events > total_fired ? config_.max_events - total_fired : 0;
     ++epochs;
 
-    const auto run_shard_window = [&](std::size_t i) {
-      Shard& shard = shards[i];
-      const util::Stopwatch shard_watch;
-      shard.fired =
-          shard.queue
-              .run_window(horizon, degenerate, budget_left,
-                          [this, &shard, &result](const SimEvent& event) {
-                            dispatch(shard, event, result);
-                          })
-              .fired;
-      shard.busy_seconds = shard_watch.seconds();
-    };
     if (pool) {
       const util::Stopwatch epoch_watch;
       pool->parallel_for_chunked(
           shards.size(), 1, [&](std::size_t begin, std::size_t end) {
-            for (std::size_t i = begin; i < end; ++i) run_shard_window(i);
+            for (std::size_t i = begin; i < end; ++i) {
+              run_shard_window(i, horizon, degenerate, budget_left);
+            }
           });
       const double epoch_seconds = epoch_watch.seconds();
       for (const Shard& shard : shards) {
@@ -167,95 +331,69 @@ SimResult Simulator::run_parallel(std::int32_t shard_count) {
       }
     } else {
       // Single worker: no barrier exists, so no wait is recorded.
-      for (std::size_t i = 0; i < shards.size(); ++i) run_shard_window(i);
+      for (std::size_t i = 0; i < shards.size(); ++i) {
+        run_shard_window(i, horizon, degenerate, budget_left);
+      }
     }
-    for (const Shard& shard : shards) total_fired += shard.fired;
 
-    // Fast path: an epoch that produced no cross-shard traffic and no
-    // collective entries has nothing for the coordinator to do — skip
-    // the gather/sort/inject machinery entirely. At 100k ranks most
-    // epochs are pure intra-shard progress, so this keeps the barrier
-    // cost proportional to actual coupling, not to the shard count's
-    // bookkeeping.
+    // Coordinator serial section: O(shards) scalar reductions plus the
+    // collective release decision — nothing here scales with the rank
+    // count or the message volume (those moved into the worker and
+    // apply phases).
+    const util::Stopwatch decide_watch;
     bool coupled = false;
     for (const Shard& shard : shards) {
-      if (!shard.outbox.empty() || !shard.collective_entries.empty()) {
-        coupled = true;
-        break;
-      }
+      total_fired += shard.fired;
+      coupled |= shard.coupled;
     }
+    // Fast path: an epoch that produced no cross-shard traffic and no
+    // collective entries has nothing for the barrier to do. At 100k
+    // ranks most epochs are pure intra-shard progress, so this keeps
+    // the barrier cost proportional to actual coupling.
     if (!coupled) {
       ++empty_epochs;
-      if (total_fired >= config_.max_events) {
-        for (const Shard& shard : shards) {
-          if (!shard.queue.empty()) budget_exhausted = true;
-        }
-      }
+      enforce_event_budget();
+      coordinator_seconds += decide_watch.seconds();
       continue;
     }
 
-    // Barrier, phase 1: inject cross-shard payloads in the canonical
-    // (arrival, sender, send-ordinal) total order. Every payload fires
-    // at its true arrival time — conservatism guarantees the arrival is
-    // at or past the horizon, hence past anything the destination shard
-    // fired this epoch — so per-shard event order, and with it the
-    // shard-local NIC adapter state, replays the serial oracle's.
-    inbound.clear();
+    // Merge the per-shard collective aggregates (order-independent:
+    // integer entry counts and a max over entry times) and walk the
+    // release frontier. Ranks release in index order because no rank
+    // can enter collective k+1 before k released it — which also means
+    // every live entry targets the frontier index, so the released
+    // prefix is reclaimed immediately and collective_states_ stays O(1)
+    // however many collectives a replay executes.
+    releases.clear();
     for (Shard& shard : shards) {
-      inbound.insert(inbound.end(), shard.outbox.begin(), shard.outbox.end());
-      shard.outbox.clear();
-    }
-    std::sort(inbound.begin(), inbound.end(),
-              [](const Shard::OutboundMessage& a,
-                 const Shard::OutboundMessage& b) {
-                if (a.arrival != b.arrival) return a.arrival < b.arrival;
-                if (a.from != b.from) return a.from < b.from;
-                return a.seq < b.seq;
-              });
-    cross_messages += inbound.size();
-    for (const Shard::OutboundMessage& message : inbound) {
-      Shard& dest = shards[static_cast<std::size_t>(
-          shard_of[static_cast<std::size_t>(message.to)])];
-      dest.queue.schedule(message.arrival,
-                          SimEvent::arrival(message.to, message.from,
-                                            message.tag, message.arrival));
-    }
-
-    // Barrier, phase 2: merge collective entries in canonical
-    // (index, rank) order, then release completed collectives. Ranks
-    // release in index order because no rank can enter collective k+1
-    // before k released it.
-    entries.clear();
-    for (Shard& shard : shards) {
-      entries.insert(entries.end(), shard.collective_entries.begin(),
-                     shard.collective_entries.end());
-      shard.collective_entries.clear();
-    }
-    std::sort(entries.begin(), entries.end(),
-              [](const Shard::CollectiveEntry& a,
-                 const Shard::CollectiveEntry& b) {
-                if (a.index != b.index) return a.index < b.index;
-                return a.rank < b.rank;
-              });
-    for (const Shard::CollectiveEntry& entry : entries) {
-      if (entry.index >= collective_states_.size()) {
-        collective_states_.resize(entry.index + 1);
+      for (const Shard::CollectiveAggregate& agg :
+           shard.collective_aggregates) {
+        require_internal(agg.index >= collective_base_,
+                         "rank entered an already-released collective");
+        const std::size_t rel = agg.index - collective_base_;
+        if (rel >= collective_states_.size()) {
+          collective_states_.resize(rel + 1);
+        }
+        CollectiveState& coll = collective_states_[rel];
+        if (coll.entered == 0) {
+          coll.kind = agg.kind;
+          coll.bytes = agg.bytes;
+        } else {
+          check(coll.kind == agg.kind && coll.bytes == agg.bytes,
+                "mismatched collective sequence across ranks");
+        }
+        coll.entered += agg.entered;
+        coll.max_entry = std::max(coll.max_entry, agg.max_entry);
       }
-      CollectiveState& coll = collective_states_[entry.index];
-      if (coll.entered == 0) {
-        coll.kind = entry.kind;
-        coll.bytes = entry.bytes;
-      } else {
-        check(coll.kind == entry.kind && coll.bytes == entry.bytes,
-              "mismatched collective sequence across ranks");
-      }
-      ++coll.entered;
-      coll.max_entry = std::max(coll.max_entry, entry.entered_at);
+      shard.collective_aggregates.clear();
     }
-    while (release_frontier < collective_states_.size() &&
-           collective_states_[release_frontier].entered >= n) {
-      const CollectiveState& coll = collective_states_[release_frontier];
-      ++release_frontier;
+    collective_high_water_ =
+        std::max(collective_high_water_, collective_states_.size());
+    while (!collective_states_.empty() &&
+           collective_states_.front().entered >= n) {
+      const CollectiveState coll = collective_states_.front();
+      collective_states_.erase(collective_states_.begin());
+      ++collective_base_;
       double cost = 0.0;
       switch (coll.kind) {
         case OpKind::kAllreduce:
@@ -273,35 +411,36 @@ SimResult Simulator::run_parallel(std::int32_t shard_count) {
         default:
           require_internal(false, "non-collective op in collective state");
       }
-      const double completion = coll.max_entry + cost;
-      for (RankId r = 0; r < n; ++r) {
-        RankState& state = states_[static_cast<std::size_t>(r)];
-        RankTimeBreakdown& breakdown =
-            result.breakdown[static_cast<std::size_t>(r)];
-        // Same split as the oracle's release event: skew wait until the
-        // last entry, plus the tree cost every rank pays.
-        breakdown.collective_wait += completion - cost - state.clock;
-        breakdown.collective_cost += cost;
-        state.clock = std::max(state.clock, completion);
-        Shard& dest = shards[static_cast<std::size_t>(
-            shard_of[static_cast<std::size_t>(r)])];
-        // The completion can precede the destination queue's clock when
-        // that shard ran ahead inside the epoch window; the step must
-        // still fire at the true completion time so the released rank's
-        // subsequent sends interleave with its shard's other events —
-        // and touch its node's NIC state — in oracle order.
-        dest.queue.inject(completion, SimEvent::step(r));
-      }
+      releases.push_back({coll.max_entry + cost, cost});
+    }
+    coordinator_seconds += decide_watch.seconds();
+
+    // Apply phase: every destination shard merges its inbound runs and
+    // applies the decided releases to its own ranks, concurrently.
+    if (pool) {
+      pool->parallel_for_chunked(
+          shards.size(), 1, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t d = begin; d < end; ++d) apply_barrier(d);
+          });
+    } else {
+      for (std::size_t d = 0; d < shards.size(); ++d) apply_barrier(d);
     }
 
-    // The event budget is enforced at barriers, so a tripped run can
-    // overshoot SimConfig::max_events by at most one epoch per shard.
-    if (total_fired >= config_.max_events) {
-      for (const Shard& shard : shards) {
-        if (!shard.queue.empty()) budget_exhausted = true;
-      }
-    }
+    const util::Stopwatch post_watch;
+    for (const Shard& shard : shards) cross_messages += shard.injected;
+    enforce_event_budget();
+    coordinator_seconds += post_watch.seconds();
   }
+
+  double sort_seconds = 0.0;
+  double inject_seconds = 0.0;
+  for (const Shard& shard : shards) {
+    sort_seconds += shard.sort_seconds;
+    inject_seconds += shard.inject_seconds;
+  }
+  result.coordinator_seconds = coordinator_seconds;
+  result.sort_seconds = sort_seconds;
+  result.inject_seconds = inject_seconds;
 
   if (obs::enabled()) {
     obs::Registry& registry = obs::global_registry();
@@ -316,6 +455,10 @@ SimResult Simulator::run_parallel(std::int32_t shard_count) {
         registry.counter("sim.parallel.empty_epochs");
     static obs::Counter& nic_conflict_count =
         registry.counter("sim.parallel.nic_shard_conflicts");
+    static obs::Gauge& coordinator_gauge =
+        registry.gauge("sim.parallel.coordinator_s");
+    static obs::Gauge& sort_gauge = registry.gauge("sim.parallel.sort_s");
+    static obs::Gauge& inject_gauge = registry.gauge("sim.parallel.inject_s");
     runs.add(1);
     epoch_count.add(static_cast<std::int64_t>(epochs));
     crossings.add(static_cast<std::int64_t>(cross_messages));
@@ -325,6 +468,9 @@ SimResult Simulator::run_parallel(std::int32_t shard_count) {
     std::int64_t nic_conflicts = 0;
     for (const Shard& shard : shards) nic_conflicts += shard.nic_conflicts;
     nic_conflict_count.add(nic_conflicts);
+    coordinator_gauge.set(coordinator_seconds);
+    sort_gauge.set(sort_seconds);
+    inject_gauge.set(inject_seconds);
   }
   finalize_run(result, shards, budget_exhausted, total_fired);
   return result;

@@ -81,6 +81,17 @@ struct SimKrakResult {
   std::size_t events_processed = 0;
   /// High-water mark of the simulator's event queue.
   std::size_t max_queue_depth = 0;
+  /// Host wall seconds of the parallel engine's serial coordinator
+  /// sections (sim::SimResult::coordinator_seconds; zero under the
+  /// serial oracle). The Amdahl numerator BENCH reports as
+  /// coordinator_serial_fraction.
+  double coordinator_seconds = 0.0;
+  /// Worker-phase barrier prep seconds, summed over shards
+  /// (sim::SimResult::sort_seconds).
+  double sort_seconds = 0.0;
+  /// Barrier apply-phase seconds, summed over shards
+  /// (sim::SimResult::inject_seconds).
+  double inject_seconds = 0.0;
   /// Aggregate fault-injection accounting (zero when no plan was set).
   sim::FaultStats fault_stats;
   /// Structured failures the watchdog recorded instead of hanging or

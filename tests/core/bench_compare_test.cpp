@@ -163,5 +163,29 @@ TEST(AttachParallelScaling, ZeroParallelWallYieldsZeroSpeedup) {
   EXPECT_DOUBLE_EQ(replay.find("parallel")->find("speedup")->as_double(), 0.0);
 }
 
+TEST(AttachParallelScaling, EmitsAmdahlFields) {
+  obs::Json replay = obs::Json::object();
+  replay["name"] = std::string("scaling");
+  attach_parallel_scaling(replay, /*threads=*/8, /*serial_wall_s=*/2.0,
+                          /*parallel_wall_s=*/0.5, /*coordinator_s=*/0.05);
+  const obs::Json* parallel = replay.find("parallel");
+  ASSERT_NE(parallel, nullptr);
+  EXPECT_DOUBLE_EQ(parallel->find("speedup_vs_oracle")->as_double(), 4.0);
+  EXPECT_DOUBLE_EQ(
+      parallel->find("coordinator_serial_fraction")->as_double(), 0.1);
+}
+
+TEST(AttachParallelScaling, CoordinatorFractionClampsToOne) {
+  // The coordinator wall is measured inside the run and the replay wall
+  // outside it; host scheduling noise must never push the recorded
+  // fraction past the [0,1] range the schema pins.
+  obs::Json replay = obs::Json::object();
+  attach_parallel_scaling(replay, 2, 1.0, 0.5, /*coordinator_s=*/0.8);
+  EXPECT_DOUBLE_EQ(
+      replay.find("parallel")->find("coordinator_serial_fraction")
+          ->as_double(),
+      1.0);
+}
+
 }  // namespace
 }  // namespace krak::core

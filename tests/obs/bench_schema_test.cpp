@@ -243,6 +243,34 @@ TEST(BenchSchema, ParallelScalingSectionValidates) {
       << (violations.empty() ? "" : violations.front());
 }
 
+TEST(BenchSchema, ParallelScalingAmdahlFieldsValidate) {
+  Json report = minimal_valid_report();
+  Json& parallel = first_element(report["replays"])["parallel"];
+  parallel["threads"] = 8;
+  parallel["serial_wall_s"] = 2.0;
+  parallel["parallel_wall_s"] = 0.5;
+  parallel["speedup"] = 4.0;
+  parallel["speedup_vs_oracle"] = 4.0;
+  parallel["coordinator_serial_fraction"] = 0.07;
+  const std::vector<std::string> violations =
+      validate_bench_report(report);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front());
+}
+
+TEST(BenchSchema, CoordinatorSerialFractionAboveOneIsOutOfRange) {
+  Json report = minimal_valid_report();
+  Json& parallel = first_element(report["replays"])["parallel"];
+  parallel["threads"] = 8;
+  parallel["serial_wall_s"] = 2.0;
+  parallel["parallel_wall_s"] = 0.5;
+  parallel["speedup"] = 4.0;
+  // A fraction of the parallel wall can never exceed 1.
+  parallel["coordinator_serial_fraction"] = 1.5;
+  EXPECT_TRUE(
+      mentions(validate_bench_report(report), "coordinator_serial_fraction"));
+}
+
 TEST(BenchSchema, ParallelScalingZeroThreadsIsOutOfRange) {
   Json report = minimal_valid_report();
   Json& parallel = first_element(report["replays"])["parallel"];

@@ -16,6 +16,7 @@
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "network/msgmodel.hpp"
+#include "obs/metrics.hpp"
 #include "network/topology.hpp"
 #include "sim/simulator.hpp"
 #include "util/error.hpp"
@@ -538,6 +539,148 @@ TEST(SimulatorWatchdog, OvershootIdenticalAcrossThreadCounts) {
   for (std::int32_t threads : {2, 8}) {
     expect_identical(reference, run_with(threads));
   }
+}
+
+// --- Epoch-barrier merge tie-breaking (PR 10) ---
+
+TEST(SimulatorParallel, SameArrivalCrossShardSendersTieBreakIdentical) {
+  // Three remote senders on distinct nodes (hence distinct shards at 8
+  // threads) land payloads on node 0 at exactly the same timestamp:
+  // zero overheads, equal clocks, equal bytes. The barrier's k-way
+  // merge must break the (arrival) tie by sender in canonical order —
+  // and the receivers' immediate big replies then serialize on node 0's
+  // shared NIC adapter in wake order, so any deviation in the merged
+  // tie order shifts real simulated times, not just internal sequence
+  // numbers.
+  const std::int32_t ranks = 16;
+  auto run_with = [&](std::int32_t threads) {
+    Simulator sim = make_nic_simulator(ranks, threads, /*pes_per_node=*/4);
+    for (std::int32_t r = 0; r < ranks; ++r) {
+      std::vector<Op> ops;
+      if (r < 3) {
+        // Receivers 0..2 on node 0; senders 4, 8, 12 on nodes 1, 2, 3.
+        const auto sender = static_cast<RankId>(4 * (r + 1));
+        ops.push_back(Op::recv(sender, 512.0, /*tag=*/0));
+        ops.push_back(Op::isend(sender, 4096.0, /*tag=*/1));
+        ops.push_back(Op::recv(sender, 64.0, /*tag=*/2));
+        ops.push_back(Op::wait_all_sends());
+      } else if (r >= 4 && r % 4 == 0) {
+        const auto receiver = static_cast<RankId>(r / 4 - 1);
+        ops.push_back(Op::isend(receiver, 512.0, /*tag=*/0));
+        ops.push_back(Op::recv(receiver, 4096.0, /*tag=*/1));
+        ops.push_back(Op::isend(receiver, 64.0, /*tag=*/2));
+        ops.push_back(Op::wait_all_sends());
+      }
+      sim.set_schedule(r, ops);
+    }
+    return sim.run();
+  };
+  const SimResult reference = run_with(1);
+  EXPECT_GT(reference.makespan, 0.0);
+  for (std::int32_t threads : {2, 8}) {
+    expect_identical(reference, run_with(threads));
+  }
+}
+
+TEST(SimulatorParallel, CollectivesCoScheduledWithMessagesIdentical) {
+  // Zero network latency collapses each round's message arrivals and
+  // collective releases onto shared timestamps, so every barrier must
+  // interleave message injection and release application per queue in
+  // exactly the oracle's order (canonical messages first, then release
+  // steps) — the tie is broken purely by event sequence numbers.
+  const std::int32_t ranks = 12;
+  auto run_with = [&](std::int32_t threads) {
+    SimConfig config;
+    config.send_overhead = 0.0;
+    config.recv_overhead = 0.0;
+    config.threads = threads;
+    Simulator sim(ranks, network::make_hockney_model(0.0, 1e9), config);
+    for (std::int32_t r = 0; r < ranks; ++r) {
+      std::vector<Op> ops;
+      const RankId right = (r + 1) % ranks;
+      const RankId left = (r + ranks - 1) % ranks;
+      for (std::int32_t round = 0; round < 8; ++round) {
+        // Half the ranks pay a tiny compute so rounds drift in and out
+        // of lockstep instead of every timestamp being identical.
+        if (r % 2 == 0) ops.push_back(Op::compute(1e-6));
+        ops.push_back(Op::isend(right, 256.0, /*tag=*/round));
+        ops.push_back(Op::recv(left, 256.0, /*tag=*/round));
+        ops.push_back(Op::allreduce(16.0));
+      }
+      ops.push_back(Op::wait_all_sends());
+      sim.set_schedule(r, ops);
+    }
+    return sim.run();
+  };
+  const SimResult reference = run_with(1);
+  EXPECT_EQ(reference.traffic.allreduces, 8);
+  for (std::int32_t threads : {2, 8}) {
+    expect_identical(reference, run_with(threads));
+  }
+}
+
+TEST(SimulatorParallel, ShardCountNotDividingRanksIdentical) {
+  // 22 ranks over 3, 5, and 8 shards: uneven blocks, including shards
+  // one rank larger than others — the merge and the release application
+  // must cover exactly every rank with no overlap.
+  const std::int32_t ranks = 22;
+  Simulator oracle = make_simulator(ranks, 1);
+  install_ring_workload(oracle, ranks, /*rounds=*/10);
+  const SimResult reference = oracle.run();
+  for (std::int32_t threads : {3, 5, 8}) {
+    Simulator sim = make_simulator(ranks, threads);
+    install_ring_workload(sim, ranks, /*rounds=*/10);
+    expect_identical(reference, sim.run());
+  }
+}
+
+TEST(SimulatorParallel, CollectiveStateWindowStaysBounded) {
+  // Released collectives are reclaimed eagerly (only the frontier index
+  // can ever be partially entered), so a replay with hundreds of
+  // collectives keeps an O(1) live window in both engines — pinned by
+  // the sim.collective_states_high_water gauge.
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  const std::int32_t ranks = 8;
+  for (std::int32_t threads : {1, 4}) {
+    Simulator sim = make_simulator(ranks, threads);
+    for (std::int32_t r = 0; r < ranks; ++r) {
+      std::vector<Op> ops;
+      for (std::int32_t i = 0; i < 300; ++i) {
+        ops.push_back(Op::compute(1e-7 * static_cast<double>(r + 1)));
+        ops.push_back(Op::allreduce(8.0));
+      }
+      sim.set_schedule(r, ops);
+    }
+    const SimResult result = sim.run();
+    EXPECT_EQ(result.traffic.allreduces, 300);
+    const obs::Snapshot snapshot = obs::global_registry().snapshot();
+    const obs::MetricValue& high_water =
+        snapshot.at("sim.collective_states_high_water");
+    EXPECT_GE(high_water.value, 1.0) << "threads " << threads;
+    EXPECT_LE(high_water.value, 2.0) << "threads " << threads;
+  }
+  obs::set_enabled(was_enabled);
+}
+
+TEST(SimulatorParallel, CoordinatorTimingFieldsPopulated) {
+  // The Amdahl decomposition of the epoch barrier: the parallel engine
+  // reports its serial-coordinator, worker-sort, and barrier-apply
+  // walls; the oracle has no coordinator and reports zeros.
+  const std::int32_t ranks = 16;
+  Simulator sim = make_simulator(ranks, 4);
+  install_ring_workload(sim, ranks, /*rounds=*/8);
+  const SimResult parallel = sim.run();
+  EXPECT_GT(parallel.coordinator_seconds, 0.0);
+  EXPECT_GE(parallel.sort_seconds, 0.0);
+  // The ring couples shards every round, so the apply phase always ran.
+  EXPECT_GT(parallel.inject_seconds, 0.0);
+  Simulator oracle = make_simulator(ranks, 1);
+  install_ring_workload(oracle, ranks, /*rounds=*/8);
+  const SimResult serial = oracle.run();
+  EXPECT_EQ(serial.coordinator_seconds, 0.0);
+  EXPECT_EQ(serial.sort_seconds, 0.0);
+  EXPECT_EQ(serial.inject_seconds, 0.0);
 }
 
 }  // namespace
